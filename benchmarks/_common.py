@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one artifact of the paper's evaluation
+(Sec. VI): it prints the table/figure as ASCII and also writes it under
+``benchmarks/results/`` so a full run leaves a reviewable record.
+
+Scaled-down configuration (documented in EXPERIMENTS.md): corpora are
+generated at REPRO_SCALE (default 1.0), the paper's 300 s build cap
+becomes ``BUILD_BUDGET_S`` and its 60 s query cap ``QUERY_BUDGET_S``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.runner import BenchSheet, get_corpus
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+BUILD_BUDGET_S = float(os.environ.get("REPRO_BUILD_BUDGET", "10.0"))
+QUERY_BUDGET_S = float(os.environ.get("REPRO_QUERY_BUDGET", "5.0"))
+MODIFY_BUDGET_S = float(os.environ.get("REPRO_MODIFY_BUDGET", "5.0"))
+TOP_N = int(os.environ.get("REPRO_TOP_N", "10"))
+
+CORPORA = ("enron", "github")
+
+
+def emit(name: str, text: str) -> None:
+    """Print an artifact and persist it under benchmarks/results/."""
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+def corpus_sheets(name: str) -> list[BenchSheet]:
+    return get_corpus(name)
+
+
+def hardest_sheets_by_build(name: str, count: int = TOP_N) -> list[BenchSheet]:
+    """The paper's Fig. 13-15 selection: top sheets by TACO build time.
+
+    Build time is proxied by dependency count, which avoids timing every
+    sheet twice; the ordering matches the actual build-time ranking on
+    our generator (build cost is linear in insertions).
+    """
+    sheets = get_corpus(name)
+    return sorted(sheets, key=lambda s: len(s.deps()), reverse=True)[:count]
+
+
+def hardest_sheets_by_query(name: str, count: int = TOP_N) -> list[BenchSheet]:
+    """The paper's Fig. 16 selection: top sheets by TACO query time,
+    proxied by the size of the max-dependents closure."""
+    sheets = get_corpus(name)
+    return sorted(sheets, key=lambda s: s.max_dependents_probe()[1], reverse=True)[:count]

@@ -1,0 +1,97 @@
+"""Ablation (Sec. IV-A) — the edge-selection heuristics.
+
+TACO picks among valid merge candidates by: column-wise first, special
+pattern (RR-Chain) first, then dollar-sign cues.  This ablation rebuilds
+a corpus sample with each heuristic disabled and reports the resulting
+edge counts, plus the effect of dropping RR-Chain from the pattern set
+on query-time edge accesses (the reason Sec. V introduces it).
+"""
+
+from _common import corpus_sheets, emit
+
+from repro.bench.harness import best_of
+from repro.bench.reporting import ascii_table, banner, format_ms
+from repro.core.patterns.registry import default_patterns
+from repro.core.patterns.rr_chain import RRChainPattern
+from repro.core.taco_graph import TacoGraph
+
+SAMPLE = 8
+
+
+def build_variant(sheets, **kwargs) -> tuple[int, dict[str, int]]:
+    total = 0
+    mix: dict[str, int] = {}
+    for sheet in sheets:
+        graph = TacoGraph.full(**kwargs)
+        graph.build(sheet.deps())
+        total += len(graph)
+        for name, info in graph.pattern_breakdown().items():
+            mix[name] = mix.get(name, 0) + info["edges"]
+    return total, mix
+
+
+def test_heuristic_edge_counts(benchmark):
+    sheets = corpus_sheets("enron")[:SAMPLE]
+
+    def compute():
+        return {
+            "all heuristics (default)": build_variant(sheets),
+            "no dollar-sign cues": build_variant(sheets, use_cues=False),
+            "no column-first preference": build_variant(sheets, prefer_column=False),
+        }
+
+    data = benchmark.pedantic(compute, rounds=1, iterations=1)
+    pattern_names = sorted({name for _, mix in data.values() for name in mix})
+    lines = [banner(
+        "Ablation — compression heuristics (edges after compression,"
+        f" {SAMPLE} Enron sheets)"
+    )]
+    rows = [
+        [variant, total] + [mix.get(name, 0) for name in pattern_names]
+        for variant, (total, mix) in data.items()
+    ]
+    lines.append(ascii_table(["variant", "edges"] + pattern_names, rows))
+    lines.append(
+        "\nThe heuristics mainly affect *which* pattern a dependency joins\n"
+        "(the per-pattern mix), not how many edges result: on clean\n"
+        "autofill runs exactly one pattern admits each run, so edge counts\n"
+        "are stable while the cue-guided choice keeps semantically-matching\n"
+        "patterns in ambiguous cases (cf. Fig. 8)."
+    )
+    emit("ablation_heuristics", "\n".join(lines))
+
+
+def test_chain_pattern_effect(benchmark):
+    """RR-Chain on vs off: edge accesses and query time on a chain sheet."""
+    sheets = [s for s in corpus_sheets("enron") if "fig2" in str(s.spec.regions)]
+    sheet = max(sheets or corpus_sheets("enron"), key=lambda s: len(s.deps()))
+
+    def compute():
+        probe = sheet.max_dependents_probe()[0]
+        with_chain = TacoGraph.full()
+        with_chain.build(sheet.deps())
+        no_chain = TacoGraph(
+            patterns=[p for p in default_patterns() if not isinstance(p, RRChainPattern)]
+        )
+        no_chain.build(sheet.deps())
+        rows = []
+        for label, graph in (("with RR-Chain", with_chain), ("without RR-Chain", no_chain)):
+            graph.query_stats.edge_accesses = 0
+            seconds = best_of(lambda: graph.find_dependents(probe), repeats=3).seconds
+            rows.append([label, len(graph), graph.query_stats.edge_accesses, format_ms(seconds)])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [banner(
+        "Ablation — RR-Chain (Sec. V): repeated edge accesses without it",
+        f"sheet {sheet.name}, max-dependents probe",
+    )]
+    lines.append(ascii_table(
+        ["variant", "edges", "edge accesses during BFS", "query time"], rows
+    ))
+    lines.append(
+        "\nWithout RR-Chain the chain compresses under plain RR and the BFS\n"
+        "re-accesses that one edge once per link — exactly the bottleneck\n"
+        "the paper's extended pattern removes."
+    )
+    emit("ablation_chain", "\n".join(lines))

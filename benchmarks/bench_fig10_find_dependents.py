@@ -1,0 +1,90 @@
+"""Fig. 10 — CDFs of the time to find dependents, TACO vs NoComp.
+
+For every sheet, two query cases as in the paper (Sec. VI-C): the cell
+with the maximum number of dependents and the cell starting the longest
+path.  The paper reports CDFs; we print their percentile tables and the
+headline maxima/speedups (paper: TACO max 78/167 ms vs NoComp max
+1,730/48,889 ms; speedup up to 34,972x).
+"""
+
+from _common import CORPORA, QUERY_BUDGET_S, corpus_sheets, emit
+
+from repro.bench.harness import best_of, measure
+from repro.bench.percentiles import cdf_points
+from repro.bench.reporting import ascii_table, banner, format_ms
+
+
+def time_queries(corpus: str, case: str) -> dict[str, list[float]]:
+    """Per-sheet query seconds for the given case ('max' or 'longest')."""
+    taco_times, nocomp_times = [], []
+    for sheet in corpus_sheets(corpus):
+        probe = (
+            sheet.max_dependents_probe()[0]
+            if case == "max"
+            else sheet.longest_path_probe()[0]
+        )
+        taco = sheet.taco()
+        nocomp = sheet.nocomp()
+        taco_times.append(best_of(lambda: taco.find_dependents(probe), repeats=3).seconds)
+        m = measure(
+            lambda budget: nocomp.find_dependents(probe, budget),
+            budget_seconds=QUERY_BUDGET_S,
+            operation="NoComp find_dependents",
+        )
+        nocomp_times.append(QUERY_BUDGET_S if m.dnf else m.seconds)
+    return {"TACO": taco_times, "NoComp": nocomp_times}
+
+
+def render_case(corpus: str, case: str, data: dict[str, list[float]]) -> str:
+    title = "Maximum Dependents" if case == "max" else "Longest Path"
+    rows = []
+    for system in ("TACO", "NoComp"):
+        points = cdf_points(data[system])
+        rows.append([system] + [format_ms(v) for _, v in points])
+    headers = ["system"] + [f"p{int(p)}" for p, _ in cdf_points([0.0])]
+    speedups = [n / t for t, n in zip(data["TACO"], data["NoComp"]) if t > 0]
+    table = ascii_table(headers, rows)
+    return (
+        f"\n[{corpus} — {title} case]\n{table}\n"
+        f"max speedup TACO over NoComp: {max(speedups):,.0f}x "
+        f"(median {sorted(speedups)[len(speedups) // 2]:,.0f}x)"
+    )
+
+
+def test_fig10_find_dependents_cdfs(benchmark):
+    def compute():
+        return {
+            (corpus, case): time_queries(corpus, case)
+            for corpus in CORPORA
+            for case in ("max", "longest")
+        }
+
+    data = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [banner(
+        "Fig. 10 — time to find dependents (CDF percentiles)",
+        "paper shape: TACO orders of magnitude below NoComp at every percentile",
+    )]
+    for corpus in CORPORA:
+        for case in ("max", "longest"):
+            lines.append(render_case(corpus, case, data[(corpus, case)]))
+    lines.append(
+        "\nPaper reference: TACO max 78 ms (Enron) / 167 ms (Github);\n"
+        "NoComp max 1,730 ms / 48,889 ms; speedup up to 34,972x."
+    )
+    emit("fig10_find_dependents", "\n".join(lines))
+
+
+def test_fig10_taco_query_op(benchmark):
+    """Micro-benchmark: one TACO dependents query at the hardest probe."""
+    sheet = max(corpus_sheets("github"), key=lambda s: s.max_dependents_probe()[1])
+    probe = sheet.max_dependents_probe()[0]
+    taco = sheet.taco()
+    benchmark(lambda: taco.find_dependents(probe))
+
+
+def test_fig10_nocomp_query_op(benchmark):
+    """Micro-benchmark: the same query on NoComp (one round: it is slow)."""
+    sheet = max(corpus_sheets("github"), key=lambda s: s.max_dependents_probe()[1])
+    probe = sheet.max_dependents_probe()[0]
+    nocomp = sheet.nocomp()
+    benchmark.pedantic(lambda: nocomp.find_dependents(probe), rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Fig. 11 — CDFs of the time to build formula graphs.
+
+TACO pays a compression overhead at construction (paper: up to ~2x
+NoComp; Enron max 16.6 s vs 7.7 s, Github 82.6 s vs 40.1 s), which the
+paper argues is acceptable because construction happens once at load
+time, off the interactive path.
+"""
+
+from _common import CORPORA, corpus_sheets, emit
+
+from repro.bench.harness import time_call
+from repro.bench.percentiles import cdf_points
+from repro.bench.reporting import ascii_table, banner, format_ms
+
+
+def time_builds(corpus: str) -> dict[str, list[float]]:
+    taco_times, nocomp_times = [], []
+    for sheet in corpus_sheets(corpus):
+        sheet.deps()  # exclude generation/parsing from the measurement
+        taco_times.append(time_call(sheet.fresh_taco)[0])
+        nocomp_times.append(time_call(sheet.fresh_nocomp)[0])
+    return {"TACO": taco_times, "NoComp": nocomp_times}
+
+
+def test_fig11_build_cdfs(benchmark):
+    data = benchmark.pedantic(
+        lambda: {corpus: time_builds(corpus) for corpus in CORPORA},
+        rounds=1, iterations=1,
+    )
+    lines = [banner(
+        "Fig. 11 — time to build formula graphs (CDF percentiles)",
+        "paper shape: TACO ~1.5-2x NoComp, paid once at load time",
+    )]
+    grid = [10, 25, 50, 75, 90, 100]
+    for corpus in CORPORA:
+        rows = []
+        for system in ("TACO", "NoComp"):
+            points = cdf_points(data[corpus][system], grid)
+            rows.append([system] + [format_ms(v) for _, v in points])
+        lines.append(f"\n[{corpus}]")
+        lines.append(ascii_table(["system"] + [f"p{p}" for p in grid], rows))
+        ratio = max(data[corpus]["TACO"]) / max(data[corpus]["NoComp"])
+        lines.append(f"max build time ratio TACO/NoComp: {ratio:.2f}x")
+    lines.append(
+        "\nPaper reference: Enron max 16,626 ms (TACO) vs 7,704 ms (NoComp);\n"
+        "Github 82,567 ms vs 40,103 ms — TACO ~2x slower to build."
+    )
+    emit("fig11_build", "\n".join(lines))

@@ -1,0 +1,71 @@
+"""Fig. 15 — graph modification latency vs Antifreeze and RedisGraph.
+
+Clear a 1K-cell column at the max-dependents cell.  Paper shape: TACO
+and NoComp in milliseconds; RedisGraph pays per-cell edge deletion;
+Antifreeze must rebuild its lookup table from scratch, so modification
+costs as much as construction (and usually DNFs).
+"""
+
+from _common import (
+    BUILD_BUDGET_S,
+    CORPORA,
+    MODIFY_BUDGET_S,
+    emit,
+    hardest_sheets_by_build,
+)
+
+from repro.baselines.antifreeze import AntifreezeIndex
+from repro.baselines.graphdb import RedisGraphLike
+from repro.bench.harness import Measurement, measure, time_call
+from repro.bench.reporting import ascii_table, banner
+
+SYSTEMS = ("TACO", "NoComp", "RedisGraph", "Antifreeze")
+MODIFY_CELLS = 1000
+
+
+def measure_modifications() -> dict[str, list]:
+    results: dict[str, list] = {}
+    for corpus in CORPORA:
+        for rank, sheet in enumerate(hardest_sheets_by_build(corpus), start=1):
+            victim = sheet.modify_range(MODIFY_CELLS)
+            row = [f"{corpus} max{rank}"]
+            taco = sheet.fresh_taco()
+            row.append(Measurement(time_call(lambda: taco.clear_cells(victim))[0], False).render())
+            nocomp = sheet.fresh_nocomp()
+            row.append(Measurement(time_call(lambda: nocomp.clear_cells(victim))[0], False).render())
+            row.append(_external_modify(RedisGraphLike(), sheet, victim).render())
+            row.append(_external_modify(AntifreezeIndex(), sheet, victim).render())
+            results.setdefault(corpus, []).append(row)
+    return results
+
+
+def _external_modify(graph, sheet, victim) -> Measurement:
+    build = measure(
+        lambda budget: graph.build(sheet.deps(), budget),
+        budget_seconds=BUILD_BUDGET_S,
+        operation="external build",
+    )
+    if build.dnf:
+        return Measurement(build.seconds, True, None, "build DNF")
+    return measure(
+        lambda budget: graph.clear_cells(victim, budget),
+        budget_seconds=MODIFY_BUDGET_S,
+        operation="external modify",
+    )
+
+
+def test_fig15_modify_latency(benchmark):
+    data = benchmark.pedantic(measure_modifications, rounds=1, iterations=1)
+    lines = [banner(
+        "Fig. 15 — graph modification latency (top-10 hardest sheets)",
+        f"clear {MODIFY_CELLS} formula cells; X marks a DNF",
+    )]
+    for corpus in CORPORA:
+        lines.append(f"\n[{corpus}]")
+        lines.append(ascii_table(["sheet"] + list(SYSTEMS), data[corpus]))
+    lines.append(
+        "\nPaper reference (Fig. 15): TACO and NoComp in single-digit\n"
+        "milliseconds; Antifreeze rebuilds from scratch on every change\n"
+        "(mostly DNF); RedisGraph pays per-cell deletions."
+    )
+    emit("fig15_modify_baselines", "\n".join(lines))

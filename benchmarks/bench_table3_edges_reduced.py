@@ -1,0 +1,45 @@
+"""Table III — number of edges reduced per spreadsheet (higher is better).
+
+Per-sheet ``|E'| - |E|`` summarised as max / 75th percentile / median /
+mean, for TACO-InRow and TACO-Full on both corpora.
+"""
+
+from _common import CORPORA, corpus_sheets, emit
+
+from repro.bench.percentiles import Summary
+from repro.bench.reporting import ascii_table, banner, format_count
+
+
+def reductions(corpus: str) -> dict[str, list[float]]:
+    out = {"TACO-InRow": [], "TACO-Full": []}
+    for sheet in corpus_sheets(corpus):
+        raw = len(sheet.deps())
+        out["TACO-InRow"].append(float(raw - len(sheet.inrow())))
+        out["TACO-Full"].append(float(raw - len(sheet.taco())))
+    return out
+
+
+def test_table3_edges_reduced(benchmark):
+    data = benchmark.pedantic(
+        lambda: {corpus: reductions(corpus) for corpus in CORPORA},
+        rounds=1, iterations=1,
+    )
+    lines = [banner("Table III — edges reduced by TACO per sheet (higher is better)")]
+    rows = []
+    for corpus in CORPORA:
+        for system in ("TACO-InRow", "TACO-Full"):
+            summary = Summary.of(data[corpus][system])
+            rows.append([
+                f"{corpus} {system}",
+                format_count(summary.maximum),
+                format_count(summary.p75),
+                format_count(summary.median),
+                format_count(summary.mean),
+            ])
+    lines.append(ascii_table(["corpus/system", "max", "75th pct", "median", "mean"], rows))
+    lines.append(
+        "\nPaper reference (Table III): Enron TACO-Full max 700K / mean 38K;\n"
+        "Github TACO-Full max 3.1M / mean 79K.  The scaled corpora preserve\n"
+        "the ordering TACO-Full > TACO-InRow and Github > Enron."
+    )
+    emit("table3_edges_reduced", "\n".join(lines))

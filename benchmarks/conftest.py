@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Makes the shared helpers importable and keeps corpus state cached across
+benchmark modules (pytest runs them in one process).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,67 @@
+"""Formula dependency auditing — the paper's second application.
+
+Spreadsheet systems offer "trace precedents/dependents" tools to help
+users find the sources of errors (the paper cites the EuSpRIG horror
+stories).  This example builds a small financial model, plants a wrong
+input, and uses the compressed graph to trace (a) everything the bad
+cell corrupts and (b) everything a suspicious output depends on —
+the TACO-Lens-style audit.
+
+Run with:  python examples/dependency_audit.py
+"""
+
+from repro import Range, Sheet, build_from_sheet, fill_formula_column
+from repro.engine.recalc import RecalcEngine
+
+
+def build_model() -> Sheet:
+    """A loan model: rates in B, balances in C, payments in D."""
+    sheet = Sheet("loan")
+    sheet.set_value("A1", 100_000.0)       # principal
+    sheet.set_value("B1", 0.004)           # monthly rate ... oops, see main()
+    for row in range(1, 25):
+        sheet.set_value((5, row), 1200.0)  # E: fixed payment
+    sheet.set_formula("C1", "=A1")
+    fill_formula_column(sheet, 3, 2, 24, "=C1*(1+$B$1)-E1")   # balance chain
+    fill_formula_column(sheet, 4, 1, 24, "=C1*$B$1")          # interest col
+    sheet.set_formula("F1", "=SUM(D1:D24)")                   # total interest
+    return sheet
+
+
+def show_ranges(title: str, ranges: list[Range]) -> None:
+    print(f"  {title}:")
+    for rng in sorted(ranges, key=Range.as_tuple):
+        print(f"    - {rng.to_a1()} ({rng.size} cell{'s' if rng.size != 1 else ''})")
+
+
+def main() -> None:
+    sheet = build_model()
+    graph = build_from_sheet(sheet)
+    engine = RecalcEngine(sheet, graph)
+    engine.recalculate_all()
+
+    print("Loan model: balance chain C1:C24, interest D1:D24, total F1")
+    print(f"graph: {graph.raw_edge_count()} dependencies in {len(graph)} edges\n")
+
+    # Audit 1: the analyst suspects the rate cell B1 is wrong.
+    # What would a fix touch?
+    print("Audit 1 — trace dependents of the rate cell $B$1")
+    dependents = graph.find_dependents(Range.from_a1("B1"))
+    show_ranges("cells recomputed if B1 changes", dependents)
+
+    # Audit 2: the total interest F1 looks off. What feeds it?
+    print("\nAudit 2 — trace precedents of the total F1")
+    precedents = graph.find_precedents(Range.from_a1("F1"))
+    show_ranges("cells F1 (transitively) reads", precedents)
+
+    # Fix the rate and watch the update flow through.
+    print("\nFixing B1: 0.004 -> 0.005 (the intended 6% APR)")
+    before = sheet.get_value("F1")
+    result = engine.set_value("B1", 0.005)
+    after = sheet.get_value("F1")
+    print(f"  dirty cells: {result.dirty_count}, recomputed: {result.recomputed}")
+    print(f"  total interest F1: {before:,.2f} -> {after:,.2f}")
+
+
+if __name__ == "__main__":
+    main()

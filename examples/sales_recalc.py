@@ -1,0 +1,64 @@
+"""Interactive recalculation: the paper's motivating application.
+
+A sales workbook in the style of the paper's Fig. 2 — transactions
+sorted by counterparty with a running subtotal column — is edited, and
+the engine must find the dependents of the edit (the critical path for
+returning control to the user) and recompute them.
+
+The example runs the same edit against a TACO-backed engine and a
+NoComp-backed one and reports the control-return times.
+
+Run with:  python examples/sales_recalc.py
+"""
+
+import random
+
+from repro import NoCompGraph, Sheet, dependencies_column_major, fill_formula_column
+from repro.engine.recalc import RecalcEngine
+
+ROWS = 3000
+
+
+def build_sales_sheet() -> Sheet:
+    """Counterparty ids in A, amounts in M, running subtotal in N."""
+    rng = random.Random(42)
+    sheet = Sheet("sales")
+    for row in range(1, ROWS + 1):
+        sheet.set_value((1, row), float(rng.randrange(40)))       # A: CP id
+        sheet.set_value((13, row), round(rng.uniform(10, 900), 2))  # M: amount
+    sheet.set_formula((14, 2), "=M2")
+    fill_formula_column(sheet, 14, 3, ROWS, "=IF(A3=A2,N2+M3,M3)")
+    return sheet
+
+
+def run_engine(label: str, engine: RecalcEngine) -> None:
+    engine.recalculate_all()
+    before = engine.sheet.get_value((14, ROWS))
+    result = engine.set_value((13, 2), 10_000.0)   # edit M2: feeds the chain
+    after = engine.sheet.get_value((14, ROWS))
+    print(f"[{label}]")
+    print(f"  dirty cells found       : {result.dirty_count}")
+    print(f"  control returned after  : {result.control_return_seconds * 1000:8.2f} ms")
+    print(f"  full recompute finished : {result.total_seconds * 1000:8.2f} ms")
+    print(f"  N{ROWS}: {before} -> {after}")
+
+
+def main() -> None:
+    print(f"sales sheet: {ROWS} rows, Fig. 2-style running subtotals\n")
+
+    taco_engine = RecalcEngine(build_sales_sheet())  # TACO by default
+    run_engine("TACO-backed engine", taco_engine)
+
+    sheet = build_sales_sheet()
+    nocomp = NoCompGraph()
+    nocomp.build(dependencies_column_major(sheet))
+    run_engine("NoComp-backed engine", RecalcEngine(sheet, nocomp))
+
+    print(
+        "\nThe dirty sets are identical; only the time to *find* them\n"
+        "differs — that is the interactivity gap TACO closes."
+    )
+
+
+if __name__ == "__main__":
+    main()

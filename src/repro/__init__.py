@@ -1,0 +1,71 @@
+"""TACO: efficient and compact spreadsheet formula graphs.
+
+A from-scratch Python reproduction of *Efficient and Compact Spreadsheet
+Formula Graphs* (Tang et al., ICDE 2023).  The package provides:
+
+* a spreadsheet substrate — A1 grid model, formula language with parser
+  and evaluator, sheets/workbooks with autofill, and xlsx I/O;
+* the TACO compressed formula graph (:class:`repro.core.TacoGraph`) with
+  its pattern framework (RR, RF, FR, FF, RR-Chain), greedy compression,
+  direct querying, and incremental maintenance;
+* the paper's baselines: NoComp, NoComp-Calc, Antifreeze, a
+  graph-database stand-in, and an Excel-like engine;
+* synthetic corpus generators and a benchmark harness regenerating every
+  table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Sheet, TacoGraph, build_from_sheet, Range
+
+    sheet = Sheet()
+    sheet.set_value("A1", 10.0)
+    sheet.set_formula("B1", "=SUM(A1:A3)")
+    graph = build_from_sheet(sheet)
+    graph.find_dependents(Range.from_a1("A1"))
+"""
+
+from .core.patterns.base import CompressedEdge
+from .core.taco_graph import TacoGraph, build_from_sheet, dependencies_column_major
+from .formula.errors import ExcelError, FormulaSyntaxError
+from .formula.evaluator import Evaluator
+from .formula.parser import parse_formula
+from .formula.references import references_of_formula
+from .graphs.base import Budget, DNFError, FormulaGraph, expand_cells
+from .graphs.calc import NoCompCalcGraph
+from .graphs.nocomp import NoCompGraph
+from .grid.range import Range
+from .grid.rangeset import RangeSet
+from .grid.ref import CellRef
+from .sheet.autofill import autofill, fill_formula_column, fill_formula_row
+from .sheet.sheet import Dependency, Sheet
+from .sheet.workbook import Workbook
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Budget",
+    "CellRef",
+    "CompressedEdge",
+    "DNFError",
+    "Dependency",
+    "Evaluator",
+    "ExcelError",
+    "FormulaGraph",
+    "FormulaSyntaxError",
+    "NoCompCalcGraph",
+    "NoCompGraph",
+    "Range",
+    "RangeSet",
+    "Sheet",
+    "TacoGraph",
+    "Workbook",
+    "autofill",
+    "build_from_sheet",
+    "dependencies_column_major",
+    "expand_cells",
+    "fill_formula_column",
+    "fill_formula_row",
+    "parse_formula",
+    "references_of_formula",
+    "__version__",
+]

@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands operate on real ``.xlsx`` files through the stdlib reader:
+
+* ``report FILE``              — per-sheet compression report (Tables II-V style)
+* ``trace FILE SHEET!CELL``    — dependents and precedents of a cell
+* ``export FILE [--dot|--json] [--sheet NAME]`` — compressed graph export
+* ``demo PATH``                — write a demonstration workbook to PATH
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from .bench.reporting import ascii_table, format_pct
+from .core.export import summarize_graph, to_adjacency_json, to_dot
+from .core.taco_graph import TacoGraph, dependencies_column_major
+from .graphs.nocomp import NoCompGraph
+from .grid.range import Range
+from .io import read_xlsx, write_xlsx
+from .sheet.workbook import Workbook
+
+__all__ = ["main"]
+
+
+def _build_graph(sheet) -> TacoGraph:
+    graph = TacoGraph.full()
+    graph.build(dependencies_column_major(sheet))
+    return graph
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    workbook = read_xlsx(args.file)
+    rows = []
+    for sheet in workbook.sheets():
+        deps = dependencies_column_major(sheet)
+        if not deps:
+            rows.append([sheet.name, 0, "-", "-", "-"])
+            continue
+        nocomp = NoCompGraph()
+        nocomp.build(deps)
+        taco = _build_graph(sheet)
+        rows.append([
+            sheet.name,
+            len(deps),
+            nocomp.stats().vertices,
+            len(taco),
+            format_pct(len(taco) / len(deps)),
+        ])
+    print(ascii_table(["sheet", "dependencies", "vertices", "TACO edges", "remaining"], rows))
+    return 0
+
+
+def _parse_target(target: str, workbook: Workbook):
+    if "!" in target:
+        sheet_name, cell = target.split("!", 1)
+        return workbook.sheet(sheet_name), Range.from_a1(cell)
+    return workbook.active_sheet, Range.from_a1(target)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    workbook = read_xlsx(args.file)
+    try:
+        sheet, probe = _parse_target(args.cell, workbook)
+    except KeyError:
+        print(f"error: no such sheet in {args.cell!r}", file=sys.stderr)
+        return 2
+    graph = _build_graph(sheet)
+    print(f"sheet {sheet.name}, probe {probe.to_a1()}")
+    dependents = sorted(graph.find_dependents(probe), key=Range.as_tuple)
+    print(f"\ndependents ({sum(r.size for r in dependents)} cells):")
+    for rng in dependents[: args.limit]:
+        print(f"  {rng.to_a1()}")
+    if len(dependents) > args.limit:
+        print(f"  ... and {len(dependents) - args.limit} more ranges")
+    precedents = sorted(graph.find_precedents(probe), key=Range.as_tuple)
+    print(f"\nprecedents ({sum(r.size for r in precedents)} cells):")
+    for rng in precedents[: args.limit]:
+        print(f"  {rng.to_a1()}")
+    if len(precedents) > args.limit:
+        print(f"  ... and {len(precedents) - args.limit} more ranges")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    workbook = read_xlsx(args.file)
+    sheet = workbook.sheet(args.sheet) if args.sheet else workbook.active_sheet
+    graph = _build_graph(sheet)
+    if args.json:
+        print(to_adjacency_json(graph))
+    else:
+        print(to_dot(graph, title=f"{sheet.name} formula graph"))
+    print(f"// {summarize_graph(graph)}", file=sys.stderr)
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .datasets.regions import build_region
+
+    rng = random.Random(args.seed)
+    workbook = Workbook("demo")
+    sheet = workbook.add_sheet("Demo")
+    build_region(sheet, "fig2", 1, 2, args.rows, rng)
+    build_region(sheet, "fixed_lookup", 6, 2, args.rows // 2, rng)
+    build_region(sheet, "running_total", 12, 2, args.rows // 2, rng)
+    write_xlsx(workbook, args.path)
+    print(f"wrote {args.path}: {len(sheet)} cells, "
+          f"{sheet.formula_count} formulae")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TACO: compressed spreadsheet formula graphs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="per-sheet compression report")
+    report.add_argument("file")
+    report.set_defaults(fn=_cmd_report)
+
+    trace = sub.add_parser("trace", help="trace dependents/precedents of a cell")
+    trace.add_argument("file")
+    trace.add_argument("cell", help="A1 address, optionally Sheet!A1")
+    trace.add_argument("--limit", type=int, default=20)
+    trace.set_defaults(fn=_cmd_trace)
+
+    export = sub.add_parser("export", help="export the compressed graph")
+    export.add_argument("file")
+    export.add_argument("--sheet", default=None)
+    export.add_argument("--json", action="store_true", help="JSON instead of dot")
+    export.set_defaults(fn=_cmd_export)
+
+    demo = sub.add_parser("demo", help="write a demonstration workbook")
+    demo.add_argument("path")
+    demo.add_argument("--rows", type=int, default=300)
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(fn=_cmd_demo)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

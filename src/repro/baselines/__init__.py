@@ -1,0 +1,18 @@
+"""External-system baselines: Antifreeze, RedisGraph-like, Excel-like."""
+
+from .antifreeze import AntifreezeIndex, compress_ranges
+from .cypher import CypherQuery, CypherSyntaxError, execute_query
+from .excel_like import ExcelLikeEngine, to_r1c1
+from .graphdb import GraphDB, RedisGraphLike
+
+__all__ = [
+    "AntifreezeIndex",
+    "CypherQuery",
+    "CypherSyntaxError",
+    "ExcelLikeEngine",
+    "GraphDB",
+    "RedisGraphLike",
+    "compress_ranges",
+    "execute_query",
+    "to_r1c1",
+]

@@ -1,0 +1,250 @@
+"""A mini-Cypher subset for the graph-database baseline.
+
+Supports the query shapes the paper's RedisGraph experiments need::
+
+    MATCH (a:Cell {id: '3_2'})-[:DEP*]->(b:Cell) RETURN DISTINCT b.addr
+    MATCH (a:Cell)-[:DEP]->(b:Cell) WHERE a.addr = 'B2' RETURN b.addr
+    MATCH (a:Cell)-[:DEP*1..3]->(b) RETURN b.id
+
+Grammar subset: a single MATCH with one relationship (optionally
+variable-length with bounds), inline property maps on nodes, one optional
+WHERE equality conjunction, and a RETURN list of property accesses with
+optional DISTINCT.
+
+The variable-length executor intentionally mirrors RedisGraph's
+level-by-level expansion *without* cross-level memoisation: an edge is
+re-expanded each time a path reaches its source on a new level.  On deep
+dependency chains this makes query cost O(depth x edges) — the behaviour
+behind the paper's RedisGraph DNFs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, NamedTuple
+
+from ..graphs.base import Budget
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .graphdb import GraphDB
+
+__all__ = ["CypherQuery", "CypherSyntaxError", "execute_query"]
+
+
+class CypherSyntaxError(ValueError):
+    pass
+
+
+class NodePattern(NamedTuple):
+    var: str
+    label: str | None
+    props: dict[str, str]
+
+
+class RelPattern(NamedTuple):
+    rel_type: str
+    var_length: bool
+    min_hops: int
+    max_hops: int | None  # None = unbounded
+
+
+class ReturnItem(NamedTuple):
+    var: str
+    prop: str | None
+
+
+_NODE_RE = re.compile(
+    r"\(\s*(?P<var>\w+)?\s*(?::\s*(?P<label>\w+))?\s*(?:\{(?P<props>[^}]*)\})?\s*\)"
+)
+_REL_RE = re.compile(
+    r"-\[\s*:\s*(?P<type>\w+)\s*(?P<star>\*)?\s*(?:(?P<min>\d+)?\s*\.\.\s*(?P<max>\d+)?)?\s*\]->"
+)
+_WHERE_RE = re.compile(r"(?P<var>\w+)\.(?P<prop>\w+)\s*=\s*'(?P<value>[^']*)'")
+_RETURN_ITEM_RE = re.compile(r"(?P<var>\w+)(?:\.(?P<prop>\w+))?")
+
+
+def _parse_props(text: str | None) -> dict[str, str]:
+    props: dict[str, str] = {}
+    if not text:
+        return props
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        match = re.match(r"(\w+)\s*:\s*'([^']*)'", part)
+        if match is None:
+            raise CypherSyntaxError(f"unsupported property map entry: {part!r}")
+        props[match.group(1)] = match.group(2)
+    return props
+
+
+class CypherQuery:
+    """A parsed mini-Cypher query."""
+
+    def __init__(
+        self,
+        src: NodePattern,
+        rel: RelPattern,
+        dst: NodePattern,
+        where: list[tuple[str, str, str]],
+        returns: list[ReturnItem],
+        distinct: bool,
+    ):
+        self.src = src
+        self.rel = rel
+        self.dst = dst
+        self.where = where
+        self.returns = returns
+        self.distinct = distinct
+
+    @classmethod
+    def parse(cls, text: str) -> "CypherQuery":
+        text = text.strip()
+        upper = text.upper()
+        if not upper.startswith("MATCH"):
+            raise CypherSyntaxError("query must start with MATCH")
+        return_index = upper.rfind("RETURN")
+        if return_index < 0:
+            raise CypherSyntaxError("query must contain RETURN")
+        where_index = upper.find("WHERE")
+        match_end = where_index if 0 <= where_index < return_index else return_index
+        pattern_text = text[len("MATCH"):match_end].strip()
+        where_text = (
+            text[where_index + len("WHERE"):return_index].strip()
+            if 0 <= where_index < return_index
+            else ""
+        )
+        return_text = text[return_index + len("RETURN"):].strip()
+
+        rel_match = _REL_RE.search(pattern_text)
+        if rel_match is None:
+            raise CypherSyntaxError("exactly one -[:TYPE]-> relationship is required")
+        src_match = _NODE_RE.fullmatch(pattern_text[: rel_match.start()].strip())
+        dst_match = _NODE_RE.fullmatch(pattern_text[rel_match.end():].strip())
+        if src_match is None or dst_match is None:
+            raise CypherSyntaxError("could not parse node patterns")
+
+        def node_from(match: re.Match) -> NodePattern:
+            return NodePattern(
+                match.group("var") or "_",
+                match.group("label"),
+                _parse_props(match.group("props")),
+            )
+
+        var_length = rel_match.group("star") is not None
+        min_hops = int(rel_match.group("min")) if rel_match.group("min") else 1
+        max_hops = int(rel_match.group("max")) if rel_match.group("max") else None
+        rel = RelPattern(rel_match.group("type"), var_length, min_hops, max_hops)
+
+        where: list[tuple[str, str, str]] = []
+        if where_text:
+            for clause in re.split(r"\bAND\b", where_text, flags=re.IGNORECASE):
+                clause = clause.strip()
+                if not clause:
+                    continue
+                cond = _WHERE_RE.fullmatch(clause)
+                if cond is None:
+                    raise CypherSyntaxError(f"unsupported WHERE clause: {clause!r}")
+                where.append((cond.group("var"), cond.group("prop"), cond.group("value")))
+
+        distinct = False
+        if return_text.upper().startswith("DISTINCT"):
+            distinct = True
+            return_text = return_text[len("DISTINCT"):].strip()
+        returns: list[ReturnItem] = []
+        for item in return_text.split(","):
+            item = item.strip()
+            item_match = _RETURN_ITEM_RE.fullmatch(item)
+            if item_match is None:
+                raise CypherSyntaxError(f"unsupported RETURN item: {item!r}")
+            returns.append(ReturnItem(item_match.group("var"), item_match.group("prop")))
+        if not returns:
+            raise CypherSyntaxError("empty RETURN list")
+        return cls(node_from(src_match), rel, node_from(dst_match), where, returns, distinct)
+
+
+def _node_matches(db: "GraphDB", node_id: str, pattern: NodePattern,
+                  where: list[tuple[str, str, str]]) -> bool:
+    props = db.nodes.get(node_id)
+    if props is None:
+        return False
+    if pattern.label is not None and props.get("_label") != pattern.label:
+        return False
+    for key, expected in pattern.props.items():
+        actual = node_id if key == "id" else props.get(key)
+        if actual != expected:
+            return False
+    for var, prop, expected in where:
+        if var != pattern.var:
+            continue
+        actual = node_id if prop == "id" else props.get(prop)
+        if actual != expected:
+            return False
+    return True
+
+
+def _seed_nodes(db: "GraphDB", pattern: NodePattern,
+                where: list[tuple[str, str, str]]) -> list[str]:
+    if "id" in pattern.props:
+        node_id = pattern.props["id"]
+        return [node_id] if _node_matches(db, node_id, pattern, where) else []
+    for var, prop, value in where:
+        if var == pattern.var and prop == "id":
+            return [value] if _node_matches(db, value, pattern, where) else []
+    # Full label scan, as a graph database without a property index would.
+    return [n for n in db.nodes if _node_matches(db, n, pattern, where)]
+
+
+def execute_query(db: "GraphDB", query: CypherQuery,
+                  budget: Budget | None = None) -> list[tuple]:
+    """Execute a parsed query, returning result tuples."""
+    sources = _seed_nodes(db, query.src, query.where)
+    pairs: list[tuple[str, str]] = []
+    rel = query.rel
+    for source in sources:
+        if not rel.var_length:
+            for target in db.successors(source, rel.rel_type):
+                if budget is not None:
+                    budget.check()
+                if _node_matches(db, target, query.dst, query.where):
+                    pairs.append((source, target))
+            continue
+        # Variable length: level-by-level expansion. Nodes reached at a
+        # level are deduplicated within that level only; an edge is
+        # re-expanded whenever its source re-enters the frontier, like an
+        # unoptimised graph-database traversal.
+        reached: set[str] = set()
+        frontier = {source}
+        hops = 0
+        # On a DAG the frontier empties once the longest path is exhausted;
+        # the hop cap guards against cyclic (malformed) input.
+        max_level = len(db.nodes) if rel.max_hops is None else rel.max_hops
+        while frontier and hops < max_level:
+            hops += 1
+            next_frontier: set[str] = set()
+            for node in frontier:
+                for target in db.successors(node, rel.rel_type):
+                    if budget is not None:
+                        budget.check()
+                    next_frontier.add(target)
+            if hops >= rel.min_hops:
+                fresh = next_frontier - reached
+                reached |= fresh
+                for target in fresh:
+                    if _node_matches(db, target, query.dst, query.where):
+                        pairs.append((source, target))
+            frontier = next_frontier
+
+    rows: list[tuple] = []
+    for source, target in pairs:
+        row = []
+        for item in query.returns:
+            node_id = source if item.var == query.src.var else target
+            if item.prop is None or item.prop == "id":
+                row.append(node_id)
+            else:
+                row.append(db.nodes[node_id].get(item.prop))
+        rows.append(tuple(row))
+    if query.distinct:
+        rows = list(dict.fromkeys(rows))
+    return rows

@@ -1,0 +1,24 @@
+"""Benchmark harness: timing, DNF handling, percentiles, reporting."""
+
+from .harness import Measurement, best_of, measure, time_call
+from .percentiles import Summary, cdf_points, percentile
+from .reporting import ascii_table, banner, format_count, format_ms, format_pct
+from .runner import BenchSheet, get_corpus, top_sheets
+
+__all__ = [
+    "BenchSheet",
+    "Measurement",
+    "Summary",
+    "ascii_table",
+    "banner",
+    "best_of",
+    "cdf_points",
+    "format_count",
+    "format_ms",
+    "format_pct",
+    "get_corpus",
+    "measure",
+    "percentile",
+    "time_call",
+    "top_sheets",
+]

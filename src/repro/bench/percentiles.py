@@ -1,0 +1,57 @@
+"""Percentile and CDF helpers for the evaluation tables and figures."""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+__all__ = ["percentile", "Summary", "summarize", "cdf_points"]
+
+
+def percentile(values: "list[float]", q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100]) of a non-empty list."""
+    if not values:
+        raise ValueError("percentile of empty list")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+class Summary(NamedTuple):
+    """The statistics the paper's Tables III/IV report."""
+
+    minimum: float
+    p25: float
+    median: float
+    mean: float
+    p75: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "Summary":
+        data = list(values)
+        if not data:
+            raise ValueError("summary of empty data")
+        return cls(
+            minimum=min(data),
+            p25=percentile(data, 25),
+            median=percentile(data, 50),
+            mean=sum(data) / len(data),
+            p75=percentile(data, 75),
+            maximum=max(data),
+        )
+
+
+def cdf_points(values: "list[float]", points: "list[float] | None" = None) -> list[tuple[float, float]]:
+    """(percentile, value) pairs for rendering a CDF as a table.
+
+    Default percentile grid matches the paper's CDF figures, which focus
+    on the upper tail (y axis starts at 0.4).
+    """
+    if points is None:
+        points = [40, 50, 60, 70, 80, 90, 95, 99, 100]
+    return [(p, percentile(values, p)) for p in points]

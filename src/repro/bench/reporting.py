@@ -1,0 +1,74 @@
+"""ASCII rendering of the paper's tables and figures.
+
+Benchmarks print their artifacts with these helpers so a run of
+``pytest benchmarks/ --benchmark-only`` regenerates, in text form, every
+table and (as percentile tables) every CDF/latency figure of Sec. VI.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["ascii_table", "format_count", "format_ms", "format_pct", "banner"]
+
+
+def banner(title: str, subtitle: str = "") -> str:
+    lines = ["", "=" * 78, title]
+    if subtitle:
+        lines.append(subtitle)
+    lines.append("=" * 78)
+    return "\n".join(lines)
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                align_right: bool = True) -> str:
+    """Render a simple boxed table; all cells are str()-ed."""
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        padded = []
+        for i, width in enumerate(widths):
+            cell = cells[i] if i < len(cells) else ""
+            padded.append(cell.rjust(width) if (align_right and i > 0) else cell.ljust(width))
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = [separator, fmt_row(list(headers)), separator]
+    lines.extend(fmt_row(row) for row in text_rows)
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def format_count(value: float) -> str:
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.1f}M"
+    if value >= 10_000:
+        return f"{value / 1_000:.1f}K"
+    return f"{value:,.0f}" if float(value).is_integer() else f"{value:,.1f}"
+
+
+def format_ms(seconds: float) -> str:
+    millis = seconds * 1000.0
+    if millis >= 10_000:
+        return f"{seconds:,.1f} s"
+    if millis >= 100:
+        return f"{millis:,.0f} ms"
+    if millis >= 1:
+        return f"{millis:,.2f} ms"
+    return f"{millis:,.3f} ms"
+
+
+def format_pct(fraction: float) -> str:
+    pct = fraction * 100.0
+    if pct >= 10:
+        return f"{pct:.1f}%"
+    if pct >= 0.1:
+        return f"{pct:.2f}%"
+    return f"{pct:.4f}%"

@@ -1,0 +1,81 @@
+"""Greedy compression of dependencies into the graph (paper Algorithm 2).
+
+Exact edge minimisation (CEM) is NP-hard (Theorem 1; see
+:mod:`repro.core.optimal` for the exact solver used to demonstrate it), so
+TACO inserts dependencies one at a time:
+
+1. *Find candidate edges*: edges whose dependent range is adjacent to the
+   new formula cell along the row or column axis, found by probing the
+   vertex index around the cell.
+2. *Find valid candidates*: ask each pattern's ``addDep`` whether the
+   dependency fits (``try_pair`` for uncompressed candidates, the edge's
+   own ``try_merge`` otherwise).
+3. *Select the final edge* by the paper's heuristics: column-wise
+   compression first, then special-case patterns (RR-Chain over RR), then
+   the dollar-sign cue, then deterministic tie-breaks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sheet.sheet import Dependency
+from .patterns.base import COLUMN_AXIS, CompressedEdge, run_axis
+from .patterns.single import SINGLE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .taco_graph import TacoGraph
+
+__all__ = ["insert_dependency", "select_final_edge"]
+
+
+def insert_dependency(graph: "TacoGraph", dependency: Dependency) -> CompressedEdge:
+    """Compress one dependency into the graph; returns the edge it landed in."""
+    candidates = graph.candidate_edges(dependency.dep.head)
+    valid: list[tuple[CompressedEdge, CompressedEdge]] = []
+    for candidate in candidates:
+        if candidate.pattern is SINGLE:
+            for pattern in graph.patterns:
+                merged = pattern.try_pair(candidate, dependency)
+                if merged is not None:
+                    valid.append((merged, candidate))
+        else:
+            merged = candidate.pattern.try_merge(candidate, dependency)
+            if merged is not None:
+                valid.append((merged, candidate))
+    if valid:
+        merged, old = select_final_edge(graph, valid, dependency)
+        graph.remove_edge(old)
+        graph.add_edge_raw(merged)
+        return merged
+    fresh = CompressedEdge(dependency.prec, dependency.dep, SINGLE, None)
+    graph.add_edge_raw(fresh)
+    return fresh
+
+
+def select_final_edge(
+    graph: "TacoGraph",
+    valid: list[tuple[CompressedEdge, CompressedEdge]],
+    dependency: Dependency,
+) -> tuple[CompressedEdge, CompressedEdge]:
+    """Rank valid merges by the paper's heuristics and return the best."""
+    pattern_priority = {pattern.name: i for i, pattern in enumerate(graph.patterns)}
+
+    def score(pair: tuple[CompressedEdge, CompressedEdge]):
+        merged, old = pair
+        column_wise = run_axis(merged.dep) == COLUMN_AXIS
+        cue_hit = graph.use_cues and merged.pattern.cue == dependency.cue
+        return (
+            0 if (column_wise or not graph.prefer_column) else 1,
+            0 if merged.pattern.is_special else 1,
+            0 if cue_hit else 1,
+            # Prefer growing an existing compressed run over pairing two
+            # singles; larger runs first.
+            0 if old.pattern is not SINGLE else 1,
+            -old.dep.size,
+            pattern_priority.get(merged.pattern.name, len(pattern_priority)),
+            old.prec.as_tuple(),
+            old.dep.as_tuple(),
+        )
+
+    return min(valid, key=score)

@@ -1,0 +1,54 @@
+"""Incremental maintenance of the compressed graph (paper Sec. IV-C).
+
+Inserts go through Algorithm 2 (:mod:`repro.core.compress`).  Clearing a
+run of formula cells finds the edges whose dependents overlap the cleared
+range through the vertex index, asks each pattern's ``remove_dep`` for the
+surviving edges, and swaps them in — no decompression.  An update is
+modelled as clear + insert, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..grid.range import Range
+from ..graphs.base import Budget
+from ..sheet.sheet import Dependency
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .taco_graph import TacoGraph
+
+__all__ = ["clear_cells", "update_cell"]
+
+
+def clear_cells(graph: "TacoGraph", rng: Range, budget: Budget | None = None) -> int:
+    """Remove the dependencies of all formula cells within ``rng``.
+
+    Returns the number of compressed edges that were touched.
+    """
+    affected = graph.dep_overlapping(rng)
+    for edge in affected:
+        if budget is not None:
+            budget.check()
+        overlap = rng.intersect(edge.dep)
+        if overlap is None:
+            continue
+        replacements = edge.pattern.remove_dep(edge, overlap)
+        graph.remove_edge(edge)
+        for piece in replacements:
+            graph.add_edge_raw(piece)
+    return len(affected)
+
+
+def update_cell(
+    graph: "TacoGraph",
+    cell: Range,
+    new_dependencies: Iterable[Dependency],
+    budget: Budget | None = None,
+) -> None:
+    """Replace a formula cell's dependencies (clear + insert)."""
+    clear_cells(graph, cell, budget)
+    for dependency in new_dependencies:
+        if budget is not None:
+            budget.check()
+        graph.add_dependency(dependency, budget)

@@ -1,0 +1,45 @@
+"""TACO compression patterns."""
+
+from .base import COLUMN_AXIS, ROW_AXIS, CompressedEdge, Pattern, rel_offsets
+from .ff import FF, FFPattern
+from .fr import FR, FRPattern
+from .registry import (
+    ALL_PATTERNS,
+    default_patterns,
+    extended_patterns,
+    inrow_patterns,
+    pattern_by_name,
+)
+from .rf import RF, RFPattern
+from .rr import RR, RR_INROW, RRPattern
+from .rr_chain import RR_CHAIN, RRChainPattern
+from .rr_gapone import RR_GAPONE, RRGapOnePattern
+from .single import SINGLE, SinglePattern
+
+__all__ = [
+    "ALL_PATTERNS",
+    "COLUMN_AXIS",
+    "CompressedEdge",
+    "FF",
+    "FFPattern",
+    "FR",
+    "FRPattern",
+    "Pattern",
+    "RF",
+    "RFPattern",
+    "ROW_AXIS",
+    "RR",
+    "RRChainPattern",
+    "RRGapOnePattern",
+    "RRPattern",
+    "RR_CHAIN",
+    "RR_GAPONE",
+    "RR_INROW",
+    "SINGLE",
+    "SinglePattern",
+    "default_patterns",
+    "extended_patterns",
+    "inrow_patterns",
+    "pattern_by_name",
+    "rel_offsets",
+]

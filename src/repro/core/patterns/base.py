@@ -1,0 +1,176 @@
+"""Pattern framework: compressed edges and the four key functions.
+
+A *pattern* is a constant-size representation of an arbitrarily large set
+of dependencies that supports constant-time reconstruction and lookup
+(paper Sec. II-B).  To plug into TACO, a pattern implements the four key
+functions of Sec. III-B:
+
+* ``try_pair``  / ``try_merge`` — the paper's ``addDep(e, e')`` for an
+  uncompressed and a compressed target edge respectively; they return the
+  merged edge or ``None`` when the dependency does not fit the pattern.
+* ``find_dep(e, r)``   — dependents of ``r`` within ``e`` (``r ⊆ e.prec``);
+* ``find_prec(e, s)``  — precedents of ``s`` within ``e`` (``s ⊆ e.dep``);
+* ``remove_dep(e, s)`` — the edges left after clearing the formula cells
+  ``s ⊆ e.dep``.
+
+``find_dep``/``find_prec`` return lists of ranges so that extension
+patterns whose dependent sets are not contiguous (RR-GapOne) fit the same
+interface; every basic pattern returns at most one range.
+"""
+
+from __future__ import annotations
+
+from ...grid.range import Range
+from ...sheet.sheet import Dependency
+
+__all__ = [
+    "CompressedEdge",
+    "Pattern",
+    "rel_offsets",
+    "run_axis",
+    "extension_axis",
+    "COLUMN_AXIS",
+    "ROW_AXIS",
+]
+
+# Orientation constants: a column-wise compressed edge stacks formula
+# cells vertically (the paper's primary case); row-wise is its transpose.
+COLUMN_AXIS = "column"
+ROW_AXIS = "row"
+
+
+class CompressedEdge:
+    """One edge of the compressed graph: ``(prec, dep, pattern, meta)``.
+
+    ``prec`` and ``dep`` are the minimal bounding ranges of the member
+    dependencies' precedents and dependents; ``meta`` is the pattern's
+    constant-size reconstruction information.  Edges compare by identity:
+    the graph may legitimately contain two structurally equal edges.
+    """
+
+    __slots__ = ("prec", "dep", "pattern", "meta")
+
+    def __init__(self, prec: Range, dep: Range, pattern: "Pattern", meta):
+        self.prec = prec
+        self.dep = dep
+        self.pattern = pattern
+        self.meta = meta
+
+    @property
+    def member_count(self) -> int:
+        """Number of raw dependencies this edge represents."""
+        return self.pattern.member_count(self)
+
+    def describe(self) -> str:
+        return f"{self.prec.to_a1()} -> {self.dep.to_a1()} [{self.pattern.name}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompressedEdge({self.describe()})"
+
+
+def rel_offsets(prec: Range, dep_cell: tuple[int, int]) -> tuple[tuple[int, int], tuple[int, int]]:
+    """The paper's ``rel(e)``: (hRel, tRel) of a single dependency.
+
+    ``hRel = prec.head - dep`` and ``tRel = prec.tail - dep``.
+    """
+    col, row = dep_cell
+    return (
+        (prec.c1 - col, prec.r1 - row),
+        (prec.c2 - col, prec.r2 - row),
+    )
+
+
+def run_axis(dep: Range) -> str | None:
+    """Orientation of a compressed edge's dependent run.
+
+    Compressed dependent ranges are one-dimensional runs: a 1-wide column
+    or a 1-tall row.  A single cell has no orientation yet (``None`` is
+    only returned for degenerate or 2-D ranges, which never occur as
+    compressed dependents).
+    """
+    if dep.width == 1 and dep.height > 1:
+        return COLUMN_AXIS
+    if dep.height == 1 and dep.width > 1:
+        return ROW_AXIS
+    return None
+
+
+def extension_axis(dep: Range, cell: tuple[int, int]) -> str | None:
+    """How a new formula cell extends an existing dependent run.
+
+    Returns COLUMN_AXIS / ROW_AXIS when ``cell`` sits immediately past one
+    end of the run along that axis, ``None`` otherwise.  For a single-cell
+    run either axis is acceptable.
+    """
+    col, row = cell
+    axis = run_axis(dep)
+    if axis in (COLUMN_AXIS, None):
+        if col == dep.c1 and (row == dep.r1 - 1 or row == dep.r2 + 1):
+            return COLUMN_AXIS
+    if axis in (ROW_AXIS, None):
+        if row == dep.r1 and (col == dep.c1 - 1 or col == dep.c2 + 1):
+            return ROW_AXIS
+    return None
+
+
+def clamp_to(candidate: tuple[int, int, int, int], bounds: Range) -> Range | None:
+    """Intersect raw candidate coordinates with ``bounds``.
+
+    The candidate corners may be out of the sheet (row 0 etc.) before
+    clamping, so this works on bare integers rather than a Range.
+    """
+    c1 = candidate[0] if candidate[0] > bounds.c1 else bounds.c1
+    r1 = candidate[1] if candidate[1] > bounds.r1 else bounds.r1
+    c2 = candidate[2] if candidate[2] < bounds.c2 else bounds.c2
+    r2 = candidate[3] if candidate[3] < bounds.r2 else bounds.r2
+    if c1 > c2 or r1 > r2:
+        return None
+    return Range(c1, r1, c2, r2)
+
+
+class Pattern:
+    """Base class for compression patterns."""
+
+    #: Short name used in stats tables (RR, RF, FR, FF, RR-Chain, Single).
+    name = "abstract"
+    #: Cue name matched against the dollar-sign cue of a dependency.
+    cue = "RR"
+    #: Special-case patterns (RR-Chain) win ties against their general form.
+    is_special = False
+    #: How far (in cells) a mergeable neighbour may sit from a new formula
+    #: cell; the basic patterns are strictly adjacent, RR-GapOne skips one.
+    reach = 1
+
+    def try_pair(self, edge: CompressedEdge, dep: Dependency) -> CompressedEdge | None:
+        """Try to compress an uncompressed ``edge`` with a new dependency."""
+        raise NotImplementedError
+
+    def try_merge(self, edge: CompressedEdge, dep: Dependency) -> CompressedEdge | None:
+        """Try to absorb a new dependency into a compressed ``edge``."""
+        raise NotImplementedError
+
+    def find_dep(self, edge: CompressedEdge, r: Range) -> list[Range]:
+        raise NotImplementedError
+
+    def find_prec(self, edge: CompressedEdge, s: Range) -> list[Range]:
+        raise NotImplementedError
+
+    def remove_dep(self, edge: CompressedEdge, s: Range) -> list[CompressedEdge]:
+        raise NotImplementedError
+
+    def member_count(self, edge: CompressedEdge) -> int:
+        """Raw dependencies represented; basic patterns have one per cell."""
+        return edge.dep.size
+
+    def member_dependencies(self, edge: CompressedEdge) -> list[Dependency]:
+        """Reconstruct the raw dependencies (tests and decompression)."""
+        out = []
+        for col, row in edge.dep.cells():
+            cell = Range.cell(col, row)
+            precs = self.find_prec(edge, cell)
+            for prec in precs:
+                out.append(Dependency(prec, cell))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Pattern {self.name}>"

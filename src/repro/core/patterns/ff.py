@@ -1,0 +1,60 @@
+"""FF (Fixed plus Fixed): the fixed-window pattern.
+
+Every dependent references the same fixed range (paper Fig. 4d) — the
+lookup-table / conversion-rate idiom.  Meta is ``(hFix, tFix)``, which
+also equals the edge's precedent bounding range.
+"""
+
+from __future__ import annotations
+
+from ...grid.range import Range
+from ...sheet.sheet import Dependency
+from .base import CompressedEdge, Pattern, extension_axis
+from .single import SINGLE
+
+__all__ = ["FFPattern", "FF"]
+
+
+class FFPattern(Pattern):
+    name = "FF"
+    cue = "FF"
+
+    def try_pair(self, edge: CompressedEdge, dep: Dependency) -> CompressedEdge | None:
+        if extension_axis(edge.dep, dep.dep.head) is None:
+            return None
+        if dep.prec != edge.prec:
+            return None
+        meta = (edge.prec.head, edge.prec.tail)
+        return CompressedEdge(edge.prec, edge.dep.bounding(dep.dep), self, meta)
+
+    def try_merge(self, edge: CompressedEdge, dep: Dependency) -> CompressedEdge | None:
+        if extension_axis(edge.dep, dep.dep.head) is None:
+            return None
+        if dep.prec != edge.prec:
+            return None
+        return CompressedEdge(edge.prec, edge.dep.bounding(dep.dep), self, edge.meta)
+
+    def find_dep(self, edge: CompressedEdge, r: Range) -> list[Range]:
+        # Every dependent references the full fixed range, so any r that
+        # overlaps it makes all of them dependents.
+        return [edge.dep]
+
+    def find_prec(self, edge: CompressedEdge, s: Range) -> list[Range]:
+        return [edge.prec]
+
+    def remove_dep(self, edge: CompressedEdge, s: Range) -> list[CompressedEdge]:
+        out: list[CompressedEdge] = []
+        for piece in edge.dep.subtract(s):
+            if piece.size == 1:
+                out.append(CompressedEdge(edge.prec, piece, SINGLE, None))
+            else:
+                out.append(CompressedEdge(edge.prec, piece, self, edge.meta))
+        return out
+
+    def member_dependencies(self, edge: CompressedEdge):
+        from ...sheet.sheet import Dependency as Dep
+
+        return [Dep(edge.prec, Range.cell(col, row)) for col, row in edge.dep.cells()]
+
+
+FF = FFPattern()

@@ -1,0 +1,80 @@
+"""FR (Fixed plus Relative): the expanding-window pattern.
+
+The dual of RF (paper Fig. 4c): every dependent references a range with
+one fixed head cell (hFix) and a tail at a constant relative offset
+(tRel) — the cumulative-total idiom (``SUM($B$1:B4)``).  Meta is
+``(hFix, tRel)``.
+"""
+
+from __future__ import annotations
+
+from ...grid.range import Range
+from ...sheet.sheet import Dependency
+from .base import CompressedEdge, Pattern, clamp_to, extension_axis, rel_offsets
+from .single import SINGLE
+
+__all__ = ["FRPattern", "FR"]
+
+
+class FRPattern(Pattern):
+    name = "FR"
+    cue = "FR"
+
+    def try_pair(self, edge: CompressedEdge, dep: Dependency) -> CompressedEdge | None:
+        if extension_axis(edge.dep, dep.dep.head) is None:
+            return None
+        _, t_new = rel_offsets(dep.prec, dep.dep.head)
+        _, t_old = rel_offsets(edge.prec, edge.dep.head)
+        if t_new != t_old or dep.prec.head != edge.prec.head:
+            return None
+        meta = (edge.prec.head, t_new)
+        return CompressedEdge(
+            edge.prec.bounding(dep.prec), edge.dep.bounding(dep.dep), self, meta
+        )
+
+    def try_merge(self, edge: CompressedEdge, dep: Dependency) -> CompressedEdge | None:
+        if extension_axis(edge.dep, dep.dep.head) is None:
+            return None
+        h_fix, t_rel = edge.meta
+        _, t_new = rel_offsets(dep.prec, dep.dep.head)
+        if t_new != t_rel or dep.prec.head != h_fix:
+            return None
+        return CompressedEdge(
+            edge.prec.bounding(dep.prec), edge.dep.bounding(dep.dep), self, edge.meta
+        )
+
+    def find_dep(self, edge: CompressedEdge, r: Range) -> list[Range]:
+        """Windows expand towards the tail dependent, so d is a dependent
+        iff ``d >= r.head - tRel``."""
+        _, (tp, tq) = edge.meta
+        candidate = (r.c1 - tp, r.r1 - tq, edge.dep.c2, edge.dep.r2)
+        result = clamp_to(candidate, edge.dep)
+        return [result] if result is not None else []
+
+    def find_prec(self, edge: CompressedEdge, s: Range) -> list[Range]:
+        """The precedent of s.tail contains every other cell's precedent."""
+        (hc, hr), (tp, tq) = edge.meta
+        return [Range(hc, hr, s.c2 + tp, s.r2 + tq)]
+
+    def remove_dep(self, edge: CompressedEdge, s: Range) -> list[CompressedEdge]:
+        (hc, hr), (tp, tq) = edge.meta
+        out: list[CompressedEdge] = []
+        for piece in edge.dep.subtract(s):
+            prec = Range(hc, hr, piece.c2 + tp, piece.r2 + tq)
+            if piece.size == 1:
+                out.append(CompressedEdge(prec, piece, SINGLE, None))
+            else:
+                out.append(CompressedEdge(prec, piece, self, edge.meta))
+        return out
+
+    def member_dependencies(self, edge: CompressedEdge):
+        from ...sheet.sheet import Dependency as Dep
+
+        (hc, hr), (tp, tq) = edge.meta
+        out = []
+        for col, row in edge.dep.cells():
+            out.append(Dep(Range(hc, hr, col + tp, row + tq), Range.cell(col, row)))
+        return out
+
+
+FR = FRPattern()

@@ -1,0 +1,51 @@
+"""Pattern registries: which patterns each TACO variant compresses with.
+
+The list order is the tie-break priority used by the compression
+heuristics (special patterns first, then the basic four).
+"""
+
+from __future__ import annotations
+
+from .base import Pattern
+from .ff import FF
+from .fr import FR
+from .rf import RF
+from .rr import RR, RR_INROW
+from .rr_chain import RR_CHAIN
+from .rr_gapone import RR_GAPONE
+from .single import SINGLE
+
+__all__ = [
+    "default_patterns",
+    "inrow_patterns",
+    "extended_patterns",
+    "pattern_by_name",
+    "ALL_PATTERNS",
+]
+
+ALL_PATTERNS: dict[str, Pattern] = {
+    pattern.name: pattern
+    for pattern in (SINGLE, RR, RR_INROW, RF, FR, FF, RR_CHAIN, RR_GAPONE)
+}
+
+
+def default_patterns() -> list[Pattern]:
+    """TACO-Full: the four basic patterns plus the RR-Chain extension."""
+    return [RR_CHAIN, RR, RF, FR, FF]
+
+
+def inrow_patterns() -> list[Pattern]:
+    """TACO-InRow: column-wise RR restricted to same-row references."""
+    return [RR_INROW]
+
+
+def extended_patterns() -> list[Pattern]:
+    """Default set plus RR-GapOne (Sec. V ablation only)."""
+    return [RR_CHAIN, RR, RF, FR, FF, RR_GAPONE]
+
+
+def pattern_by_name(name: str) -> Pattern:
+    try:
+        return ALL_PATTERNS[name]
+    except KeyError:
+        raise KeyError(f"unknown pattern {name!r}; known: {sorted(ALL_PATTERNS)}") from None

@@ -1,0 +1,81 @@
+"""RF (Relative plus Fixed): the shrinking-window pattern.
+
+Each dependent cell references a range whose head is at a constant
+relative offset (hRel) while the tail is one fixed cell (tFix) — paper
+Fig. 4b.  As the formula cells advance, their windows shrink towards the
+fixed tail.  Meta is ``(hRel, tFix)``.
+"""
+
+from __future__ import annotations
+
+from ...grid.range import Range
+from ...sheet.sheet import Dependency
+from .base import CompressedEdge, Pattern, clamp_to, extension_axis, rel_offsets
+from .single import SINGLE
+
+__all__ = ["RFPattern", "RF"]
+
+
+class RFPattern(Pattern):
+    name = "RF"
+    cue = "RF"
+
+    def try_pair(self, edge: CompressedEdge, dep: Dependency) -> CompressedEdge | None:
+        if extension_axis(edge.dep, dep.dep.head) is None:
+            return None
+        h_new, _ = rel_offsets(dep.prec, dep.dep.head)
+        h_old, _ = rel_offsets(edge.prec, edge.dep.head)
+        if h_new != h_old or dep.prec.tail != edge.prec.tail:
+            return None
+        meta = (h_new, edge.prec.tail)
+        return CompressedEdge(
+            edge.prec.bounding(dep.prec), edge.dep.bounding(dep.dep), self, meta
+        )
+
+    def try_merge(self, edge: CompressedEdge, dep: Dependency) -> CompressedEdge | None:
+        if extension_axis(edge.dep, dep.dep.head) is None:
+            return None
+        h_rel, t_fix = edge.meta
+        h_new, _ = rel_offsets(dep.prec, dep.dep.head)
+        if h_new != h_rel or dep.prec.tail != t_fix:
+            return None
+        return CompressedEdge(
+            edge.prec.bounding(dep.prec), edge.dep.bounding(dep.dep), self, edge.meta
+        )
+
+    def find_dep(self, edge: CompressedEdge, r: Range) -> list[Range]:
+        """Paper Fig. 7: the head dependent sees everything; the window
+        shrinks towards the tail, so d is a dependent iff
+        ``d <= r.tail - hRel``."""
+        (hp, hq), _ = edge.meta
+        candidate = (edge.dep.c1, edge.dep.r1, r.c2 - hp, r.r2 - hq)
+        result = clamp_to(candidate, edge.dep)
+        return [result] if result is not None else []
+
+    def find_prec(self, edge: CompressedEdge, s: Range) -> list[Range]:
+        """The precedent of s.head contains every other cell's precedent."""
+        (hp, hq), (tc, tr) = edge.meta
+        return [Range(s.c1 + hp, s.r1 + hq, tc, tr)]
+
+    def remove_dep(self, edge: CompressedEdge, s: Range) -> list[CompressedEdge]:
+        (hp, hq), (tc, tr) = edge.meta
+        out: list[CompressedEdge] = []
+        for piece in edge.dep.subtract(s):
+            prec = Range(piece.c1 + hp, piece.r1 + hq, tc, tr)
+            if piece.size == 1:
+                out.append(CompressedEdge(prec, piece, SINGLE, None))
+            else:
+                out.append(CompressedEdge(prec, piece, self, edge.meta))
+        return out
+
+    def member_dependencies(self, edge: CompressedEdge):
+        from ...sheet.sheet import Dependency as Dep
+
+        (hp, hq), (tc, tr) = edge.meta
+        out = []
+        for col, row in edge.dep.cells():
+            out.append(Dep(Range(col + hp, row + hq, tc, tr), Range.cell(col, row)))
+        return out
+
+
+RF = RFPattern()

@@ -1,0 +1,100 @@
+"""RR (Relative plus Relative): the sliding-window pattern.
+
+Every dependent cell has the same relative offsets (hRel, tRel) to the
+head and tail of its referenced range (paper Fig. 4a, Algorithm 1).  The
+meta is the pair ``(hRel, tRel)``.
+
+The ``in_row_only`` flag restricts the pattern to TACO-InRow semantics
+(Sec. VI-B): only column runs of formulae whose referenced range lies in
+the formula's own row — the "derived column" case — are compressed.
+"""
+
+from __future__ import annotations
+
+from ...grid.range import Range
+from ...sheet.sheet import Dependency
+from .base import (
+    COLUMN_AXIS,
+    CompressedEdge,
+    Pattern,
+    clamp_to,
+    extension_axis,
+    rel_offsets,
+)
+from .single import SINGLE
+
+__all__ = ["RRPattern", "RR", "RR_INROW"]
+
+
+class RRPattern(Pattern):
+    cue = "RR"
+
+    def __init__(self, in_row_only: bool = False):
+        self.in_row_only = in_row_only
+        self.name = "RR-InRow" if in_row_only else "RR"
+
+    # -- compression ---------------------------------------------------------
+
+    def _admits(self, rel: tuple[tuple[int, int], tuple[int, int]], axis: str) -> bool:
+        if not self.in_row_only:
+            return True
+        # TACO-InRow: column-wise runs referencing the formula's own row.
+        (_, hq), (_, tq) = rel
+        return axis == COLUMN_AXIS and hq == 0 and tq == 0
+
+    def try_pair(self, edge: CompressedEdge, dep: Dependency) -> CompressedEdge | None:
+        axis = extension_axis(edge.dep, dep.dep.head)
+        if axis is None:
+            return None
+        rel_new = rel_offsets(dep.prec, dep.dep.head)
+        rel_old = rel_offsets(edge.prec, edge.dep.head)
+        if rel_new != rel_old or not self._admits(rel_new, axis):
+            return None
+        return CompressedEdge(
+            edge.prec.bounding(dep.prec), edge.dep.bounding(dep.dep), self, rel_new
+        )
+
+    def try_merge(self, edge: CompressedEdge, dep: Dependency) -> CompressedEdge | None:
+        axis = extension_axis(edge.dep, dep.dep.head)
+        if axis is None:
+            return None
+        rel_new = rel_offsets(dep.prec, dep.dep.head)
+        if rel_new != edge.meta or not self._admits(rel_new, axis):
+            return None
+        return CompressedEdge(
+            edge.prec.bounding(dep.prec), edge.dep.bounding(dep.dep), self, edge.meta
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    def find_dep(self, edge: CompressedEdge, r: Range) -> list[Range]:
+        """Back-calculate the dependent window (paper Fig. 6).
+
+        A cell d is a dependent of r iff its window [d+hRel, d+tRel]
+        overlaps r, i.e. ``r.head - tRel <= d <= r.tail - hRel``.
+        """
+        (hp, hq), (tp, tq) = edge.meta
+        candidate = (r.c1 - tp, r.r1 - tq, r.c2 - hp, r.r2 - hq)
+        result = clamp_to(candidate, edge.dep)
+        return [result] if result is not None else []
+
+    def find_prec(self, edge: CompressedEdge, s: Range) -> list[Range]:
+        """Union of the sliding windows of the cells in s."""
+        (hp, hq), (tp, tq) = edge.meta
+        return [Range(s.c1 + hp, s.r1 + hq, s.c2 + tp, s.r2 + tq)]
+
+    def remove_dep(self, edge: CompressedEdge, s: Range) -> list[CompressedEdge]:
+        pieces = edge.dep.subtract(s)
+        out: list[CompressedEdge] = []
+        (hp, hq), (tp, tq) = edge.meta
+        for piece in pieces:
+            prec = Range(piece.c1 + hp, piece.r1 + hq, piece.c2 + tp, piece.r2 + tq)
+            if piece.size == 1:
+                out.append(CompressedEdge(prec, piece, SINGLE, None))
+            else:
+                out.append(CompressedEdge(prec, piece, self, edge.meta))
+        return out
+
+
+RR = RRPattern()
+RR_INROW = RRPattern(in_row_only=True)

@@ -1,0 +1,145 @@
+"""RR-Chain: the extended pattern for dependency chains (paper Sec. V).
+
+A column (or row) of formula cells where each references its adjacent
+neighbour forms a chain: plain RR would compress it into one edge, but
+finding dependents would then re-access that edge once per chain link.
+RR-Chain is the special case of RR whose offsets are a unit vector; its
+``find_dep``/``find_prec`` return the *transitive* closure within the edge
+in a single O(1) step, eliminating the repeated accesses.
+
+Meta is the unit direction ``dir`` (= hRel = tRel): (0,-1) means each
+formula references the cell ABOVE it, (0,1) BELOW, (-1,0) LEFT, (1,0)
+RIGHT.
+"""
+
+from __future__ import annotations
+
+from ...grid.range import Range
+from ...sheet.sheet import Dependency
+from .base import (
+    COLUMN_AXIS,
+    ROW_AXIS,
+    CompressedEdge,
+    Pattern,
+    clamp_to,
+    extension_axis,
+    rel_offsets,
+)
+from .single import SINGLE
+
+__all__ = ["RRChainPattern", "RR_CHAIN", "CHAIN_DIRECTIONS"]
+
+CHAIN_DIRECTIONS = {
+    (0, -1): "ABOVE",
+    (0, 1): "BELOW",
+    (-1, 0): "LEFT",
+    (1, 0): "RIGHT",
+}
+
+
+def _direction_axis(direction: tuple[int, int]) -> str:
+    return COLUMN_AXIS if direction[0] == 0 else ROW_AXIS
+
+
+def _is_backward(direction: tuple[int, int]) -> bool:
+    """True for ABOVE/LEFT: the precedent precedes the dependent, so
+    dependency flows forward along the run."""
+    return direction[0] < 0 or direction[1] < 0
+
+
+class RRChainPattern(Pattern):
+    name = "RR-Chain"
+    cue = "RR"
+    is_special = True
+
+    # -- compression ---------------------------------------------------------
+
+    def _chain_direction(self, dep: Dependency) -> tuple[int, int] | None:
+        h_rel, t_rel = rel_offsets(dep.prec, dep.dep.head)
+        if h_rel != t_rel or h_rel not in CHAIN_DIRECTIONS:
+            return None
+        return h_rel
+
+    def try_pair(self, edge: CompressedEdge, dep: Dependency) -> CompressedEdge | None:
+        direction = self._chain_direction(dep)
+        if direction is None or self._chain_direction_of_single(edge) != direction:
+            return None
+        axis = extension_axis(edge.dep, dep.dep.head)
+        # The run must grow along the chain's own axis; a perpendicular
+        # merge of unit references is plain RR, not a chain.
+        if axis != _direction_axis(direction):
+            return None
+        return CompressedEdge(
+            edge.prec.bounding(dep.prec), edge.dep.bounding(dep.dep), self, direction
+        )
+
+    @staticmethod
+    def _chain_direction_of_single(edge: CompressedEdge) -> tuple[int, int] | None:
+        if not edge.prec.is_cell or not edge.dep.is_cell:
+            return None
+        h_rel, t_rel = rel_offsets(edge.prec, edge.dep.head)
+        if h_rel != t_rel or h_rel not in CHAIN_DIRECTIONS:
+            return None
+        return h_rel
+
+    def try_merge(self, edge: CompressedEdge, dep: Dependency) -> CompressedEdge | None:
+        direction = self._chain_direction(dep)
+        if direction is None or direction != edge.meta:
+            return None
+        axis = extension_axis(edge.dep, dep.dep.head)
+        if axis != _direction_axis(direction):
+            return None
+        return CompressedEdge(
+            edge.prec.bounding(dep.prec), edge.dep.bounding(dep.dep), self, edge.meta
+        )
+
+    # -- queries (transitive within the edge) -----------------------------------
+
+    def find_dep(self, edge: CompressedEdge, r: Range) -> list[Range]:
+        """All chain cells downstream of r, in one step (paper Fig. 9)."""
+        dc, dr = edge.meta
+        if _is_backward(edge.meta):
+            # Flow runs head -> tail: everything past r.head's dependent.
+            candidate = (r.c1 - dc, r.r1 - dr, edge.dep.c2, edge.dep.r2)
+        else:
+            # Flow runs tail -> head: everything before r.tail's dependent.
+            candidate = (edge.dep.c1, edge.dep.r1, r.c2 - dc, r.r2 - dr)
+        result = clamp_to(candidate, edge.dep)
+        return [result] if result is not None else []
+
+    def find_prec(self, edge: CompressedEdge, s: Range) -> list[Range]:
+        """All chain cells upstream of s, in one step."""
+        dc, dr = edge.meta
+        if _is_backward(edge.meta):
+            candidate = (edge.prec.c1, edge.prec.r1, s.c2 + dc, s.r2 + dr)
+        else:
+            candidate = (s.c1 + dc, s.r1 + dr, edge.prec.c2, edge.prec.r2)
+        result = clamp_to(candidate, edge.prec)
+        return [result] if result is not None else []
+
+    # -- maintenance (direct, not transitive) ------------------------------------
+
+    def _direct_prec(self, piece: Range, direction: tuple[int, int]) -> Range:
+        return piece.shift(direction[0], direction[1])
+
+    def remove_dep(self, edge: CompressedEdge, s: Range) -> list[CompressedEdge]:
+        out: list[CompressedEdge] = []
+        for piece in edge.dep.subtract(s):
+            prec = self._direct_prec(piece, edge.meta)
+            if piece.size == 1:
+                out.append(CompressedEdge(prec, piece, SINGLE, None))
+            else:
+                out.append(CompressedEdge(prec, piece, self, edge.meta))
+        return out
+
+    def member_dependencies(self, edge: CompressedEdge):
+        from ...sheet.sheet import Dependency as Dep
+
+        dc, dr = edge.meta
+        return [
+            Dep(Range.cell(col + dc, row + dr), Range.cell(col, row))
+            for col, row in edge.dep.cells()
+        ]
+
+
+RR_CHAIN = RRChainPattern()

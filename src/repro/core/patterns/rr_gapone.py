@@ -1,0 +1,164 @@
+"""RR-GapOne: the every-other-row extension pattern (paper Sec. V).
+
+The paper sketches RR-GapOne as an example of patterns beyond the basic
+set: the referenced ranges of the formula cells of *every other* row
+follow the RR pattern.  The authors measured its prevalence and found it
+far less common than RR, so TACO does not enable it by default; we
+implement it for the Sec.-V ablation benchmark and keep it out of the
+default registry, matching the paper.
+
+Because its dependent set is non-contiguous, the dependent bounding range
+over-approximates membership and ``find_dep``/``find_prec`` return one
+range per member cell — an O(k) deviation from the O(1) contract of the
+basic patterns, which is precisely why the paper leaves such patterns to
+future work.
+"""
+
+from __future__ import annotations
+
+from ...grid.range import Range
+from ...sheet.sheet import Dependency
+from .base import COLUMN_AXIS, ROW_AXIS, CompressedEdge, Pattern, rel_offsets
+from .single import SINGLE
+
+__all__ = ["RRGapOnePattern", "RR_GAPONE"]
+
+
+class RRGapOnePattern(Pattern):
+    name = "RR-GapOne"
+    cue = "RR"
+    reach = 2
+
+    # meta: (hRel, tRel, axis, phase) — phase is the parity of member
+    # rows (column axis) or columns (row axis) within the bounding run.
+
+    def _gap_extension(self, dep_range: Range, cell: tuple[int, int]) -> str | None:
+        col, row = cell
+        vertical = dep_range.width == 1 and col == dep_range.c1
+        horizontal = dep_range.height == 1 and row == dep_range.r1
+        if vertical and (row == dep_range.r1 - 2 or row == dep_range.r2 + 2):
+            return COLUMN_AXIS
+        if horizontal and (col == dep_range.c1 - 2 or col == dep_range.c2 + 2):
+            return ROW_AXIS
+        return None
+
+    def try_pair(self, edge: CompressedEdge, dep: Dependency) -> CompressedEdge | None:
+        if not edge.dep.is_cell:
+            return None
+        axis = self._gap_extension(edge.dep, dep.dep.head)
+        if axis is None:
+            return None
+        rel_new = rel_offsets(dep.prec, dep.dep.head)
+        rel_old = rel_offsets(edge.prec, edge.dep.head)
+        if rel_new != rel_old:
+            return None
+        new_dep = edge.dep.bounding(dep.dep)
+        phase = (new_dep.r1 % 2) if axis == COLUMN_AXIS else (new_dep.c1 % 2)
+        meta = (rel_new[0], rel_new[1], axis, phase)
+        return CompressedEdge(edge.prec.bounding(dep.prec), new_dep, self, meta)
+
+    def try_merge(self, edge: CompressedEdge, dep: Dependency) -> CompressedEdge | None:
+        h_rel, t_rel, axis, phase = edge.meta
+        if self._gap_extension(edge.dep, dep.dep.head) != axis:
+            return None
+        if rel_offsets(dep.prec, dep.dep.head) != (h_rel, t_rel):
+            return None
+        new_dep = edge.dep.bounding(dep.dep)
+        new_phase = (new_dep.r1 % 2) if axis == COLUMN_AXIS else (new_dep.c1 % 2)
+        meta = (h_rel, t_rel, axis, new_phase)
+        return CompressedEdge(edge.prec.bounding(dep.prec), new_dep, self, meta)
+
+    # -- membership ------------------------------------------------------------
+
+    def member_cells(self, edge: CompressedEdge) -> list[tuple[int, int]]:
+        h_rel, t_rel, axis, phase = edge.meta
+        dep = edge.dep
+        if axis == COLUMN_AXIS:
+            return [(dep.c1, row) for row in range(dep.r1, dep.r2 + 1, 2)]
+        return [(col, dep.r1) for col in range(dep.c1, dep.c2 + 1, 2)]
+
+    def member_count(self, edge: CompressedEdge) -> int:
+        h_rel, t_rel, axis, _ = edge.meta
+        span = edge.dep.height if axis == COLUMN_AXIS else edge.dep.width
+        return (span + 1) // 2
+
+    # -- queries ---------------------------------------------------------------
+
+    def find_dep(self, edge: CompressedEdge, r: Range) -> list[Range]:
+        (hp, hq), (tp, tq) = edge.meta[0], edge.meta[1]
+        lo = (r.c1 - tp, r.r1 - tq)
+        hi = (r.c2 - hp, r.r2 - hq)
+        out: list[Range] = []
+        for col, row in self.member_cells(edge):
+            if lo[0] <= col <= hi[0] and lo[1] <= row <= hi[1]:
+                out.append(Range.cell(col, row))
+        return out
+
+    def find_prec(self, edge: CompressedEdge, s: Range) -> list[Range]:
+        (hp, hq), (tp, tq) = edge.meta[0], edge.meta[1]
+        out: list[Range] = []
+        for col, row in self.member_cells(edge):
+            if s.contains_cell(col, row):
+                out.append(Range(col + hp, row + hq, col + tp, row + tq))
+        return out
+
+    def remove_dep(self, edge: CompressedEdge, s: Range) -> list[CompressedEdge]:
+        h_rel, t_rel, axis, _ = edge.meta
+        survivors = [cell for cell in self.member_cells(edge) if not s.contains_cell(*cell)]
+        return self._rebuild_runs(survivors, h_rel, t_rel, axis)
+
+    def _rebuild_runs(
+        self,
+        cells: list[tuple[int, int]],
+        h_rel: tuple[int, int],
+        t_rel: tuple[int, int],
+        axis: str,
+    ) -> list[CompressedEdge]:
+        """Regroup surviving member cells into maximal stride-2 runs."""
+        out: list[CompressedEdge] = []
+        run: list[tuple[int, int]] = []
+
+        def flush() -> None:
+            if not run:
+                return
+            head, tail = run[0], run[-1]
+            dep = Range(head[0], head[1], tail[0], tail[1])
+            if len(run) == 1:
+                prec = Range(
+                    head[0] + h_rel[0], head[1] + h_rel[1],
+                    head[0] + t_rel[0], head[1] + t_rel[1],
+                )
+                out.append(CompressedEdge(prec, dep, SINGLE, None))
+            else:
+                prec = Range(
+                    head[0] + h_rel[0], head[1] + h_rel[1],
+                    tail[0] + t_rel[0], tail[1] + t_rel[1],
+                )
+                phase = (dep.r1 % 2) if axis == COLUMN_AXIS else (dep.c1 % 2)
+                out.append(CompressedEdge(prec, dep, self, (h_rel, t_rel, axis, phase)))
+            run.clear()
+
+        for cell in cells:
+            if run:
+                prev = run[-1]
+                step_ok = (
+                    (axis == COLUMN_AXIS and cell[0] == prev[0] and cell[1] == prev[1] + 2)
+                    or (axis == ROW_AXIS and cell[1] == prev[1] and cell[0] == prev[0] + 2)
+                )
+                if not step_ok:
+                    flush()
+            run.append(cell)
+        flush()
+        return out
+
+    def member_dependencies(self, edge: CompressedEdge):
+        from ...sheet.sheet import Dependency as Dep
+
+        (hp, hq), (tp, tq) = edge.meta[0], edge.meta[1]
+        return [
+            Dep(Range(col + hp, row + hq, col + tp, row + tq), Range.cell(col, row))
+            for col, row in self.member_cells(edge)
+        ]
+
+
+RR_GAPONE = RRGapOnePattern()

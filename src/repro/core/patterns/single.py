@@ -1,0 +1,46 @@
+"""The Single pattern: an uncompressed dependency.
+
+Every dependency enters the graph as a Single edge; the framework then
+tries to pair it with an adjacent edge under one of the real patterns.
+"""
+
+from __future__ import annotations
+
+from ...grid.range import Range
+from ...sheet.sheet import Dependency
+from .base import CompressedEdge, Pattern
+
+__all__ = ["SinglePattern", "SINGLE"]
+
+
+class SinglePattern(Pattern):
+    name = "Single"
+    cue = "RR"
+
+    def make(self, dep: Dependency) -> CompressedEdge:
+        return CompressedEdge(dep.prec, dep.dep, self, None)
+
+    def try_pair(self, edge: CompressedEdge, dep: Dependency) -> None:
+        # Two Singles never merge *as* Single; real patterns handle pairing.
+        return None
+
+    def try_merge(self, edge: CompressedEdge, dep: Dependency) -> None:
+        return None
+
+    def find_dep(self, edge: CompressedEdge, r: Range) -> list[Range]:
+        # The framework guarantees r overlaps edge.prec, so the (only)
+        # dependent cell depends on r.
+        return [edge.dep]
+
+    def find_prec(self, edge: CompressedEdge, s: Range) -> list[Range]:
+        return [edge.prec]
+
+    def remove_dep(self, edge: CompressedEdge, s: Range) -> list[CompressedEdge]:
+        # s covers the single dependent cell, removing the whole edge.
+        return []
+
+    def member_count(self, edge: CompressedEdge) -> int:
+        return 1
+
+
+SINGLE = SinglePattern()

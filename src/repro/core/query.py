@@ -1,0 +1,67 @@
+"""Querying the compressed graph without decompression (paper Algorithm 3).
+
+A modified BFS: the frontier holds ranges, the vertex index finds the
+compressed edges whose precedent overlaps the frontier, each pattern's
+``find_dep`` computes — in constant time — which subset of the edge's
+dependent range actually depends on the frontier, and a result
+:class:`~repro.grid.rangeset.RangeSet` (with its own R-Tree) keeps only
+the not-yet-visited pieces.  Finding precedents is the symmetric dual.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..grid.range import Range
+from ..grid.rangeset import RangeSet
+from ..graphs.base import Budget
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .taco_graph import TacoGraph
+
+__all__ = ["find_dependents", "find_precedents"]
+
+
+def find_dependents(
+    graph: "TacoGraph", rng: Range, budget: Budget | None = None
+) -> list[Range]:
+    """All ranges whose cells (transitively) depend on ``rng``."""
+    queue: deque[Range] = deque([rng])
+    result = RangeSet()
+    stats = graph.query_stats
+    while queue:
+        prec_to_visit = queue.popleft()
+        for edge in graph.prec_overlapping(prec_to_visit):
+            stats.edge_accesses += 1
+            if budget is not None:
+                budget.check()
+            overlap = prec_to_visit.intersect(edge.prec)
+            if overlap is None:
+                continue
+            for dep_range in edge.pattern.find_dep(edge, overlap):
+                for fresh in result.add_new(dep_range):
+                    queue.append(fresh)
+    return result.ranges
+
+
+def find_precedents(
+    graph: "TacoGraph", rng: Range, budget: Budget | None = None
+) -> list[Range]:
+    """All ranges whose cells ``rng`` (transitively) depends on."""
+    queue: deque[Range] = deque([rng])
+    result = RangeSet()
+    stats = graph.query_stats
+    while queue:
+        dep_to_visit = queue.popleft()
+        for edge in graph.dep_overlapping(dep_to_visit):
+            stats.edge_accesses += 1
+            if budget is not None:
+                budget.check()
+            overlap = dep_to_visit.intersect(edge.dep)
+            if overlap is None:
+                continue
+            for prec_range in edge.pattern.find_prec(edge, overlap):
+                for fresh in result.add_new(prec_range):
+                    queue.append(fresh)
+    return result.ranges

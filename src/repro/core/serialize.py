@@ -1,0 +1,128 @@
+"""Persisting compressed formula graphs.
+
+A spreadsheet system that has paid the one-off compression cost at load
+time (Fig. 11) can avoid paying it again by persisting the compressed
+graph alongside the file.  The format is plain JSON: one record per
+compressed edge with its pattern name and meta, so it is diff-able and
+stable across versions.  Loading validates every record and rebuilds the
+vertex indexes; a round-trip is the identity on the edge set.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from ..grid.range import Range
+from .patterns.base import CompressedEdge
+from .patterns.registry import ALL_PATTERNS
+from .taco_graph import TacoGraph
+
+__all__ = ["dump_graph", "dumps_graph", "load_graph", "loads_graph", "GraphFormatError"]
+
+FORMAT_VERSION = 1
+
+
+class GraphFormatError(ValueError):
+    """Raised when a serialized graph cannot be decoded."""
+
+
+def _meta_to_json(edge: CompressedEdge):
+    meta = edge.meta
+    if meta is None:
+        return None
+    # All metas are (nested) tuples of ints/strings; JSON lists carry them.
+    def encode(value):
+        if isinstance(value, tuple):
+            return [encode(item) for item in value]
+        return value
+
+    return encode(meta)
+
+
+def _meta_from_json(value):
+    if value is None:
+        return None
+    if isinstance(value, list):
+        return tuple(_meta_from_json(item) for item in value)
+    return value
+
+
+def dumps_graph(graph: TacoGraph) -> str:
+    """Serialize a graph to a JSON string."""
+    edges = sorted(graph.edges(), key=lambda e: (e.prec.as_tuple(), e.dep.as_tuple()))
+    payload = {
+        "format": "taco-graph",
+        "version": FORMAT_VERSION,
+        "edge_count": len(edges),
+        "raw_dependency_count": graph.raw_edge_count(),
+        "edges": [
+            {
+                "prec": edge.prec.to_a1(),
+                "dep": edge.dep.to_a1(),
+                "pattern": edge.pattern.name,
+                "meta": _meta_to_json(edge),
+            }
+            for edge in edges
+        ],
+    }
+    return json.dumps(payload, indent=1)
+
+
+def dump_graph(graph: TacoGraph, target: "str | IO[str]") -> None:
+    text = dumps_graph(graph)
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        target.write(text)
+
+
+def loads_graph(text: str) -> TacoGraph:
+    """Deserialize a graph from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphFormatError(f"not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != "taco-graph":
+        raise GraphFormatError("missing taco-graph header")
+    if payload.get("version") != FORMAT_VERSION:
+        raise GraphFormatError(f"unsupported version {payload.get('version')!r}")
+    graph = TacoGraph.full()
+    records = payload.get("edges")
+    if not isinstance(records, list):
+        raise GraphFormatError("edges must be a list")
+    for i, record in enumerate(records):
+        try:
+            pattern = ALL_PATTERNS[record["pattern"]]
+            prec = Range.from_a1(record["prec"])
+            dep = Range.from_a1(record["dep"])
+            meta = _meta_from_json(record.get("meta"))
+        except (KeyError, ValueError, TypeError) as exc:
+            raise GraphFormatError(f"bad edge record {i}: {exc}") from exc
+        edge = CompressedEdge(prec, dep, pattern, meta)
+        _validate_edge(edge, i)
+        graph.add_edge_raw(edge)
+    declared = payload.get("edge_count")
+    if declared is not None and declared != len(graph):
+        raise GraphFormatError(
+            f"edge_count mismatch: declared {declared}, decoded {len(graph)}"
+        )
+    return graph
+
+
+def _validate_edge(edge: CompressedEdge, index: int) -> None:
+    """Cheap structural validation: the edge must reconstruct cleanly."""
+    try:
+        members = edge.pattern.member_dependencies(edge)
+    except Exception as exc:  # noqa: BLE001 - any failure means corrupt meta
+        raise GraphFormatError(f"edge {index} has inconsistent meta: {exc}") from exc
+    if not members:
+        raise GraphFormatError(f"edge {index} reconstructs no dependencies")
+
+
+def load_graph(source: "str | IO[str]") -> TacoGraph:
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return loads_graph(handle.read())
+    return loads_graph(source.read())

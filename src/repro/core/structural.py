@@ -1,0 +1,148 @@
+"""Structural maintenance of the compressed graph: row/column edits.
+
+Inserting or deleting whole rows or columns is the other maintenance
+operation a host spreadsheet system performs.  TACO handles it without a
+full rebuild:
+
+* edges entirely *before* the edit point are untouched;
+* edges entirely *past* it translate wholesale — bounding ranges and any
+  absolute cells in the pattern meta shift, while the relative offsets
+  that define RR/RR-Chain are translation-invariant;
+* only the edges *straddling* the edit decompress into their member
+  dependencies, which are transformed per spreadsheet semantics
+  (stretch / shrink / ``#REF!``-drop) and re-inserted through the normal
+  greedy compressor.
+
+Correctness oracle: rebuilding the graph from a sheet edited with
+:mod:`repro.sheet.structural` yields the same dependency set.
+"""
+
+from __future__ import annotations
+
+from ..grid.range import Range
+from ..sheet.sheet import Dependency
+from ..sheet.structural import shift_range_for_delete, shift_range_for_insert
+from .patterns.base import COLUMN_AXIS, CompressedEdge
+from .patterns.rr_gapone import RRGapOnePattern
+from .taco_graph import TacoGraph
+
+__all__ = ["insert_rows", "delete_rows", "insert_columns", "delete_columns"]
+
+
+def _shift_meta(edge: CompressedEdge, dc: int, dr: int):
+    """Translate the pattern meta: absolute cells move, offsets do not."""
+    pattern_name = edge.pattern.name
+    meta = edge.meta
+    if meta is None:
+        return None
+    if pattern_name == "RF":
+        h_rel, (tc, tr) = meta
+        return (h_rel, (tc + dc, tr + dr))
+    if pattern_name == "FR":
+        (hc, hr), t_rel = meta
+        return ((hc + dc, hr + dr), t_rel)
+    if pattern_name == "FF":
+        (hc, hr), (tc, tr) = meta
+        return ((hc + dc, hr + dr), (tc + dc, tr + dr))
+    if isinstance(edge.pattern, RRGapOnePattern):
+        h_rel, t_rel, axis, _ = meta
+        new_dep = edge.dep.shift(dc, dr)
+        phase = (new_dep.r1 % 2) if axis == COLUMN_AXIS else (new_dep.c1 % 2)
+        return (h_rel, t_rel, axis, phase)
+    # RR, RR-Chain, Single: purely relative metadata.
+    return meta
+
+
+def _shift_edge(edge: CompressedEdge, dc: int, dr: int) -> CompressedEdge:
+    return CompressedEdge(
+        edge.prec.shift(dc, dr),
+        edge.dep.shift(dc, dr),
+        edge.pattern,
+        _shift_meta(edge, dc, dr),
+    )
+
+
+def _axis_extent(rng: Range, axis: str) -> tuple[int, int]:
+    return (rng.r1, rng.r2) if axis == "row" else (rng.c1, rng.c2)
+
+
+def _transform_insert(dep: Dependency, index: int, count: int, axis: str) -> Dependency | None:
+    prec = shift_range_for_insert(dep.prec, index, count, axis)
+    cell_lo, _ = _axis_extent(dep.dep, axis)
+    if cell_lo >= index:
+        cell = dep.dep.shift(0, count) if axis == "row" else dep.dep.shift(count, 0)
+    else:
+        cell = dep.dep
+    return Dependency(prec, cell, dep.cue)
+
+
+def _transform_delete(dep: Dependency, index: int, count: int, axis: str) -> Dependency | None:
+    end = index + count - 1
+    cell_lo, cell_hi = _axis_extent(dep.dep, axis)
+    if index <= cell_lo <= end:
+        return None  # the formula cell itself was deleted
+    prec = shift_range_for_delete(dep.prec, index, count, axis)
+    if prec is None:
+        return None  # reference collapsed to #REF!: no edge remains
+    if cell_lo > end:
+        cell = dep.dep.shift(0, -count) if axis == "row" else dep.dep.shift(-count, 0)
+    else:
+        cell = dep.dep
+    return Dependency(prec, cell, dep.cue)
+
+
+def _structural_edit(graph: TacoGraph, index: int, count: int, axis: str, mode: str) -> None:
+    if index < 1 or count < 1:
+        raise ValueError("index and count must be positive")
+    end = index + count - 1
+    delta = count if mode == "insert" else -count
+    dc, dr = (0, delta) if axis == "row" else (delta, 0)
+
+    wholesale: list[CompressedEdge] = []
+    boundary: list[CompressedEdge] = []
+    for edge in graph.edges():
+        lo = min(_axis_extent(edge.prec, axis)[0], _axis_extent(edge.dep, axis)[0])
+        hi = max(_axis_extent(edge.prec, axis)[1], _axis_extent(edge.dep, axis)[1])
+        if hi < index:
+            continue  # entirely before the edit: untouched
+        past_threshold = index if mode == "insert" else end + 1
+        if lo >= past_threshold:
+            wholesale.append(edge)
+        else:
+            boundary.append(edge)
+
+    for edge in wholesale:
+        graph.remove_edge(edge)
+        graph.add_edge_raw(_shift_edge(edge, dc, dr))
+
+    transform = _transform_insert if mode == "insert" else _transform_delete
+    reinserts: list[Dependency] = []
+    for edge in boundary:
+        graph.remove_edge(edge)
+        for member in edge.pattern.member_dependencies(edge):
+            moved = transform(member, index, count, axis)
+            if moved is not None:
+                reinserts.append(moved)
+    reinserts.sort(key=lambda d: (d.dep.c1, d.dep.r1))
+    for dep in reinserts:
+        graph.add_dependency(dep)
+
+
+def insert_rows(graph: TacoGraph, row: int, count: int = 1) -> None:
+    """Maintain the graph for ``count`` rows inserted before ``row``."""
+    _structural_edit(graph, row, count, "row", "insert")
+
+
+def delete_rows(graph: TacoGraph, row: int, count: int = 1) -> None:
+    """Maintain the graph for rows ``[row, row+count)`` being deleted."""
+    _structural_edit(graph, row, count, "row", "delete")
+
+
+def insert_columns(graph: TacoGraph, col: int, count: int = 1) -> None:
+    """Maintain the graph for ``count`` columns inserted before ``col``."""
+    _structural_edit(graph, col, count, "col", "insert")
+
+
+def delete_columns(graph: TacoGraph, col: int, count: int = 1) -> None:
+    """Maintain the graph for columns ``[col, col+count)`` being deleted."""
+    _structural_edit(graph, col, count, "col", "delete")

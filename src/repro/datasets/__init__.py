@@ -1,0 +1,29 @@
+"""Synthetic corpora and workload statistics."""
+
+from .corpora import CORPUS_NAMES, CorpusSheet, corpus_specs, generate_corpus, scale_factor
+from .corpus_io import FileProfile, directory_summary, iter_corpus_sheets, profile_directory, profile_file
+from .generator import RegionSpec, SheetSpec, generate_sheet
+from .regions import REGION_BUILDERS, build_region
+from .stats import SheetProfile, longest_path, max_dependents, profile_sheet
+
+__all__ = [
+    "CORPUS_NAMES",
+    "CorpusSheet",
+    "FileProfile",
+    "directory_summary",
+    "iter_corpus_sheets",
+    "profile_directory",
+    "profile_file",
+    "REGION_BUILDERS",
+    "RegionSpec",
+    "SheetProfile",
+    "SheetSpec",
+    "build_region",
+    "corpus_specs",
+    "generate_corpus",
+    "generate_sheet",
+    "longest_path",
+    "max_dependents",
+    "profile_sheet",
+    "scale_factor",
+]

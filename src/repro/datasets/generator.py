@@ -1,0 +1,74 @@
+"""Sheet and corpus generation from declarative specs.
+
+A :class:`SheetSpec` lists the regions a sheet contains; regions are laid
+out left-to-right with spacing so they never interfere.  Generation is
+fully deterministic in the seed, so every benchmark and test sees the same
+corpus.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import NamedTuple
+
+from ..sheet.sheet import Sheet
+from .regions import REGION_BUILDERS, build_region
+
+__all__ = ["RegionSpec", "SheetSpec", "generate_sheet"]
+
+# Horizontal footprint of each region kind (data + output columns),
+# used to lay regions out without overlap.
+_REGION_WIDTH = {
+    "sliding_window": 3,
+    "derived_column": 3,
+    "running_total": 2,
+    "shrinking_window": 2,
+    "fixed_lookup": 4,
+    "chain": 2,
+    "fig2": 3,
+    "row_wise": 1,  # horizontal; reserves its own columns via size
+    "gapone": 12,   # scatters outputs over several columns
+    "noise": 22,    # lattice of 10 noise columns plus the data column
+}
+
+
+class RegionSpec(NamedTuple):
+    """One region: its builder kind and its size (rows / cells)."""
+
+    kind: str
+    size: int
+
+    def width(self) -> int:
+        if self.kind == "row_wise":
+            return max(2, self.size)
+        return _REGION_WIDTH[self.kind]
+
+
+class SheetSpec(NamedTuple):
+    """A sheet as a named list of regions."""
+
+    name: str
+    regions: tuple[RegionSpec, ...]
+    seed: int = 0
+
+    def total_rows_hint(self) -> int:
+        return max((region.size for region in self.regions), default=0)
+
+
+def generate_sheet(spec: SheetSpec) -> Sheet:
+    """Materialise a spec into a sheet (deterministic in ``spec.seed``)."""
+    sheet = Sheet(spec.name)
+    rng = random.Random(spec.seed)
+    col = 1
+    row_wise_row = 2
+    for region in spec.regions:
+        if region.kind not in REGION_BUILDERS:
+            raise KeyError(f"unknown region kind {region.kind!r}")
+        if region.kind == "row_wise":
+            build_region(sheet, region.kind, col, row_wise_row, region.size, rng)
+            row_wise_row += 4
+            col += region.width() + 2
+        else:
+            build_region(sheet, region.kind, col, 2, region.size, rng)
+            col += region.width() + 2
+    return sheet

@@ -1,0 +1,162 @@
+"""Graph statistics: max dependents and longest path (paper Fig. 1).
+
+The paper characterises its corpora by, per spreadsheet, the maximum
+number of (transitive) dependents of any cell and the longest path in the
+formula graph.  Both are also how the query benchmarks pick their probe
+cells: the Maximum-Dependents case and the Longest-Path case (Sec. VI-C).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from ..core.taco_graph import TacoGraph
+from ..graphs.base import total_cells
+from ..graphs.nocomp import NoCompGraph
+from ..grid.range import Range
+from ..sheet.sheet import Sheet
+
+__all__ = [
+    "SheetProfile",
+    "candidate_cells",
+    "longest_path",
+    "max_dependents",
+    "profile_sheet",
+]
+
+
+class SheetProfile(NamedTuple):
+    """Per-sheet workload characterisation."""
+
+    name: str
+    cells: int
+    formula_cells: int
+    raw_dependencies: int
+    max_dependents: int
+    max_dependents_cell: Range
+    longest_path: int
+    longest_path_cell: Range
+
+
+def candidate_cells(graph: TacoGraph, limit: int = 160) -> list[Range]:
+    """Probe candidates for the max-dependents search.
+
+    The cell with the most dependents is reachable from the head of some
+    referenced range, so the head (and tail-row head) cells of the
+    compressed precedent vertices cover the candidates cheaply.
+    """
+    seen: set[tuple[int, int]] = set()
+    out: list[Range] = []
+    edges = sorted(graph.edges(), key=lambda e: -e.prec.size)
+    for edge in edges:
+        for pos in (edge.prec.head, (edge.prec.c1, edge.prec.r2)):
+            if pos not in seen:
+                seen.add(pos)
+                out.append(Range.cell(*pos))
+                if len(out) >= limit:
+                    return out
+    return out
+
+
+def max_dependents(graph: TacoGraph, limit: int = 160) -> tuple[Range, int]:
+    """(cell, dependent-count) for the cell with the most dependents.
+
+    Uses the compressed graph to evaluate candidates — the same cell is
+    then used to probe every system, so the choice does not bias the
+    comparison.
+    """
+    best_cell = Range.cell(1, 1)
+    best_count = 0
+    for cell in candidate_cells(graph, limit):
+        count = total_cells(graph.find_dependents(cell))
+        if count > best_count:
+            best_cell, best_count = cell, count
+    return best_cell, best_count
+
+
+def longest_path(graph: NoCompGraph) -> tuple[Range, int]:
+    """(start cell, length) of the longest path in the uncompressed graph.
+
+    Edge-level DP: ``longest(e) = 1 + max(longest(successor))`` where a
+    successor is any edge whose precedent contains e's dependent cell.
+    NoComp stores one edge per raw dependency, so the result counts raw
+    edges, matching the paper's definition.
+    """
+    adjacency = graph._adjacency
+    edge_list: list[tuple[Range, tuple[int, int]]] = []
+    for prec, dependents in adjacency.items():
+        for cell in dependents:
+            edge_list.append((prec, cell))
+    if not edge_list:
+        return Range.cell(1, 1), 0
+
+    # successors(edge) = edges whose prec contains edge's dependent cell.
+    successor_cache: dict[tuple[int, int], list[int]] = {}
+
+    def successor_indices(cell: tuple[int, int]) -> list[int]:
+        cached = successor_cache.get(cell)
+        if cached is not None:
+            return cached
+        out: list[int] = []
+        for prec, _ in graph._prec_index.search_items(Range.cell(*cell)):
+            out.extend(index_by_prec[prec])
+        successor_cache[cell] = out
+        return out
+
+    index_by_prec: dict[Range, list[int]] = {}
+    for i, (prec, _) in enumerate(edge_list):
+        index_by_prec.setdefault(prec, []).append(i)
+
+    memo: dict[int, int] = {}
+    ACTIVE = -1
+
+    for start in range(len(edge_list)):
+        if start in memo:
+            continue
+        stack: list[tuple[int, list[int], int]] = [
+            (start, successor_indices(edge_list[start][1]), 0)
+        ]
+        memo[start] = ACTIVE
+        while stack:
+            index, successors, cursor = stack.pop()
+            pushed = False
+            while cursor < len(successors):
+                succ = successors[cursor]
+                cursor += 1
+                state = memo.get(succ)
+                if state is None:
+                    stack.append((index, successors, cursor))
+                    memo[succ] = ACTIVE
+                    stack.append((succ, successor_indices(edge_list[succ][1]), 0))
+                    pushed = True
+                    break
+                if state == ACTIVE:
+                    raise ValueError("cycle detected in formula graph")
+            if pushed:
+                continue
+            best = 0
+            for succ in successors:
+                value = memo[succ]
+                if value > best:
+                    best = value
+            memo[index] = 1 + best
+
+    best_index = max(range(len(edge_list)), key=lambda i: memo[i])
+    prec, _ = edge_list[best_index]
+    return Range.cell(*prec.head), memo[best_index]
+
+
+def profile_sheet(sheet: Sheet, taco: TacoGraph, nocomp: NoCompGraph) -> SheetProfile:
+    """Compute the Fig. 1 characterisation for one sheet."""
+    md_cell, md_count = max_dependents(taco)
+    lp_cell, lp_length = longest_path(nocomp)
+    return SheetProfile(
+        name=sheet.name,
+        cells=len(sheet),
+        formula_cells=sheet.formula_count,
+        raw_dependencies=nocomp.num_edges,
+        max_dependents=md_count,
+        max_dependents_cell=md_cell,
+        longest_path=lp_length,
+        longest_path_cell=lp_cell,
+    )

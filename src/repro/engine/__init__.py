@@ -1,0 +1,12 @@
+"""Recalculation engines built on formula graphs."""
+
+from .async_engine import AsyncRecalcEngine, CellView, UpdateTicket
+from .recalc import RecalcEngine, RecalcResult
+
+__all__ = [
+    "AsyncRecalcEngine",
+    "CellView",
+    "RecalcEngine",
+    "RecalcResult",
+    "UpdateTicket",
+]

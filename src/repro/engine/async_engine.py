@@ -1,0 +1,176 @@
+"""Asynchronous recalculation, after DataSpread's execution model.
+
+The paper's host system (Sec. I, VI-A) returns control to the user as
+soon as the dependents of an update have been *identified and hidden*;
+the actual recomputation happens asynchronously.  Finding dependents is
+therefore on the critical path — the very operation TACO accelerates.
+
+:class:`AsyncRecalcEngine` models that lifecycle without threads: an
+update marks its dependent formula cells dirty and returns immediately
+(the control-return point); :meth:`step` then pumps the background
+computation a bounded number of cells at a time, always evaluating a
+cell whose dirty precedents have already been resolved.  Reads of dirty
+cells report their staleness, which is what a UI uses to grey cells out.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import NamedTuple
+
+from ..core.taco_graph import TacoGraph, dependencies_column_major
+from ..formula.evaluator import Evaluator
+from ..graphs.base import FormulaGraph, expand_cells
+from ..grid.range import Range
+from ..sheet.sheet import Dependency, Sheet, SheetResolver
+
+__all__ = ["AsyncRecalcEngine", "UpdateTicket", "CellView"]
+
+
+class UpdateTicket(NamedTuple):
+    """What the user gets back immediately after an update."""
+
+    dirty_ranges: list[Range]
+    dirty_count: int
+    control_return_seconds: float
+
+
+class CellView(NamedTuple):
+    """A read of a cell under the asynchronous model."""
+
+    value: object
+    is_dirty: bool
+
+
+class AsyncRecalcEngine:
+    """A sheet whose recomputation is decoupled from updates."""
+
+    def __init__(self, sheet: Sheet, graph: FormulaGraph | None = None):
+        self.sheet = sheet
+        if graph is None:
+            graph = TacoGraph.full()
+            graph.build(dependencies_column_major(sheet))
+        self.graph = graph
+        self.evaluator = Evaluator(SheetResolver(sheet))
+        self._dirty: set[tuple[int, int]] = set()
+
+    # -- the critical path -----------------------------------------------------
+
+    def set_value(self, target, value) -> UpdateTicket:
+        """Apply an update; returns once the dirty set is known."""
+        start = time.perf_counter()
+        pos = self._position(target)
+        self.sheet.set_value(pos, value)
+        dirty_ranges = self.graph.find_dependents(Range.cell(*pos))
+        self._mark_dirty(dirty_ranges)
+        elapsed = time.perf_counter() - start
+        return UpdateTicket(dirty_ranges, len(self._dirty), elapsed)
+
+    def set_formula(self, target, text: str) -> UpdateTicket:
+        start = time.perf_counter()
+        pos = self._position(target)
+        cell_range = Range.cell(*pos)
+        self.graph.clear_cells(cell_range)
+        self.sheet.set_formula(pos, text)
+        cell = self.sheet.cell_at(pos)
+        for ref in cell.references:
+            if ref.sheet is not None and ref.sheet != self.sheet.name:
+                continue
+            self.graph.add_dependency(Dependency(ref.range, cell_range, ref.cue))
+        dirty_ranges = self.graph.find_dependents(cell_range)
+        self._mark_dirty(dirty_ranges)
+        self._dirty.add(pos)
+        elapsed = time.perf_counter() - start
+        return UpdateTicket(dirty_ranges, len(self._dirty), elapsed)
+
+    def _mark_dirty(self, dirty_ranges: list[Range]) -> None:
+        for pos in expand_cells(dirty_ranges):
+            cell = self.sheet.cell_at(pos)
+            if cell is not None and cell.is_formula:
+                self._dirty.add(pos)
+
+    @staticmethod
+    def _position(target) -> tuple[int, int]:
+        from ..sheet.sheet import _coerce_pos
+
+        return _coerce_pos(target)
+
+    # -- the background pump -----------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of formula cells still awaiting recomputation."""
+        return len(self._dirty)
+
+    def is_dirty(self, target) -> bool:
+        return self._position(target) in self._dirty
+
+    def read(self, target) -> CellView:
+        """Read a cell as the UI would: value plus staleness flag."""
+        pos = self._position(target)
+        return CellView(self.sheet.get_value(pos), pos in self._dirty)
+
+    def step(self, max_cells: int = 64) -> int:
+        """Recompute up to ``max_cells`` ready dirty cells; returns how
+        many were computed.
+
+        A cell is *ready* when none of its referenced cells is dirty.
+        Each step scans the dirty set once, so a long chain drains over
+        several steps — the asynchronous, incremental behaviour the
+        model is about.
+        """
+        computed = 0
+        while computed < max_cells and self._dirty:
+            ready = self._pick_ready(max_cells - computed)
+            if not ready:
+                # Only cycles remain: surface them as #CYCLE! and stop.
+                from ..formula.errors import CYCLE_ERROR
+
+                for pos in self._dirty:
+                    self.sheet.cell_at(pos).value = CYCLE_ERROR
+                self._dirty.clear()
+                break
+            for pos in ready:
+                cell = self.sheet.cell_at(pos)
+                cell.value = self.evaluator.evaluate(
+                    cell.formula_ast, self.sheet.name, pos[0], pos[1]
+                )
+                self._dirty.discard(pos)
+                computed += 1
+        return computed
+
+    def drain(self, batch: int = 256) -> int:
+        """Run steps until nothing is dirty; returns total cells computed."""
+        total = 0
+        while self._dirty:
+            done = self.step(batch)
+            total += done
+            if done == 0:
+                break
+        return total
+
+    def _pick_ready(self, limit: int) -> list[tuple[int, int]]:
+        ready: list[tuple[int, int]] = []
+        for pos in self._dirty:
+            cell = self.sheet.cell_at(pos)
+            if cell is None:
+                ready.append(pos)
+                continue
+            blocked = False
+            for ref in cell.references:
+                if ref.sheet is not None and ref.sheet != self.sheet.name:
+                    continue
+                rng = ref.range
+                if rng.size <= len(self._dirty):
+                    if any(p in self._dirty and p != pos for p in rng.cells()):
+                        blocked = True
+                        break
+                else:
+                    if any(rng.contains_cell(*p) and p != pos for p in self._dirty):
+                        blocked = True
+                        break
+            if not blocked:
+                ready.append(pos)
+                if len(ready) >= limit:
+                    break
+        return ready

@@ -1,0 +1,65 @@
+"""Formula language: tokenizer, parser, reference extraction, evaluation."""
+
+from .ast_nodes import (
+    BinaryOp,
+    Boolean,
+    CellNode,
+    ErrorLiteral,
+    FunctionCall,
+    Node,
+    Number,
+    RangeNode,
+    String,
+    UnaryOp,
+    walk,
+)
+from .errors import (
+    CYCLE_ERROR,
+    DIV0,
+    NA_ERROR,
+    NAME_ERROR,
+    NUM_ERROR,
+    REF_ERROR,
+    VALUE_ERROR,
+    ExcelError,
+    FormulaSyntaxError,
+)
+from .evaluator import EvalContext, Evaluator
+from .parser import parse_formula
+from .references import ReferencedRange, extract_references, references_of_formula
+from .tokenizer import Token, TokenKind, tokenize
+from .values import CellResolver, RangeValue
+
+__all__ = [
+    "BinaryOp",
+    "Boolean",
+    "CYCLE_ERROR",
+    "CellNode",
+    "CellResolver",
+    "DIV0",
+    "ErrorLiteral",
+    "EvalContext",
+    "Evaluator",
+    "ExcelError",
+    "FormulaSyntaxError",
+    "FunctionCall",
+    "NA_ERROR",
+    "NAME_ERROR",
+    "NUM_ERROR",
+    "Node",
+    "Number",
+    "REF_ERROR",
+    "RangeNode",
+    "RangeValue",
+    "ReferencedRange",
+    "String",
+    "Token",
+    "TokenKind",
+    "UnaryOp",
+    "VALUE_ERROR",
+    "extract_references",
+    "parse_formula",
+    "references_of_formula",
+    "tokenize",
+    "walk",
+]

@@ -1,0 +1,88 @@
+"""Spreadsheet error values and formula-language exceptions.
+
+Spreadsheet errors (``#DIV/0!``, ``#REF!``, ...) are *values* that flow
+through evaluation, not Python exceptions: a formula referencing an error
+cell evaluates to that error.  :class:`ExcelError` models them as interned
+singletons.  Parsing problems, by contrast, are real exceptions
+(:class:`FormulaSyntaxError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ExcelError",
+    "FormulaSyntaxError",
+    "DIV0",
+    "VALUE_ERROR",
+    "REF_ERROR",
+    "NAME_ERROR",
+    "NA_ERROR",
+    "NUM_ERROR",
+    "NULL_ERROR",
+    "CYCLE_ERROR",
+    "ERROR_CODES",
+]
+
+
+class FormulaSyntaxError(ValueError):
+    """Raised when a formula string cannot be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message if position < 0 else f"{message} (at position {position})")
+        self.position = position
+
+
+class ExcelError:
+    """An interned spreadsheet error value such as ``#DIV/0!``."""
+
+    __slots__ = ("code",)
+    _interned: "dict[str, ExcelError]" = {}
+
+    def __new__(cls, code: str) -> "ExcelError":
+        existing = cls._interned.get(code)
+        if existing is not None:
+            return existing
+        instance = super().__new__(cls)
+        object.__setattr__(instance, "code", code)
+        cls._interned[code] = instance
+        return instance
+
+    def __setattr__(self, name: str, value) -> None:  # pragma: no cover
+        raise AttributeError("ExcelError is immutable")
+
+    def __repr__(self) -> str:
+        return f"ExcelError({self.code})"
+
+    def __str__(self) -> str:
+        return self.code
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ExcelError):
+            return self.code == other.code
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.code)
+
+
+DIV0 = ExcelError("#DIV/0!")
+VALUE_ERROR = ExcelError("#VALUE!")
+REF_ERROR = ExcelError("#REF!")
+NAME_ERROR = ExcelError("#NAME?")
+NA_ERROR = ExcelError("#N/A")
+NUM_ERROR = ExcelError("#NUM!")
+NULL_ERROR = ExcelError("#NULL!")
+# Not an Excel-native code; DataSpread-style engines surface dependency
+# cycles as a distinct error value, which our recalc engine reuses.
+CYCLE_ERROR = ExcelError("#CYCLE!")
+
+ERROR_CODES = (
+    "#DIV/0!",
+    "#VALUE!",
+    "#REF!",
+    "#NAME?",
+    "#N/A",
+    "#NUM!",
+    "#NULL!",
+    "#CYCLE!",
+)

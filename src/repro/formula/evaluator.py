@@ -1,0 +1,167 @@
+"""Formula evaluation against a spreadsheet backend.
+
+The evaluator walks a parsed AST and produces a scalar value (or an
+:class:`~repro.formula.errors.ExcelError`).  It is deliberately
+independent of the sheet model: any object satisfying
+:class:`~repro.formula.values.CellResolver` can back it, which is what
+lets the recalculation engine, the examples, and the tests share it.
+"""
+
+from __future__ import annotations
+
+from ..grid.range import Range
+from .ast_nodes import (
+    BinaryOp,
+    Boolean,
+    CellNode,
+    ErrorLiteral,
+    FunctionCall,
+    Node,
+    Number,
+    RangeNode,
+    String,
+    UnaryOp,
+)
+from .errors import NAME_ERROR, VALUE_ERROR, ExcelError
+from .parser import parse_formula
+from .values import (
+    CellResolver,
+    ErrorSignal,
+    RangeValue,
+    compare_values,
+    safe_divide,
+    to_number,
+    to_text,
+)
+from .functions import REGISTRY
+
+__all__ = ["Evaluator", "EvalContext"]
+
+
+class EvalContext:
+    """Where a formula is being evaluated: host sheet and cell position."""
+
+    __slots__ = ("evaluator", "sheet", "col", "row")
+
+    def __init__(self, evaluator: "Evaluator", sheet: str | None, col: int, row: int):
+        self.evaluator = evaluator
+        self.sheet = sheet
+        self.col = col
+        self.row = row
+
+    def eval(self, node: Node):
+        """Evaluate a sub-expression in this context (used by lazy builtins)."""
+        return self.evaluator._eval(node, self)
+
+    def eval_reference(self, node: Node) -> Range:
+        """Resolve a reference argument to its range (for ROW/COLUMN/ROWS)."""
+        if isinstance(node, (CellNode, RangeNode)):
+            return node.to_range()
+        raise ErrorSignal(VALUE_ERROR)
+
+
+class Evaluator:
+    def __init__(self, resolver: CellResolver):
+        self._resolver = resolver
+
+    def evaluate(self, node: Node, sheet: str | None = None, col: int = 1, row: int = 1):
+        """Evaluate an AST to a value; errors come back as ExcelError values."""
+        ctx = EvalContext(self, sheet, col, row)
+        try:
+            value = self._eval(node, ctx)
+        except ErrorSignal as signal:
+            return signal.error
+        except RecursionError:
+            return ExcelError("#VALUE!")
+        if isinstance(value, RangeValue):
+            # Implicit intersection of a bare range at top level.
+            if value.width == 1 and value.height == 1:
+                return value.get(0, 0)
+            return VALUE_ERROR
+        return value
+
+    def evaluate_formula(
+        self, text: str, sheet: str | None = None, col: int = 1, row: int = 1
+    ):
+        return self.evaluate(parse_formula(text), sheet, col, row)
+
+    # -- recursive evaluation ------------------------------------------------
+
+    def _eval(self, node: Node, ctx: EvalContext):
+        if isinstance(node, Number):
+            return node.value
+        if isinstance(node, String):
+            return node.value
+        if isinstance(node, Boolean):
+            return node.value
+        if isinstance(node, ErrorLiteral):
+            raise ErrorSignal(ExcelError(node.code))
+        if isinstance(node, CellNode):
+            value = self._resolver.get_value(
+                node.sheet if node.sheet is not None else ctx.sheet,
+                node.ref.col,
+                node.ref.row,
+            )
+            if isinstance(value, ExcelError):
+                raise ErrorSignal(value)
+            return value
+        if isinstance(node, RangeNode):
+            sheet = node.sheet if node.sheet is not None else ctx.sheet
+            return RangeValue(node.to_range(), sheet, self._resolver)
+        if isinstance(node, UnaryOp):
+            operand = self._eval(node.operand, ctx)
+            if node.op == "-":
+                return -to_number(operand)
+            if node.op == "%":
+                return to_number(operand) / 100.0
+            return to_number(operand)
+        if isinstance(node, BinaryOp):
+            return self._eval_binary(node, ctx)
+        if isinstance(node, FunctionCall):
+            return self._eval_call(node, ctx)
+        raise ErrorSignal(VALUE_ERROR)
+
+    def _eval_binary(self, node: BinaryOp, ctx: EvalContext):
+        op = node.op
+        left = self._eval(node.left, ctx)
+        right = self._eval(node.right, ctx)
+        if op == "&":
+            return to_text(left) + to_text(right)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            cmp = compare_values(left, right)
+            return {
+                "=": cmp == 0, "<>": cmp != 0,
+                "<": cmp < 0, "<=": cmp <= 0,
+                ">": cmp > 0, ">=": cmp >= 0,
+            }[op]
+        lnum = to_number(left)
+        rnum = to_number(right)
+        if op == "+":
+            return lnum + rnum
+        if op == "-":
+            return lnum - rnum
+        if op == "*":
+            return lnum * rnum
+        if op == "/":
+            return safe_divide(lnum, rnum)
+        if op == "^":
+            try:
+                result = lnum ** rnum
+            except (OverflowError, ZeroDivisionError, ValueError):
+                raise ErrorSignal(ExcelError("#NUM!")) from None
+            if isinstance(result, complex):
+                raise ErrorSignal(ExcelError("#NUM!"))
+            return float(result)
+        raise ErrorSignal(VALUE_ERROR)
+
+    def _eval_call(self, node: FunctionCall, ctx: EvalContext):
+        spec = REGISTRY.get(node.name)
+        if spec is None:
+            raise ErrorSignal(NAME_ERROR)
+        arity = len(node.args)
+        if arity < spec.min_args or (spec.max_args is not None and arity > spec.max_args):
+            raise ErrorSignal(VALUE_ERROR)
+        if spec.lazy:
+            return spec.impl(ctx, node.args)
+        values = [self._eval(arg, ctx) for arg in node.args]
+        return spec.impl(ctx, *values)

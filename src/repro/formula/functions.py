@@ -1,0 +1,919 @@
+"""Builtin spreadsheet function library.
+
+Covers the functions that appear in the paper's motivating workloads
+(SUM/IF/VLOOKUP-style sheets) plus the everyday math, text, logical,
+statistical and lookup builtins needed to evaluate realistic spreadsheets.
+
+Functions are registered in :data:`REGISTRY`.  Eager functions receive
+pre-evaluated values (scalars or :class:`RangeValue`); *lazy* functions
+(IF, AND, IFERROR, ...) receive the evaluation context and unevaluated AST
+nodes so they can short-circuit and tolerate errors.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import math
+from typing import Callable, NamedTuple
+
+from .errors import NA_ERROR, NUM_ERROR, VALUE_ERROR, ExcelError
+from .values import (
+    ErrorSignal,
+    RangeValue,
+    compare_values,
+    safe_divide,
+    to_bool,
+    to_number,
+    to_text,
+)
+
+__all__ = ["REGISTRY", "FunctionSpec", "parse_criteria"]
+
+
+class FunctionSpec(NamedTuple):
+    name: str
+    impl: Callable
+    lazy: bool = False
+    min_args: int = 0
+    max_args: int | None = None
+
+
+REGISTRY: dict[str, FunctionSpec] = {}
+
+
+def _register(name: str, *, lazy: bool = False, min_args: int = 0, max_args: int | None = None):
+    def decorator(fn: Callable) -> Callable:
+        REGISTRY[name] = FunctionSpec(name, fn, lazy, min_args, max_args)
+        return fn
+
+    return decorator
+
+
+def _alias(name: str, target: str) -> None:
+    spec = REGISTRY[target]
+    REGISTRY[name] = spec._replace(name=name)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+
+
+def _flatten_numbers(values) -> list[float]:
+    """Numbers from a mixed argument list.
+
+    Direct scalar arguments are coerced (so ``SUM("3")`` works); range
+    arguments contribute only their numeric cells, per Excel.
+    """
+    out: list[float] = []
+    for value in values:
+        if isinstance(value, RangeValue):
+            out.extend(value.iter_numbers())
+        elif value is None:
+            continue
+        else:
+            out.append(to_number(value))
+    return out
+
+
+def _flatten_all(values) -> list[object]:
+    out: list[object] = []
+    for value in values:
+        if isinstance(value, RangeValue):
+            out.extend(value.iter_nonblank())
+        else:
+            out.append(value)
+    return out
+
+
+def parse_criteria(criterion) -> Callable[[object], bool]:
+    """Compile a SUMIF/COUNTIF criterion into a predicate.
+
+    Supports the comparison-prefixed forms (``">=5"``, ``"<>x"``), numeric
+    equality, and text equality with ``*``/``?`` wildcards.
+    """
+    if isinstance(criterion, RangeValue):
+        criterion = criterion.get(0, 0) if criterion.width == criterion.height == 1 else None
+    if isinstance(criterion, str):
+        text = criterion
+        for op in ("<>", "<=", ">=", "=", "<", ">"):
+            if text.startswith(op):
+                body = text[len(op):]
+                try:
+                    target: object = float(body)
+                    numeric = True
+                except ValueError:
+                    target = body
+                    numeric = False
+
+                def predicate(value, op=op, target=target, numeric=numeric):
+                    if value is None:
+                        return False
+                    if numeric and not isinstance(value, (int, float)):
+                        return op == "<>"
+                    if not numeric and not isinstance(value, str):
+                        return op == "<>"
+                    try:
+                        cmp = compare_values(value, target)
+                    except ErrorSignal:
+                        return False
+                    return {
+                        "=": cmp == 0, "<>": cmp != 0,
+                        "<": cmp < 0, "<=": cmp <= 0,
+                        ">": cmp > 0, ">=": cmp >= 0,
+                    }[op]
+
+                return predicate
+        if "*" in text or "?" in text:
+            pattern = text.lower()
+            return lambda value: isinstance(value, str) and fnmatch.fnmatchcase(
+                value.lower(), pattern
+            )
+        try:
+            target_num = float(text)
+            return lambda value: isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ) and float(value) == target_num
+        except ValueError:
+            return lambda value: isinstance(value, str) and value.lower() == text.lower()
+    if isinstance(criterion, bool):
+        return lambda value: isinstance(value, bool) and value == criterion
+    if isinstance(criterion, (int, float)):
+        target_num = float(criterion)
+        return lambda value: isinstance(value, (int, float)) and not isinstance(
+            value, bool
+        ) and float(value) == target_num
+    if criterion is None:
+        return lambda value: value is None
+    raise ErrorSignal(VALUE_ERROR)
+
+
+# ---------------------------------------------------------------------------
+# math and aggregates
+
+
+@_register("SUM")
+def _sum(ctx, *values):
+    return math.fsum(_flatten_numbers(values))
+
+
+@_register("PRODUCT")
+def _product(ctx, *values):
+    out = 1.0
+    for number in _flatten_numbers(values):
+        out *= number
+    return out
+
+
+@_register("AVERAGE", min_args=1)
+def _average(ctx, *values):
+    numbers = _flatten_numbers(values)
+    return safe_divide(math.fsum(numbers), len(numbers))
+
+
+_alias("AVG", "AVERAGE")
+
+
+@_register("MIN")
+def _min(ctx, *values):
+    numbers = _flatten_numbers(values)
+    return min(numbers) if numbers else 0.0
+
+
+@_register("MAX")
+def _max(ctx, *values):
+    numbers = _flatten_numbers(values)
+    return max(numbers) if numbers else 0.0
+
+
+@_register("COUNT")
+def _count(ctx, *values):
+    total = 0
+    for value in values:
+        if isinstance(value, RangeValue):
+            total += sum(1 for _ in value.iter_numbers())
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            total += 1
+    return float(total)
+
+
+@_register("COUNTA")
+def _counta(ctx, *values):
+    return float(sum(1 for v in _flatten_all(values) if v is not None))
+
+
+@_register("COUNTBLANK", min_args=1, max_args=1)
+def _countblank(ctx, rng):
+    if not isinstance(rng, RangeValue):
+        return 0.0 if rng is not None else 1.0
+    occupied = sum(1 for v in rng.iter_nonblank() if v is not None)
+    return float(rng.range.size - occupied)
+
+
+@_register("MEDIAN", min_args=1)
+def _median(ctx, *values):
+    numbers = sorted(_flatten_numbers(values))
+    if not numbers:
+        raise ErrorSignal(NUM_ERROR)
+    mid = len(numbers) // 2
+    if len(numbers) % 2:
+        return numbers[mid]
+    return (numbers[mid - 1] + numbers[mid]) / 2.0
+
+
+@_register("STDEV", min_args=1)
+def _stdev(ctx, *values):
+    numbers = _flatten_numbers(values)
+    if len(numbers) < 2:
+        raise ErrorSignal(ExcelError("#DIV/0!"))
+    mean = math.fsum(numbers) / len(numbers)
+    return math.sqrt(math.fsum((x - mean) ** 2 for x in numbers) / (len(numbers) - 1))
+
+
+@_register("VAR", min_args=1)
+def _var(ctx, *values):
+    numbers = _flatten_numbers(values)
+    if len(numbers) < 2:
+        raise ErrorSignal(ExcelError("#DIV/0!"))
+    mean = math.fsum(numbers) / len(numbers)
+    return math.fsum((x - mean) ** 2 for x in numbers) / (len(numbers) - 1)
+
+
+@_register("SMALL", min_args=2, max_args=2)
+def _small(ctx, values, k):
+    numbers = sorted(_flatten_numbers([values]))
+    index = int(to_number(k))
+    if index < 1 or index > len(numbers):
+        raise ErrorSignal(NUM_ERROR)
+    return numbers[index - 1]
+
+
+@_register("LARGE", min_args=2, max_args=2)
+def _large(ctx, values, k):
+    numbers = sorted(_flatten_numbers([values]), reverse=True)
+    index = int(to_number(k))
+    if index < 1 or index > len(numbers):
+        raise ErrorSignal(NUM_ERROR)
+    return numbers[index - 1]
+
+
+@_register("ABS", min_args=1, max_args=1)
+def _abs(ctx, value):
+    return abs(to_number(value))
+
+
+@_register("SIGN", min_args=1, max_args=1)
+def _sign(ctx, value):
+    number = to_number(value)
+    return float((number > 0) - (number < 0))
+
+
+@_register("INT", min_args=1, max_args=1)
+def _int(ctx, value):
+    return float(math.floor(to_number(value)))
+
+
+@_register("ROUND", min_args=1, max_args=2)
+def _round(ctx, value, digits=0.0):
+    number, nd = to_number(value), int(to_number(digits))
+    scale = 10.0 ** nd
+    # Excel rounds half away from zero, not banker's rounding.
+    return math.floor(abs(number) * scale + 0.5) / scale * (1 if number >= 0 else -1)
+
+
+@_register("ROUNDUP", min_args=1, max_args=2)
+def _roundup(ctx, value, digits=0.0):
+    number, nd = to_number(value), int(to_number(digits))
+    scale = 10.0 ** nd
+    return math.ceil(abs(number) * scale - 1e-12) / scale * (1 if number >= 0 else -1)
+
+
+@_register("ROUNDDOWN", min_args=1, max_args=2)
+def _rounddown(ctx, value, digits=0.0):
+    number, nd = to_number(value), int(to_number(digits))
+    scale = 10.0 ** nd
+    return math.floor(abs(number) * scale + 1e-12) / scale * (1 if number >= 0 else -1)
+
+
+@_register("SQRT", min_args=1, max_args=1)
+def _sqrt(ctx, value):
+    number = to_number(value)
+    if number < 0:
+        raise ErrorSignal(NUM_ERROR)
+    return math.sqrt(number)
+
+
+@_register("POWER", min_args=2, max_args=2)
+def _power(ctx, base, exponent):
+    try:
+        result = to_number(base) ** to_number(exponent)
+    except (OverflowError, ZeroDivisionError, ValueError):
+        raise ErrorSignal(NUM_ERROR) from None
+    if isinstance(result, complex):
+        raise ErrorSignal(NUM_ERROR)
+    return float(result)
+
+
+@_register("MOD", min_args=2, max_args=2)
+def _mod(ctx, value, divisor):
+    d = to_number(divisor)
+    if d == 0:
+        raise ErrorSignal(ExcelError("#DIV/0!"))
+    return math.fmod(math.fmod(to_number(value), d) + d, d)
+
+
+@_register("EXP", min_args=1, max_args=1)
+def _exp(ctx, value):
+    try:
+        return math.exp(to_number(value))
+    except OverflowError:
+        raise ErrorSignal(NUM_ERROR) from None
+
+
+@_register("LN", min_args=1, max_args=1)
+def _ln(ctx, value):
+    number = to_number(value)
+    if number <= 0:
+        raise ErrorSignal(NUM_ERROR)
+    return math.log(number)
+
+
+@_register("LOG", min_args=1, max_args=2)
+def _log(ctx, value, base=10.0):
+    number, b = to_number(value), to_number(base)
+    if number <= 0 or b <= 0 or b == 1:
+        raise ErrorSignal(NUM_ERROR)
+    return math.log(number, b)
+
+
+@_register("LOG10", min_args=1, max_args=1)
+def _log10(ctx, value):
+    number = to_number(value)
+    if number <= 0:
+        raise ErrorSignal(NUM_ERROR)
+    return math.log10(number)
+
+
+@_register("PI", max_args=0)
+def _pi(ctx):
+    return math.pi
+
+
+@_register("FLOOR", min_args=1, max_args=2)
+def _floor(ctx, value, significance=1.0):
+    number, step = to_number(value), to_number(significance)
+    if step == 0:
+        raise ErrorSignal(ExcelError("#DIV/0!"))
+    return math.floor(number / step) * step
+
+
+@_register("CEILING", min_args=1, max_args=2)
+def _ceiling(ctx, value, significance=1.0):
+    number, step = to_number(value), to_number(significance)
+    if step == 0:
+        return 0.0
+    return math.ceil(number / step) * step
+
+
+@_register("SUMPRODUCT", min_args=1)
+def _sumproduct(ctx, *ranges):
+    columns = []
+    for rng in ranges:
+        if isinstance(rng, RangeValue):
+            values = [v for _, _, v in rng.iter_all_positions()]
+        else:
+            values = [rng]
+        columns.append(values)
+    length = len(columns[0])
+    if any(len(col) != length for col in columns):
+        raise ErrorSignal(VALUE_ERROR)
+    total = 0.0
+    for i in range(length):
+        product = 1.0
+        for col in columns:
+            value = col[i]
+            if isinstance(value, ExcelError):
+                raise ErrorSignal(value)
+            product *= (
+                float(value)
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+                else 0.0
+            )
+        total += product
+    return total
+
+
+# ---------------------------------------------------------------------------
+# conditional aggregates
+
+
+@_register("SUMIF", min_args=2, max_args=3)
+def _sumif(ctx, criteria_range, criterion, sum_range=None):
+    if not isinstance(criteria_range, RangeValue):
+        raise ErrorSignal(VALUE_ERROR)
+    predicate = parse_criteria(criterion)
+    target = sum_range if isinstance(sum_range, RangeValue) else criteria_range
+    total = 0.0
+    for r, c, value in criteria_range.iter_all_positions():
+        if predicate(value):
+            candidate = target.get(r, c) if (r < target.height and c < target.width) else None
+            if isinstance(candidate, ExcelError):
+                raise ErrorSignal(candidate)
+            if isinstance(candidate, (int, float)) and not isinstance(candidate, bool):
+                total += float(candidate)
+    return total
+
+
+@_register("COUNTIF", min_args=2, max_args=2)
+def _countif(ctx, criteria_range, criterion):
+    if not isinstance(criteria_range, RangeValue):
+        raise ErrorSignal(VALUE_ERROR)
+    predicate = parse_criteria(criterion)
+    return float(sum(1 for _, _, v in criteria_range.iter_all_positions() if predicate(v)))
+
+
+@_register("AVERAGEIF", min_args=2, max_args=3)
+def _averageif(ctx, criteria_range, criterion, avg_range=None):
+    if not isinstance(criteria_range, RangeValue):
+        raise ErrorSignal(VALUE_ERROR)
+    predicate = parse_criteria(criterion)
+    target = avg_range if isinstance(avg_range, RangeValue) else criteria_range
+    numbers = []
+    for r, c, value in criteria_range.iter_all_positions():
+        if predicate(value):
+            candidate = target.get(r, c) if (r < target.height and c < target.width) else None
+            if isinstance(candidate, (int, float)) and not isinstance(candidate, bool):
+                numbers.append(float(candidate))
+    return safe_divide(math.fsum(numbers), len(numbers))
+
+
+def _ifs_matches(pairs: list, target: "RangeValue | None" = None) -> list[tuple[int, int]]:
+    """Offsets matching every (range, criterion) pair of an *IFS call.
+
+    When a ``target`` (sum/average/min/max range) is given, its shape
+    must match the criteria ranges, per Excel.
+    """
+    if not pairs:
+        raise ErrorSignal(VALUE_ERROR)
+    first = pairs[0][0]
+    if not isinstance(first, RangeValue):
+        raise ErrorSignal(VALUE_ERROR)
+    if target is not None and (
+        target.width != first.width or target.height != first.height
+    ):
+        raise ErrorSignal(VALUE_ERROR)
+    predicates = []
+    for rng, criterion in pairs:
+        if not isinstance(rng, RangeValue):
+            raise ErrorSignal(VALUE_ERROR)
+        if rng.width != first.width or rng.height != first.height:
+            raise ErrorSignal(VALUE_ERROR)
+        predicates.append((rng, parse_criteria(criterion)))
+    out: list[tuple[int, int]] = []
+    for r in range(first.height):
+        for c in range(first.width):
+            if all(predicate(rng.get(r, c)) for rng, predicate in predicates):
+                out.append((r, c))
+    return out
+
+
+def _pairs_of(args: tuple) -> list:
+    if len(args) % 2:
+        raise ErrorSignal(VALUE_ERROR)
+    return [(args[i], args[i + 1]) for i in range(0, len(args), 2)]
+
+
+@_register("SUMIFS", min_args=3)
+def _sumifs(ctx, sum_range, *criteria):
+    if not isinstance(sum_range, RangeValue):
+        raise ErrorSignal(VALUE_ERROR)
+    total = 0.0
+    for r, c in _ifs_matches(_pairs_of(criteria), sum_range):
+        value = sum_range.get(r, c)
+        if isinstance(value, ExcelError):
+            raise ErrorSignal(value)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            total += float(value)
+    return total
+
+
+@_register("COUNTIFS", min_args=2)
+def _countifs(ctx, *criteria):
+    return float(len(_ifs_matches(_pairs_of(criteria))))
+
+
+@_register("AVERAGEIFS", min_args=3)
+def _averageifs(ctx, avg_range, *criteria):
+    if not isinstance(avg_range, RangeValue):
+        raise ErrorSignal(VALUE_ERROR)
+    numbers = []
+    for r, c in _ifs_matches(_pairs_of(criteria), avg_range):
+        value = avg_range.get(r, c)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            numbers.append(float(value))
+    return safe_divide(math.fsum(numbers), len(numbers))
+
+
+@_register("MAXIFS", min_args=3)
+def _maxifs(ctx, max_range, *criteria):
+    values = _ifs_numbers(max_range, criteria)
+    return max(values) if values else 0.0
+
+
+@_register("MINIFS", min_args=3)
+def _minifs(ctx, min_range, *criteria):
+    values = _ifs_numbers(min_range, criteria)
+    return min(values) if values else 0.0
+
+
+def _ifs_numbers(target, criteria) -> list[float]:
+    if not isinstance(target, RangeValue):
+        raise ErrorSignal(VALUE_ERROR)
+    out = []
+    for r, c in _ifs_matches(_pairs_of(criteria), target):
+        value = target.get(r, c)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out.append(float(value))
+    return out
+
+
+@_register("RANK", min_args=2, max_args=3)
+def _rank(ctx, value, rng, descending_is_zero=0.0):
+    if not isinstance(rng, RangeValue):
+        raise ErrorSignal(VALUE_ERROR)
+    target = to_number(value)
+    numbers = sorted(rng.iter_numbers(), reverse=not to_number(descending_is_zero))
+    for i, number in enumerate(numbers, start=1):
+        if number == target:
+            return float(i)
+    raise ErrorSignal(NA_ERROR)
+
+
+@_register("PERCENTILE", min_args=2, max_args=2)
+def _percentile(ctx, rng, q):
+    if not isinstance(rng, RangeValue):
+        raise ErrorSignal(VALUE_ERROR)
+    fraction = to_number(q)
+    if not 0.0 <= fraction <= 1.0:
+        raise ErrorSignal(NUM_ERROR)
+    numbers = sorted(rng.iter_numbers())
+    if not numbers:
+        raise ErrorSignal(NUM_ERROR)
+    if len(numbers) == 1:
+        return numbers[0]
+    rank = fraction * (len(numbers) - 1)
+    low = int(rank)
+    high = min(low + 1, len(numbers) - 1)
+    return numbers[low] + (numbers[high] - numbers[low]) * (rank - low)
+
+
+@_register("TRUNC", min_args=1, max_args=2)
+def _trunc(ctx, value, digits=0.0):
+    number, nd = to_number(value), int(to_number(digits))
+    scale = 10.0 ** nd
+    return math.trunc(number * scale) / scale
+
+
+@_register("EVEN", min_args=1, max_args=1)
+def _even(ctx, value):
+    number = to_number(value)
+    rounded = math.ceil(abs(number) / 2.0) * 2.0
+    return rounded if number >= 0 else -rounded
+
+
+@_register("ODD", min_args=1, max_args=1)
+def _odd(ctx, value):
+    number = to_number(value)
+    magnitude = abs(number)
+    rounded = math.ceil((magnitude + 1.0) / 2.0) * 2.0 - 1.0
+    return rounded if number >= 0 else -rounded
+
+
+# ---------------------------------------------------------------------------
+# logical (lazy, to short-circuit and tolerate errors)
+
+
+@_register("IF", lazy=True, min_args=2, max_args=3)
+def _if(ctx, nodes):
+    condition = to_bool(ctx.eval(nodes[0]))
+    if condition:
+        return ctx.eval(nodes[1])
+    if len(nodes) >= 3:
+        return ctx.eval(nodes[2])
+    return False
+
+
+@_register("AND", lazy=True, min_args=1)
+def _and(ctx, nodes):
+    for node in nodes:
+        if not _truthy_for_logical(ctx.eval(node)):
+            return False
+    return True
+
+
+@_register("OR", lazy=True, min_args=1)
+def _or(ctx, nodes):
+    for node in nodes:
+        if _truthy_for_logical(ctx.eval(node)):
+            return True
+    return False
+
+
+def _truthy_for_logical(value) -> bool:
+    if isinstance(value, RangeValue):
+        return any(to_bool(v) for v in value.iter_nonblank())
+    return to_bool(value)
+
+
+@_register("XOR", lazy=True, min_args=1)
+def _xor(ctx, nodes):
+    count = sum(1 for node in nodes if _truthy_for_logical(ctx.eval(node)))
+    return count % 2 == 1
+
+
+@_register("NOT", min_args=1, max_args=1)
+def _not(ctx, value):
+    return not to_bool(value)
+
+
+@_register("IFERROR", lazy=True, min_args=2, max_args=2)
+def _iferror(ctx, nodes):
+    try:
+        value = ctx.eval(nodes[0])
+    except ErrorSignal:
+        return ctx.eval(nodes[1])
+    if isinstance(value, ExcelError):
+        return ctx.eval(nodes[1])
+    return value
+
+
+@_register("ISERROR", lazy=True, min_args=1, max_args=1)
+def _iserror(ctx, nodes):
+    try:
+        value = ctx.eval(nodes[0])
+    except ErrorSignal:
+        return True
+    return isinstance(value, ExcelError)
+
+
+@_register("ISBLANK", min_args=1, max_args=1)
+def _isblank(ctx, value):
+    if isinstance(value, RangeValue):
+        value = value.get(0, 0) if value.width == value.height == 1 else None
+    return value is None
+
+
+@_register("ISNUMBER", min_args=1, max_args=1)
+def _isnumber(ctx, value):
+    if isinstance(value, RangeValue):
+        value = value.get(0, 0) if value.width == value.height == 1 else None
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+@_register("ISTEXT", min_args=1, max_args=1)
+def _istext(ctx, value):
+    if isinstance(value, RangeValue):
+        value = value.get(0, 0) if value.width == value.height == 1 else None
+    return isinstance(value, str)
+
+
+# ---------------------------------------------------------------------------
+# text
+
+
+@_register("CONCATENATE", min_args=1)
+def _concatenate(ctx, *values):
+    return "".join(to_text(v) for v in values)
+
+
+_alias("CONCAT", "CONCATENATE")
+
+
+@_register("LEN", min_args=1, max_args=1)
+def _len(ctx, value):
+    return float(len(to_text(value)))
+
+
+@_register("LEFT", min_args=1, max_args=2)
+def _left(ctx, value, count=1.0):
+    n = int(to_number(count))
+    if n < 0:
+        raise ErrorSignal(VALUE_ERROR)
+    return to_text(value)[:n]
+
+
+@_register("RIGHT", min_args=1, max_args=2)
+def _right(ctx, value, count=1.0):
+    n = int(to_number(count))
+    if n < 0:
+        raise ErrorSignal(VALUE_ERROR)
+    return to_text(value)[-n:] if n else ""
+
+
+@_register("MID", min_args=3, max_args=3)
+def _mid(ctx, value, start, count):
+    start_i, count_i = int(to_number(start)), int(to_number(count))
+    if start_i < 1 or count_i < 0:
+        raise ErrorSignal(VALUE_ERROR)
+    return to_text(value)[start_i - 1 : start_i - 1 + count_i]
+
+
+@_register("UPPER", min_args=1, max_args=1)
+def _upper(ctx, value):
+    return to_text(value).upper()
+
+
+@_register("LOWER", min_args=1, max_args=1)
+def _lower(ctx, value):
+    return to_text(value).lower()
+
+
+@_register("TRIM", min_args=1, max_args=1)
+def _trim(ctx, value):
+    return " ".join(to_text(value).split())
+
+
+@_register("REPT", min_args=2, max_args=2)
+def _rept(ctx, value, count):
+    n = int(to_number(count))
+    if n < 0:
+        raise ErrorSignal(VALUE_ERROR)
+    return to_text(value) * n
+
+
+@_register("FIND", min_args=2, max_args=3)
+def _find(ctx, needle, haystack, start=1.0):
+    start_i = int(to_number(start))
+    if start_i < 1:
+        raise ErrorSignal(VALUE_ERROR)
+    index = to_text(haystack).find(to_text(needle), start_i - 1)
+    if index < 0:
+        raise ErrorSignal(VALUE_ERROR)
+    return float(index + 1)
+
+
+@_register("SUBSTITUTE", min_args=3, max_args=4)
+def _substitute(ctx, value, old, new, instance=None):
+    text, old_text, new_text = to_text(value), to_text(old), to_text(new)
+    if instance is None:
+        return text.replace(old_text, new_text)
+    nth = int(to_number(instance))
+    if nth < 1:
+        raise ErrorSignal(VALUE_ERROR)
+    index = -1
+    for _ in range(nth):
+        index = text.find(old_text, index + 1)
+        if index < 0:
+            return text
+    return text[:index] + new_text + text[index + len(old_text):]
+
+
+@_register("VALUE", min_args=1, max_args=1)
+def _value(ctx, value):
+    return to_number(value)
+
+
+@_register("TEXT", min_args=1, max_args=2)
+def _text(ctx, value, fmt=None):
+    # Minimal TEXT: we support the "0"/"0.00"-style fixed-decimal formats.
+    number = to_number(value)
+    if fmt is None:
+        return to_text(number)
+    fmt_text = to_text(fmt)
+    if "." in fmt_text:
+        decimals = len(fmt_text.split(".", 1)[1].replace('"', ""))
+        return f"{number:.{decimals}f}"
+    return str(int(round(number)))
+
+
+# ---------------------------------------------------------------------------
+# lookup and reference
+
+
+@_register("VLOOKUP", min_args=3, max_args=4)
+def _vlookup(ctx, needle, table, col_index, approximate=True):
+    if not isinstance(table, RangeValue):
+        raise ErrorSignal(VALUE_ERROR)
+    col = int(to_number(col_index))
+    if col < 1 or col > table.width:
+        raise ErrorSignal(VALUE_ERROR)
+    approx = to_bool(approximate) if not isinstance(approximate, bool) else approximate
+    match_row = _lookup_scan(list(table.column_values(0)), needle, approx)
+    if match_row is None:
+        raise ErrorSignal(NA_ERROR)
+    return table.get(match_row, col - 1)
+
+
+@_register("HLOOKUP", min_args=3, max_args=4)
+def _hlookup(ctx, needle, table, row_index, approximate=True):
+    if not isinstance(table, RangeValue):
+        raise ErrorSignal(VALUE_ERROR)
+    row = int(to_number(row_index))
+    if row < 1 or row > table.height:
+        raise ErrorSignal(VALUE_ERROR)
+    approx = to_bool(approximate) if not isinstance(approximate, bool) else approximate
+    match_col = _lookup_scan(list(table.row_values(0)), needle, approx)
+    if match_col is None:
+        raise ErrorSignal(NA_ERROR)
+    return table.get(row - 1, match_col)
+
+
+def _lookup_scan(values: list, needle, approximate: bool) -> int | None:
+    """Index of the matching entry, or None.
+
+    Exact mode scans linearly; approximate mode returns the last entry
+    ``<= needle`` assuming ascending order, Excel-style.
+    """
+    if approximate:
+        best = None
+        for i, value in enumerate(values):
+            if value is None:
+                continue
+            try:
+                cmp = compare_values(value, needle)
+            except ErrorSignal:
+                continue
+            if cmp <= 0:
+                best = i
+            else:
+                break
+        return best
+    for i, value in enumerate(values):
+        if value is None:
+            continue
+        try:
+            if compare_values(value, needle) == 0:
+                return i
+        except ErrorSignal:
+            continue
+    return None
+
+
+@_register("MATCH", min_args=2, max_args=3)
+def _match(ctx, needle, rng, match_type=1.0):
+    if not isinstance(rng, RangeValue):
+        raise ErrorSignal(VALUE_ERROR)
+    if rng.width != 1 and rng.height != 1:
+        raise ErrorSignal(NA_ERROR)
+    values = list(rng.column_values(0)) if rng.width == 1 else list(rng.row_values(0))
+    mode = int(to_number(match_type))
+    if mode == 0:
+        index = _lookup_scan(values, needle, approximate=False)
+    elif mode > 0:
+        index = _lookup_scan(values, needle, approximate=True)
+    else:  # descending order: last entry >= needle
+        index = None
+        for i, value in enumerate(values):
+            if value is None:
+                continue
+            try:
+                cmp = compare_values(value, needle)
+            except ErrorSignal:
+                continue
+            if cmp >= 0:
+                index = i
+            else:
+                break
+    if index is None:
+        raise ErrorSignal(NA_ERROR)
+    return float(index + 1)
+
+
+@_register("INDEX", min_args=2, max_args=3)
+def _index(ctx, rng, row, col=None):
+    if not isinstance(rng, RangeValue):
+        raise ErrorSignal(VALUE_ERROR)
+    row_i = int(to_number(row))
+    if col is None:
+        if rng.width == 1:
+            return rng.get(row_i - 1, 0)
+        if rng.height == 1:
+            return rng.get(0, row_i - 1)
+        raise ErrorSignal(VALUE_ERROR)
+    col_i = int(to_number(col))
+    return rng.get(row_i - 1, col_i - 1)
+
+
+@_register("ROW", lazy=True, max_args=1)
+def _row(ctx, nodes):
+    if nodes:
+        rng = ctx.eval_reference(nodes[0])
+        return float(rng.r1)
+    return float(ctx.row)
+
+
+@_register("COLUMN", lazy=True, max_args=1)
+def _column(ctx, nodes):
+    if nodes:
+        rng = ctx.eval_reference(nodes[0])
+        return float(rng.c1)
+    return float(ctx.col)
+
+
+@_register("ROWS", lazy=True, min_args=1, max_args=1)
+def _rows(ctx, nodes):
+    return float(ctx.eval_reference(nodes[0]).height)
+
+
+@_register("COLUMNS", lazy=True, min_args=1, max_args=1)
+def _columns(ctx, nodes):
+    return float(ctx.eval_reference(nodes[0]).width)

@@ -1,0 +1,85 @@
+"""Reference extraction: from formula AST to graph dependencies.
+
+Each formula is parsed to the set of ranges it references (Sec. II-A); a
+directed edge is then added from every referenced range to the formula
+cell.  Alongside the plain geometry we keep the ``$`` fixedness of the
+head and tail cells — the *dollar-sign cues* that TACO's heuristic edge
+selection uses to guess which pattern a dependency follows if it was
+produced by autofill (Sec. IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from ..grid.range import Range
+from ..grid.ref import CellRef
+from .ast_nodes import CellNode, Node, RangeNode, walk
+from .parser import parse_formula
+
+__all__ = ["ReferencedRange", "extract_references", "references_of_formula"]
+
+
+class ReferencedRange(NamedTuple):
+    """One range referenced by a formula, with its autofill cues."""
+
+    range: Range
+    head_fixed: bool
+    tail_fixed: bool
+    sheet: str | None = None
+
+    @property
+    def cue(self) -> str:
+        """The pattern this reference would follow under autofill.
+
+        ``$``-fixed head and tail -> FF; fixed head only -> FR; fixed tail
+        only -> RF; no markers -> RR.  A cell axis counts as fixed only
+        when both its column and row carry ``$`` (mixed references give no
+        reliable cue and default to the relative interpretation).
+        """
+        if self.head_fixed and self.tail_fixed:
+            return "FF"
+        if self.head_fixed:
+            return "FR"
+        if self.tail_fixed:
+            return "RF"
+        return "RR"
+
+
+def _is_fixed(ref: CellRef) -> bool:
+    return ref.col_fixed and ref.row_fixed
+
+
+def extract_references(ast: Node) -> list[ReferencedRange]:
+    """All ranges referenced anywhere in the AST, deduplicated.
+
+    Two references to the same (sheet, range) pair collapse into one
+    dependency; if their cues disagree, the first occurrence wins, which
+    matches reading the formula left to right.
+    """
+    out: list[ReferencedRange] = []
+    seen: set[tuple[str | None, Range]] = set()
+    for node in walk(ast):
+        if isinstance(node, CellNode):
+            rng = node.to_range()
+            key = (node.sheet, rng)
+            if key in seen:
+                continue
+            seen.add(key)
+            fixed = _is_fixed(node.ref)
+            out.append(ReferencedRange(rng, fixed, fixed, node.sheet))
+        elif isinstance(node, RangeNode):
+            rng = node.to_range()
+            key = (node.sheet, rng)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(
+                ReferencedRange(rng, _is_fixed(node.head), _is_fixed(node.tail), node.sheet)
+            )
+    return out
+
+
+def references_of_formula(text: str) -> list[ReferencedRange]:
+    """Parse a formula string and extract its referenced ranges."""
+    return extract_references(parse_formula(text))

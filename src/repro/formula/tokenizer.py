@@ -1,0 +1,202 @@
+"""Tokenizer for the spreadsheet formula language.
+
+Produces the token stream consumed by :mod:`repro.formula.parser`.  The
+lexical grammar covers what real-world xlsx formulae need: numbers,
+double-quoted strings (with ``""`` escapes), A1 cell references with
+optional ``$`` markers, sheet-qualified references (``Sheet1!A1``,
+``'My Sheet'!A1``), function and name identifiers, error literals, and the
+full Excel operator set.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from .errors import ERROR_CODES, FormulaSyntaxError
+
+__all__ = ["Token", "TokenKind", "tokenize"]
+
+
+class TokenKind:
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    CELL = "CELL"
+    IDENT = "IDENT"
+    SHEET = "SHEET"      # quoted or bare sheet prefix, '!' consumed
+    ERROR = "ERROR"      # literal like #REF!
+    OP = "OP"
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    COMMA = "COMMA"
+    COLON = "COLON"
+    PERCENT = "PERCENT"
+    EOF = "EOF"
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+_NUMBER_RE = re.compile(r"\d+(\.\d*)?([eE][+-]?\d+)?|\.\d+([eE][+-]?\d+)?")
+_CELL_RE = re.compile(r"\$?[A-Za-z]{1,3}\$?\d+")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*")
+_WORD_BOUNDARY_RE = re.compile(r"[A-Za-z0-9_.$]")
+# Longest operators first so that `<=` wins over `<`.
+_OPERATORS = ("<>", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "^", "&")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a formula body (without any leading ``=``)."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == "(":
+            yield Token(TokenKind.LPAREN, ch, i)
+            i += 1
+            continue
+        if ch == ")":
+            yield Token(TokenKind.RPAREN, ch, i)
+            i += 1
+            continue
+        if ch == ",":
+            yield Token(TokenKind.COMMA, ch, i)
+            i += 1
+            continue
+        if ch == ":":
+            yield Token(TokenKind.COLON, ch, i)
+            i += 1
+            continue
+        if ch == "%":
+            yield Token(TokenKind.PERCENT, ch, i)
+            i += 1
+            continue
+        if ch == '"':
+            token, i = _scan_string(text, i)
+            yield token
+            continue
+        if ch == "'":
+            token, i = _scan_quoted_sheet(text, i)
+            yield token
+            continue
+        if ch == "#":
+            token, i = _scan_error(text, i)
+            yield token
+            continue
+        # ASCII digits only: Unicode "digits" like '²' satisfy isdigit()
+        # but are not valid number characters in a formula.
+        if ch in "0123456789" or (ch == "." and i + 1 < n and text[i + 1] in "0123456789"):
+            match = _NUMBER_RE.match(text, i)
+            yield Token(TokenKind.NUMBER, match.group(), i)
+            i = match.end()
+            continue
+        if ch.isalpha() or ch in "_$":
+            token, i = _scan_word(text, i)
+            yield token
+            continue
+        op = _match_operator(text, i)
+        if op is not None:
+            yield Token(TokenKind.OP, op, i)
+            i += len(op)
+            continue
+        raise FormulaSyntaxError(f"unexpected character {ch!r}", i)
+    yield Token(TokenKind.EOF, "", n)
+
+
+def _match_operator(text: str, i: int) -> str | None:
+    for op in _OPERATORS:
+        if text.startswith(op, i):
+            return op
+    return None
+
+
+def _scan_string(text: str, start: int) -> tuple[Token, int]:
+    i = start + 1
+    parts: list[str] = []
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == '"':
+            if i + 1 < n and text[i + 1] == '"':  # escaped quote
+                parts.append('"')
+                i += 2
+                continue
+            return Token(TokenKind.STRING, "".join(parts), start), i + 1
+        parts.append(ch)
+        i += 1
+    raise FormulaSyntaxError("unterminated string literal", start)
+
+
+def _scan_quoted_sheet(text: str, start: int) -> tuple[Token, int]:
+    """Scan ``'Sheet Name'!`` — the trailing ``!`` is required and consumed."""
+    i = start + 1
+    parts: list[str] = []
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":  # escaped apostrophe
+                parts.append("'")
+                i += 2
+                continue
+            if i + 1 < n and text[i + 1] == "!":
+                return Token(TokenKind.SHEET, "".join(parts), start), i + 2
+            raise FormulaSyntaxError("quoted sheet name must be followed by '!'", i)
+        parts.append(ch)
+        i += 1
+    raise FormulaSyntaxError("unterminated sheet name", start)
+
+
+def _scan_error(text: str, start: int) -> tuple[Token, int]:
+    for code in ERROR_CODES:
+        if text.startswith(code, start):
+            return Token(TokenKind.ERROR, code, start), start + len(code)
+    raise FormulaSyntaxError("unknown error literal", start)
+
+
+def _scan_word(text: str, start: int) -> tuple[Token, int]:
+    """Scan a cell reference, sheet prefix, or identifier.
+
+    A1-shaped words (optionally with ``$`` markers) become CELL tokens
+    unless immediately followed by ``(`` — ``LOG10(...)`` is a function
+    call even though ``LOG10`` looks like a cell address.  A bare
+    identifier followed by ``!`` is a sheet prefix.
+    """
+    n = len(text)
+    cell_match = _CELL_RE.match(text, start)
+    if cell_match is not None:
+        end = cell_match.end()
+        # The cell pattern must not be a prefix of a longer word
+        # (e.g. `A1B` is an identifier, not cell A1 followed by `B`).
+        is_complete_word = end >= n or not _WORD_BOUNDARY_RE.match(text[end])
+        next_ch = text[end] if end < n else ""
+        if is_complete_word and next_ch != "(":
+            word = cell_match.group()
+            letters = word.replace("$", "")
+            row_part = letters.lstrip("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz")
+            if row_part and int(row_part) >= 1:
+                if next_ch == "!":
+                    # A sheet named like a cell (`S1!A1`), as spreadsheets allow.
+                    if "$" in word:
+                        raise FormulaSyntaxError("'$' not allowed in sheet names", start)
+                    return Token(TokenKind.SHEET, word, start), end + 1
+                return Token(TokenKind.CELL, word, start), end
+    if text[start] == "$":
+        raise FormulaSyntaxError("'$' must introduce a cell reference", start)
+    ident_match = _IDENT_RE.match(text, start)
+    if ident_match is None:
+        raise FormulaSyntaxError(f"unexpected character {text[start]!r}", start)
+    end = ident_match.end()
+    if end < n and text[end] == "!":
+        return Token(TokenKind.SHEET, ident_match.group(), start), end + 1
+    return Token(TokenKind.IDENT, ident_match.group(), start), end

@@ -1,0 +1,16 @@
+"""Formula-graph implementations: shared interface and baselines."""
+
+from .base import Budget, DNFError, FormulaGraph, GraphStats, expand_cells, total_cells
+from .calc import NoCompCalcGraph
+from .nocomp import NoCompGraph
+
+__all__ = [
+    "Budget",
+    "DNFError",
+    "FormulaGraph",
+    "GraphStats",
+    "NoCompCalcGraph",
+    "NoCompGraph",
+    "expand_cells",
+    "total_cells",
+]

@@ -1,0 +1,29 @@
+"""Grid substrate: A1 addressing, cell references, and range algebra."""
+
+from .ref import (
+    MAX_COL,
+    MAX_ROW,
+    CellRef,
+    col_to_letters,
+    format_cell,
+    letters_to_col,
+    parse_cell,
+)
+from .range import Offset, Range, cell_range, column_span, row_span
+from .rangeset import RangeSet
+
+__all__ = [
+    "MAX_COL",
+    "MAX_ROW",
+    "CellRef",
+    "Offset",
+    "Range",
+    "RangeSet",
+    "cell_range",
+    "col_to_letters",
+    "column_span",
+    "format_cell",
+    "letters_to_col",
+    "parse_cell",
+    "row_span",
+]

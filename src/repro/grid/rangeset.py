@@ -1,0 +1,103 @@
+"""A set of cell ranges with covered-subset queries.
+
+Algorithm 3 in the paper maintains the BFS ``result`` set together with an
+R-Tree over it, so that for every freshly discovered dependent range the
+*not-yet-visited* subset can be extracted before being enqueued.  This
+module packages that structure: :meth:`RangeSet.subtract_covered` returns
+the maximal sub-rectangles of an input range not covered by any member.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..spatial.rtree import RTree
+from .range import Range
+
+__all__ = ["RangeSet"]
+
+
+class RangeSet:
+    """A collection of ranges supporting overlap and coverage queries."""
+
+    def __init__(self, initial: "list[Range] | None" = None):
+        self._tree = RTree()
+        self._ranges: list[Range] = []
+        self._cell_count = 0
+        if initial:
+            for rng in initial:
+                self.add(rng)
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def __iter__(self) -> Iterator[Range]:
+        return iter(self._ranges)
+
+    @property
+    def ranges(self) -> list[Range]:
+        return list(self._ranges)
+
+    @property
+    def cell_count(self) -> int:
+        """Total member cells, counting each range's area.
+
+        Members added through :meth:`add_new` never overlap, so for that
+        usage this is the exact covered-cell count.
+        """
+        return self._cell_count
+
+    def add(self, rng: Range) -> None:
+        """Add a range without any overlap checking."""
+        self._tree.insert(rng, rng)
+        self._ranges.append(rng)
+        self._cell_count += rng.size
+
+    def overlaps(self, rng: Range) -> bool:
+        return bool(self._tree.search(rng))
+
+    def covers_cell(self, col: int, row: int) -> bool:
+        return bool(self._tree.search(Range.cell(col, row)))
+
+    def covers(self, rng: Range) -> bool:
+        """True when every cell of ``rng`` is covered by some member."""
+        return not self.subtract_covered(rng)
+
+    def subtract_covered(self, rng: Range) -> list[Range]:
+        """Maximal sub-rectangles of ``rng`` not covered by any member.
+
+        This is the paper's "find the subset of the dependent that has not
+        yet been visited" step.  Pieces are produced by successive
+        rectangle subtraction against each overlapping member.
+        """
+        overlapping = [entry.key for entry in self._tree.search(rng)]
+        if not overlapping:
+            return [rng]
+        pieces = [rng]
+        for member in overlapping:
+            next_pieces: list[Range] = []
+            for piece in pieces:
+                next_pieces.extend(piece.subtract(member))
+            pieces = next_pieces
+            if not pieces:
+                break
+        return pieces
+
+    def add_new(self, rng: Range) -> list[Range]:
+        """Add only the uncovered parts of ``rng``; return the parts added."""
+        fresh = self.subtract_covered(rng)
+        for piece in fresh:
+            self.add(piece)
+        return fresh
+
+    def expand_cells(self) -> set[tuple[int, int]]:
+        """Materialise the member cells; intended for tests on small sets."""
+        cells: set[tuple[int, int]] = set()
+        for rng in self._ranges:
+            cells.update(rng.cells())
+        return cells
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(r.to_a1() for r in self._ranges[:6])
+        suffix = ", ..." if len(self._ranges) > 6 else ""
+        return f"RangeSet([{preview}{suffix}])"

@@ -1,0 +1,142 @@
+"""Cell references and A1-style addressing.
+
+A spreadsheet cell is addressed by a column (letters ``A``..``Z``, ``AA``..)
+and a 1-based row number.  Internally we use 1-based integer pairs
+``(col, row)`` everywhere, matching the paper's ``(i, j)`` convention.
+
+This module provides the letter <-> index conversions, the parsing and
+formatting of A1-style addresses (including ``$`` absolute markers), and a
+small immutable :class:`CellRef` record carrying the fixedness flags that
+TACO's compression heuristics use as pattern cues.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import NamedTuple
+
+__all__ = [
+    "col_to_letters",
+    "letters_to_col",
+    "parse_cell",
+    "format_cell",
+    "CellRef",
+    "A1_CELL_RE",
+    "MAX_COL",
+    "MAX_ROW",
+]
+
+# xlsx-format limits (the paper notes xls caps rows at 65,536 while xlsx
+# allows ~1M rows; we use the xlsx limits as the hard bounds).
+MAX_COL = 16_384
+MAX_ROW = 1_048_576
+
+A1_CELL_RE = re.compile(r"^(\$?)([A-Za-z]{1,3})(\$?)([0-9]+)$")
+
+_LETTER_CACHE: dict[int, str] = {}
+
+
+def col_to_letters(col: int) -> str:
+    """Convert a 1-based column index to its letter name (1 -> ``A``)."""
+    if col < 1:
+        raise ValueError(f"column index must be >= 1, got {col}")
+    cached = _LETTER_CACHE.get(col)
+    if cached is not None:
+        return cached
+    n = col
+    letters = []
+    while n > 0:
+        n, rem = divmod(n - 1, 26)
+        letters.append(chr(ord("A") + rem))
+    text = "".join(reversed(letters))
+    if len(_LETTER_CACHE) < 65_536:
+        _LETTER_CACHE[col] = text
+    return text
+
+
+def letters_to_col(letters: str) -> int:
+    """Convert a column letter name to its 1-based index (``A`` -> 1)."""
+    if not letters or not letters.isalpha():
+        raise ValueError(f"invalid column letters: {letters!r}")
+    col = 0
+    for ch in letters.upper():
+        col = col * 26 + (ord(ch) - ord("A") + 1)
+    return col
+
+
+def parse_cell(text: str) -> tuple[int, int]:
+    """Parse a plain A1 address into ``(col, row)``, ignoring ``$`` markers."""
+    match = A1_CELL_RE.match(text.strip())
+    if match is None:
+        raise ValueError(f"invalid cell address: {text!r}")
+    col = letters_to_col(match.group(2))
+    row = int(match.group(4))
+    if row < 1 or row > MAX_ROW or col > MAX_COL:
+        raise ValueError(f"cell address out of bounds: {text!r}")
+    return col, row
+
+
+def format_cell(col: int, row: int, col_fixed: bool = False, row_fixed: bool = False) -> str:
+    """Format ``(col, row)`` as an A1 address, with optional ``$`` markers."""
+    if row < 1:
+        raise ValueError(f"row index must be >= 1, got {row}")
+    return (
+        ("$" if col_fixed else "")
+        + col_to_letters(col)
+        + ("$" if row_fixed else "")
+        + str(row)
+    )
+
+
+class CellRef(NamedTuple):
+    """An A1 cell reference with absolute/relative fixedness flags.
+
+    The flags record the ``$`` markers from the source formula; they are the
+    cue that autofill (and hence TACO's heuristic edge selection) uses to
+    distinguish fixed from relative references.
+    """
+
+    col: int
+    row: int
+    col_fixed: bool = False
+    row_fixed: bool = False
+
+    @classmethod
+    def from_a1(cls, text: str) -> "CellRef":
+        match = A1_CELL_RE.match(text.strip())
+        if match is None:
+            raise ValueError(f"invalid cell reference: {text!r}")
+        col = letters_to_col(match.group(2))
+        row = int(match.group(4))
+        if row > MAX_ROW or col > MAX_COL:
+            raise ValueError(f"cell reference out of bounds: {text!r}")
+        return cls(col, row, match.group(1) == "$", match.group(3) == "$")
+
+    def to_a1(self) -> str:
+        return format_cell(self.col, self.row, self.col_fixed, self.row_fixed)
+
+    @property
+    def pos(self) -> tuple[int, int]:
+        """The bare ``(col, row)`` position, dropping fixedness."""
+        return (self.col, self.row)
+
+    @property
+    def is_fixed(self) -> bool:
+        """True when both axes carry a ``$`` marker (a fully absolute ref)."""
+        return self.col_fixed and self.row_fixed
+
+    def shifted(self, dc: int, dr: int) -> "CellRef":
+        """Shift by ``(dc, dr)``, respecting fixedness per axis.
+
+        This is the autofill rule: a ``$``-fixed axis does not move.  A
+        shift that would leave the sheet raises :class:`ReferenceError`
+        (the caller converts it into a ``#REF!`` formula error).
+        """
+        col = self.col if self.col_fixed else self.col + dc
+        row = self.row if self.row_fixed else self.row + dr
+        if col < 1 or row < 1 or col > MAX_COL or row > MAX_ROW:
+            raise ReferenceError(f"shifted reference out of bounds: {self.to_a1()}")
+        return CellRef(col, row, self.col_fixed, self.row_fixed)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.to_a1()

@@ -1,0 +1,6 @@
+"""xlsx input/output on the standard library (ZIP + SpreadsheetML XML)."""
+
+from .xlsx_reader import XlsxFormatError, read_xlsx, read_xlsx_dependencies
+from .xlsx_writer import write_xlsx
+
+__all__ = ["XlsxFormatError", "read_xlsx", "read_xlsx_dependencies", "write_xlsx"]

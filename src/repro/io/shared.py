@@ -1,0 +1,39 @@
+"""Shared constants and helpers for the xlsx reader/writer.
+
+An ``.xlsx`` file is a ZIP of XML parts (ECMA-376 / OOXML SpreadsheetML).
+The paper's prototype used Apache POI to parse them; with no third-party
+parser available we implement the subset needed for formula graphs on the
+standard library: cell values, formula strings, and shared-formula groups.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MAIN_NS",
+    "REL_NS",
+    "DOC_REL_NS",
+    "CT_NS",
+    "strip_ns",
+    "xml_escape",
+]
+
+MAIN_NS = "http://schemas.openxmlformats.org/spreadsheetml/2006/main"
+REL_NS = "http://schemas.openxmlformats.org/package/2006/relationships"
+DOC_REL_NS = "http://schemas.openxmlformats.org/officeDocument/2006/relationships"
+CT_NS = "http://schemas.openxmlformats.org/package/2006/content-types"
+
+
+def strip_ns(tag: str) -> str:
+    """``{namespace}local`` -> ``local``."""
+    if tag.startswith("{"):
+        return tag.split("}", 1)[1]
+    return tag
+
+
+def xml_escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )

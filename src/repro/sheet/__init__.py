@@ -1,0 +1,18 @@
+"""Spreadsheet model: cells, sheets, workbooks, and autofill."""
+
+from .autofill import autofill, fill_formula_column, fill_formula_row
+from .cell import Cell
+from .sheet import Dependency, Sheet, SheetResolver
+from .workbook import Workbook, WorkbookResolver
+
+__all__ = [
+    "Cell",
+    "Dependency",
+    "Sheet",
+    "SheetResolver",
+    "Workbook",
+    "WorkbookResolver",
+    "autofill",
+    "fill_formula_column",
+    "fill_formula_row",
+]

@@ -1,0 +1,63 @@
+"""The cell: a pure value or a formula with a cached evaluated value."""
+
+from __future__ import annotations
+
+from ..formula.ast_nodes import Node
+from ..formula.parser import parse_formula
+from ..formula.references import ReferencedRange, extract_references
+
+__all__ = ["Cell"]
+
+
+class Cell:
+    """One spreadsheet cell.
+
+    A cell holds either a *pure value* (``formula_ast is None``) or a
+    formula; for formula cells ``value`` caches the last evaluated result.
+    The AST and the extracted references are materialised lazily and
+    memoised, since workload generation touches far more cells than it
+    ever evaluates.
+    """
+
+    __slots__ = ("value", "_formula_text", "_formula_ast", "_references")
+
+    def __init__(self, value=None, formula_text: str | None = None, formula_ast: Node | None = None):
+        self.value = value
+        self._formula_text = formula_text
+        self._formula_ast = formula_ast
+        self._references: list[ReferencedRange] | None = None
+
+    @property
+    def is_formula(self) -> bool:
+        return self._formula_text is not None or self._formula_ast is not None
+
+    @property
+    def formula_ast(self) -> Node | None:
+        if self._formula_ast is None and self._formula_text is not None:
+            self._formula_ast = parse_formula(self._formula_text)
+        return self._formula_ast
+
+    @property
+    def formula_text(self) -> str | None:
+        """The formula body without the leading ``=`` (None for pure values)."""
+        if self._formula_text is None and self._formula_ast is not None:
+            self._formula_text = self._formula_ast.to_formula()
+        return self._formula_text
+
+    @property
+    def display_formula(self) -> str | None:
+        text = self.formula_text
+        return None if text is None else "=" + text
+
+    @property
+    def references(self) -> list[ReferencedRange]:
+        """Ranges referenced by this cell's formula (empty for pure values)."""
+        if self._references is None:
+            ast = self.formula_ast
+            self._references = [] if ast is None else extract_references(ast)
+        return self._references
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_formula:
+            return f"Cell(={self.formula_text}, value={self.value!r})"
+        return f"Cell({self.value!r})"

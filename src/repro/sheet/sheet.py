@@ -1,0 +1,189 @@
+"""The sheet: a sparse grid of cells plus dependency enumeration.
+
+A :class:`Sheet` stores cells sparsely in a dict keyed by ``(col, row)``.
+Besides the value/formula accessors it provides
+:meth:`Sheet.iter_dependencies`, which enumerates the raw formula-graph
+edges (referenced range -> formula cell) together with their dollar-sign
+cues — exactly the stream that both NoComp and TACO ingest.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..formula.ast_nodes import Node
+from ..formula.references import ReferencedRange
+from ..grid.range import Range
+from ..grid.ref import parse_cell
+from .cell import Cell
+
+__all__ = ["Sheet", "Dependency"]
+
+
+class Dependency:
+    """One raw formula-graph dependency: ``prec -> dep`` with its cue."""
+
+    __slots__ = ("prec", "dep", "cue")
+
+    def __init__(self, prec: Range, dep: Range, cue: str = "RR"):
+        self.prec = prec
+        self.dep = dep
+        self.cue = cue
+
+    def as_tuple(self) -> tuple[Range, Range]:
+        return (self.prec, self.dep)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dependency):
+            return NotImplemented
+        return self.prec == other.prec and self.dep == other.dep
+
+    def __hash__(self) -> int:
+        return hash((self.prec, self.dep))
+
+    def __repr__(self) -> str:
+        return f"Dependency({self.prec.to_a1()} -> {self.dep.to_a1()}, cue={self.cue})"
+
+
+def _coerce_pos(target) -> tuple[int, int]:
+    if isinstance(target, str):
+        return parse_cell(target)
+    if isinstance(target, Range):
+        if not target.is_cell:
+            raise ValueError(f"expected a single cell, got {target.to_a1()}")
+        return target.head
+    col, row = target
+    return (col, row)
+
+
+class Sheet:
+    """A sparse spreadsheet grid."""
+
+    def __init__(self, name: str = "Sheet1"):
+        self.name = name
+        self._cells: dict[tuple[int, int], Cell] = {}
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    # -- cell access -----------------------------------------------------------
+
+    def cell_at(self, target) -> Cell | None:
+        return self._cells.get(_coerce_pos(target))
+
+    def get_value(self, target):
+        cell = self._cells.get(_coerce_pos(target))
+        return None if cell is None else cell.value
+
+    def set_value(self, target, value) -> None:
+        pos = _coerce_pos(target)
+        if value is None:
+            self._cells.pop(pos, None)
+            return
+        self._cells[pos] = Cell(value=value)
+
+    def set_formula(self, target, text: str) -> None:
+        """Set a formula from text (leading ``=`` optional)."""
+        pos = _coerce_pos(target)
+        body = text[1:] if text.startswith("=") else text
+        self._cells[pos] = Cell(formula_text=body)
+
+    def set_formula_ast(self, target, ast: Node) -> None:
+        """Set a formula from a pre-built AST (the autofill fast path)."""
+        self._cells[_coerce_pos(target)] = Cell(formula_ast=ast)
+
+    def clear_cell(self, target) -> None:
+        self._cells.pop(_coerce_pos(target), None)
+
+    def clear_range(self, rng: Range) -> None:
+        if rng.size < len(self._cells):
+            for pos in list(rng.cells()):
+                self._cells.pop(pos, None)
+        else:
+            for pos in [p for p in self._cells if rng.contains_cell(*p)]:
+                del self._cells[pos]
+
+    # -- iteration ------------------------------------------------------------
+
+    def positions(self) -> Iterator[tuple[int, int]]:
+        return iter(self._cells)
+
+    def items(self) -> Iterator[tuple[tuple[int, int], Cell]]:
+        return iter(self._cells.items())
+
+    def formula_cells(self) -> Iterator[tuple[tuple[int, int], Cell]]:
+        for pos, cell in self._cells.items():
+            if cell.is_formula:
+                yield pos, cell
+
+    @property
+    def formula_count(self) -> int:
+        return sum(1 for _, cell in self.formula_cells())
+
+    def used_range(self) -> Range | None:
+        """Bounding box of all occupied cells, or None for an empty sheet."""
+        if not self._cells:
+            return None
+        cols = [pos[0] for pos in self._cells]
+        rows = [pos[1] for pos in self._cells]
+        return Range(min(cols), min(rows), max(cols), max(rows))
+
+    # -- formula graph input ----------------------------------------------------
+
+    def iter_dependencies(self) -> Iterator[Dependency]:
+        """All same-sheet dependencies (prec range -> formula cell).
+
+        Cross-sheet references are skipped: formula graphs in the paper
+        are per-sheet, and a reference into another sheet contributes no
+        edge to this sheet's graph.
+        """
+        for (col, row), cell in self._cells.items():
+            if not cell.is_formula:
+                continue
+            dep = Range.cell(col, row)
+            for ref in cell.references:
+                if ref.sheet is not None and ref.sheet != self.name:
+                    continue
+                yield Dependency(ref.range, dep, ref.cue)
+
+    def dependency_count(self) -> int:
+        return sum(1 for _ in self.iter_dependencies())
+
+    # -- CellResolver protocol (single-sheet form) ------------------------------
+
+    def resolver_get_value(self, sheet: str | None, col: int, row: int):
+        if sheet is not None and sheet != self.name:
+            return None
+        cell = self._cells.get((col, row))
+        return None if cell is None else cell.value
+
+    def resolver_iter_cells(self, sheet: str | None, rng: Range):
+        if sheet is not None and sheet != self.name:
+            return
+        if rng.size <= len(self._cells):
+            for pos in rng.cells():
+                cell = self._cells.get(pos)
+                if cell is not None and cell.value is not None:
+                    yield pos[0], pos[1], cell.value
+        else:
+            for (col, row), cell in self._cells.items():
+                if rng.contains_cell(col, row) and cell.value is not None:
+                    yield col, row, cell.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Sheet({self.name!r}, {len(self._cells)} cells)"
+
+
+class SheetResolver:
+    """Adapter presenting a single Sheet as a CellResolver."""
+
+    __slots__ = ("_sheet",)
+
+    def __init__(self, sheet: Sheet):
+        self._sheet = sheet
+
+    def get_value(self, sheet: str | None, col: int, row: int):
+        return self._sheet.resolver_get_value(sheet, col, row)
+
+    def iter_cells(self, sheet: str | None, rng: Range):
+        return self._sheet.resolver_iter_cells(sheet, rng)

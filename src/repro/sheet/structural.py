@@ -1,0 +1,204 @@
+"""Structural sheet edits: inserting and deleting whole rows/columns.
+
+Spreadsheet systems must keep formulae consistent under structural edits:
+references at or below an inserted row shift, ranges straddling the
+insertion point stretch, and references into deleted rows collapse to
+``#REF!`` — regardless of ``$`` markers (absolute references pin against
+*autofill*, not against structural edits).  These semantics are what the
+graph-level structural maintenance in :mod:`repro.core.structural` must
+reproduce, so the sheet-level implementation here doubles as its test
+oracle.
+"""
+
+from __future__ import annotations
+
+from ..formula.ast_nodes import (
+    BinaryOp,
+    CellNode,
+    ErrorLiteral,
+    FunctionCall,
+    Node,
+    RangeNode,
+    UnaryOp,
+)
+from ..formula.errors import REF_ERROR
+from ..grid.range import Range
+from ..grid.ref import CellRef
+from .sheet import Sheet
+
+__all__ = [
+    "insert_rows",
+    "delete_rows",
+    "insert_columns",
+    "delete_columns",
+    "shift_range_for_insert",
+    "shift_range_for_delete",
+]
+
+
+# ---------------------------------------------------------------------------
+# range arithmetic shared with the graph-level implementation
+
+
+def shift_range_for_insert(rng: Range, index: int, count: int, axis: str = "row") -> Range:
+    """How a referenced range moves when ``count`` rows/columns are
+    inserted before ``index``: below shifts, straddling stretches."""
+    if axis == "row":
+        if rng.r2 < index:
+            return rng
+        if rng.r1 >= index:
+            return rng.shift(0, count)
+        return Range(rng.c1, rng.r1, rng.c2, rng.r2 + count)
+    if rng.c2 < index:
+        return rng
+    if rng.c1 >= index:
+        return rng.shift(count, 0)
+    return Range(rng.c1, rng.r1, rng.c2 + count, rng.r2)
+
+
+def shift_range_for_delete(
+    rng: Range, index: int, count: int, axis: str = "row"
+) -> Range | None:
+    """How a referenced range moves when rows/columns
+    ``[index, index+count)`` are deleted; ``None`` means the whole range
+    is gone (a ``#REF!``)."""
+    end = index + count - 1
+    if axis == "row":
+        if rng.r2 < index:
+            return rng
+        if rng.r1 > end:
+            return rng.shift(0, -count)
+        new_r1 = rng.r1 if rng.r1 < index else index
+        new_r2 = (rng.r2 - count) if rng.r2 > end else index - 1
+        if new_r2 < new_r1:
+            return None
+        return Range(rng.c1, new_r1, rng.c2, new_r2)
+    if rng.c2 < index:
+        return rng
+    if rng.c1 > end:
+        return rng.shift(-count, 0)
+    new_c1 = rng.c1 if rng.c1 < index else index
+    new_c2 = (rng.c2 - count) if rng.c2 > end else index - 1
+    if new_c2 < new_c1:
+        return None
+    return Range(new_c1, rng.r1, new_c2, rng.r2)
+
+
+# ---------------------------------------------------------------------------
+# AST reference rewriting
+
+
+def _moved_ref(ref: CellRef, delta: int, axis: str) -> CellRef:
+    if axis == "row":
+        return CellRef(ref.col, ref.row + delta, ref.col_fixed, ref.row_fixed)
+    return CellRef(ref.col + delta, ref.row, ref.col_fixed, ref.row_fixed)
+
+
+def _rewrite(node: Node, transform) -> Node:
+    """Rebuild an AST, mapping each reference through ``transform``.
+
+    ``transform(range) -> Range | None`` works on the bare geometry;
+    fixedness flags are carried over unchanged.
+    """
+    if isinstance(node, CellNode):
+        moved = transform(node.to_range())
+        if moved is None:
+            return ErrorLiteral(REF_ERROR.code)
+        ref = node.ref
+        return CellNode(
+            CellRef(moved.c1, moved.r1, ref.col_fixed, ref.row_fixed), node.sheet
+        )
+    if isinstance(node, RangeNode):
+        moved = transform(node.to_range())
+        if moved is None:
+            return ErrorLiteral(REF_ERROR.code)
+        head, tail = node.head, node.tail
+        return RangeNode(
+            CellRef(moved.c1, moved.r1, head.col_fixed, head.row_fixed),
+            CellRef(moved.c2, moved.r2, tail.col_fixed, tail.row_fixed),
+            node.sheet,
+        )
+    if isinstance(node, FunctionCall):
+        return FunctionCall(node.name, [_rewrite(arg, transform) for arg in node.args])
+    if isinstance(node, BinaryOp):
+        return BinaryOp(node.op, _rewrite(node.left, transform), _rewrite(node.right, transform))
+    if isinstance(node, UnaryOp):
+        return UnaryOp(node.op, _rewrite(node.operand, transform))
+    return node
+
+
+# ---------------------------------------------------------------------------
+# sheet-level operations
+
+
+def _apply_structural(sheet: Sheet, move_cell, transform_ref) -> None:
+    """Rebuild the cell dict under a structural edit.
+
+    ``move_cell(pos) -> pos | None`` relocates each physical cell;
+    ``transform_ref(range) -> Range | None`` rewrites formula references.
+    """
+    old_cells = dict(sheet.items())
+    sheet._cells.clear()
+    for pos, cell in old_cells.items():
+        new_pos = move_cell(pos)
+        if new_pos is None:
+            continue
+        if cell.is_formula:
+            sheet.set_formula_ast(new_pos, _rewrite(cell.formula_ast, transform_ref))
+            sheet.cell_at(new_pos).value = cell.value
+        else:
+            sheet.set_value(new_pos, cell.value)
+
+
+def insert_rows(sheet: Sheet, row: int, count: int = 1) -> None:
+    """Insert ``count`` blank rows before ``row``."""
+    if count < 1 or row < 1:
+        raise ValueError("row and count must be positive")
+
+    def move(pos):
+        col, r = pos
+        return (col, r + count) if r >= row else pos
+
+    _apply_structural(sheet, move, lambda rng: shift_range_for_insert(rng, row, count, "row"))
+
+
+def delete_rows(sheet: Sheet, row: int, count: int = 1) -> None:
+    """Delete rows ``[row, row+count)``; references into them go #REF!."""
+    if count < 1 or row < 1:
+        raise ValueError("row and count must be positive")
+    end = row + count - 1
+
+    def move(pos):
+        col, r = pos
+        if row <= r <= end:
+            return None
+        return (col, r - count) if r > end else pos
+
+    _apply_structural(sheet, move, lambda rng: shift_range_for_delete(rng, row, count, "row"))
+
+
+def insert_columns(sheet: Sheet, col: int, count: int = 1) -> None:
+    """Insert ``count`` blank columns before ``col``."""
+    if count < 1 or col < 1:
+        raise ValueError("col and count must be positive")
+
+    def move(pos):
+        c, row = pos
+        return (c + count, row) if c >= col else pos
+
+    _apply_structural(sheet, move, lambda rng: shift_range_for_insert(rng, col, count, "col"))
+
+
+def delete_columns(sheet: Sheet, col: int, count: int = 1) -> None:
+    """Delete columns ``[col, col+count)``."""
+    if count < 1 or col < 1:
+        raise ValueError("col and count must be positive")
+    end = col + count - 1
+
+    def move(pos):
+        c, row = pos
+        if col <= c <= end:
+            return None
+        return (c - count, row) if c > end else pos
+
+    _apply_structural(sheet, move, lambda rng: shift_range_for_delete(rng, col, count, "col"))

@@ -1,0 +1,90 @@
+"""Workbook: a named collection of sheets with a cross-sheet resolver."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..grid.range import Range
+from .sheet import Sheet
+
+__all__ = ["Workbook", "WorkbookResolver"]
+
+
+class Workbook:
+    def __init__(self, name: str = "workbook"):
+        self.name = name
+        self._sheets: dict[str, Sheet] = {}
+        self._order: list[str] = []
+
+    def add_sheet(self, name: str = "Sheet1") -> Sheet:
+        if name in self._sheets:
+            raise ValueError(f"sheet {name!r} already exists")
+        sheet = Sheet(name)
+        self._sheets[name] = sheet
+        self._order.append(name)
+        return sheet
+
+    def attach_sheet(self, sheet: Sheet) -> Sheet:
+        if sheet.name in self._sheets:
+            raise ValueError(f"sheet {sheet.name!r} already exists")
+        self._sheets[sheet.name] = sheet
+        self._order.append(sheet.name)
+        return sheet
+
+    def sheet(self, name: str) -> Sheet:
+        return self._sheets[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sheets
+
+    def __getitem__(self, name: str) -> Sheet:
+        return self._sheets[name]
+
+    def __len__(self) -> int:
+        return len(self._sheets)
+
+    @property
+    def sheet_names(self) -> list[str]:
+        return list(self._order)
+
+    @property
+    def active_sheet(self) -> Sheet:
+        if not self._order:
+            raise ValueError("workbook has no sheets")
+        return self._sheets[self._order[0]]
+
+    def sheets(self) -> Iterator[Sheet]:
+        for name in self._order:
+            yield self._sheets[name]
+
+    def resolver(self) -> "WorkbookResolver":
+        return WorkbookResolver(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Workbook({self.name!r}, sheets={self._order})"
+
+
+class WorkbookResolver:
+    """CellResolver over a workbook; ``sheet=None`` means the active sheet."""
+
+    __slots__ = ("_workbook", "default_sheet")
+
+    def __init__(self, workbook: Workbook, default_sheet: str | None = None):
+        self._workbook = workbook
+        self.default_sheet = default_sheet
+
+    def _resolve_sheet(self, sheet: str | None) -> Sheet | None:
+        name = sheet if sheet is not None else self.default_sheet
+        if name is None:
+            return self._workbook.active_sheet if len(self._workbook) else None
+        return self._workbook._sheets.get(name)
+
+    def get_value(self, sheet: str | None, col: int, row: int):
+        target = self._resolve_sheet(sheet)
+        return None if target is None else target.resolver_get_value(None, col, row)
+
+    def iter_cells(self, sheet: str | None, rng: Range):
+        target = self._resolve_sheet(sheet)
+        if target is None:
+            return iter(())
+        return target.resolver_iter_cells(None, rng)

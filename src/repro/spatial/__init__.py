@@ -1,0 +1,6 @@
+"""Spatial indexes over ranges: R-Tree and Calc-style containers."""
+
+from .containers import ContainerIndex
+from .rtree import RTree, RTreeEntry
+
+__all__ = ["ContainerIndex", "RTree", "RTreeEntry"]

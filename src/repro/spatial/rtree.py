@@ -1,0 +1,409 @@
+"""A Guttman R-Tree over spreadsheet ranges.
+
+The paper indexes the vertices of both the compressed and uncompressed
+formula graphs with an R-Tree so that, given an input range, the vertices
+overlapping it can be found quickly (Sec. II-A, IV).  This is a classic
+dynamic R-Tree (Guttman, SIGMOD 1984) with quadratic split, specialised to
+integer cell rectangles: entry keys are :class:`~repro.grid.Range` values
+and every entry carries an arbitrary payload (in the graphs, an edge).
+
+Supported operations match the paper's complexity assumptions: search is
+linear in the worst case but logarithmic in practice, insert and delete are
+logarithmic.  Duplicate keys are allowed (two edges may share a vertex).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..grid.range import Range
+
+__all__ = ["RTree", "RTreeEntry"]
+
+DEFAULT_MAX_ENTRIES = 8
+
+
+class RTreeEntry:
+    """A leaf entry: an exact range key and its payload."""
+
+    __slots__ = ("key", "payload")
+
+    def __init__(self, key: Range, payload: Any):
+        self.key = key
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RTreeEntry({self.key}, {self.payload!r})"
+
+
+class _Node:
+    __slots__ = ("leaf", "children", "entries", "c1", "r1", "c2", "r2", "parent")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        self.children: list[_Node] = []
+        self.entries: list[RTreeEntry] = []
+        self.parent: _Node | None = None
+        # Degenerate empty box; fixed on first insert.
+        self.c1 = self.r1 = 1
+        self.c2 = self.r2 = 0
+
+    # -- bounding-box helpers ---------------------------------------------
+
+    def mbr_is_empty(self) -> bool:
+        return self.c2 < self.c1
+
+    def include(self, c1: int, r1: int, c2: int, r2: int) -> None:
+        if self.mbr_is_empty():
+            self.c1, self.r1, self.c2, self.r2 = c1, r1, c2, r2
+            return
+        if c1 < self.c1:
+            self.c1 = c1
+        if r1 < self.r1:
+            self.r1 = r1
+        if c2 > self.c2:
+            self.c2 = c2
+        if r2 > self.r2:
+            self.r2 = r2
+
+    def recompute_mbr(self) -> None:
+        self.c1 = self.r1 = 1
+        self.c2 = self.r2 = 0
+        if self.leaf:
+            for entry in self.entries:
+                key = entry.key
+                self.include(key.c1, key.r1, key.c2, key.r2)
+        else:
+            for child in self.children:
+                self.include(child.c1, child.r1, child.c2, child.r2)
+
+    def overlaps(self, c1: int, r1: int, c2: int, r2: int) -> bool:
+        return (
+            not self.mbr_is_empty()
+            and self.c1 <= c2
+            and c1 <= self.c2
+            and self.r1 <= r2
+            and r1 <= self.r2
+        )
+
+    def area(self) -> int:
+        if self.mbr_is_empty():
+            return 0
+        return (self.c2 - self.c1 + 1) * (self.r2 - self.r1 + 1)
+
+    def count(self) -> int:
+        return len(self.entries) if self.leaf else len(self.children)
+
+
+def _enlargement(node: _Node, c1: int, r1: int, c2: int, r2: int) -> int:
+    """Area growth of ``node``'s MBR if it absorbed the given box."""
+    if node.mbr_is_empty():
+        return (c2 - c1 + 1) * (r2 - r1 + 1)
+    nc1 = c1 if c1 < node.c1 else node.c1
+    nr1 = r1 if r1 < node.r1 else node.r1
+    nc2 = c2 if c2 > node.c2 else node.c2
+    nr2 = r2 if r2 > node.r2 else node.r2
+    return (nc2 - nc1 + 1) * (nr2 - nr1 + 1) - node.area()
+
+
+class RTree:
+    """Dynamic R-Tree mapping :class:`Range` keys to payloads."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 4:
+            raise ValueError("max_entries must be >= 4")
+        self._max = max_entries
+        self._min = max(2, max_entries // 2)
+        self._root = _Node(leaf=True)
+        self._size = 0
+        # Instrumentation used by the benchmark harness.
+        self.search_ops = 0
+        self.insert_ops = 0
+        self.delete_ops = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- search ------------------------------------------------------------
+
+    def search(self, query: Range) -> list[RTreeEntry]:
+        """All entries whose key overlaps ``query``."""
+        self.search_ops += 1
+        out: list[RTreeEntry] = []
+        qc1, qr1, qc2, qr2 = query.c1, query.r1, query.c2, query.r2
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.overlaps(qc1, qr1, qc2, qr2):
+                continue
+            if node.leaf:
+                for entry in node.entries:
+                    key = entry.key
+                    if key.c1 <= qc2 and qc1 <= key.c2 and key.r1 <= qr2 and qr1 <= key.r2:
+                        out.append(entry)
+            else:
+                stack.extend(node.children)
+        return out
+
+    def search_payloads(self, query: Range) -> list[Any]:
+        return [entry.payload for entry in self.search(query)]
+
+    def covering(self, query: Range) -> list[RTreeEntry]:
+        """All entries whose key fully contains ``query``."""
+        return [entry for entry in self.search(query) if entry.key.contains(query)]
+
+    def __iter__(self) -> Iterator[RTreeEntry]:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                yield from node.entries
+            else:
+                stack.extend(node.children)
+
+    # -- insert ------------------------------------------------------------
+
+    def insert(self, key: Range, payload: Any = None) -> None:
+        self.insert_ops += 1
+        entry = RTreeEntry(key, payload)
+        leaf = self._choose_leaf(self._root, key)
+        leaf.entries.append(entry)
+        leaf.include(key.c1, key.r1, key.c2, key.r2)
+        self._size += 1
+        if len(leaf.entries) > self._max:
+            self._split(leaf)
+        else:
+            self._propagate_mbr(leaf.parent, key)
+
+    def _propagate_mbr(self, node: _Node | None, key: Range) -> None:
+        while node is not None:
+            node.include(key.c1, key.r1, key.c2, key.r2)
+            node = node.parent
+
+    def _choose_leaf(self, node: _Node, key: Range) -> _Node:
+        while not node.leaf:
+            best = None
+            best_growth = None
+            best_area = None
+            for child in node.children:
+                growth = _enlargement(child, key.c1, key.r1, key.c2, key.r2)
+                area = child.area()
+                if (
+                    best is None
+                    or growth < best_growth
+                    or (growth == best_growth and area < best_area)
+                ):
+                    best, best_growth, best_area = child, growth, area
+            node = best
+        return node
+
+    def _split(self, node: _Node) -> None:
+        """Quadratic split of an overfull node, propagating upwards."""
+        if node.leaf:
+            items = node.entries
+            boxes = [(e.key.c1, e.key.r1, e.key.c2, e.key.r2) for e in items]
+        else:
+            items = node.children
+            boxes = [(c.c1, c.r1, c.c2, c.r2) for c in items]
+
+        seed_a, seed_b = self._pick_seeds(boxes)
+        group_a, group_b = [items[seed_a]], [items[seed_b]]
+        box_a, box_b = list(boxes[seed_a]), list(boxes[seed_b])
+        remaining = [i for i in range(len(items)) if i not in (seed_a, seed_b)]
+
+        def grow(box: list[int], other: tuple[int, int, int, int]) -> int:
+            nc1 = min(box[0], other[0])
+            nr1 = min(box[1], other[1])
+            nc2 = max(box[2], other[2])
+            nr2 = max(box[3], other[3])
+            return (nc2 - nc1 + 1) * (nr2 - nr1 + 1) - (box[2] - box[0] + 1) * (
+                box[3] - box[1] + 1
+            )
+
+        def absorb(box: list[int], other: tuple[int, int, int, int]) -> None:
+            box[0] = min(box[0], other[0])
+            box[1] = min(box[1], other[1])
+            box[2] = max(box[2], other[2])
+            box[3] = max(box[3], other[3])
+
+        while remaining:
+            # Force-assign when one group must take all the rest to reach
+            # the minimum fill factor.
+            if len(group_a) + len(remaining) == self._min:
+                for i in remaining:
+                    group_a.append(items[i])
+                    absorb(box_a, boxes[i])
+                remaining = []
+                break
+            if len(group_b) + len(remaining) == self._min:
+                for i in remaining:
+                    group_b.append(items[i])
+                    absorb(box_b, boxes[i])
+                remaining = []
+                break
+            # Pick the item with the largest preference for one group.
+            best_i = None
+            best_diff = -1
+            for i in remaining:
+                d1, d2 = grow(box_a, boxes[i]), grow(box_b, boxes[i])
+                diff = abs(d1 - d2)
+                if diff > best_diff:
+                    best_i, best_diff, best_pair = i, diff, (d1, d2)
+            remaining.remove(best_i)
+            if best_pair[0] <= best_pair[1]:
+                group_a.append(items[best_i])
+                absorb(box_a, boxes[best_i])
+            else:
+                group_b.append(items[best_i])
+                absorb(box_b, boxes[best_i])
+
+        sibling = _Node(leaf=node.leaf)
+        if node.leaf:
+            node.entries = group_a
+            sibling.entries = group_b
+        else:
+            node.children = group_a
+            sibling.children = group_b
+            for child in group_b:
+                child.parent = sibling
+        node.recompute_mbr()
+        sibling.recompute_mbr()
+
+        parent = node.parent
+        if parent is None:
+            new_root = _Node(leaf=False)
+            new_root.children = [node, sibling]
+            node.parent = new_root
+            sibling.parent = new_root
+            new_root.recompute_mbr()
+            self._root = new_root
+            return
+        parent.children.append(sibling)
+        sibling.parent = parent
+        parent.recompute_mbr()
+        if len(parent.children) > self._max:
+            self._split(parent)
+        else:
+            node2 = parent.parent
+            while node2 is not None:
+                node2.recompute_mbr()
+                node2 = node2.parent
+
+    @staticmethod
+    def _pick_seeds(boxes: list[tuple[int, int, int, int]]) -> tuple[int, int]:
+        """The pair of boxes wasting the most area when grouped together."""
+        worst = (-1, 0, 1)
+        n = len(boxes)
+        for i in range(n):
+            bi = boxes[i]
+            area_i = (bi[2] - bi[0] + 1) * (bi[3] - bi[1] + 1)
+            for j in range(i + 1, n):
+                bj = boxes[j]
+                c1 = min(bi[0], bj[0])
+                r1 = min(bi[1], bj[1])
+                c2 = max(bi[2], bj[2])
+                r2 = max(bi[3], bj[3])
+                waste = (
+                    (c2 - c1 + 1) * (r2 - r1 + 1)
+                    - area_i
+                    - (bj[2] - bj[0] + 1) * (bj[3] - bj[1] + 1)
+                )
+                if waste > worst[0]:
+                    worst = (waste, i, j)
+        return worst[1], worst[2]
+
+    # -- delete ------------------------------------------------------------
+
+    def delete(self, key: Range, payload: Any = None) -> bool:
+        """Remove one entry with the given key (and payload, if provided).
+
+        Returns True when an entry was removed.  Underfull leaves are
+        condensed by reinserting their survivors, per Guttman.
+        """
+        self.delete_ops += 1
+        leaf, index = self._find_entry(self._root, key, payload)
+        if leaf is None:
+            return False
+        leaf.entries.pop(index)
+        self._size -= 1
+        self._condense(leaf)
+        return True
+
+    def _find_entry(
+        self, node: _Node, key: Range, payload: Any
+    ) -> tuple[_Node | None, int]:
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if not current.overlaps(key.c1, key.r1, key.c2, key.r2):
+                continue
+            if current.leaf:
+                for i, entry in enumerate(current.entries):
+                    if entry.key == key and (payload is None or entry.payload is payload):
+                        return current, i
+            else:
+                stack.extend(current.children)
+        return None, -1
+
+    def _condense(self, leaf: _Node) -> None:
+        orphans: list[RTreeEntry] = []
+        node = leaf
+        while node.parent is not None:
+            parent = node.parent
+            if node.count() < self._min:
+                parent.children.remove(node)
+                if node.leaf:
+                    orphans.extend(node.entries)
+                else:
+                    # Collect all leaf entries under the pruned subtree.
+                    stack = list(node.children)
+                    while stack:
+                        sub = stack.pop()
+                        if sub.leaf:
+                            orphans.extend(sub.entries)
+                        else:
+                            stack.extend(sub.children)
+            else:
+                node.recompute_mbr()
+            node = parent
+        self._root.recompute_mbr()
+        if not self._root.leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+            self._root.parent = None
+        self._size -= len(orphans)
+        for entry in orphans:
+            self.insert(entry.key, entry.payload)
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def depth(self) -> int:
+        depth = 1
+        node = self._root
+        while not node.leaf:
+            depth += 1
+            node = node.children[0]
+        return depth
+
+    def check_invariants(self) -> None:
+        """Validate structure; used by the property tests."""
+        count = self._check_node(self._root, is_root=True)
+        assert count == self._size, f"size mismatch: counted {count}, recorded {self._size}"
+
+    def _check_node(self, node: _Node, is_root: bool = False) -> int:
+        if not is_root:
+            assert self._min <= node.count() <= self._max, (
+                f"node fill {node.count()} outside [{self._min}, {self._max}]"
+            )
+        if node.leaf:
+            for entry in node.entries:
+                key = entry.key
+                assert node.c1 <= key.c1 and key.c2 <= node.c2
+                assert node.r1 <= key.r1 and key.r2 <= node.r2
+            return len(node.entries)
+        total = 0
+        for child in node.children:
+            assert child.parent is node, "broken parent pointer"
+            assert node.c1 <= child.c1 and child.c2 <= node.c2
+            assert node.r1 <= child.r1 and child.r2 <= node.r2
+            total += self._check_node(child)
+        return total

@@ -1,0 +1,101 @@
+"""Unit tests for the Antifreeze baseline."""
+
+import pytest
+
+from helpers import build_fig2_sheet
+
+from repro.baselines.antifreeze import AntifreezeIndex, compress_ranges
+from repro.core.taco_graph import dependencies_column_major
+from repro.graphs.base import Budget, DNFError, expand_cells
+from repro.graphs.nocomp import NoCompGraph
+from repro.grid.range import Range
+from repro.sheet.sheet import Dependency
+
+
+def dep(prec: str, dep_cell: str) -> Dependency:
+    return Dependency(Range.from_a1(prec), Range.from_a1(dep_cell))
+
+
+class TestCompressRanges:
+    def test_under_limit_unchanged(self):
+        ranges = [Range.from_a1("A1"), Range.from_a1("C3")]
+        assert compress_ranges(ranges, 20) == ranges
+
+    def test_duplicates_removed(self):
+        ranges = [Range.from_a1("A1")] * 5
+        assert compress_ranges(ranges, 20) == [Range.from_a1("A1")]
+
+    def test_merges_to_limit(self):
+        ranges = [Range.cell(1, r) for r in range(1, 11)]
+        out = compress_ranges(ranges, 3)
+        assert len(out) <= 3
+        covered = set()
+        for rng in out:
+            covered |= set(rng.cells())
+        assert {(1, r) for r in range(1, 11)} <= covered
+
+    def test_prefers_cheap_merges(self):
+        # Two clusters far apart; limit 2 should keep them separate.
+        cluster_a = [Range.cell(1, r) for r in (1, 2, 3)]
+        cluster_b = [Range.cell(50, r) for r in (100, 101)]
+        out = compress_ranges(cluster_a + cluster_b, 2)
+        assert len(out) == 2
+        sizes = sorted(rng.size for rng in out)
+        assert sizes == [2, 3]
+
+
+class TestIndex:
+    def build(self, deps, max_ranges=20):
+        index = AntifreezeIndex(max_ranges=max_ranges)
+        index.build(deps)
+        return index
+
+    def test_exact_on_small_graph(self):
+        deps = [dep("A1:A3", "B1"), dep("B1", "C1"), dep("B3", "C1")]
+        index = self.build(deps)
+        result = expand_cells(index.find_dependents(Range.from_a1("A1")))
+        assert result == {(2, 1), (3, 1)}
+
+    def test_lookup_is_superset_of_truth(self):
+        sheet = build_fig2_sheet(rows=25)
+        deps = dependencies_column_major(sheet)
+        index = self.build(deps, max_ranges=4)  # force lossy compression
+        nocomp = NoCompGraph()
+        nocomp.build(deps)
+        for probe in ("A5", "M10", "N3"):
+            rng = Range.from_a1(probe)
+            truth = expand_cells(nocomp.find_dependents(rng))
+            approx = expand_cells(index.find_dependents(rng))
+            assert truth <= approx, f"false negatives at {probe}"
+
+    def test_bounded_table_entries(self):
+        sheet = build_fig2_sheet(rows=25)
+        index = self.build(dependencies_column_major(sheet), max_ranges=5)
+        for ranges in index._table.values():
+            assert len(ranges) <= 5
+
+    def test_clear_rebuilds_table(self):
+        deps = [dep("A1", "B1"), dep("B1", "C1")]
+        index = self.build(deps)
+        index.clear_cells(Range.from_a1("C1"))
+        result = expand_cells(index.find_dependents(Range.from_a1("A1")))
+        assert result == {(2, 1)}
+
+    def test_build_dnf_under_budget(self):
+        sheet = build_fig2_sheet(rows=200)
+        deps = dependencies_column_major(sheet)
+        index = AntifreezeIndex()
+        with pytest.raises(DNFError):
+            index.build(deps, Budget(0.001, "antifreeze build", check_every=64))
+
+    def test_precedents_fall_back_to_graph(self):
+        deps = [dep("A1:A3", "B1"), dep("B1", "C1")]
+        index = self.build(deps)
+        result = expand_cells(index.find_precedents(Range.from_a1("C1")))
+        assert result == {(1, 1), (1, 2), (1, 3), (2, 1)}
+
+    def test_range_query_unions_cells(self):
+        deps = [dep("A1", "B1"), dep("A2", "B2")]
+        index = self.build(deps)
+        result = expand_cells(index.find_dependents(Range.from_a1("A1:A2")))
+        assert result == {(2, 1), (2, 2)}

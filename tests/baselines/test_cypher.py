@@ -1,0 +1,106 @@
+"""Unit tests for the mini-Cypher parser and executor."""
+
+import pytest
+
+from repro.baselines.cypher import CypherQuery, CypherSyntaxError
+from repro.baselines.graphdb import GraphDB
+
+
+@pytest.fixture
+def db():
+    db = GraphDB()
+    for node_id, addr in [("a1", "A1"), ("b1", "B1"), ("c1", "C1"), ("d1", "D1")]:
+        db.add_node(node_id, label="Cell", addr=addr)
+    db.add_edge("a1", "b1")
+    db.add_edge("b1", "c1")
+    db.add_edge("c1", "d1")
+    return db
+
+
+class TestParsing:
+    def test_basic_shape(self):
+        q = CypherQuery.parse(
+            "MATCH (a:Cell {id: 'a1'})-[:DEP*]->(b:Cell) RETURN DISTINCT b.addr"
+        )
+        assert q.src.var == "a" and q.src.props == {"id": "a1"}
+        assert q.rel.rel_type == "DEP" and q.rel.var_length
+        assert q.distinct
+        assert q.returns[0].prop == "addr"
+
+    def test_bounds(self):
+        q = CypherQuery.parse("MATCH (a)-[:DEP*1..3]->(b) RETURN b")
+        assert q.rel.min_hops == 1 and q.rel.max_hops == 3
+
+    def test_where_clause(self):
+        q = CypherQuery.parse(
+            "MATCH (a:Cell)-[:DEP]->(b:Cell) WHERE a.addr = 'B1' RETURN b.addr"
+        )
+        assert q.where == [("a", "addr", "B1")]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "RETURN b",                                  # no MATCH
+            "MATCH (a)-[:DEP]->(b)",                     # no RETURN
+            "MATCH (a) RETURN a",                        # no relationship
+            "MATCH (a)-[:DEP]->(b) WHERE a.x > 1 RETURN b",  # unsupported op
+            "MATCH (a)-[:DEP]->(b) RETURN ",             # empty return
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(CypherSyntaxError):
+            CypherQuery.parse(bad)
+
+
+class TestExecution:
+    def test_single_hop(self, db):
+        rows = db.query("MATCH (a:Cell {id: 'a1'})-[:DEP]->(b:Cell) RETURN b.addr")
+        assert rows == [("B1",)]
+
+    def test_var_length_closure(self, db):
+        rows = db.query(
+            "MATCH (a:Cell {id: 'a1'})-[:DEP*]->(b:Cell) RETURN DISTINCT b.addr"
+        )
+        assert sorted(r[0] for r in rows) == ["B1", "C1", "D1"]
+
+    def test_var_length_bounded(self, db):
+        rows = db.query("MATCH (a:Cell {id: 'a1'})-[:DEP*1..2]->(b) RETURN b.addr")
+        assert sorted(r[0] for r in rows) == ["B1", "C1"]
+
+    def test_where_seed(self, db):
+        rows = db.query(
+            "MATCH (a:Cell)-[:DEP]->(b:Cell) WHERE a.addr = 'B1' RETURN b.addr"
+        )
+        assert rows == [("C1",)]
+
+    def test_dst_filter(self, db):
+        rows = db.query(
+            "MATCH (a:Cell {id: 'a1'})-[:DEP*]->(b:Cell {addr: 'D1'}) RETURN b.id"
+        )
+        assert rows == [("d1",)]
+
+    def test_full_scan_seed(self, db):
+        rows = db.query("MATCH (a:Cell)-[:DEP]->(b:Cell) RETURN a.addr, b.addr")
+        assert ("A1", "B1") in rows and len(rows) == 3
+
+    def test_return_both_vars(self, db):
+        rows = db.query(
+            "MATCH (a:Cell {id: 'b1'})-[:DEP]->(b:Cell) RETURN a.addr, b.addr"
+        )
+        assert rows == [("B1", "C1")]
+
+    def test_diamond_distinct(self):
+        db = GraphDB()
+        db.add_edge("s", "l")
+        db.add_edge("s", "r")
+        db.add_edge("l", "t")
+        db.add_edge("r", "t")
+        rows = db.query("MATCH (a {id: 's'})-[:DEP*]->(b) RETURN DISTINCT b.id")
+        assert sorted(r[0] for r in rows) == ["l", "r", "t"]
+
+    def test_cycle_terminates(self):
+        db = GraphDB()
+        db.add_edge("x", "y")
+        db.add_edge("y", "x")
+        rows = db.query("MATCH (a {id: 'x'})-[:DEP*]->(b) RETURN DISTINCT b.id")
+        assert sorted(r[0] for r in rows) == ["x", "y"]

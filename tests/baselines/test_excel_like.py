@@ -1,0 +1,92 @@
+"""Unit tests for the Excel-like shared-formula engine."""
+
+from helpers import build_fig2_sheet, build_graph_pair, build_mixed_sheet
+
+from repro.baselines.excel_like import ExcelLikeEngine, to_r1c1
+from repro.formula.parser import parse_formula
+from repro.graphs.base import expand_cells
+from repro.grid.range import Range
+
+
+class TestR1C1:
+    def test_relative_reference(self):
+        ast = parse_formula("=A1")
+        assert to_r1c1(ast, 2, 2) == "R[-1]C[-1]"
+
+    def test_same_row_or_column(self):
+        ast = parse_formula("=A2")
+        assert to_r1c1(ast, 2, 2) == "RC[-1]"
+        ast = parse_formula("=B1")
+        assert to_r1c1(ast, 2, 2) == "R[-1]C"
+
+    def test_absolute_reference(self):
+        ast = parse_formula("=$A$1")
+        assert to_r1c1(ast, 5, 9) == "R1C1"
+
+    def test_mixed_reference(self):
+        ast = parse_formula("=$A1")
+        assert to_r1c1(ast, 2, 2) == "R[-1]C1"
+        ast = parse_formula("=$A2")
+        assert to_r1c1(ast, 2, 2) == "RC1"
+
+    def test_autofilled_formulae_share_key(self):
+        base = parse_formula("=SUM(A1:B3)+C1")
+        shifted = base.shifted(0, 5)
+        assert to_r1c1(base, 4, 1) == to_r1c1(shifted, 4, 6)
+
+    def test_different_formulae_differ(self):
+        a = parse_formula("=SUM(A1:B3)")
+        b = parse_formula("=SUM(A1:B4)")
+        assert to_r1c1(a, 4, 1) != to_r1c1(b, 4, 1)
+
+    def test_function_and_operator_rendering(self):
+        ast = parse_formula("=IF(A1>0,-B1%,2)")
+        text = to_r1c1(ast, 3, 1)
+        assert text.startswith("IF(") and "%" in text
+
+
+class TestSharedStorage:
+    def test_autofilled_column_stored_once(self):
+        sheet = build_fig2_sheet(rows=40)
+        engine = ExcelLikeEngine.from_sheet(sheet)
+        # 40 formula cells but only 2 distinct stored formulae
+        # (the seed =M2 and the shared IF formula).
+        assert engine.formula_cell_count == 39
+        assert engine.stored_formula_count == 2
+
+    def test_clear_cells_updates_groups(self):
+        sheet = build_fig2_sheet(rows=10)
+        engine = ExcelLikeEngine.from_sheet(sheet)
+        engine.clear_cells(Range.from_a1("N3:N10"))
+        assert engine.formula_cell_count == 1
+        assert engine.stored_formula_count == 1
+
+
+class TestDependents:
+    def test_matches_nocomp(self):
+        sheet = build_mixed_sheet(seed=8)
+        _, nocomp = build_graph_pair(sheet)
+        engine = ExcelLikeEngine.from_sheet(sheet)
+        for probe in ("A1", "A9", "B22", "G1"):
+            rng = Range.from_a1(probe)
+            assert expand_cells(engine.find_dependents(rng)) == expand_cells(
+                nocomp.find_dependents(rng)
+            )
+
+    def test_precedents_match_nocomp(self):
+        sheet = build_mixed_sheet(seed=8)
+        _, nocomp = build_graph_pair(sheet)
+        engine = ExcelLikeEngine.from_sheet(sheet)
+        for probe in ("C5", "D9", "G20"):
+            rng = Range.from_a1(probe)
+            assert expand_cells(engine.find_precedents(rng)) == expand_cells(
+                nocomp.find_precedents(rng)
+            )
+
+    def test_chain_traversal(self):
+        sheet = build_fig2_sheet(rows=30)
+        engine = ExcelLikeEngine.from_sheet(sheet)
+        result = expand_cells(engine.find_dependents(Range.from_a1("M1")))
+        assert result == set()
+        result = expand_cells(engine.find_dependents(Range.from_a1("M2")))
+        assert (14, 2) in result and (14, 30) in result

@@ -1,0 +1,93 @@
+"""Unit tests for the graph-database baseline (RedisGraph stand-in)."""
+
+import pytest
+
+from repro.baselines.graphdb import GraphDB, RedisGraphLike
+from repro.graphs.base import expand_cells
+from repro.grid.range import Range
+from repro.sheet.sheet import Dependency
+
+
+def dep(prec: str, dep_cell: str) -> Dependency:
+    return Dependency(Range.from_a1(prec), Range.from_a1(dep_cell))
+
+
+class TestGraphDB:
+    def test_nodes_and_edges(self):
+        db = GraphDB()
+        db.add_node("a", label="Cell", addr="A1")
+        db.add_edge("a", "b")
+        assert db.edge_count == 1
+        assert db.successors("a", "DEP") == ["b"]
+        assert db.predecessors("b", "DEP") == ["a"]
+
+    def test_edge_auto_creates_nodes(self):
+        db = GraphDB()
+        db.add_edge("x", "y")
+        assert "x" in db.nodes and "y" in db.nodes
+
+    def test_remove_edge(self):
+        db = GraphDB()
+        db.add_edge("a", "b")
+        assert db.remove_edge("a", "b")
+        assert not db.remove_edge("a", "b")
+        assert db.edge_count == 0
+
+    def test_remove_incoming(self):
+        db = GraphDB()
+        db.add_edge("a", "c")
+        db.add_edge("b", "c")
+        assert db.remove_incoming_edges("c") == 2
+        assert db.successors("a", "DEP") == []
+
+    def test_bulk_load_csv(self):
+        db = GraphDB()
+        nodes = "id,addr\n1_1,A1\n2_1,B1\n"
+        edges = "src,dst\n1_1,2_1\n"
+        db.bulk_load_csv(nodes, edges)
+        assert db.nodes["1_1"]["addr"] == "A1"
+        assert db.successors("1_1", "DEP") == ["2_1"]
+
+
+class TestRedisGraphLike:
+    def build(self, deps):
+        graph = RedisGraphLike()
+        graph.build(deps)
+        return graph
+
+    def test_range_decomposition(self):
+        graph = self.build([dep("A1:A3", "B1")])
+        stats = graph.stats()
+        assert stats.edges == 3  # one cell-level edge per prec cell
+        assert stats.vertices == 4
+
+    def test_find_dependents_matches_semantics(self):
+        graph = self.build([
+            dep("A1:A3", "B1"), dep("B1", "C1"), dep("B2:B3", "C2"),
+        ])
+        result = expand_cells(graph.find_dependents(Range.from_a1("A1")))
+        assert result == {(2, 1), (3, 1)}
+
+    def test_find_precedents(self):
+        graph = self.build([dep("A1:A2", "B1"), dep("B1", "C1")])
+        result = expand_cells(graph.find_precedents(Range.from_a1("C1")))
+        assert result == {(1, 1), (1, 2), (2, 1)}
+
+    def test_clear_cells(self):
+        graph = self.build([dep("A1", "B1"), dep("A2", "B2")])
+        graph.clear_cells(Range.from_a1("B1"))
+        assert expand_cells(graph.find_dependents(Range.from_a1("A1:A2"))) == {(2, 2)}
+
+    def test_decompose_limit(self):
+        graph = RedisGraphLike(decompose_limit=10)
+        with pytest.raises(MemoryError):
+            graph.build([dep("A1:A100", "B1")])
+
+    def test_edges_searched_repeatedly_on_deep_graphs(self):
+        # The level-by-level traversal re-expands edges: on a chain the
+        # visit count exceeds the edge count.
+        deps = [dep(f"A{i}", f"A{i + 1}") for i in range(1, 30)]
+        graph = self.build(deps)
+        graph.db.edge_visits = 0
+        graph.find_dependents(Range.from_a1("A1"))
+        assert graph.db.edge_visits >= len(deps)

@@ -1,0 +1,121 @@
+"""Unit tests for the benchmark harness utilities."""
+
+import time
+
+import pytest
+
+from repro.bench.harness import Measurement, best_of, measure, time_call
+from repro.bench.percentiles import Summary, cdf_points, percentile
+from repro.bench.reporting import ascii_table, banner, format_count, format_ms, format_pct
+from repro.graphs.base import Budget, DNFError
+
+
+class TestMeasure:
+    def test_measure_success(self):
+        m = measure(lambda: 42)
+        assert not m.dnf and m.result == 42
+        assert m.seconds >= 0
+
+    def test_measure_with_budget_passes(self):
+        def op(budget):
+            budget.check_now()
+            return "ok"
+
+        m = measure(op, budget_seconds=10.0)
+        assert not m.dnf and m.result == "ok"
+
+    def test_measure_dnf(self):
+        def op(budget):
+            deadline = time.perf_counter() + 0.05
+            while time.perf_counter() < deadline:
+                budget.check_now()
+            return "never"
+
+        m = measure(op, budget_seconds=0.01)
+        assert m.dnf and m.result is None
+        assert "DNF" in m.render()
+
+    def test_measure_memory_error_is_dnf(self):
+        def op():
+            raise MemoryError("too big")
+
+        m = measure(op)
+        assert m.dnf and "memory" in m.error
+
+    def test_render_formats(self):
+        assert "ms" in Measurement(0.002, False).render()
+        assert "s" in Measurement(2.5, False).render()
+
+    def test_time_call_and_best_of(self):
+        elapsed, result = time_call(lambda: sum(range(100)))
+        assert result == 4950 and elapsed >= 0
+        m = best_of(lambda: 7, repeats=3)
+        assert m.result == 7 and not m.dnf
+
+
+class TestBudget:
+    def test_amortised_check(self):
+        budget = Budget(100.0, check_every=4)
+        for _ in range(10):
+            budget.check()  # never raises under a generous limit
+
+    def test_expired_budget_raises(self):
+        budget = Budget(0.0, "op", check_every=1)
+        time.sleep(0.002)
+        with pytest.raises(DNFError):
+            budget.check()
+
+    def test_dnf_error_message(self):
+        err = DNFError("building", 300.0)
+        assert "building" in str(err) and "300" in str(err)
+
+
+class TestPercentiles:
+    def test_percentile_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == 2.5
+
+    def test_percentile_single(self):
+        assert percentile([7.0], 75) == 7.0
+
+    def test_percentile_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_summary(self):
+        s = Summary.of([4.0, 1.0, 3.0, 2.0])
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.median == 2.5 and s.mean == 2.5
+
+    def test_cdf_points_default_grid(self):
+        points = cdf_points([float(i) for i in range(1, 101)])
+        assert points[0][0] == 40
+        assert points[-1] == (100, 100.0)
+
+
+class TestReporting:
+    def test_ascii_table_alignment(self):
+        table = ascii_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = table.splitlines()
+        assert lines[1].startswith("| name")
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_banner(self):
+        text = banner("Title", "sub")
+        assert "Title" in text and "sub" in text
+
+    def test_format_count(self):
+        assert format_count(1_500_000) == "1.5M"
+        assert format_count(25_000) == "25.0K"
+        assert format_count(42) == "42"
+
+    def test_format_ms(self):
+        assert format_ms(0.0005).endswith("ms")
+        assert format_ms(12.0).endswith("s")
+
+    def test_format_pct(self):
+        assert format_pct(0.0742) == "7.42%"
+        assert format_pct(0.5) == "50.0%"
+        assert format_pct(0.00042) == "0.0420%"

@@ -1,0 +1,62 @@
+"""Unit tests for the benchmark corpus cache."""
+
+import pytest
+
+from repro.bench.runner import BenchSheet, get_corpus, top_sheets
+from repro.datasets.corpora import corpus_specs
+
+
+@pytest.fixture
+def bench_sheet(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.1")
+    spec = corpus_specs("enron", scale=0.1)[0]
+    return BenchSheet(spec.corpus, spec.spec)
+
+
+class TestBenchSheet:
+    def test_lazy_sheet_and_deps(self, bench_sheet):
+        assert bench_sheet._sheet is None
+        deps = bench_sheet.deps()
+        assert deps and bench_sheet._sheet is not None
+        assert bench_sheet.deps() is deps  # cached
+
+    def test_cached_graphs_are_reused(self, bench_sheet):
+        assert bench_sheet.taco() is bench_sheet.taco()
+        assert bench_sheet.nocomp() is bench_sheet.nocomp()
+        assert bench_sheet.inrow() is bench_sheet.inrow()
+
+    def test_fresh_builds_are_new_objects(self, bench_sheet):
+        assert bench_sheet.fresh_taco() is not bench_sheet.fresh_taco()
+        assert bench_sheet.fresh_nocomp() is not bench_sheet.taco()
+
+    def test_probes_cached(self, bench_sheet):
+        cell, count = bench_sheet.max_dependents_probe()
+        assert count > 0
+        assert bench_sheet.max_dependents_probe() == (cell, count)
+        lp_cell, lp = bench_sheet.longest_path_probe()
+        assert lp >= 1
+
+    def test_modify_range_targets_formula_cells(self, bench_sheet):
+        cell, _ = bench_sheet.max_dependents_probe()
+        victim = bench_sheet.modify_range(50)
+        assert victim.height == 50 and victim.width == 1
+        # The victim column must contain formula cells (graph maintenance
+        # is a no-op on pure data), and they must depend on the probe.
+        dependents = bench_sheet.taco().find_dependents(cell)
+        assert any(victim.overlaps(rng) for rng in dependents)
+
+    def test_graph_consistency(self, bench_sheet):
+        assert bench_sheet.taco().raw_edge_count() == bench_sheet.nocomp().num_edges
+
+
+class TestCorpusCache:
+    def test_get_corpus_caches(self):
+        a = get_corpus("enron")
+        b = get_corpus("enron")
+        assert a is b
+
+    def test_top_sheets_ordering(self):
+        top = top_sheets("enron", key=lambda s: len(s.deps()), count=3)
+        sizes = [len(s.deps()) for s in top]
+        assert sizes == sorted(sizes, reverse=True)
+        assert len(top) == 3

@@ -1,0 +1,163 @@
+"""Unit tests for greedy compression (Algorithm 2) and its heuristics."""
+
+from repro.core.patterns import FF, FR, RR, RR_CHAIN, SINGLE
+from repro.core.taco_graph import TacoGraph
+from repro.grid.range import Range
+from repro.sheet.sheet import Dependency
+
+
+def dep(prec: str, dep_cell: str, cue: str = "RR") -> Dependency:
+    return Dependency(Range.from_a1(prec), Range.from_a1(dep_cell), cue)
+
+
+def edges_of(graph: TacoGraph):
+    return sorted(graph.edges(), key=lambda e: (e.prec.as_tuple(), e.dep.as_tuple()))
+
+
+class TestInsertion:
+    def test_first_dependency_is_single(self):
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1:B3", "C1"))
+        (edge,) = graph.edges()
+        assert edge.pattern is SINGLE
+
+    def test_two_adjacent_rr_merge(self):
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1:B3", "C1"))
+        graph.add_dependency(dep("A2:B4", "C2"))
+        (edge,) = graph.edges()
+        assert edge.pattern is RR
+        assert edge.dep == Range.from_a1("C1:C2")
+
+    def test_incompatible_stays_single(self):
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1:B3", "C1"))
+        graph.add_dependency(dep("F9:G9", "C2"))
+        assert len(graph) == 2
+        assert all(e.pattern is SINGLE for e in graph.edges())
+
+    def test_long_run_single_edge(self):
+        graph = TacoGraph.full()
+        for i in range(1, 101):
+            graph.add_dependency(dep(f"A{i}:B{i + 2}", f"C{i}"))
+        (edge,) = graph.edges()
+        assert edge.pattern is RR
+        assert edge.member_count == 100
+
+    def test_multi_reference_formulae_separate_edges(self):
+        graph = TacoGraph.full()
+        for i in range(1, 21):
+            graph.add_dependency(dep(f"A{i}", f"C{i}"))
+            graph.add_dependency(dep("$F$1:$F$9", f"C{i}", cue="FF"))
+        assert len(graph) == 2
+        patterns = {e.pattern.name for e in graph.edges()}
+        assert patterns == {"RR", "FF"}
+
+    def test_gap_then_fill_creates_two_runs(self):
+        # C1, C2 then C4, C5 (gap at C3): two RR edges.
+        graph = TacoGraph.full()
+        for i in (1, 2, 4, 5):
+            graph.add_dependency(dep(f"A{i}", f"C{i}"))
+        assert len(graph) == 2
+        # Filling C3 merges into one of the runs (greedy, not optimal).
+        graph.add_dependency(dep("A3", "C3"))
+        assert len(graph) == 2
+
+
+class TestHeuristics:
+    def test_chain_preferred_over_rr(self):
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1", "A2"))
+        graph.add_dependency(dep("A2", "A3"))
+        (edge,) = graph.edges()
+        assert edge.pattern is RR_CHAIN
+
+    def test_column_preferred_over_row(self):
+        # C4's dependency can merge with C3 (column) or D4 (row).
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("B3", "C3"))   # column candidate
+        graph.add_dependency(dep("C4", "D4"))   # row candidate (rel (-1,0))
+        graph.add_dependency(dep("B4", "C4"))
+        edges = edges_of(graph)
+        merged = [e for e in edges if e.dep.size == 2]
+        assert len(merged) == 1
+        assert merged[0].dep == Range.from_a1("C3:C4"), "column-wise merge must win"
+
+    def test_dollar_cue_steers_pattern_choice(self):
+        # B1:B4 -> C4 can extend an FR edge or pair as RR with D4's edge;
+        # the $B$1 cue says FR (paper's Fig. 8 walk-through).
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("$B$1:B1", "C1", cue="FR"))
+        graph.add_dependency(dep("$B$1:B2", "C2", cue="FR"))
+        graph.add_dependency(dep("$B$1:B3", "C3", cue="FR"))
+        graph.add_dependency(dep("B1:B4", "D4"))
+        graph.add_dependency(dep("B1:B4", "C4", cue="FR"))
+        fr_edges = [e for e in graph.edges() if e.pattern is FR]
+        assert len(fr_edges) == 1
+        assert fr_edges[0].dep == Range.from_a1("C1:C4")
+
+    def test_cue_disabled_falls_back_to_priority(self):
+        graph = TacoGraph.full(use_cues=False)
+        graph.add_dependency(dep("$B$1:B1", "C1", cue="FR"))
+        graph.add_dependency(dep("$B$1:B2", "C2", cue="FR"))
+        graph.add_dependency(dep("B1:B4", "C4", cue="FR"))
+        graph.add_dependency(dep("B1:B4", "C3", cue="FR"))
+        # Still compresses (into FR or FF depending on tie-breaks).
+        assert len(graph) < 4
+
+    def test_prefers_growing_existing_run(self):
+        graph = TacoGraph.full()
+        # Existing RR run at C1:C2 and a lone single at D3.
+        graph.add_dependency(dep("A1", "C1"))
+        graph.add_dependency(dep("A2", "C2"))
+        graph.add_dependency(dep("B3", "D3"))  # would pair as row RR with C3
+        graph.add_dependency(dep("A3", "C3"))
+        runs = [e for e in graph.edges() if e.dep.size == 3]
+        assert len(runs) == 1
+        assert runs[0].dep == Range.from_a1("C1:C3")
+
+
+class TestFig8Scenario:
+    """The paper's Fig. 8 walk-through: insert SUM($B$1:B4)*A1 at C4."""
+
+    def _setup(self) -> TacoGraph:
+        graph = TacoGraph.full()
+        for i in (1, 2, 3):
+            graph.add_dependency(dep(f"$B$1:B{i}", f"C{i}", cue="FR"))
+            graph.add_dependency(dep("$A$1", f"C{i}", cue="FF"))
+        graph.add_dependency(dep("B1:B4", "D4"))
+        return graph
+
+    def test_setup_matches_figure(self):
+        graph = self._setup()
+        names = sorted(e.pattern.name for e in graph.edges())
+        assert names == ["FF", "FR", "Single"]
+
+    def test_insertion_selects_column_wise_fr(self):
+        graph = self._setup()
+        graph.add_dependency(dep("B1:B4", "C4", cue="FR"))
+        graph.add_dependency(dep("$A$1", "C4", cue="FF"))
+        by_pattern = {e.pattern.name: e for e in graph.edges()}
+        assert by_pattern["FR"].dep == Range.from_a1("C1:C4")
+        assert by_pattern["FR"].prec == Range.from_a1("B1:B4")
+        assert by_pattern["FF"].dep == Range.from_a1("C1:C4")
+        # The old Single D4 edge must be untouched.
+        assert by_pattern["Single"].dep == Range.from_a1("D4")
+
+
+class TestCandidateSearch:
+    def test_candidates_are_axis_neighbours_only(self):
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1", "C3"))   # diagonal neighbour of D4
+        graph.add_dependency(dep("A2", "D3"))   # above D4
+        graph.add_dependency(dep("A9", "F9"))   # far away
+        candidates = graph.candidate_edges((4, 4))  # D4
+        deps = {e.dep.to_a1() for e in candidates}
+        assert deps == {"D3"}
+
+    def test_candidate_inside_run(self):
+        graph = TacoGraph.full()
+        for i in range(1, 6):
+            graph.add_dependency(dep(f"A{i}", f"C{i}"))
+        candidates = graph.candidate_edges((3, 6))  # C6 extends C1:C5
+        assert len(candidates) == 1

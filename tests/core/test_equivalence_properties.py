@@ -1,0 +1,152 @@
+"""Property-based lossless-ness: TACO answers == NoComp answers.
+
+The central correctness claim of the paper is that the compressed graph
+is *equivalent* to the uncompressed one for finding dependents and
+precedents.  These tests generate random spreadsheets mixing autofilled
+regions (which compress) with arbitrary individual formulae (which often
+do not), then compare TACO against NoComp on random probes, including
+after random maintenance operations.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.taco_graph import TacoGraph, dependencies_column_major
+from repro.graphs.base import expand_cells
+from repro.graphs.nocomp import NoCompGraph
+from repro.grid.range import Range
+from repro.sheet.autofill import fill_formula_column
+from repro.sheet.sheet import Sheet
+
+GRID = 18  # data region is A1:R18 (columns 1..18)
+
+
+@st.composite
+def random_sheets(draw) -> Sheet:
+    """A sheet with 1-3 autofilled runs plus 0-8 arbitrary formulae."""
+    seed = draw(st.integers(0, 2 ** 20))
+    rng = random.Random(seed)
+    sheet = Sheet("prop")
+    for col in (1, 2):
+        for row in range(1, GRID + 1):
+            sheet.set_value((col, row), float(rng.randrange(50)))
+
+    run_count = draw(st.integers(1, 3))
+    for i in range(run_count):
+        out_col = 3 + i
+        start = draw(st.integers(1, 6))
+        length = draw(st.integers(2, 10))
+        kind = draw(st.sampled_from(["rr", "fr", "rf", "ff", "chain"]))
+        if kind == "rr":
+            formula = f"=SUM(A{start}:B{start + 1})"
+        elif kind == "fr":
+            formula = f"=SUM($A$1:A{start})"
+        elif kind == "rf":
+            formula = f"=SUM(A{start}:$B${GRID})"
+        elif kind == "ff":
+            formula = "=SUM($A$1:$B$4)"
+        else:
+            sheet.set_formula((out_col, start), f"=A{start}")
+            if length >= 2:
+                from repro.grid.ref import col_to_letters
+
+                letters = col_to_letters(out_col)
+                fill_formula_column(
+                    sheet, out_col, start + 1, start + length - 1,
+                    f"={letters}{start}+B{start + 1}",
+                )
+            continue
+        fill_formula_column(sheet, out_col, start, start + length - 1, formula)
+
+    extra = draw(st.integers(0, 8))
+    for _ in range(extra):
+        col = draw(st.integers(3, 10))
+        row = draw(st.integers(1, GRID))
+        cell = sheet.cell_at((col, row))
+        if cell is not None and cell.is_formula:
+            continue
+        c1 = draw(st.integers(1, 4))
+        r1 = draw(st.integers(1, GRID - 2))
+        c2 = draw(st.integers(c1, min(4, c1 + 2)))
+        r2 = draw(st.integers(r1, min(GRID, r1 + 3)))
+        ref = Range(c1, r1, c2, r2).to_a1()
+        sheet.set_formula((col, row), f"=SUM({ref})")
+    return sheet
+
+
+@st.composite
+def probes(draw) -> Range:
+    c1 = draw(st.integers(1, 10))
+    r1 = draw(st.integers(1, GRID))
+    c2 = draw(st.integers(c1, min(10, c1 + 2)))
+    r2 = draw(st.integers(r1, min(GRID, r1 + 4)))
+    return Range(c1, r1, c2, r2)
+
+
+def build_pair(sheet: Sheet):
+    deps = dependencies_column_major(sheet)
+    taco = TacoGraph.full()
+    taco.build(deps)
+    nocomp = NoCompGraph()
+    nocomp.build(deps)
+    return taco, nocomp
+
+
+@given(random_sheets(), probes())
+@settings(max_examples=60, deadline=None)
+def test_find_dependents_equivalent(sheet, probe):
+    taco, nocomp = build_pair(sheet)
+    assert expand_cells(taco.find_dependents(probe)) == expand_cells(
+        nocomp.find_dependents(probe)
+    )
+
+
+@given(random_sheets(), probes())
+@settings(max_examples=60, deadline=None)
+def test_find_precedents_equivalent(sheet, probe):
+    taco, nocomp = build_pair(sheet)
+    assert expand_cells(taco.find_precedents(probe)) == expand_cells(
+        nocomp.find_precedents(probe)
+    )
+
+
+@given(random_sheets())
+@settings(max_examples=40, deadline=None)
+def test_compression_is_lossless(sheet):
+    taco, nocomp = build_pair(sheet)
+    raw = {(p.as_tuple(), c) for p, c in nocomp.edges()}
+    reconstructed = {
+        (d.prec.as_tuple(), d.dep.head) for d in taco.decompress()
+    }
+    assert reconstructed == raw
+    assert taco.raw_edge_count() == nocomp.num_edges
+    assert len(taco) <= nocomp.num_edges
+
+
+@given(random_sheets(), probes(), probes())
+@settings(max_examples=40, deadline=None)
+def test_equivalence_survives_maintenance(sheet, victim, probe):
+    taco, nocomp = build_pair(sheet)
+    taco.clear_cells(victim)
+    nocomp.clear_cells(victim)
+    assert expand_cells(taco.find_dependents(probe)) == expand_cells(
+        nocomp.find_dependents(probe)
+    )
+    assert expand_cells(taco.find_precedents(probe)) == expand_cells(
+        nocomp.find_precedents(probe)
+    )
+
+
+@given(random_sheets())
+@settings(max_examples=30, deadline=None)
+def test_inrow_variant_also_lossless(sheet):
+    deps = dependencies_column_major(sheet)
+    inrow = TacoGraph.inrow()
+    inrow.build(deps)
+    nocomp = NoCompGraph()
+    nocomp.build(deps)
+    raw = {(p.as_tuple(), c) for p, c in nocomp.edges()}
+    reconstructed = {(d.prec.as_tuple(), d.dep.head) for d in inrow.decompress()}
+    assert reconstructed == raw

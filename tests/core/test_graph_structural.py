@@ -1,0 +1,128 @@
+"""Graph-level structural maintenance == rebuild from the edited sheet."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import build_fig2_sheet, build_mixed_sheet
+
+from repro.core import structural as graph_structural
+from repro.core.taco_graph import TacoGraph, dependencies_column_major
+from repro.grid.range import Range
+from repro.sheet import structural as sheet_structural
+from repro.sheet.sheet import Dependency, Sheet
+
+
+def dep(prec: str, dep_cell: str, cue: str = "RR") -> Dependency:
+    return Dependency(Range.from_a1(prec), Range.from_a1(dep_cell), cue)
+
+
+def dependency_set(graph: TacoGraph) -> set:
+    return {(d.prec.as_tuple(), d.dep.head) for d in graph.decompress()}
+
+
+def rebuilt_from(sheet: Sheet) -> TacoGraph:
+    graph = TacoGraph.full()
+    graph.build(dependencies_column_major(sheet))
+    return graph
+
+
+class TestInsertRows:
+    def test_wholesale_shift_of_run(self):
+        graph = TacoGraph.full()
+        for i in range(5, 10):
+            graph.add_dependency(dep(f"A{i}", f"C{i}"))
+        graph_structural.insert_rows(graph, 2, 3)
+        (edge,) = graph.edges()
+        assert edge.dep == Range.from_a1("C8:C12")
+        assert edge.prec == Range.from_a1("A8:A12")
+
+    def test_untouched_above(self):
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1", "B1"))
+        graph_structural.insert_rows(graph, 5, 2)
+        (edge,) = graph.edges()
+        assert edge.dep == Range.from_a1("B1")
+
+    def test_straddling_run_splits_and_stretches(self):
+        sheet = Sheet("s")
+        for r in range(1, 11):
+            sheet.set_value((1, r), float(r))
+        from repro.sheet.autofill import fill_formula_column
+
+        fill_formula_column(sheet, 2, 1, 10, "=A1*2")
+        graph = rebuilt_from(sheet)
+        graph_structural.insert_rows(graph, 5, 2)
+        sheet_structural.insert_rows(sheet, 5, 2)
+        assert dependency_set(graph) == dependency_set(rebuilt_from(sheet))
+
+    def test_ff_meta_shifts(self):
+        graph = TacoGraph.full()
+        for i in range(4, 8):
+            graph.add_dependency(dep("$F$4:$F$6", f"C{i}", cue="FF"))
+        graph_structural.insert_rows(graph, 2, 1)
+        (edge,) = graph.edges()
+        assert edge.pattern.name == "FF"
+        assert edge.prec == Range.from_a1("F5:F7")
+        assert edge.meta == ((6, 5), (6, 7))
+
+    def test_matches_sheet_oracle_fig2(self):
+        sheet = build_fig2_sheet(rows=30)
+        graph = rebuilt_from(sheet)
+        graph_structural.insert_rows(graph, 12, 3)
+        sheet_structural.insert_rows(sheet, 12, 3)
+        assert dependency_set(graph) == dependency_set(rebuilt_from(sheet))
+
+
+class TestDeleteRows:
+    def test_formula_rows_removed(self):
+        graph = TacoGraph.full()
+        for i in range(1, 11):
+            graph.add_dependency(dep(f"A{i}", f"C{i}"))
+        graph_structural.delete_rows(graph, 4, 3)
+        assert graph.raw_edge_count() == 7
+        deps = dependency_set(graph)
+        assert ((1, 4, 1, 4), (3, 4)) in deps  # old A7->C7 shifted up
+
+    def test_reference_into_deleted_band_drops_edge(self):
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A5", "C1"))
+        graph_structural.delete_rows(graph, 5, 1)
+        assert len(graph) == 0
+
+    def test_matches_sheet_oracle_mixed(self):
+        sheet = build_mixed_sheet(seed=21)
+        graph = rebuilt_from(sheet)
+        graph_structural.delete_rows(graph, 10, 4)
+        sheet_structural.delete_rows(sheet, 10, 4)
+        assert dependency_set(graph) == dependency_set(rebuilt_from(sheet))
+
+
+class TestColumns:
+    def test_insert_columns_matches_oracle(self):
+        sheet = build_mixed_sheet(seed=22)
+        graph = rebuilt_from(sheet)
+        graph_structural.insert_columns(graph, 3, 2)
+        sheet_structural.insert_columns(sheet, 3, 2)
+        assert dependency_set(graph) == dependency_set(rebuilt_from(sheet))
+
+    def test_delete_columns_matches_oracle(self):
+        sheet = build_mixed_sheet(seed=23)
+        graph = rebuilt_from(sheet)
+        graph_structural.delete_columns(graph, 4, 1)
+        sheet_structural.delete_columns(sheet, 4, 1)
+        assert dependency_set(graph) == dependency_set(rebuilt_from(sheet))
+
+
+@given(
+    st.integers(0, 1000),
+    st.sampled_from(["insert_rows", "delete_rows", "insert_columns", "delete_columns"]),
+    st.integers(1, 30),
+    st.integers(1, 3),
+)
+@settings(max_examples=40, deadline=None)
+def test_structural_ops_match_sheet_oracle(seed, op, index, count):
+    sheet = build_mixed_sheet(seed=seed % 7, rows=20)
+    graph = rebuilt_from(sheet)
+    getattr(graph_structural, op)(graph, index, count)
+    getattr(sheet_structural, op)(sheet, index, count)
+    assert dependency_set(graph) == dependency_set(rebuilt_from(sheet))

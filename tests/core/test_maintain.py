@@ -1,0 +1,111 @@
+"""Unit tests for incremental maintenance (paper Sec. IV-C)."""
+
+from helpers import assert_same_dependents, build_graph_pair, build_mixed_sheet
+
+from repro.core.maintain import update_cell
+from repro.core.taco_graph import TacoGraph, dependencies_column_major
+from repro.grid.range import Range
+from repro.sheet.sheet import Dependency
+
+
+def dep(prec: str, dep_cell: str) -> Dependency:
+    return Dependency(Range.from_a1(prec), Range.from_a1(dep_cell))
+
+
+class TestClear:
+    def test_clear_whole_single(self):
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1", "B1"))
+        graph.clear_cells(Range.from_a1("B1"))
+        assert len(graph) == 0
+        assert graph.find_dependents(Range.from_a1("A1")) == []
+
+    def test_clear_middle_of_run_splits(self):
+        graph = TacoGraph.full()
+        for i in range(1, 11):
+            graph.add_dependency(dep(f"A{i}", f"C{i}"))
+        graph.clear_cells(Range.from_a1("C4:C6"))
+        deps = sorted(e.dep.to_a1() for e in graph.edges())
+        assert deps == ["C1:C3", "C7:C10"]
+
+    def test_clear_does_not_touch_precedent_side(self):
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1", "B1"))
+        graph.add_dependency(dep("B1", "C1"))
+        # Clearing B1's formula removes A1->B1 but C1 still references B1.
+        graph.clear_cells(Range.from_a1("B1"))
+        (edge,) = graph.edges()
+        assert edge.prec == Range.from_a1("B1")
+        assert edge.dep == Range.from_a1("C1")
+
+    def test_clear_range_spanning_multiple_edges(self):
+        graph = TacoGraph.full()
+        for i in range(1, 6):
+            graph.add_dependency(dep(f"A{i}", f"C{i}"))      # RR run
+            graph.add_dependency(dep("$F$1", f"D{i}"))       # FF run
+        graph.clear_cells(Range(3, 2, 4, 3))  # C2:D3
+        remaining = sorted(e.dep.to_a1() for e in graph.edges())
+        assert remaining == ["C1", "C4:C5", "D1", "D4:D5"]
+
+    def test_clear_empty_region_is_noop(self):
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1", "B1"))
+        graph.clear_cells(Range.from_a1("X1:X100"))
+        assert len(graph) == 1
+
+
+class TestClearMatchesRebuild:
+    def test_against_nocomp_after_clear(self):
+        sheet = build_mixed_sheet(seed=11)
+        taco, nocomp = build_graph_pair(sheet)
+        victim = Range.from_a1("C5:C12")
+        taco.clear_cells(victim)
+        nocomp.clear_cells(victim)
+        for probe in ("A1", "A10", "B3", "G1"):
+            assert_same_dependents(taco, nocomp, Range.from_a1(probe))
+
+    def test_against_fresh_build_after_clear(self):
+        sheet = build_mixed_sheet(seed=12)
+        taco, _ = build_graph_pair(sheet)
+        victim = Range.from_a1("D3:D9")
+        taco.clear_cells(victim)
+        # Rebuild from the mutated sheet.
+        sheet.clear_range(victim)
+        fresh = TacoGraph.full()
+        fresh.build(dependencies_column_major(sheet))
+        incremental = {(d.prec.to_a1(), d.dep.to_a1()) for d in taco.decompress()}
+        rebuilt = {(d.prec.to_a1(), d.dep.to_a1()) for d in fresh.decompress()}
+        assert incremental == rebuilt
+
+
+class TestUpdate:
+    def test_update_cell_replaces_dependencies(self):
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1", "B1"))
+        update_cell(graph, Range.from_a1("B1"), [dep("C9:D9", "B1")])
+        (edge,) = graph.edges()
+        assert edge.prec == Range.from_a1("C9:D9")
+
+    def test_update_can_rejoin_run(self):
+        graph = TacoGraph.full()
+        for i in range(1, 6):
+            graph.add_dependency(dep(f"A{i}", f"C{i}"))
+        update_cell(graph, Range.from_a1("C3"), [dep("A3", "C3")])
+        # The run is restored into a single edge (greedy re-merge).
+        assert sorted(e.dep.to_a1() for e in graph.edges()) in (
+            [ "C1:C5"], ["C1:C3", "C4:C5"], ["C1:C2", "C3:C5"],
+        )
+        raw = {(d.prec.to_a1(), d.dep.to_a1()) for d in graph.decompress()}
+        assert raw == {(f"A{i}", f"C{i}") for i in range(1, 6)}
+
+    def test_insert_after_clear_on_sheet(self):
+        sheet = build_mixed_sheet(seed=13)
+        taco, nocomp = build_graph_pair(sheet)
+        cell = Range.from_a1("C7")
+        new_deps = [dep("A1:B2", "C7")]
+        update_cell(taco, cell, new_deps)
+        nocomp.clear_cells(cell)
+        for d in new_deps:
+            nocomp.add_dependency(d)
+        for probe in ("A1", "A20", "B2"):
+            assert_same_dependents(taco, nocomp, Range.from_a1(probe))

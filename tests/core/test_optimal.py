@@ -1,0 +1,86 @@
+"""Unit tests for the exact CEM solver and greedy-vs-optimal."""
+
+import pytest
+
+from repro.core.optimal import enumerate_valid_blocks, optimal_edge_count
+from repro.core.taco_graph import TacoGraph
+from repro.grid.range import Range
+from repro.sheet.sheet import Dependency
+
+
+def dep(prec: str, dep_cell: str) -> Dependency:
+    return Dependency(Range.from_a1(prec), Range.from_a1(dep_cell))
+
+
+class TestValidBlocks:
+    def test_singletons_always_valid(self):
+        deps = [dep("A1", "C1"), dep("Z9", "E5")]
+        blocks = enumerate_valid_blocks(deps)
+        assert frozenset([0]) in blocks and frozenset([1]) in blocks
+
+    def test_rr_run_blocks(self):
+        deps = [dep(f"A{i}", f"C{i}") for i in range(1, 4)]
+        blocks = enumerate_valid_blocks(deps)
+        assert frozenset([0, 1]) in blocks
+        assert frozenset([0, 1, 2]) in blocks
+        assert frozenset([0, 2]) not in blocks  # not adjacent
+
+    def test_incompatible_pair_not_a_block(self):
+        deps = [dep("A1", "C1"), dep("F7:G9", "C2")]
+        blocks = enumerate_valid_blocks(deps)
+        assert frozenset([0, 1]) not in blocks
+
+
+class TestOptimal:
+    def test_uniform_run_is_one_edge(self):
+        deps = [dep(f"A{i}:B{i + 1}", f"C{i}") for i in range(1, 7)]
+        result = optimal_edge_count(deps)
+        assert result.edge_count == 1
+
+    def test_all_singles(self):
+        deps = [dep("A1", "C1"), dep("B7", "E3"), dep("D2:D9", "H8")]
+        assert optimal_edge_count(deps).edge_count == 3
+
+    def test_blocks_partition_everything(self):
+        deps = [dep(f"A{i}", f"C{i}") for i in range(1, 6)]
+        result = optimal_edge_count(deps)
+        covered = set()
+        for block in result.blocks:
+            assert not (covered & block)
+            covered |= block
+        assert covered == set(range(len(deps)))
+
+    def test_greedy_never_beats_optimal(self):
+        # Mixed workload where greedy may split runs suboptimally.
+        deps = [dep(f"A{i}", f"C{i}") for i in (1, 2, 4, 5)]
+        deps.append(dep("A3", "C3"))  # inserted last, joins one side
+        greedy = TacoGraph.full()
+        for d in deps:
+            greedy.add_dependency(d)
+        optimal = optimal_edge_count(deps)
+        assert optimal.edge_count <= len(greedy)
+        assert optimal.edge_count == 1  # C1..C5 contiguous under RR
+
+    def test_greedy_matches_optimal_on_clean_runs(self):
+        deps = []
+        for i in range(1, 5):
+            deps.append(dep(f"A{i}", f"C{i}"))
+            deps.append(dep("$H$1:$H$4", f"D{i}"))
+        greedy = TacoGraph.full()
+        for d in deps:
+            greedy.add_dependency(d)
+        assert len(greedy) == optimal_edge_count(deps).edge_count == 2
+
+    def test_size_limit_enforced(self):
+        deps = [dep(f"A{i}", f"C{i}") for i in range(1, 30)]
+        with pytest.raises(ValueError):
+            optimal_edge_count(deps)
+
+    def test_ff_2d_block_structure(self):
+        # Two adjacent columns both referencing the same fixed range: the
+        # 1-D greedy and the 1-D optimal both need two edges (one per
+        # column); this mirrors the RPC-reduction structure.
+        deps = [dep("$Z$1:$Z$4", f"C{i}") for i in range(1, 4)]
+        deps += [dep("$Z$1:$Z$4", f"D{i}") for i in range(1, 4)]
+        result = optimal_edge_count(deps)
+        assert result.edge_count == 2

@@ -1,0 +1,93 @@
+"""Unit tests for dependency-path explanation."""
+
+from helpers import build_fig2_sheet, build_graph_pair
+
+from repro.core.paths import explain_dependency
+from repro.core.taco_graph import TacoGraph
+from repro.grid.range import Range
+from repro.sheet.sheet import Dependency
+
+
+def dep(prec: str, dep_cell: str) -> Dependency:
+    return Dependency(Range.from_a1(prec), Range.from_a1(dep_cell))
+
+
+def rng(a1: str) -> Range:
+    return Range.from_a1(a1)
+
+
+class TestDirectPaths:
+    def test_single_hop(self):
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1", "B1"))
+        path = explain_dependency(graph, rng("A1"), rng("B1"))
+        assert [s.describe() for s in path] == ["A1 -[Single]-> B1"]
+
+    def test_no_path_returns_none(self):
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1", "B1"))
+        assert explain_dependency(graph, rng("B1"), rng("A1")) is None
+        assert explain_dependency(graph, rng("Z9"), rng("B1")) is None
+
+    def test_multi_hop(self):
+        # Scattered dependencies that no pattern can compress.
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1", "C5"))
+        graph.add_dependency(dep("C5", "F9"))
+        graph.add_dependency(dep("F9", "H2"))
+        path = explain_dependency(graph, rng("A1"), rng("H2"))
+        assert len(path) == 3
+        assert path[0].prec == rng("A1")
+        assert path[-1].dep == rng("H2")
+        # Consecutive steps chain: each dep feeds the next hop's frontier.
+        for earlier, later in zip(path, path[1:]):
+            assert earlier.dep == later.prec
+
+    def test_adjacent_unit_refs_compress_to_one_chain_hop(self):
+        # A1->B1->C1->D1 is a row-wise RR-Chain: one compressed hop.
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1", "B1"))
+        graph.add_dependency(dep("B1", "C1"))
+        graph.add_dependency(dep("C1", "D1"))
+        path = explain_dependency(graph, rng("A1"), rng("D1"))
+        assert len(path) == 1
+        assert path[0].pattern == "RR-Chain"
+
+
+class TestCompressedPaths:
+    def test_path_through_chain_edge(self):
+        graph = TacoGraph.full()
+        for i in range(1, 50):
+            graph.add_dependency(dep(f"A{i}", f"A{i + 1}"))
+        path = explain_dependency(graph, rng("A1"), rng("A50"))
+        # One compressed hop explains the whole chain.
+        assert len(path) == 1
+        assert path[0].pattern == "RR-Chain"
+        assert path[0].dep.contains(rng("A50"))
+
+    def test_path_through_rr_edge_narrows(self):
+        graph = TacoGraph.full()
+        for i in range(1, 20):
+            graph.add_dependency(dep(f"A{i}", f"C{i}"))
+        path = explain_dependency(graph, rng("A7"), rng("C7"))
+        (step,) = path
+        assert step.pattern == "RR"
+        assert step.dep == rng("C7")  # narrowed to the actual dependent
+
+    def test_fig2_provenance(self):
+        sheet = build_fig2_sheet(rows=30)
+        taco, nocomp = build_graph_pair(sheet)
+        path = explain_dependency(taco, rng("M2"), rng("N25"))
+        assert path is not None
+        assert path[0].prec == rng("M2")
+        assert path[-1].dep.overlaps(rng("N25"))
+        # Every claimed hop must be a real dependency direction.
+        for step in path:
+            dependents = nocomp.find_dependents(step.prec)
+            assert any(step.dep.overlaps(d) for d in dependents)
+
+    def test_path_respects_reachability(self):
+        sheet = build_fig2_sheet(rows=30)
+        taco, nocomp = build_graph_pair(sheet)
+        # M30 feeds only N30; N5 is upstream of it -> no path.
+        assert explain_dependency(taco, rng("M30"), rng("N5")) is None

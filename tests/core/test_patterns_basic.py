@@ -1,0 +1,241 @@
+"""Unit tests for the four basic patterns, following the paper's Fig. 4."""
+
+import pytest
+
+from repro.core.patterns import FF, FR, RF, RR, SINGLE
+from repro.core.patterns.base import CompressedEdge
+from repro.grid.range import Range
+from repro.sheet.sheet import Dependency
+
+
+def single(prec: str, dep: str) -> CompressedEdge:
+    return CompressedEdge(Range.from_a1(prec), Range.from_a1(dep), SINGLE, None)
+
+
+def dep(prec: str, dep_cell: str, cue: str = "RR") -> Dependency:
+    return Dependency(Range.from_a1(prec), Range.from_a1(dep_cell), cue)
+
+
+def build_edge(pattern, raw: list[tuple[str, str]]) -> CompressedEdge:
+    """Compress a list of (prec, dep) pairs under one pattern."""
+    edge = single(*raw[0])
+    for prec, dep_cell in raw[1:]:
+        merged = (
+            pattern.try_pair(edge, dep(prec, dep_cell))
+            if edge.pattern is SINGLE
+            else pattern.try_merge(edge, dep(prec, dep_cell))
+        )
+        assert merged is not None, f"could not add {prec}->{dep_cell}"
+        edge = merged
+    return edge
+
+
+# The paper's Fig. 4 example edges.
+FIG4A_RR = [("A1:B3", "C1"), ("A2:B4", "C2"), ("A3:B5", "C3"), ("A4:B6", "C4")]
+FIG4B_RF = [("A1:B4", "C1"), ("A2:B4", "C2"), ("A3:B4", "C3"), ("A4:B4", "C4")]
+FIG4C_FR = [("A1:B1", "C1"), ("A1:B2", "C2"), ("A1:B3", "C3")]
+FIG4D_FF = [("A1:B3", "C1"), ("A1:B3", "C2"), ("A1:B3", "C3")]
+
+
+class TestRR:
+    def test_fig4a_compression(self):
+        edge = build_edge(RR, FIG4A_RR)
+        assert edge.prec == Range.from_a1("A1:B6")
+        assert edge.dep == Range.from_a1("C1:C4")
+        # meta = (hRel, tRel) = ((-2, 0), (-1, 2)) per the paper.
+        assert edge.meta == ((-2, 0), (-1, 2))
+        assert edge.member_count == 4
+
+    def test_rejects_wrong_offsets(self):
+        edge = build_edge(RR, FIG4A_RR[:2])
+        assert RR.try_merge(edge, dep("A9:B9", "C3")) is None
+
+    def test_rejects_non_adjacent_dep(self):
+        edge = build_edge(RR, FIG4A_RR[:2])
+        assert RR.try_merge(edge, dep("A4:B6", "C5")) is None  # gap at C4... C5 not adjacent to C1:C2
+        assert RR.try_merge(edge, dep("A9:B11", "E9")) is None
+
+    def test_find_dep_interior(self):
+        edge = build_edge(RR, FIG4A_RR)
+        # A3 is inside windows of C1 (A1:B3), C2, C3 -> dependents C1:C3.
+        (result,) = RR.find_dep(edge, Range.from_a1("A3"))
+        assert result == Range.from_a1("C1:C3")
+
+    def test_find_dep_clamps_to_dep_range(self):
+        edge = build_edge(RR, FIG4A_RR)
+        (result,) = RR.find_dep(edge, Range.from_a1("A1:B6"))
+        assert result == Range.from_a1("C1:C4")
+
+    def test_find_prec_single_cell(self):
+        edge = build_edge(RR, FIG4A_RR)
+        (result,) = RR.find_prec(edge, Range.from_a1("C2"))
+        assert result == Range.from_a1("A2:B4")
+
+    def test_find_prec_sub_run(self):
+        edge = build_edge(RR, FIG4A_RR)
+        (result,) = RR.find_prec(edge, Range.from_a1("C2:C3"))
+        assert result == Range.from_a1("A2:B5")
+
+    def test_remove_dep_middle_split(self):
+        edge = build_edge(RR, FIG4A_RR)
+        pieces = RR.remove_dep(edge, Range.from_a1("C2"))
+        by_dep = {p.dep.to_a1(): p for p in pieces}
+        assert set(by_dep) == {"C1", "C3:C4"}
+        assert by_dep["C1"].pattern is SINGLE
+        assert by_dep["C1"].prec == Range.from_a1("A1:B3")
+        assert by_dep["C3:C4"].pattern is RR
+        assert by_dep["C3:C4"].prec == Range.from_a1("A3:B6")
+
+    def test_remove_dep_all(self):
+        edge = build_edge(RR, FIG4A_RR)
+        assert RR.remove_dep(edge, Range.from_a1("C1:C4")) == []
+
+    def test_row_wise_run(self):
+        edge = build_edge(RR, [("A1", "A2"), ("B1", "B2"), ("C1", "C2")])
+        assert edge.dep == Range.from_a1("A2:C2")
+        (result,) = RR.find_dep(edge, Range.from_a1("B1"))
+        assert result == Range.from_a1("B2")
+
+    def test_grow_upwards(self):
+        edge = build_edge(RR, [("A3:B5", "C3"), ("A2:B4", "C2"), ("A1:B3", "C1")])
+        assert edge.dep == Range.from_a1("C1:C3")
+        assert edge.prec == Range.from_a1("A1:B5")
+
+
+class TestRF:
+    def test_fig4b_compression(self):
+        edge = build_edge(RF, FIG4B_RF)
+        assert edge.prec == Range.from_a1("A1:B4")
+        assert edge.dep == Range.from_a1("C1:C4")
+        h_rel, t_fix = edge.meta
+        assert h_rel == (-2, 0)
+        assert t_fix == (2, 4)  # cell B4
+
+    def test_rejects_moving_tail(self):
+        edge = build_edge(RF, FIG4B_RF[:2])
+        assert RF.try_merge(edge, dep("A3:B5", "C3")) is None
+
+    def test_find_dep_head_always_included(self):
+        edge = build_edge(RF, FIG4B_RF)
+        # B4 is in every (shrinking) window.
+        (result,) = RF.find_dep(edge, Range.from_a1("B4"))
+        assert result == Range.from_a1("C1:C4")
+
+    def test_find_dep_shrinks(self):
+        edge = build_edge(RF, FIG4B_RF)
+        # A2 is only in the windows of C1 and C2.
+        (result,) = RF.find_dep(edge, Range.from_a1("A2"))
+        assert result == Range.from_a1("C1:C2")
+
+    def test_find_prec(self):
+        edge = build_edge(RF, FIG4B_RF)
+        (result,) = RF.find_prec(edge, Range.from_a1("C3"))
+        assert result == Range.from_a1("A3:B4")
+        (result,) = RF.find_prec(edge, Range.from_a1("C2:C4"))
+        assert result == Range.from_a1("A2:B4")
+
+    def test_remove_dep(self):
+        edge = build_edge(RF, FIG4B_RF)
+        pieces = RF.remove_dep(edge, Range.from_a1("C1:C2"))
+        (piece,) = pieces
+        assert piece.dep == Range.from_a1("C3:C4")
+        assert piece.prec == Range.from_a1("A3:B4")
+        assert piece.pattern is RF
+
+
+class TestFR:
+    def test_fig4c_compression(self):
+        edge = build_edge(FR, FIG4C_FR)
+        assert edge.prec == Range.from_a1("A1:B3")
+        assert edge.dep == Range.from_a1("C1:C3")
+        h_fix, t_rel = edge.meta
+        assert h_fix == (1, 1)
+        assert t_rel == (-1, 0)
+
+    def test_rejects_moving_head(self):
+        edge = build_edge(FR, FIG4C_FR[:2])
+        assert FR.try_merge(edge, dep("A2:B3", "C3")) is None
+
+    def test_find_dep_expands(self):
+        edge = build_edge(FR, FIG4C_FR)
+        # B2 enters the windows of C2 and C3 only.
+        (result,) = FR.find_dep(edge, Range.from_a1("B2"))
+        assert result == Range.from_a1("C2:C3")
+        # A1 is in every window.
+        (result,) = FR.find_dep(edge, Range.from_a1("A1"))
+        assert result == Range.from_a1("C1:C3")
+
+    def test_find_prec(self):
+        edge = build_edge(FR, FIG4C_FR)
+        (result,) = FR.find_prec(edge, Range.from_a1("C2"))
+        assert result == Range.from_a1("A1:B2")
+        (result,) = FR.find_prec(edge, Range.from_a1("C1:C2"))
+        assert result == Range.from_a1("A1:B2")
+
+    def test_remove_dep(self):
+        edge = build_edge(FR, FIG4C_FR)
+        pieces = FR.remove_dep(edge, Range.from_a1("C2"))
+        by_dep = {p.dep.to_a1(): p for p in pieces}
+        assert by_dep["C1"].prec == Range.from_a1("A1:B1")
+        assert by_dep["C3"].prec == Range.from_a1("A1:B3")
+
+
+class TestFF:
+    def test_fig4d_compression(self):
+        edge = build_edge(FF, FIG4D_FF)
+        assert edge.prec == Range.from_a1("A1:B3")
+        assert edge.dep == Range.from_a1("C1:C3")
+        assert edge.meta == ((1, 1), (2, 3))
+
+    def test_rejects_different_prec(self):
+        edge = build_edge(FF, FIG4D_FF[:2])
+        assert FF.try_merge(edge, dep("A1:B4", "C3")) is None
+
+    def test_find_dep_is_everything(self):
+        edge = build_edge(FF, FIG4D_FF)
+        assert FF.find_dep(edge, Range.from_a1("B2")) == [Range.from_a1("C1:C3")]
+
+    def test_find_prec_is_fixed(self):
+        edge = build_edge(FF, FIG4D_FF)
+        assert FF.find_prec(edge, Range.from_a1("C2")) == [Range.from_a1("A1:B3")]
+
+    def test_remove_dep_keeps_prec(self):
+        edge = build_edge(FF, FIG4D_FF)
+        pieces = FF.remove_dep(edge, Range.from_a1("C3"))
+        (piece,) = pieces
+        assert piece.prec == Range.from_a1("A1:B3")
+        assert piece.dep == Range.from_a1("C1:C2")
+        assert piece.pattern is FF
+
+
+@pytest.mark.parametrize(
+    "pattern,raw",
+    [(RR, FIG4A_RR), (RF, FIG4B_RF), (FR, FIG4C_FR), (FF, FIG4D_FF)],
+    ids=["RR", "RF", "FR", "FF"],
+)
+class TestReconstruction:
+    def test_member_dependencies_round_trip(self, pattern, raw):
+        edge = build_edge(pattern, raw)
+        reconstructed = {
+            (d.prec.to_a1(), d.dep.to_a1()) for d in pattern.member_dependencies(edge)
+        }
+        assert reconstructed == {(p, d) for p, d in raw}
+
+    def test_find_dep_matches_brute_force(self, pattern, raw):
+        edge = build_edge(pattern, raw)
+        members = [(Range.from_a1(p), Range.from_a1(d)) for p, d in raw]
+        for probe_cell in edge.prec.cell_ranges():
+            got = set()
+            for rng in pattern.find_dep(edge, probe_cell):
+                got |= set(rng.cells())
+            expected = {
+                dep_rng.head for prec_rng, dep_rng in members if prec_rng.overlaps(probe_cell)
+            }
+            assert got == expected, f"probe {probe_cell.to_a1()}"
+
+    def test_find_prec_matches_brute_force(self, pattern, raw):
+        edge = build_edge(pattern, raw)
+        members = {d: p for p, d in raw}
+        for dep_a1, prec_a1 in members.items():
+            got = pattern.find_prec(edge, Range.from_a1(dep_a1))
+            assert got == [Range.from_a1(prec_a1)]

@@ -1,0 +1,153 @@
+"""Unit tests for RR-Chain (paper Sec. V, Fig. 9) and RR-GapOne."""
+
+from repro.core.patterns import RR_CHAIN, RR_GAPONE, SINGLE
+from repro.core.patterns.base import CompressedEdge
+from repro.grid.range import Range
+from repro.sheet.sheet import Dependency
+
+
+def single(prec: str, dep: str) -> CompressedEdge:
+    return CompressedEdge(Range.from_a1(prec), Range.from_a1(dep), SINGLE, None)
+
+
+def dep(prec: str, dep_cell: str) -> Dependency:
+    return Dependency(Range.from_a1(prec), Range.from_a1(dep_cell))
+
+
+def build_chain(raw):
+    edge = single(*raw[0])
+    for prec, dep_cell in raw[1:]:
+        merged = (
+            RR_CHAIN.try_pair(edge, dep(prec, dep_cell))
+            if edge.pattern is SINGLE
+            else RR_CHAIN.try_merge(edge, dep(prec, dep_cell))
+        )
+        assert merged is not None
+        edge = merged
+    return edge
+
+
+# Fig. 9: A2=A1+1, A3=A2+1, A4=A3+1.
+FIG9 = [("A1", "A2"), ("A2", "A3"), ("A3", "A4")]
+
+
+class TestChainAbove:
+    def test_fig9_compression(self):
+        edge = build_chain(FIG9)
+        assert edge.prec == Range.from_a1("A1:A3")
+        assert edge.dep == Range.from_a1("A2:A4")
+        assert edge.meta == (0, -1)  # l = ABOVE
+
+    def test_find_dep_is_transitive(self):
+        edge = build_chain(FIG9)
+        # Paper: dependents of A2 within the edge = A3:A4 in one step.
+        (result,) = RR_CHAIN.find_dep(edge, Range.from_a1("A2"))
+        assert result == Range.from_a1("A3:A4")
+        (result,) = RR_CHAIN.find_dep(edge, Range.from_a1("A1"))
+        assert result == Range.from_a1("A2:A4")
+
+    def test_find_prec_is_transitive(self):
+        edge = build_chain(FIG9)
+        (result,) = RR_CHAIN.find_prec(edge, Range.from_a1("A4"))
+        assert result == Range.from_a1("A1:A3")
+        (result,) = RR_CHAIN.find_prec(edge, Range.from_a1("A3"))
+        assert result == Range.from_a1("A1:A2")
+
+    def test_remove_dep_uses_direct_precedents(self):
+        edge = build_chain(FIG9)
+        pieces = RR_CHAIN.remove_dep(edge, Range.from_a1("A3"))
+        by_dep = {p.dep.to_a1(): p for p in pieces}
+        assert by_dep["A2"].pattern is SINGLE
+        assert by_dep["A2"].prec == Range.from_a1("A1")
+        assert by_dep["A4"].pattern is SINGLE
+        assert by_dep["A4"].prec == Range.from_a1("A3")
+
+    def test_member_dependencies(self):
+        edge = build_chain(FIG9)
+        got = {(d.prec.to_a1(), d.dep.to_a1()) for d in RR_CHAIN.member_dependencies(edge)}
+        assert got == set(FIG9)
+
+
+class TestChainDirections:
+    def test_below(self):
+        edge = build_chain([("A3", "A2"), ("A2", "A1")])
+        assert edge.meta == (0, 1)
+        (result,) = RR_CHAIN.find_dep(edge, Range.from_a1("A3"))
+        assert result == Range.from_a1("A1:A2")
+        (result,) = RR_CHAIN.find_prec(edge, Range.from_a1("A1"))
+        assert result == Range.from_a1("A2:A3")
+
+    def test_left(self):
+        edge = build_chain([("A1", "B1"), ("B1", "C1"), ("C1", "D1")])
+        assert edge.meta == (-1, 0)
+        (result,) = RR_CHAIN.find_dep(edge, Range.from_a1("B1"))
+        assert result == Range.from_a1("C1:D1")
+
+    def test_right(self):
+        edge = build_chain([("D1", "C1"), ("C1", "B1")])
+        assert edge.meta == (1, 0)
+        (result,) = RR_CHAIN.find_dep(edge, Range.from_a1("D1"))
+        assert result == Range.from_a1("B1:C1")
+
+
+class TestChainRejections:
+    def test_non_unit_reference_is_not_chain(self):
+        edge = single("A1:B1", "C1")
+        assert RR_CHAIN.try_pair(edge, dep("A2:B2", "C2")) is None
+
+    def test_unit_but_not_adjacent_reference(self):
+        # Each cell references the cell two above: RR, not a chain.
+        edge = single("A1", "A3")
+        assert RR_CHAIN.try_pair(edge, dep("A2", "A4")) is None
+
+    def test_perpendicular_unit_refs_are_not_chain(self):
+        # A2=A1, B2=B1: vertical references merged horizontally -> plain RR.
+        edge = single("A1", "A2")
+        assert RR_CHAIN.try_pair(edge, dep("B1", "B2")) is None
+
+    def test_direction_mismatch(self):
+        edge = build_chain(FIG9[:2])
+        assert RR_CHAIN.try_merge(edge, dep("A5", "A4")) is None
+
+
+class TestGapOne:
+    def test_pair_and_merge_stride_two(self):
+        edge = single("A1", "B1")
+        merged = RR_GAPONE.try_pair(edge, dep("A3", "B3"))
+        assert merged is not None
+        assert merged.dep == Range.from_a1("B1:B3")
+        merged = RR_GAPONE.try_merge(merged, dep("A5", "B5"))
+        assert merged.dep == Range.from_a1("B1:B5")
+        assert merged.member_count == 3
+
+    def test_member_cells_respect_parity(self):
+        edge = single("A1", "B1")
+        edge = RR_GAPONE.try_pair(edge, dep("A3", "B3"))
+        edge = RR_GAPONE.try_merge(edge, dep("A5", "B5"))
+        assert RR_GAPONE.member_cells(edge) == [(2, 1), (2, 3), (2, 5)]
+
+    def test_find_dep_skips_gap_rows(self):
+        edge = single("A1", "B1")
+        edge = RR_GAPONE.try_pair(edge, dep("A3", "B3"))
+        edge = RR_GAPONE.try_merge(edge, dep("A5", "B5"))
+        assert RR_GAPONE.find_dep(edge, Range.from_a1("A3")) == [Range.from_a1("B3")]
+        assert RR_GAPONE.find_dep(edge, Range.from_a1("A2")) == []
+
+    def test_adjacent_cell_rejected(self):
+        edge = single("A1", "B1")
+        assert RR_GAPONE.try_pair(edge, dep("A2", "B2")) is None
+
+    def test_remove_dep_regroups_runs(self):
+        edge = single("A1", "B1")
+        edge = RR_GAPONE.try_pair(edge, dep("A3", "B3"))
+        edge = RR_GAPONE.try_merge(edge, dep("A5", "B5"))
+        edge = RR_GAPONE.try_merge(edge, dep("A7", "B7"))
+        pieces = RR_GAPONE.remove_dep(edge, Range.from_a1("B3"))
+        kinds = sorted((p.pattern.name, p.dep.to_a1()) for p in pieces)
+        assert kinds == [("RR-GapOne", "B5:B7"), ("Single", "B1")]
+
+    def test_reconstruction(self):
+        edge = single("A1", "B1")
+        edge = RR_GAPONE.try_pair(edge, dep("A3", "B3"))
+        got = {(d.prec.to_a1(), d.dep.to_a1()) for d in RR_GAPONE.member_dependencies(edge)}
+        assert got == {("A1", "B1"), ("A3", "B3")}

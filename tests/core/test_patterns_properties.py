@@ -1,0 +1,160 @@
+"""Property-based tests for pattern key-function algebra.
+
+For randomly generated runs under each basic pattern, the O(1)
+``find_dep`` / ``find_prec`` formulas must agree with brute-force
+enumeration of the member dependencies, and ``remove_dep`` must behave
+like set subtraction on the members.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.patterns import FF, FR, RF, RR, RR_CHAIN, SINGLE
+from repro.core.patterns.base import CompressedEdge
+from repro.grid.range import Range
+from repro.sheet.sheet import Dependency
+
+
+@st.composite
+def rr_edges(draw):
+    """A random column-wise RR run and its member dependencies."""
+    h_p = draw(st.integers(-4, -1))
+    h_q = draw(st.integers(-3, 3))
+    t_p = draw(st.integers(h_p, -1))
+    t_q = draw(st.integers(h_q, h_q + 4))
+    col = draw(st.integers(6, 10))
+    start = draw(st.integers(max(1, 1 - h_q, 1 - t_q) + 3, 12))
+    length = draw(st.integers(2, 8))
+    members = []
+    for i in range(length):
+        row = start + i
+        prec = Range(col + h_p, row + h_q, col + t_p, row + t_q)
+        members.append(Dependency(prec, Range.cell(col, row)))
+    return members
+
+
+@st.composite
+def fr_edges(draw):
+    col = draw(st.integers(5, 9))
+    head = (draw(st.integers(1, 3)), draw(st.integers(1, 3)))
+    # The relative tail column must not cross left of the fixed head.
+    t_p = draw(st.integers(head[0] - col, -1))
+    start = max(head[1] + 1, 4)
+    length = draw(st.integers(2, 8))
+    members = []
+    for i in range(length):
+        row = start + i
+        prec = Range(head[0], head[1], col + t_p, row)
+        members.append(Dependency(prec, Range.cell(col, row)))
+    return members
+
+
+def build(pattern, members):
+    edge = CompressedEdge(members[0].prec, members[0].dep, SINGLE, None)
+    for dep in members[1:]:
+        merged = (
+            pattern.try_pair(edge, dep)
+            if edge.pattern is SINGLE
+            else pattern.try_merge(edge, dep)
+        )
+        assert merged is not None
+        edge = merged
+    return edge
+
+
+def brute_force_dependents(members, probe: Range) -> set:
+    return {m.dep.head for m in members if m.prec.overlaps(probe)}
+
+
+@st.composite
+def probes_in(draw, bounds: Range):
+    c1 = draw(st.integers(bounds.c1, bounds.c2))
+    r1 = draw(st.integers(bounds.r1, bounds.r2))
+    c2 = draw(st.integers(c1, bounds.c2))
+    r2 = draw(st.integers(r1, bounds.r2))
+    return Range(c1, r1, c2, r2)
+
+
+@given(rr_edges(), st.data())
+@settings(max_examples=120)
+def test_rr_find_dep_matches_brute_force(members, data):
+    edge = build(RR, members)
+    probe = data.draw(probes_in(edge.prec))
+    got = set()
+    for rng in RR.find_dep(edge, probe):
+        got |= set(rng.cells())
+    assert got == brute_force_dependents(members, probe)
+
+
+@given(rr_edges(), st.data())
+@settings(max_examples=80)
+def test_rr_find_prec_is_union_of_windows(members, data):
+    edge = build(RR, members)
+    sub = data.draw(probes_in(edge.dep))
+    (got,) = RR.find_prec(edge, sub)
+    expected = None
+    for member in members:
+        if sub.overlaps(member.dep):
+            expected = member.prec if expected is None else expected.bounding(member.prec)
+    assert got == expected
+
+
+@given(fr_edges(), st.data())
+@settings(max_examples=100)
+def test_fr_find_dep_matches_brute_force(members, data):
+    edge = build(FR, members)
+    probe = data.draw(probes_in(edge.prec))
+    got = set()
+    for rng in FR.find_dep(edge, probe):
+        got |= set(rng.cells())
+    assert got == brute_force_dependents(members, probe)
+
+
+@given(rr_edges(), st.data())
+@settings(max_examples=80)
+def test_rr_remove_dep_is_set_subtraction(members, data):
+    edge = build(RR, members)
+    victim = data.draw(probes_in(edge.dep))
+    pieces = RR.remove_dep(edge, victim)
+    surviving = set()
+    for piece in pieces:
+        for dep in piece.pattern.member_dependencies(piece):
+            surviving.add((dep.prec.as_tuple(), dep.dep.head))
+    expected = {
+        (m.prec.as_tuple(), m.dep.head)
+        for m in members
+        if not victim.overlaps(m.dep)
+    }
+    assert surviving == expected
+
+
+@given(st.integers(3, 20), st.integers(1, 5), st.data())
+@settings(max_examples=60)
+def test_chain_transitive_closure(length, col, data):
+    members = [
+        Dependency(Range.cell(col, row), Range.cell(col, row + 1))
+        for row in range(1, length)
+    ]
+    edge = build(RR_CHAIN, members)
+    probe_row = data.draw(st.integers(1, length - 1))
+    (got,) = RR_CHAIN.find_dep(edge, Range.cell(col, probe_row))
+    # Transitive closure within the chain: all rows strictly below probe.
+    assert got == Range(col, probe_row + 1, col, length)
+    (prec,) = RR_CHAIN.find_prec(edge, Range.cell(col, probe_row + 1))
+    assert prec == Range(col, 1, col, probe_row)
+
+
+@given(st.integers(2, 8), st.data())
+@settings(max_examples=60)
+def test_ff_members_identical(count, data):
+    prec = Range(1, 1, 2, 3)
+    col = data.draw(st.integers(5, 9))
+    start = data.draw(st.integers(1, 10))
+    members = [
+        Dependency(prec, Range.cell(col, start + i)) for i in range(count)
+    ]
+    edge = build(FF, members)
+    assert edge.prec == prec
+    assert FF.find_dep(edge, Range.cell(1, 2)) == [edge.dep]
+    for member in members:
+        assert FF.find_prec(edge, member.dep) == [prec]

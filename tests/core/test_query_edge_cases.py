@@ -1,0 +1,113 @@
+"""Edge-case tests for compressed-graph queries."""
+
+import pytest
+
+from repro.core.taco_graph import TacoGraph
+from repro.graphs.base import Budget, DNFError, expand_cells, total_cells
+from repro.grid.range import Range
+from repro.sheet.autofill import fill_formula_row
+from repro.sheet.sheet import Dependency, Sheet
+
+
+def dep(prec: str, dep_cell: str) -> Dependency:
+    return Dependency(Range.from_a1(prec), Range.from_a1(dep_cell))
+
+
+class TestRowWiseOrientation:
+    def test_row_wise_run_query(self):
+        sheet = Sheet("row")
+        for c in range(1, 31):
+            sheet.set_value((c, 1), float(c))
+        fill_formula_row(sheet, 2, 1, 30, "=A1*2")
+        graph = TacoGraph.full()
+        graph.build(list(sheet.iter_dependencies()))
+        assert len(graph) == 1
+        (edge,) = graph.edges()
+        assert edge.dep.is_row_slice
+        result = expand_cells(graph.find_dependents(Range.from_a1("E1")))
+        assert result == {(5, 2)}
+
+    def test_horizontal_chain(self):
+        graph = TacoGraph.full()
+        for c in range(1, 40):
+            graph.add_dependency(
+                Dependency(Range.cell(c, 1), Range.cell(c + 1, 1))
+            )
+        (edge,) = graph.edges()
+        assert edge.pattern.name == "RR-Chain"
+        assert total_cells(graph.find_dependents(Range.from_a1("A1"))) == 39
+
+    def test_mixed_orientations_coexist(self):
+        graph = TacoGraph.full()
+        for i in range(1, 6):
+            graph.add_dependency(dep(f"A{i}", f"C{i}"))            # vertical
+            graph.add_dependency(
+                Dependency(Range.cell(4 + i, 9), Range.cell(4 + i, 10))
+            )                                                       # horizontal RR
+        assert len(graph) == 2
+
+
+class TestBudgets:
+    def test_taco_query_respects_budget(self):
+        graph = TacoGraph.full()
+        # Many separate noise edges, so the BFS does real work.
+        for i in range(400):
+            graph.add_dependency(dep(f"A{2 * i + 1}", f"C{2 * i + 1}"))
+        budget = Budget(0.0, "taco query", check_every=1)
+        with pytest.raises(DNFError):
+            graph.find_dependents(Range(1, 1, 1, 801), budget)
+
+    def test_maintenance_respects_budget(self):
+        graph = TacoGraph.full()
+        for i in range(400):
+            graph.add_dependency(dep(f"A{2 * i + 1}", f"C{2 * i + 1}"))
+        budget = Budget(0.0, "taco clear", check_every=1)
+        with pytest.raises(DNFError):
+            graph.clear_cells(Range(3, 1, 3, 801), budget)
+
+
+class TestDiamondAndOverlap:
+    def test_diamond_counted_once(self):
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1", "B1"))
+        graph.add_dependency(dep("A1", "B2"))
+        graph.add_dependency(dep("B1:B2", "C1"))
+        result = expand_cells(graph.find_dependents(Range.from_a1("A1")))
+        assert result == {(2, 1), (2, 2), (3, 1)}
+
+    def test_overlapping_precedent_vertices(self):
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1:A5", "C1"))
+        graph.add_dependency(dep("A3:A8", "D1"))
+        result = expand_cells(graph.find_dependents(Range.from_a1("A4")))
+        assert result == {(3, 1), (4, 1)}
+        result = expand_cells(graph.find_dependents(Range.from_a1("A1")))
+        assert result == {(3, 1)}
+
+    def test_self_overlapping_query_range(self):
+        graph = TacoGraph.full()
+        for i in range(1, 20):
+            graph.add_dependency(dep(f"A{i}", f"A{i + 1}"))
+        # Query a range inside the chain: its own cells reappear as
+        # dependents of earlier cells, and must be reported.
+        result = expand_cells(graph.find_dependents(Range.from_a1("A5:A10")))
+        assert result == {(1, r) for r in range(6, 21)}
+
+    def test_wide_2d_precedent_block(self):
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1:J20", "M1"))
+        result = expand_cells(graph.find_dependents(Range.from_a1("C7:D9")))
+        assert result == {(13, 1)}
+
+
+class TestQueryStats:
+    def test_edge_access_accounting(self):
+        graph = TacoGraph.full()
+        for i in range(1, 30):
+            graph.add_dependency(dep(f"A{i}:B{i + 1}", f"C{i}"))
+        graph.query_stats.edge_accesses = 0
+        graph.find_dependents(Range.from_a1("A10"))
+        assert graph.query_stats.edge_accesses >= 1
+        stats = graph.stats()
+        assert stats.edges == 1
+        assert stats.vertices == 2

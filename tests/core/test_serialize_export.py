@@ -1,0 +1,126 @@
+"""Unit tests for graph serialization and visualisation export."""
+
+import io
+import json
+
+import pytest
+
+from helpers import build_fig2_sheet, build_graph_pair, build_mixed_sheet
+
+from repro.core.export import summarize_graph, to_adjacency_json, to_dot
+from repro.core.serialize import (
+    GraphFormatError,
+    dump_graph,
+    dumps_graph,
+    load_graph,
+    loads_graph,
+)
+from repro.graphs.base import expand_cells
+from repro.grid.range import Range
+
+
+def dependency_set(graph) -> set:
+    return {(d.prec.as_tuple(), d.dep.head) for d in graph.decompress()}
+
+
+class TestRoundTrip:
+    def test_identity_on_edges(self):
+        taco, _ = build_graph_pair(build_mixed_sheet(seed=30))
+        restored = loads_graph(dumps_graph(taco))
+        assert len(restored) == len(taco)
+        assert dependency_set(restored) == dependency_set(taco)
+
+    def test_queries_survive(self):
+        taco, nocomp = build_graph_pair(build_fig2_sheet(rows=25))
+        restored = loads_graph(dumps_graph(taco))
+        probe = Range.from_a1("M5")
+        assert expand_cells(restored.find_dependents(probe)) == expand_cells(
+            nocomp.find_dependents(probe)
+        )
+
+    def test_maintenance_survives(self):
+        taco, _ = build_graph_pair(build_fig2_sheet(rows=25))
+        restored = loads_graph(dumps_graph(taco))
+        restored.clear_cells(Range.from_a1("N10:N12"))
+        # Each cleared Fig.2 formula cell carried four dependencies.
+        assert restored.raw_edge_count() == taco.raw_edge_count() - 12
+
+    def test_file_round_trip(self, tmp_path):
+        taco, _ = build_graph_pair(build_mixed_sheet(seed=31))
+        path = str(tmp_path / "graph.json")
+        dump_graph(taco, path)
+        assert dependency_set(load_graph(path)) == dependency_set(taco)
+
+    def test_stream_round_trip(self):
+        taco, _ = build_graph_pair(build_mixed_sheet(seed=32))
+        buffer = io.StringIO()
+        dump_graph(taco, buffer)
+        buffer.seek(0)
+        assert dependency_set(load_graph(buffer)) == dependency_set(taco)
+
+
+class TestValidation:
+    def test_not_json(self):
+        with pytest.raises(GraphFormatError):
+            loads_graph("not json {")
+
+    def test_wrong_header(self):
+        with pytest.raises(GraphFormatError):
+            loads_graph(json.dumps({"format": "something-else", "version": 1}))
+
+    def test_wrong_version(self):
+        with pytest.raises(GraphFormatError):
+            loads_graph(json.dumps({"format": "taco-graph", "version": 99, "edges": []}))
+
+    def test_unknown_pattern(self):
+        payload = {
+            "format": "taco-graph", "version": 1, "edge_count": 1,
+            "edges": [{"prec": "A1", "dep": "B1", "pattern": "Bogus", "meta": None}],
+        }
+        with pytest.raises(GraphFormatError):
+            loads_graph(json.dumps(payload))
+
+    def test_count_mismatch(self):
+        payload = {
+            "format": "taco-graph", "version": 1, "edge_count": 5,
+            "edges": [{"prec": "A1", "dep": "B1", "pattern": "Single", "meta": None}],
+        }
+        with pytest.raises(GraphFormatError):
+            loads_graph(json.dumps(payload))
+
+    def test_bad_range(self):
+        payload = {
+            "format": "taco-graph", "version": 1, "edge_count": 1,
+            "edges": [{"prec": "??", "dep": "B1", "pattern": "Single", "meta": None}],
+        }
+        with pytest.raises(GraphFormatError):
+            loads_graph(json.dumps(payload))
+
+
+class TestExport:
+    def test_dot_contains_pattern_annotations(self):
+        taco, _ = build_graph_pair(build_fig2_sheet(rows=20))
+        dot = to_dot(taco, title="fig2")
+        assert dot.startswith("digraph")
+        assert "RR-Chain x" in dot
+        assert '"fig2"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_dot_node_per_vertex(self):
+        taco, _ = build_graph_pair(build_fig2_sheet(rows=20))
+        dot = to_dot(taco)
+        assert dot.count("shape=box") == 1
+        assert dot.count(" -> ") == len(taco)
+
+    def test_adjacency_json(self):
+        taco, _ = build_graph_pair(build_fig2_sheet(rows=20))
+        payload = json.loads(to_adjacency_json(taco))
+        assert len(payload["edges"]) == len(taco)
+        assert sum(e["members"] for e in payload["edges"]) == taco.raw_edge_count()
+        assert all(v in payload["vertices"] for e in payload["edges"] for v in (e["prec"], e["dep"]))
+
+    def test_summary_text(self):
+        taco, _ = build_graph_pair(build_fig2_sheet(rows=20))
+        text = summarize_graph(taco)
+        assert "compressed into" in text
+        assert "RR-Chain" in text

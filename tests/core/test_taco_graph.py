@@ -1,0 +1,94 @@
+"""Unit tests for TacoGraph bookkeeping, variants, and statistics."""
+
+from helpers import build_fig2_sheet, build_mixed_sheet
+
+from repro.core.taco_graph import TacoGraph, build_from_sheet, dependencies_column_major
+from repro.graphs.nocomp import NoCompGraph
+from repro.grid.range import Range
+from repro.sheet.sheet import Dependency
+
+
+def dep(prec: str, dep_cell: str) -> Dependency:
+    return Dependency(Range.from_a1(prec), Range.from_a1(dep_cell))
+
+
+class TestStats:
+    def test_vertices_and_edges(self):
+        graph = TacoGraph.full()
+        for i in range(1, 6):
+            graph.add_dependency(dep(f"A{i}", f"C{i}"))
+        stats = graph.stats()
+        assert stats.edges == 1
+        assert stats.vertices == 2  # A1:A5 and C1:C5
+        assert graph.raw_edge_count() == 5
+
+    def test_shared_vertex_counted_once(self):
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1:A5", "C1"))
+        graph.add_dependency(dep("A1:A5", "E7"))
+        assert graph.stats().vertices == 3
+
+    def test_pattern_breakdown(self):
+        sheet = build_fig2_sheet(rows=30)
+        graph = build_from_sheet(sheet)
+        breakdown = graph.pattern_breakdown()
+        assert "RR" in breakdown and "RR-Chain" in breakdown
+        total_members = sum(info["members"] for info in breakdown.values())
+        assert total_members == graph.raw_edge_count()
+        for info in breakdown.values():
+            assert info["reduced"] == info["members"] - info["edges"]
+
+    def test_dependencies_column_major_order(self):
+        sheet = build_fig2_sheet(rows=10)
+        deps = dependencies_column_major(sheet)
+        keys = [(d.dep.c1, d.dep.r1) for d in deps]
+        assert keys == sorted(keys)
+
+
+class TestVariants:
+    def test_inrow_compresses_less(self):
+        sheet = build_mixed_sheet(seed=2)
+        deps = dependencies_column_major(sheet)
+        full = TacoGraph.full()
+        full.build(deps)
+        inrow = TacoGraph.inrow()
+        inrow.build(deps)
+        nocomp = NoCompGraph()
+        nocomp.build(deps)
+        assert len(full) <= len(inrow) <= nocomp.num_edges
+        assert inrow.name == "TACO-InRow"
+
+    def test_inrow_only_compresses_same_row_refs(self):
+        graph = TacoGraph.inrow()
+        # Derived column: compressible in-row.
+        for i in range(1, 5):
+            graph.add_dependency(dep(f"A{i}", f"C{i}"))
+        # Sliding window over other rows: not compressible in-row.
+        for i in range(1, 5):
+            graph.add_dependency(dep(f"A{i}:A{i + 1}", f"D{i}"))
+        by_dep = {e.dep.to_a1(): e.pattern.name for e in graph.edges()}
+        assert by_dep["C1:C4"] == "RR-InRow"
+        assert sum(1 for name in by_dep.values() if name == "Single") == 4
+
+    def test_build_from_sheet_default_is_full(self):
+        sheet = build_fig2_sheet(rows=12)
+        graph = build_from_sheet(sheet)
+        assert isinstance(graph, TacoGraph)
+        assert graph.raw_edge_count() == len(dependencies_column_major(sheet))
+
+
+class TestEdgeBookkeeping:
+    def test_replace_edge_updates_indexes(self):
+        graph = TacoGraph.full()
+        graph.add_dependency(dep("A1", "C1"))
+        graph.add_dependency(dep("A2", "C2"))  # merges, replacing the single
+        assert len(graph.prec_overlapping(Range.from_a1("A1"))) == 1
+        assert len(graph.dep_overlapping(Range.from_a1("C2"))) == 1
+        # The old single edge must be gone from the indexes.
+        assert len(graph.prec_overlapping(Range.from_a1("A1:A2"))) == 1
+
+    def test_len_counts_compressed_edges(self):
+        graph = TacoGraph.full()
+        for i in range(1, 10):
+            graph.add_dependency(dep(f"A{i}", f"C{i}"))
+        assert len(graph) == 1

@@ -1,0 +1,81 @@
+"""Unit tests for corpus generation: determinism, scaling, shape."""
+
+import pytest
+
+from repro.datasets.corpora import CORPUS_NAMES, corpus_specs, scale_factor
+from repro.datasets.generator import RegionSpec, SheetSpec, generate_sheet
+
+
+class TestSpecs:
+    def test_known_corpora(self):
+        for name in CORPUS_NAMES:
+            specs = corpus_specs(name, scale=0.3)
+            assert len(specs) >= 10
+            assert all(cs.corpus == name for cs in specs)
+
+    def test_unknown_corpus(self):
+        with pytest.raises(KeyError):
+            corpus_specs("reddit")
+
+    def test_specs_deterministic(self):
+        a = corpus_specs("enron", scale=0.3)
+        b = corpus_specs("enron", scale=0.3)
+        assert [cs.spec for cs in a] == [cs.spec for cs in b]
+
+    def test_scale_changes_sizes(self):
+        small = corpus_specs("github", scale=0.2)
+        large = corpus_specs("github", scale=1.0)
+        small_rows = sum(cs.spec.total_rows_hint() for cs in small)
+        large_rows = sum(cs.spec.total_rows_hint() for cs in large)
+        assert small_rows < large_rows
+
+    def test_scale_factor_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert scale_factor() == 0.5
+        monkeypatch.setenv("REPRO_SCALE", "garbage")
+        assert scale_factor() == 1.0
+        monkeypatch.setenv("REPRO_SCALE", "1000000")
+        assert scale_factor() == 100.0
+
+
+class TestGeneration:
+    def test_sheet_generation_deterministic(self):
+        spec = SheetSpec("t", (RegionSpec("sliding_window", 12), RegionSpec("chain", 8)), seed=5)
+        a, b = generate_sheet(spec), generate_sheet(spec)
+        assert len(a) == len(b)
+        deps_a = {(d.prec.to_a1(), d.dep.to_a1()) for d in a.iter_dependencies()}
+        deps_b = {(d.prec.to_a1(), d.dep.to_a1()) for d in b.iter_dependencies()}
+        assert deps_a == deps_b
+
+    def test_regions_do_not_overlap(self):
+        spec = SheetSpec(
+            "t",
+            (
+                RegionSpec("sliding_window", 10),
+                RegionSpec("fixed_lookup", 10),
+                RegionSpec("chain", 10),
+                RegionSpec("noise", 10),
+            ),
+            seed=1,
+        )
+        sheet = generate_sheet(spec)
+        # Every formula must parse and reference in-sheet cells only.
+        for _, cell in sheet.formula_cells():
+            assert cell.references  # parses without error
+
+    def test_unknown_region_kind_rejected(self):
+        spec = SheetSpec("t", (RegionSpec("bogus", 5),), seed=0)  # type: ignore[arg-type]
+        with pytest.raises(KeyError):
+            generate_sheet(spec)
+
+    def test_small_corpus_builds_and_compresses(self):
+        specs = corpus_specs("enron", scale=0.1)[:4]
+        from repro.core.taco_graph import TacoGraph, dependencies_column_major
+
+        for cs in specs:
+            sheet = cs.build()
+            deps = dependencies_column_major(sheet)
+            assert deps, cs.spec.name
+            graph = TacoGraph.full()
+            graph.build(deps)
+            assert len(graph) < len(deps)

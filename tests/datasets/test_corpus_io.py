@@ -1,0 +1,78 @@
+"""Unit tests for the real-file corpus profiling pipeline."""
+
+import os
+
+import pytest
+
+from repro.datasets.corpus_io import (
+    directory_summary,
+    iter_corpus_sheets,
+    profile_directory,
+    profile_file,
+)
+from repro.datasets.corpora import corpus_specs
+from repro.io.xlsx_writer import write_xlsx
+
+
+@pytest.fixture
+def corpus_dir(tmp_path):
+    """A directory of small generated xlsx files plus one broken file."""
+    for i, spec in enumerate(corpus_specs("enron", scale=0.08)[:4]):
+        write_xlsx(spec.build(), str(tmp_path / f"sheet{i}.xlsx"))
+    (tmp_path / "broken.xlsx").write_bytes(b"this is not a zip archive")
+    (tmp_path / "notes.txt").write_text("not a spreadsheet")
+    return str(tmp_path)
+
+
+class TestProfileFile:
+    def test_profile_counts(self, corpus_dir):
+        path = os.path.join(corpus_dir, "sheet0.xlsx")
+        profile = profile_file(path)
+        assert profile.ok
+        assert profile.sheets == 1
+        assert profile.formula_cells > 0
+        assert 0 < profile.compressed_edges < profile.dependencies
+        assert 0.0 < profile.remaining_fraction < 1.0
+
+    def test_profile_broken_file_reports_error(self, corpus_dir):
+        profile = profile_file(os.path.join(corpus_dir, "broken.xlsx"))
+        assert not profile.ok
+        assert profile.dependencies == 0
+
+
+class TestProfileDirectory:
+    def test_skips_non_xlsx(self, corpus_dir):
+        profiles = profile_directory(corpus_dir)
+        names = {os.path.basename(p.path) for p in profiles}
+        assert "notes.txt" not in {n for n in names}
+        assert len(profiles) == 5  # 4 good + 1 broken (reported)
+
+    def test_min_dependencies_filter(self, corpus_dir):
+        all_profiles = [p for p in profile_directory(corpus_dir) if p.ok]
+        threshold = max(p.dependencies for p in all_profiles)
+        filtered = [p for p in profile_directory(corpus_dir, threshold) if p.ok]
+        assert len(filtered) < len(all_profiles)
+
+    def test_directory_summary(self, corpus_dir):
+        profiles = profile_directory(corpus_dir)
+        summary = directory_summary(profiles)
+        assert summary["files"] == 5
+        assert summary["usable_files"] == 4
+        assert 0.0 < summary["remaining_fraction"] < 1.0
+
+
+class TestIterCorpusSheets:
+    def test_yields_parseable_sheets(self, corpus_dir):
+        items = list(iter_corpus_sheets(corpus_dir))
+        assert len(items) == 4
+        for path, sheet, deps in items:
+            assert path.endswith(".xlsx")
+            assert deps
+            assert sheet.formula_count > 0
+
+    def test_dependency_threshold(self, corpus_dir):
+        counts = [len(deps) for _, _, deps in iter_corpus_sheets(corpus_dir)]
+        threshold = max(counts)
+        kept = list(iter_corpus_sheets(corpus_dir, min_dependencies=threshold))
+        assert len(kept) >= 1
+        assert all(len(deps) >= threshold for _, _, deps in kept)

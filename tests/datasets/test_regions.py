@@ -1,0 +1,88 @@
+"""Unit tests: each region builder produces its intended pattern."""
+
+import random
+
+import pytest
+
+from repro.core.patterns.registry import extended_patterns
+from repro.core.taco_graph import TacoGraph, dependencies_column_major
+from repro.datasets.regions import REGION_BUILDERS, build_region
+from repro.sheet.sheet import Sheet
+
+
+def compress(sheet: Sheet, patterns=None) -> TacoGraph:
+    graph = TacoGraph.full() if patterns is None else TacoGraph(patterns=patterns)
+    graph.build(dependencies_column_major(sheet))
+    return graph
+
+
+def region_graph(kind: str, size: int = 20, patterns=None) -> TacoGraph:
+    sheet = Sheet("r")
+    build_region(sheet, kind, 1, 2, size, random.Random(0))
+    return compress(sheet, patterns)
+
+
+class TestRegionPatterns:
+    def test_sliding_window_is_rr(self):
+        graph = region_graph("sliding_window")
+        assert set(graph.pattern_breakdown()) == {"RR"}
+        assert len(graph) == 1
+
+    def test_derived_column_is_rr_pair(self):
+        graph = region_graph("derived_column")
+        breakdown = graph.pattern_breakdown()
+        assert set(breakdown) == {"RR"}
+        assert breakdown["RR"]["edges"] == 2  # one per referenced column
+
+    def test_running_total_is_fr(self):
+        graph = region_graph("running_total")
+        assert set(graph.pattern_breakdown()) == {"FR"}
+
+    def test_shrinking_window_is_rf(self):
+        graph = region_graph("shrinking_window")
+        assert set(graph.pattern_breakdown()) == {"RF"}
+
+    def test_fixed_lookup_has_ff_and_rr(self):
+        graph = region_graph("fixed_lookup")
+        assert set(graph.pattern_breakdown()) == {"FF", "RR"}
+
+    def test_chain_region_has_chain(self):
+        graph = region_graph("chain")
+        assert "RR-Chain" in graph.pattern_breakdown()
+
+    def test_fig2_region_mix(self):
+        graph = region_graph("fig2", size=30)
+        breakdown = graph.pattern_breakdown()
+        assert "RR-Chain" in breakdown and "RR" in breakdown
+        # Four reference columns compress to a handful of edges.
+        assert len(graph) <= 6
+
+    def test_row_wise_region(self):
+        graph = region_graph("row_wise", size=15)
+        (name,) = set(graph.pattern_breakdown())
+        assert name == "RR"
+        (edge,) = graph.edges()
+        assert edge.dep.is_row_slice
+
+    def test_noise_stays_single(self):
+        graph = region_graph("noise", size=25)
+        assert set(graph.pattern_breakdown()) == {"Single"}
+
+    def test_gapone_single_by_default(self):
+        graph = region_graph("gapone", size=12)
+        assert set(graph.pattern_breakdown()) == {"Single"}
+
+    def test_gapone_compresses_with_extension(self):
+        graph = region_graph("gapone", size=12, patterns=extended_patterns())
+        assert "RR-GapOne" in graph.pattern_breakdown()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            build_region(Sheet(), "bogus", 1, 1, 5, random.Random(0))
+
+    @pytest.mark.parametrize("kind", sorted(REGION_BUILDERS))
+    def test_all_regions_produce_formulas(self, kind):
+        sheet = Sheet("r")
+        count = build_region(sheet, kind, 1, 2, 10, random.Random(1))
+        assert count > 0
+        assert sheet.formula_count > 0

@@ -1,0 +1,97 @@
+"""Unit tests for workload statistics (Fig. 1 machinery)."""
+
+import pytest
+
+from helpers import build_fig2_sheet, build_graph_pair
+
+from repro.datasets.stats import longest_path, max_dependents, profile_sheet
+from repro.graphs.nocomp import NoCompGraph
+from repro.grid.range import Range
+from repro.sheet.sheet import Dependency, Sheet
+
+
+def dep(prec: str, dep_cell: str) -> Dependency:
+    return Dependency(Range.from_a1(prec), Range.from_a1(dep_cell))
+
+
+class TestLongestPath:
+    def test_empty_graph(self):
+        graph = NoCompGraph()
+        _, length = longest_path(graph)
+        assert length == 0
+
+    def test_single_edge(self):
+        graph = NoCompGraph()
+        graph.add_dependency(dep("A1", "B1"))
+        cell, length = longest_path(graph)
+        assert length == 1 and cell == Range.from_a1("A1")
+
+    def test_chain_length(self):
+        graph = NoCompGraph()
+        for i in range(1, 51):
+            graph.add_dependency(dep(f"A{i}", f"A{i + 1}"))
+        cell, length = longest_path(graph)
+        assert length == 50
+        assert cell == Range.from_a1("A1")
+
+    def test_branching_takes_longest(self):
+        graph = NoCompGraph()
+        graph.add_dependency(dep("A1", "B1"))        # short branch
+        for i in range(1, 11):
+            graph.add_dependency(dep(f"C{i}", f"C{i + 1}"))
+        _, length = longest_path(graph)
+        assert length == 10
+
+    def test_range_overlap_counts_as_adjacency(self):
+        graph = NoCompGraph()
+        graph.add_dependency(dep("A1", "B2"))
+        graph.add_dependency(dep("B1:B3", "C1"))  # B2 inside prec
+        _, length = longest_path(graph)
+        assert length == 2
+
+    def test_cycle_detected(self):
+        graph = NoCompGraph()
+        graph.add_dependency(dep("A1", "B1"))
+        graph.add_dependency(dep("B1", "A1"))
+        with pytest.raises(ValueError):
+            longest_path(graph)
+
+
+class TestMaxDependents:
+    def test_fig2_root_found(self):
+        sheet = build_fig2_sheet(rows=40)
+        taco, nocomp = build_graph_pair(sheet)
+        cell, count = max_dependents(taco)
+        # The head of the chain dominates: nearly all of column N depends
+        # on early M/N cells.
+        assert count >= 39
+        from repro.graphs.base import expand_cells
+
+        assert len(expand_cells(nocomp.find_dependents(cell))) == count
+
+    def test_empty_graph(self):
+        from repro.core.taco_graph import TacoGraph
+
+        cell, count = max_dependents(TacoGraph.full())
+        assert count == 0
+
+
+class TestProfile:
+    def test_profile_fields(self):
+        sheet = build_fig2_sheet(rows=25)
+        taco, nocomp = build_graph_pair(sheet)
+        profile = profile_sheet(sheet, taco, nocomp)
+        assert profile.name == "fig2"
+        assert profile.formula_cells == 24
+        assert profile.raw_dependencies == nocomp.num_edges
+        assert profile.max_dependents > 0
+        assert profile.longest_path >= 23  # the N-column chain
+
+    def test_profile_on_trivial_sheet(self):
+        sheet = Sheet("t")
+        sheet.set_value("A1", 1.0)
+        sheet.set_formula("B1", "=A1")
+        taco, nocomp = build_graph_pair(sheet)
+        profile = profile_sheet(sheet, taco, nocomp)
+        assert profile.max_dependents == 1
+        assert profile.longest_path == 1

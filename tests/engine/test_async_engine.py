@@ -1,0 +1,99 @@
+"""Unit tests for the asynchronous (DataSpread-style) execution model."""
+
+from helpers import build_fig2_sheet
+
+from repro.engine.async_engine import AsyncRecalcEngine
+from repro.engine.recalc import RecalcEngine
+from repro.formula.errors import CYCLE_ERROR
+from repro.sheet.sheet import Sheet
+
+
+def build_chain_sheet(rows: int = 40) -> Sheet:
+    sheet = Sheet("chain")
+    sheet.set_value("A1", 1.0)
+    sheet.set_formula("B1", "=A1")
+    for r in range(2, rows + 1):
+        sheet.set_formula((2, r), f"=B{r - 1}+1")
+    return sheet
+
+
+class TestControlReturn:
+    def test_update_returns_before_computation(self):
+        engine = AsyncRecalcEngine(build_chain_sheet())
+        RecalcEngine(engine.sheet, engine.graph).recalculate_all()
+        ticket = engine.set_value("A1", 100.0)
+        assert ticket.dirty_count == 40
+        # Nothing recomputed yet: the chain tail still shows a stale value.
+        view = engine.read("B40")
+        assert view.is_dirty
+        assert view.value == 40.0
+
+    def test_ticket_reports_dirty_ranges(self):
+        engine = AsyncRecalcEngine(build_chain_sheet())
+        ticket = engine.set_value("A1", 5.0)
+        assert ticket.dirty_ranges
+        assert ticket.control_return_seconds >= 0
+
+
+class TestStepping:
+    def test_step_respects_dependency_order(self):
+        engine = AsyncRecalcEngine(build_chain_sheet(rows=10))
+        engine.set_value("A1", 100.0)
+        # One step of one cell can only compute B1 (everything else is
+        # blocked on a dirty precedent).
+        assert engine.step(max_cells=1) == 1
+        assert not engine.is_dirty("B1")
+        assert engine.is_dirty("B2")
+        assert engine.read("B1").value == 100.0
+
+    def test_drain_computes_everything(self):
+        engine = AsyncRecalcEngine(build_chain_sheet(rows=25))
+        engine.set_value("A1", 100.0)
+        total = engine.drain(batch=7)
+        assert total == 25
+        assert engine.pending == 0
+        assert engine.read("B25") == (124.0, False)
+
+    def test_async_matches_synchronous_engine(self):
+        async_engine = AsyncRecalcEngine(build_fig2_sheet(rows=30))
+        async_engine.set_value((13, 2), 999.0)
+        async_engine.drain()
+
+        sync_sheet = build_fig2_sheet(rows=30)
+        sync_engine = RecalcEngine(sync_sheet)
+        sync_engine.recalculate_all()
+        sync_engine.set_value((13, 2), 999.0)
+
+        async_values = {
+            pos: cell.value for pos, cell in async_engine.sheet.formula_cells()
+        }
+        sync_values = {pos: cell.value for pos, cell in sync_sheet.formula_cells()}
+        assert async_values == sync_values
+
+    def test_formula_update_marks_self_dirty(self):
+        engine = AsyncRecalcEngine(build_chain_sheet(rows=5))
+        engine.set_formula("C1", "=B5*10")
+        assert engine.is_dirty("C1")
+        engine.drain()
+        assert not engine.is_dirty("C1")
+
+    def test_steps_make_monotonic_progress(self):
+        engine = AsyncRecalcEngine(build_chain_sheet(rows=30))
+        engine.set_value("A1", 0.0)
+        seen = []
+        while engine.pending:
+            engine.step(max_cells=5)
+            seen.append(engine.pending)
+        assert seen == sorted(seen, reverse=True)
+
+
+class TestCycles:
+    def test_cycle_surfaces_and_terminates(self):
+        sheet = Sheet("cyc")
+        sheet.set_formula("A1", "=B1")
+        sheet.set_formula("B1", "=A1")
+        engine = AsyncRecalcEngine(sheet)
+        engine.set_formula("A1", "=B1+1")
+        engine.drain()
+        assert engine.pending == 0
+        assert engine.read("B1").value == CYCLE_ERROR

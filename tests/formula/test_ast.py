@@ -1,0 +1,90 @@
+"""Unit tests for AST node behaviour (walk order, equality, rendering)."""
+
+from repro.formula.ast_nodes import (
+    BinaryOp,
+    Boolean,
+    CellNode,
+    ErrorLiteral,
+    FunctionCall,
+    Number,
+    RangeNode,
+    String,
+    UnaryOp,
+    walk,
+)
+from repro.formula.parser import parse_formula
+from repro.grid.ref import CellRef
+
+
+class TestWalk:
+    def test_preorder(self):
+        ast = parse_formula("=SUM(A1,B2+C3)")
+        kinds = [type(node).__name__ for node in walk(ast)]
+        assert kinds == ["FunctionCall", "CellNode", "BinaryOp", "CellNode", "CellNode"]
+
+    def test_leaf(self):
+        assert [n for n in walk(Number(1.0))] == [Number(1.0)]
+
+
+class TestEqualityAndHash:
+    def test_structural_equality(self):
+        assert parse_formula("=A1+B2") == parse_formula("=A1+B2")
+        assert parse_formula("=A1+B2") != parse_formula("=A1+B3")
+
+    def test_type_sensitive(self):
+        assert Number(1.0) != String("1")
+
+    def test_hashable(self):
+        seen = {parse_formula("=A1"), parse_formula("=A1"), parse_formula("=A2")}
+        assert len(seen) == 2
+
+
+class TestRendering:
+    def test_number_integral(self):
+        assert Number(42.0).to_formula() == "42"
+        assert Number(2.5).to_formula() == "2.5"
+
+    def test_string_escaping(self):
+        assert String('say "hi"').to_formula() == '"say ""hi"""'
+
+    def test_boolean(self):
+        assert Boolean(True).to_formula() == "TRUE"
+
+    def test_error(self):
+        assert ErrorLiteral("#N/A").to_formula() == "#N/A"
+
+    def test_sheet_prefix_quoting(self):
+        node = CellNode(CellRef.from_a1("A1"), sheet="My Sheet")
+        assert node.to_formula() == "'My Sheet'!A1"
+        node = CellNode(CellRef.from_a1("A1"), sheet="Data2")
+        assert node.to_formula() == "Data2!A1"
+
+    def test_range_with_sheet(self):
+        node = RangeNode(CellRef.from_a1("A1"), CellRef.from_a1("B2"), sheet="S")
+        assert node.to_formula() == "S!A1:B2"
+
+    def test_percent_and_unary(self):
+        assert UnaryOp("%", Number(50.0)).to_formula() == "50%"
+        assert UnaryOp("-", Number(5.0)).to_formula() == "-5"
+
+    def test_nested_function(self):
+        ast = FunctionCall("IF", [Boolean(True), Number(1.0), Number(2.0)])
+        assert ast.to_formula() == "IF(TRUE,1,2)"
+
+
+class TestShifted:
+    def test_binary_shifts_both_sides(self):
+        ast = parse_formula("=A1+B2").shifted(1, 1)
+        assert ast.to_formula() == "(B2+C3)"
+
+    def test_function_args_shift(self):
+        ast = parse_formula("=SUM(A1:A3,B1)").shifted(0, 2)
+        assert ast.to_formula() == "SUM(A3:A5,B3)"
+
+    def test_literals_unchanged(self):
+        ast = parse_formula('=1+"x"').shifted(5, 5)
+        assert ast.to_formula() == '(1+"x")'
+
+    def test_range_to_range_conversion(self):
+        node = parse_formula("=B3:A1")
+        assert node.to_range().to_a1() == "A1:B3"

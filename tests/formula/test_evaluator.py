@@ -1,0 +1,109 @@
+"""Unit tests for expression evaluation (operators, coercion, errors)."""
+
+import pytest
+
+from repro.formula.errors import DIV0, NA_ERROR, VALUE_ERROR, ExcelError
+from repro.formula.evaluator import Evaluator
+from repro.sheet.sheet import Sheet, SheetResolver
+
+
+@pytest.fixture
+def sheet():
+    s = Sheet("S")
+    s.set_value("A1", 10.0)
+    s.set_value("A2", 20.0)
+    s.set_value("A3", 30.0)
+    s.set_value("B1", "text")
+    s.set_value("B2", True)
+    s.set_value("B3", "5")
+    s.set_value("C1", ExcelError("#DIV/0!"))
+    return s
+
+
+@pytest.fixture
+def ev(sheet):
+    evaluator = Evaluator(SheetResolver(sheet))
+
+    def run(text):
+        return evaluator.evaluate_formula(text, sheet="S")
+
+    return run
+
+
+class TestArithmetic:
+    def test_basic(self, ev):
+        assert ev("=1+2*3") == 7.0
+        assert ev("=(1+2)*3") == 9.0
+        assert ev("=10/4") == 2.5
+        assert ev("=2^10") == 1024.0
+        assert ev("=-5+3") == -2.0
+        assert ev("=50%") == 0.5
+
+    def test_division_by_zero(self, ev):
+        assert ev("=1/0") == DIV0
+
+    def test_cell_arithmetic(self, ev):
+        assert ev("=A1+A2") == 30.0
+
+    def test_numeric_string_coerces(self, ev):
+        assert ev("=B3+1") == 6.0
+
+    def test_boolean_coerces(self, ev):
+        assert ev("=B2+1") == 2.0
+
+    def test_blank_is_zero(self, ev):
+        assert ev("=Z99+5") == 5.0
+
+    def test_text_in_arithmetic_is_value_error(self, ev):
+        assert ev("=B1+1") == VALUE_ERROR
+
+    def test_excel_power_left_assoc(self, ev):
+        assert ev("=2^3^2") == 64.0
+
+
+class TestComparison:
+    def test_numbers(self, ev):
+        assert ev("=1<2") is True
+        assert ev("=2<=2") is True
+        assert ev("=3<>3") is False
+
+    def test_text_case_insensitive(self, ev):
+        assert ev('="ABC"="abc"') is True
+        assert ev('="a"<"b"') is True
+
+    def test_cross_type_ordering(self, ev):
+        # Excel: numbers < text < logicals.
+        assert ev('=999999<"a"') is True
+        assert ev('="zzz"<TRUE') is True
+
+    def test_blank_compares_as_zero(self, ev):
+        assert ev("=Z99=0") is True
+
+
+class TestConcat:
+    def test_basic(self, ev):
+        assert ev('="a"&"b"') == "ab"
+
+    def test_number_formatting(self, ev):
+        assert ev('=1&"x"') == "1x"
+        assert ev('=1.5&""') == "1.5"
+
+    def test_boolean_rendering(self, ev):
+        assert ev("=TRUE&1") == "TRUE1"
+
+
+class TestErrors:
+    def test_error_cell_propagates(self, ev):
+        assert ev("=C1+1") == ExcelError("#DIV/0!")
+
+    def test_error_literal(self, ev):
+        assert ev("=#N/A") == NA_ERROR
+
+    def test_unknown_function(self, ev):
+        assert ev("=NOSUCHFN(1)") == ExcelError("#NAME?")
+
+    def test_bare_range_at_top_level_is_value_error(self, ev):
+        assert ev("=A1:A3") == VALUE_ERROR
+
+    def test_single_cell_range_implicit_intersection(self, ev):
+        assert ev("=A1:A1") == 10.0

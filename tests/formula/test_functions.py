@@ -1,0 +1,245 @@
+"""Unit tests for the builtin function library."""
+
+import math
+
+import pytest
+
+from repro.formula.errors import DIV0, NA_ERROR, NUM_ERROR, VALUE_ERROR
+from repro.formula.evaluator import Evaluator
+from repro.sheet.sheet import Sheet, SheetResolver
+
+
+@pytest.fixture
+def ev():
+    s = Sheet("S")
+    for i, value in enumerate([10.0, 20.0, 30.0, 40.0], start=1):
+        s.set_value((1, i), value)                 # A1:A4
+    s.set_value("B1", "apple")
+    s.set_value("B2", "banana")
+    s.set_value("B3", "apricot")
+    s.set_value("B4", 7.0)
+    # Lookup table D1:E4 (keys ascending)
+    for i, (key, val) in enumerate([(1.0, "one"), (2.0, "two"), (3.0, "three"), (4.0, "four")], start=1):
+        s.set_value((4, i), key)
+        s.set_value((5, i), val)
+    evaluator = Evaluator(SheetResolver(s))
+
+    def run(text):
+        return evaluator.evaluate_formula(text, sheet="S", col=9, row=9)
+
+    return run
+
+
+class TestAggregates:
+    def test_sum_range(self, ev):
+        assert ev("=SUM(A1:A4)") == 100.0
+
+    def test_sum_skips_text_in_ranges(self, ev):
+        assert ev("=SUM(B1:B4)") == 7.0
+
+    def test_sum_mixed_args(self, ev):
+        assert ev("=SUM(A1:A2,5,A4)") == 75.0
+
+    def test_sum_empty(self, ev):
+        assert ev("=SUM(Z1:Z5)") == 0.0
+
+    def test_average(self, ev):
+        assert ev("=AVERAGE(A1:A4)") == 25.0
+        assert ev("=AVG(A1:A4)") == 25.0
+
+    def test_average_of_nothing_div0(self, ev):
+        assert ev("=AVERAGE(Z1:Z5)") == DIV0
+
+    def test_min_max(self, ev):
+        assert ev("=MIN(A1:A4)") == 10.0
+        assert ev("=MAX(A1:A4,99)") == 99.0
+
+    def test_count_counta_countblank(self, ev):
+        assert ev("=COUNT(A1:B4)") == 5.0   # four numbers in A + B4
+        assert ev("=COUNTA(A1:B4)") == 8.0
+        assert ev("=COUNTBLANK(A1:C4)") == 4.0
+
+    def test_median(self, ev):
+        assert ev("=MEDIAN(A1:A4)") == 25.0
+        assert ev("=MEDIAN(A1:A3)") == 20.0
+
+    def test_stdev_var(self, ev):
+        assert ev("=VAR(A1:A4)") == pytest.approx(500.0 / 3)
+        assert ev("=STDEV(A1:A4)") == pytest.approx(math.sqrt(500.0 / 3))
+
+    def test_small_large(self, ev):
+        assert ev("=SMALL(A1:A4,2)") == 20.0
+        assert ev("=LARGE(A1:A4,1)") == 40.0
+        assert ev("=SMALL(A1:A4,9)") == NUM_ERROR
+
+    def test_product(self, ev):
+        assert ev("=PRODUCT(A1:A2,2)") == 400.0
+
+    def test_sumproduct(self, ev):
+        assert ev("=SUMPRODUCT(A1:A2,A3:A4)") == 10 * 30 + 20 * 40
+
+    def test_sumproduct_shape_mismatch(self, ev):
+        assert ev("=SUMPRODUCT(A1:A2,A1:A3)") == VALUE_ERROR
+
+
+class TestMath:
+    def test_abs_sign_int(self, ev):
+        assert ev("=ABS(-3)") == 3.0
+        assert ev("=SIGN(-9)") == -1.0
+        assert ev("=INT(2.7)") == 2.0
+        assert ev("=INT(-2.3)") == -3.0
+
+    def test_round_half_away_from_zero(self, ev):
+        assert ev("=ROUND(2.5,0)") == 3.0
+        assert ev("=ROUND(-2.5,0)") == -3.0
+        assert ev("=ROUND(1.234,2)") == 1.23
+
+    def test_roundup_rounddown(self, ev):
+        assert ev("=ROUNDUP(1.01,1)") == 1.1
+        assert ev("=ROUNDDOWN(1.99,1)") == 1.9
+
+    def test_sqrt(self, ev):
+        assert ev("=SQRT(16)") == 4.0
+        assert ev("=SQRT(-1)") == NUM_ERROR
+
+    def test_power_mod(self, ev):
+        assert ev("=POWER(2,8)") == 256.0
+        assert ev("=MOD(10,3)") == 1.0
+        assert ev("=MOD(-1,3)") == 2.0  # Excel sign convention
+        assert ev("=MOD(1,0)") == DIV0
+
+    def test_logs(self, ev):
+        assert ev("=LN(1)") == 0.0
+        assert ev("=LOG(100)") == pytest.approx(2.0)
+        assert ev("=LOG(8,2)") == pytest.approx(3.0)
+        assert ev("=LOG10(1000)") == pytest.approx(3.0)
+        assert ev("=LN(0)") == NUM_ERROR
+
+    def test_floor_ceiling(self, ev):
+        assert ev("=FLOOR(7,3)") == 6.0
+        assert ev("=CEILING(7,3)") == 9.0
+
+    def test_pi_exp(self, ev):
+        assert ev("=PI()") == pytest.approx(math.pi)
+        assert ev("=EXP(1)") == pytest.approx(math.e)
+
+
+class TestLogical:
+    def test_if(self, ev):
+        assert ev("=IF(A1>5,1,2)") == 1.0
+        assert ev("=IF(A1<5,1,2)") == 2.0
+
+    def test_if_without_else(self, ev):
+        assert ev("=IF(FALSE,1)") is False
+
+    def test_if_short_circuits_errors(self, ev):
+        assert ev("=IF(TRUE,1,1/0)") == 1.0
+
+    def test_and_or_xor(self, ev):
+        assert ev("=AND(TRUE,1,2)") is True
+        assert ev("=AND(TRUE,0)") is False
+        assert ev("=OR(FALSE,0,3)") is True
+        assert ev("=XOR(TRUE,TRUE,TRUE)") is True
+
+    def test_not(self, ev):
+        assert ev("=NOT(TRUE)") is False
+
+    def test_iferror(self, ev):
+        assert ev("=IFERROR(1/0,42)") == 42.0
+        assert ev("=IFERROR(7,42)") == 7.0
+
+    def test_iserror(self, ev):
+        assert ev("=ISERROR(1/0)") is True
+        assert ev("=ISERROR(1)") is False
+
+    def test_is_predicates(self, ev):
+        assert ev("=ISBLANK(Z99)") is True
+        assert ev("=ISBLANK(A1)") is False
+        assert ev("=ISNUMBER(A1)") is True
+        assert ev("=ISTEXT(B1)") is True
+
+
+class TestText:
+    def test_concatenate(self, ev):
+        assert ev('=CONCATENATE("a",1,"b")') == "a1b"
+        assert ev('=CONCAT("x","y")') == "xy"
+
+    def test_len_left_right_mid(self, ev):
+        assert ev("=LEN(B1)") == 5.0
+        assert ev("=LEFT(B1,3)") == "app"
+        assert ev("=RIGHT(B1,2)") == "le"
+        assert ev("=MID(B1,2,3)") == "ppl"
+
+    def test_case_and_trim(self, ev):
+        assert ev("=UPPER(B1)") == "APPLE"
+        assert ev('=LOWER("ABC")') == "abc"
+        assert ev('=TRIM("  a   b  ")') == "a b"
+
+    def test_rept_find_substitute(self, ev):
+        assert ev('=REPT("ab",3)') == "ababab"
+        assert ev('=FIND("p",B1)') == 2.0
+        assert ev('=FIND("z",B1)') == VALUE_ERROR
+        assert ev('=SUBSTITUTE("aaa","a","b",2)') == "aba"
+        assert ev('=SUBSTITUTE("aaa","a","b")') == "bbb"
+
+    def test_value_text(self, ev):
+        assert ev('=VALUE("3.5")') == 3.5
+        assert ev('=TEXT(3.14159,"0.00")') == "3.14"
+
+
+class TestLookup:
+    def test_vlookup_exact(self, ev):
+        assert ev("=VLOOKUP(3,D1:E4,2,FALSE)") == "three"
+
+    def test_vlookup_exact_miss(self, ev):
+        assert ev("=VLOOKUP(9,D1:E4,2,FALSE)") == NA_ERROR
+
+    def test_vlookup_approximate(self, ev):
+        assert ev("=VLOOKUP(2.7,D1:E4,2)") == "two"
+
+    def test_vlookup_bad_column(self, ev):
+        assert ev("=VLOOKUP(1,D1:E4,5,FALSE)") == VALUE_ERROR
+
+    def test_hlookup(self, ev):
+        assert ev("=HLOOKUP(10,A1:A4,1,FALSE)") == 10.0
+
+    def test_match_modes(self, ev):
+        assert ev("=MATCH(3,D1:D4,0)") == 3.0
+        assert ev("=MATCH(2.5,D1:D4,1)") == 2.0
+        assert ev("=MATCH(9,D1:D4,0)") == NA_ERROR
+
+    def test_index(self, ev):
+        assert ev("=INDEX(D1:E4,2,2)") == "two"
+        assert ev("=INDEX(A1:A4,3)") == 30.0
+
+    def test_row_column(self, ev):
+        assert ev("=ROW()") == 9.0
+        assert ev("=COLUMN()") == 9.0
+        assert ev("=ROW(D4)") == 4.0
+        assert ev("=COLUMN(D4)") == 4.0
+        assert ev("=ROWS(A1:A4)") == 4.0
+        assert ev("=COLUMNS(D1:E4)") == 2.0
+
+
+class TestConditionalAggregates:
+    def test_countif_comparison(self, ev):
+        assert ev('=COUNTIF(A1:A4,">15")') == 3.0
+        assert ev('=COUNTIF(A1:A4,"<>20")') == 3.0
+
+    def test_countif_equality_number(self, ev):
+        assert ev("=COUNTIF(A1:A4,30)") == 1.0
+
+    def test_countif_wildcard(self, ev):
+        assert ev('=COUNTIF(B1:B3,"ap*")') == 2.0
+
+    def test_sumif(self, ev):
+        assert ev('=SUMIF(A1:A4,">15")') == 90.0
+
+    def test_sumif_with_sum_range(self, ev):
+        assert ev('=SUMIF(D1:D4,">2",A1:A4)') == 70.0
+
+    def test_averageif(self, ev):
+        assert ev('=AVERAGEIF(A1:A4,">15")') == 30.0
+
+    def test_wrong_arity(self, ev):
+        assert ev("=COUNTIF(A1:A4)") == VALUE_ERROR

@@ -1,0 +1,110 @@
+"""Unit tests for the multi-criteria (*IFS) and statistical functions."""
+
+import pytest
+
+from repro.formula.errors import NA_ERROR, NUM_ERROR, VALUE_ERROR
+from repro.formula.evaluator import Evaluator
+from repro.sheet.sheet import Sheet, SheetResolver
+
+
+@pytest.fixture
+def ev():
+    s = Sheet("S")
+    # A: region, B: product, C: amount
+    rows = [
+        ("east", "ap", 10.0),
+        ("east", "bn", 20.0),
+        ("west", "ap", 30.0),
+        ("west", "bn", 40.0),
+        ("east", "ap", 50.0),
+    ]
+    for i, (region, product, amount) in enumerate(rows, start=1):
+        s.set_value((1, i), region)
+        s.set_value((2, i), product)
+        s.set_value((3, i), amount)
+    evaluator = Evaluator(SheetResolver(s))
+
+    def run(text):
+        return evaluator.evaluate_formula(text, sheet="S")
+
+    return run
+
+
+class TestSumifs:
+    def test_two_criteria(self, ev):
+        assert ev('=SUMIFS(C1:C5,A1:A5,"east",B1:B5,"ap")') == 60.0
+
+    def test_numeric_criterion(self, ev):
+        assert ev('=SUMIFS(C1:C5,C1:C5,">25")') == 120.0
+
+    def test_no_matches(self, ev):
+        assert ev('=SUMIFS(C1:C5,A1:A5,"north")') == 0.0
+
+    def test_mismatched_shapes(self, ev):
+        assert ev('=SUMIFS(C1:C5,A1:A4,"east")') == VALUE_ERROR
+
+    def test_odd_criteria_count(self, ev):
+        assert ev('=SUMIFS(C1:C5,A1:A5)') == VALUE_ERROR
+
+
+class TestCountifsAverageifs:
+    def test_countifs(self, ev):
+        assert ev('=COUNTIFS(A1:A5,"east")') == 3.0
+        assert ev('=COUNTIFS(A1:A5,"east",C1:C5,">15")') == 2.0
+
+    def test_averageifs(self, ev):
+        assert ev('=AVERAGEIFS(C1:C5,A1:A5,"west")') == 35.0
+
+    def test_averageifs_empty_div0(self, ev):
+        from repro.formula.errors import DIV0
+
+        assert ev('=AVERAGEIFS(C1:C5,A1:A5,"north")') == DIV0
+
+
+class TestMinMaxIfs:
+    def test_maxifs(self, ev):
+        assert ev('=MAXIFS(C1:C5,A1:A5,"east")') == 50.0
+
+    def test_minifs(self, ev):
+        assert ev('=MINIFS(C1:C5,B1:B5,"bn")') == 20.0
+
+    def test_empty_is_zero(self, ev):
+        assert ev('=MAXIFS(C1:C5,A1:A5,"north")') == 0.0
+
+
+class TestStats:
+    def test_rank_descending_default(self, ev):
+        assert ev("=RANK(50,C1:C5)") == 1.0
+        assert ev("=RANK(10,C1:C5)") == 5.0
+
+    def test_rank_ascending(self, ev):
+        assert ev("=RANK(10,C1:C5,1)") == 1.0
+
+    def test_rank_missing(self, ev):
+        assert ev("=RANK(99,C1:C5)") == NA_ERROR
+
+    def test_percentile(self, ev):
+        assert ev("=PERCENTILE(C1:C5,0)") == 10.0
+        assert ev("=PERCENTILE(C1:C5,1)") == 50.0
+        assert ev("=PERCENTILE(C1:C5,0.5)") == 30.0
+
+    def test_percentile_out_of_range(self, ev):
+        assert ev("=PERCENTILE(C1:C5,1.5)") == NUM_ERROR
+
+
+class TestRounding:
+    def test_trunc(self, ev):
+        assert ev("=TRUNC(2.79)") == 2.0
+        assert ev("=TRUNC(-2.79)") == -2.0
+        assert ev("=TRUNC(2.789,2)") == 2.78
+
+    def test_even(self, ev):
+        assert ev("=EVEN(1.5)") == 2.0
+        assert ev("=EVEN(3)") == 4.0
+        assert ev("=EVEN(-1)") == -2.0
+        assert ev("=EVEN(0)") == 0.0
+
+    def test_odd(self, ev):
+        assert ev("=ODD(1.5)") == 3.0
+        assert ev("=ODD(0)") == 1.0
+        assert ev("=ODD(-2)") == -3.0

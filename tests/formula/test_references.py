@@ -1,0 +1,60 @@
+"""Unit tests for reference extraction and dollar-sign cues."""
+
+from repro.formula.references import references_of_formula
+from repro.grid.range import Range
+
+
+def refs(text):
+    return references_of_formula(text)
+
+
+class TestExtraction:
+    def test_single_cell(self):
+        out = refs("=A1+1")
+        assert [r.range for r in out] == [Range.from_a1("A1")]
+
+    def test_range(self):
+        out = refs("=SUM(A1:B3)")
+        assert [r.range for r in out] == [Range.from_a1("A1:B3")]
+
+    def test_multiple_references_in_order(self):
+        out = refs("=IF(A3=A2,N2+M3,M3)")
+        assert [r.range.to_a1() for r in out] == ["A3", "A2", "N2", "M3"]
+
+    def test_duplicates_collapse(self):
+        out = refs("=A1+A1*A1")
+        assert len(out) == 1
+
+    def test_same_range_different_sheets_kept(self):
+        out = refs("=Sheet2!A1+A1")
+        assert len(out) == 2
+        assert out[0].sheet == "Sheet2" and out[1].sheet is None
+
+    def test_no_references(self):
+        assert refs("=1+2") == []
+
+    def test_reference_inside_nested_functions(self):
+        out = refs("=ROUND(SUM(B2:B9)/MAX(C1,1),2)")
+        assert [r.range.to_a1() for r in out] == ["B2:B9", "C1"]
+
+
+class TestCues:
+    def test_rr_cue(self):
+        assert refs("=SUM(A1:B3)")[0].cue == "RR"
+
+    def test_fr_cue(self):
+        assert refs("=SUM($B$1:B4)")[0].cue == "FR"
+
+    def test_rf_cue(self):
+        assert refs("=SUM(B1:$B$4)")[0].cue == "RF"
+
+    def test_ff_cue(self):
+        assert refs("=SUM($B$1:$B$4)")[0].cue == "FF"
+
+    def test_single_cell_fixed_is_ff(self):
+        assert refs("=$C$1*2")[0].cue == "FF"
+
+    def test_mixed_dollar_is_not_fixed(self):
+        # Only a fully-$ cell counts as a fixed endpoint.
+        assert refs("=SUM($B1:B4)")[0].cue == "RR"
+        assert refs("=SUM(B$1:B4)")[0].cue == "RR"

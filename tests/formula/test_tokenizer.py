@@ -1,0 +1,119 @@
+"""Unit tests for the formula tokenizer."""
+
+import pytest
+
+from repro.formula.errors import FormulaSyntaxError
+from repro.formula.tokenizer import TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]
+
+
+class TestBasicTokens:
+    def test_number(self):
+        assert kinds("42") == [TokenKind.NUMBER]
+        assert kinds("3.14") == [TokenKind.NUMBER]
+        assert kinds("1e5") == [TokenKind.NUMBER]
+        assert kinds(".5") == [TokenKind.NUMBER]
+        assert kinds("2.5E-3") == [TokenKind.NUMBER]
+
+    def test_string(self):
+        tokens = tokenize('"hello"')
+        assert tokens[0].kind == TokenKind.STRING
+        assert tokens[0].text == "hello"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize('"say ""hi"""')
+        assert tokens[0].text == 'say "hi"'
+
+    def test_unterminated_string(self):
+        with pytest.raises(FormulaSyntaxError):
+            tokenize('"oops')
+
+    def test_operators(self):
+        assert texts("1+2-3*4/5^6&7") == ["1", "+", "2", "-", "3", "*", "4", "/", "5", "^", "6", "&", "7"]
+
+    def test_comparison_operators_longest_match(self):
+        assert texts("1<=2") == ["1", "<=", "2"]
+        assert texts("1<>2") == ["1", "<>", "2"]
+        assert texts("1>=2") == ["1", ">=", "2"]
+
+    def test_punctuation(self):
+        assert kinds("(A1,B2):%") == [
+            TokenKind.LPAREN, TokenKind.CELL, TokenKind.COMMA, TokenKind.CELL,
+            TokenKind.RPAREN, TokenKind.COLON, TokenKind.PERCENT,
+        ]
+
+    def test_whitespace_ignored(self):
+        assert kinds("  1 \t+\n 2 ") == [TokenKind.NUMBER, TokenKind.OP, TokenKind.NUMBER]
+
+    def test_unexpected_character(self):
+        with pytest.raises(FormulaSyntaxError):
+            tokenize("1 @ 2")
+
+
+class TestCellsVsIdentifiers:
+    def test_plain_cell(self):
+        assert kinds("A1") == [TokenKind.CELL]
+
+    def test_fixed_cell_variants(self):
+        for text in ("$A$1", "$A1", "A$1"):
+            tokens = tokenize(text)
+            assert tokens[0].kind == TokenKind.CELL
+            assert tokens[0].text == text
+
+    def test_function_that_looks_like_cell(self):
+        # LOG10( is a function call, not cell LOG10.
+        assert kinds("LOG10(5)") == [
+            TokenKind.IDENT, TokenKind.LPAREN, TokenKind.NUMBER, TokenKind.RPAREN,
+        ]
+
+    def test_identifier_with_cell_prefix(self):
+        assert kinds("A1B") == [TokenKind.IDENT]
+
+    def test_plain_identifier(self):
+        assert kinds("SUM") == [TokenKind.IDENT]
+
+    def test_dollar_must_start_cell(self):
+        with pytest.raises(FormulaSyntaxError):
+            tokenize("$SUM(1)")
+
+    def test_error_literals(self):
+        tokens = tokenize("#REF!+#DIV/0!")
+        assert tokens[0].kind == TokenKind.ERROR
+        assert tokens[0].text == "#REF!"
+        assert tokens[2].kind == TokenKind.ERROR
+
+    def test_unknown_error_literal(self):
+        with pytest.raises(FormulaSyntaxError):
+            tokenize("#WAT!")
+
+
+class TestSheetPrefixes:
+    def test_bare_sheet(self):
+        tokens = tokenize("Sheet1!A1")
+        assert tokens[0].kind == TokenKind.SHEET
+        assert tokens[0].text == "Sheet1"
+        assert tokens[1].kind == TokenKind.CELL
+
+    def test_quoted_sheet(self):
+        tokens = tokenize("'My Sheet'!B2")
+        assert tokens[0].kind == TokenKind.SHEET
+        assert tokens[0].text == "My Sheet"
+
+    def test_quoted_sheet_with_escaped_apostrophe(self):
+        tokens = tokenize("'It''s'!B2")
+        assert tokens[0].text == "It's"
+
+    def test_quoted_sheet_missing_bang(self):
+        with pytest.raises(FormulaSyntaxError):
+            tokenize("'My Sheet'B2")
+
+    def test_unterminated_sheet(self):
+        with pytest.raises(FormulaSyntaxError):
+            tokenize("'oops!A1")

@@ -1,0 +1,145 @@
+"""Unit tests for the runtime value model and coercions."""
+
+import pytest
+
+from repro.formula.errors import DIV0, VALUE_ERROR, ExcelError
+from repro.formula.values import (
+    ErrorSignal,
+    RangeValue,
+    compare_values,
+    safe_divide,
+    to_bool,
+    to_number,
+    to_text,
+)
+from repro.grid.range import Range
+from repro.sheet.sheet import Sheet, SheetResolver
+
+
+class TestToNumber:
+    def test_floats_pass_through(self):
+        assert to_number(2.5) == 2.5
+
+    def test_bool(self):
+        assert to_number(True) == 1.0
+        assert to_number(False) == 0.0
+
+    def test_blank(self):
+        assert to_number(None) == 0.0
+
+    def test_numeric_string(self):
+        assert to_number(" 3.5 ") == 3.5
+
+    def test_bad_string(self):
+        with pytest.raises(ErrorSignal) as info:
+            to_number("abc")
+        assert info.value.error == VALUE_ERROR
+
+    def test_error_propagates(self):
+        with pytest.raises(ErrorSignal) as info:
+            to_number(DIV0)
+        assert info.value.error == DIV0
+
+
+class TestToText:
+    def test_integral_float(self):
+        assert to_text(3.0) == "3"
+
+    def test_fractional_float(self):
+        assert to_text(2.5) == "2.5"
+
+    def test_bool(self):
+        assert to_text(True) == "TRUE"
+
+    def test_blank(self):
+        assert to_text(None) == ""
+
+
+class TestToBool:
+    def test_number(self):
+        assert to_bool(0.0) is False
+        assert to_bool(-1.0) is True
+
+    def test_string_literals(self):
+        assert to_bool("true") is True
+        assert to_bool("FALSE") is False
+
+    def test_bad_string(self):
+        with pytest.raises(ErrorSignal):
+            to_bool("maybe")
+
+    def test_blank_is_false(self):
+        assert to_bool(None) is False
+
+
+class TestCompare:
+    def test_numbers(self):
+        assert compare_values(1.0, 2.0) < 0
+        assert compare_values(2.0, 2.0) == 0
+
+    def test_text_case_insensitive(self):
+        assert compare_values("ABC", "abc") == 0
+
+    def test_cross_type(self):
+        assert compare_values(1e9, "a") < 0       # number < text
+        assert compare_values("zzz", False) < 0   # text < logical
+
+    def test_blank_coerces(self):
+        assert compare_values(None, 0.0) == 0
+        assert compare_values(None, "") == 0
+        assert compare_values(None, False) == 0
+
+    def test_error_raises(self):
+        with pytest.raises(ErrorSignal):
+            compare_values(DIV0, 1.0)
+
+
+class TestSafeDivide:
+    def test_ok(self):
+        assert safe_divide(10.0, 4.0) == 2.5
+
+    def test_zero(self):
+        with pytest.raises(ErrorSignal) as info:
+            safe_divide(1.0, 0.0)
+        assert info.value.error == DIV0
+
+
+class TestRangeValue:
+    @pytest.fixture
+    def rv(self):
+        sheet = Sheet("S")
+        sheet.set_value("A1", 1.0)
+        sheet.set_value("A2", "x")
+        sheet.set_value("B1", True)
+        sheet.set_value("B2", 4.0)
+        return RangeValue(Range.from_a1("A1:B3"), "S", SheetResolver(sheet))
+
+    def test_dims(self, rv):
+        assert rv.width == 2 and rv.height == 3
+
+    def test_get_with_offsets(self, rv):
+        assert rv.get(0, 0) == 1.0
+        assert rv.get(1, 1) == 4.0
+        assert rv.get(2, 0) is None
+
+    def test_get_out_of_bounds(self, rv):
+        with pytest.raises(ErrorSignal):
+            rv.get(5, 0)
+
+    def test_iter_numbers_skips_text_and_bool(self, rv):
+        assert sorted(rv.iter_numbers()) == [1.0, 4.0]
+
+    def test_iter_numbers_propagates_errors(self):
+        sheet = Sheet("S")
+        sheet.set_value("A1", ExcelError("#N/A"))
+        rv = RangeValue(Range.from_a1("A1:A2"), "S", SheetResolver(sheet))
+        with pytest.raises(ErrorSignal):
+            list(rv.iter_numbers())
+
+    def test_row_and_column_values(self, rv):
+        assert list(rv.row_values(0)) == [1.0, True]
+        assert list(rv.column_values(0)) == [1.0, "x", None]
+
+    def test_interned_errors(self):
+        assert ExcelError("#REF!") is ExcelError("#REF!")
+        assert ExcelError("#REF!") != ExcelError("#N/A")

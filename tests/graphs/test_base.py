@@ -1,0 +1,84 @@
+"""Unit tests for the FormulaGraph interface helpers."""
+
+import pytest
+
+from repro.graphs.base import (
+    Budget,
+    DNFError,
+    FormulaGraph,
+    GraphStats,
+    expand_cells,
+    total_cells,
+)
+from repro.grid.range import Range
+
+
+class TestHelpers:
+    def test_expand_cells(self):
+        cells = expand_cells([Range.from_a1("A1:B2"), Range.from_a1("D4")])
+        assert cells == {(1, 1), (2, 1), (1, 2), (2, 2), (4, 4)}
+
+    def test_total_cells(self):
+        assert total_cells([Range.from_a1("A1:B2"), Range.from_a1("D4")]) == 5
+        assert total_cells([]) == 0
+
+    def test_graph_stats_dict(self):
+        stats = GraphStats(vertices=3, edges=5)
+        assert stats.as_dict() == {
+            "vertices": 3, "edges": 5, "edge_accesses": 0, "index_searches": 0,
+        }
+
+
+class TestAbstractInterface:
+    def test_base_methods_raise(self):
+        graph = FormulaGraph()
+        with pytest.raises(NotImplementedError):
+            graph.add_dependency(None)
+        with pytest.raises(NotImplementedError):
+            graph.find_dependents(Range.from_a1("A1"))
+        with pytest.raises(NotImplementedError):
+            graph.find_precedents(Range.from_a1("A1"))
+        with pytest.raises(NotImplementedError):
+            graph.clear_cells(Range.from_a1("A1"))
+        with pytest.raises(NotImplementedError):
+            graph.stats()
+
+    def test_build_checks_budget(self):
+        class Recorder(FormulaGraph):
+            def __init__(self):
+                self.added = 0
+
+            def add_dependency(self, dep, budget=None):
+                self.added += 1
+
+        from repro.sheet.sheet import Dependency
+
+        graph = Recorder()
+        deps = [
+            Dependency(Range.from_a1("A1"), Range.from_a1(f"B{i}"))
+            for i in range(1, 6)
+        ]
+        graph.build(deps)
+        assert graph.added == 5
+
+        slow = Recorder()
+        with pytest.raises(DNFError):
+            slow.build(deps * 100, Budget(0.0, "build", check_every=1))
+
+
+class TestBudgetSemantics:
+    def test_check_now_immediate(self):
+        budget = Budget(0.0, "op")
+        import time
+
+        time.sleep(0.001)
+        with pytest.raises(DNFError):
+            budget.check_now()
+
+    def test_amortisation_skips_clock_reads(self):
+        budget = Budget(0.0, "op", check_every=1000)
+        # 999 checks pass without consulting the clock.
+        for _ in range(999):
+            budget.check()
+        with pytest.raises(DNFError):
+            budget.check()

@@ -1,0 +1,43 @@
+"""Unit tests for small Range helpers and the io convenience API."""
+
+import io
+
+from repro.grid.range import Range
+from repro.grid.range import describe_span, format_column
+from repro.io.xlsx_reader import read_xlsx_dependencies
+from repro.io.xlsx_writer import write_xlsx
+from repro.sheet.autofill import fill_formula_column
+from repro.sheet.sheet import Sheet
+
+
+class TestRangeHelpers:
+    def test_corner_distance(self):
+        a = Range.from_a1("B2:C4")
+        assert a.corner_distance(Range.from_a1("B2")) == 0
+        assert a.corner_distance(Range.from_a1("E2")) == 3
+        assert a.corner_distance(Range.from_a1("C9")) == 7
+
+    def test_describe_span(self):
+        assert describe_span(Range.from_a1("B2:D9")) == "B2:D9 (3 cols x 8 rows)"
+        assert describe_span(Range.from_a1("B2")) == "B2 (1 col x 1 row)"
+
+    def test_format_column(self):
+        assert format_column(28) == "AB"
+
+    def test_as_tuple(self):
+        assert Range.from_a1("B2:C4").as_tuple() == (2, 2, 3, 4)
+
+
+class TestReadDependenciesHelper:
+    def test_per_sheet_dependency_map(self):
+        sheet = Sheet("Data")
+        for r in range(1, 6):
+            sheet.set_value((1, r), float(r))
+        fill_formula_column(sheet, 2, 1, 5, "=A1*2")
+        buffer = io.BytesIO()
+        write_xlsx(sheet, buffer)
+        buffer.seek(0)
+        workbook, deps = read_xlsx_dependencies(buffer)
+        assert set(deps) == {"Data"}
+        assert len(deps["Data"]) == 5
+        assert workbook["Data"].formula_count == 5

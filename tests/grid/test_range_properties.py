@@ -1,0 +1,80 @@
+"""Property-based tests for the range algebra (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.range import Range
+
+MAX_COORD = 40
+
+
+@st.composite
+def ranges(draw) -> Range:
+    c1 = draw(st.integers(1, MAX_COORD))
+    r1 = draw(st.integers(1, MAX_COORD))
+    c2 = draw(st.integers(c1, min(MAX_COORD, c1 + 10)))
+    r2 = draw(st.integers(r1, min(MAX_COORD, r1 + 10)))
+    return Range(c1, r1, c2, r2)
+
+
+def cells_of(rng: Range) -> set:
+    return set(rng.cells())
+
+
+@given(ranges(), ranges())
+def test_intersect_matches_cell_sets(a, b):
+    inter = a.intersect(b)
+    expected = cells_of(a) & cells_of(b)
+    if inter is None:
+        assert expected == set()
+    else:
+        assert cells_of(inter) == expected
+
+
+@given(ranges(), ranges())
+def test_overlaps_consistent_with_intersect(a, b):
+    assert a.overlaps(b) == (a.intersect(b) is not None)
+    assert a.overlaps(b) == b.overlaps(a)
+
+
+@given(ranges(), ranges())
+def test_bounding_contains_both(a, b):
+    box = a.bounding(b)
+    assert box.contains(a) and box.contains(b)
+    # Minimality: the box is no larger than needed on each axis.
+    assert box.c1 == min(a.c1, b.c1) and box.c2 == max(a.c2, b.c2)
+    assert box.r1 == min(a.r1, b.r1) and box.r2 == max(a.r2, b.r2)
+
+
+@given(ranges(), ranges())
+def test_subtract_partitions_cells(a, b):
+    pieces = a.subtract(b)
+    expected = cells_of(a) - cells_of(b)
+    got = set()
+    for piece in pieces:
+        piece_cells = cells_of(piece)
+        assert not (piece_cells & got), "pieces must be disjoint"
+        got |= piece_cells
+    assert got == expected
+
+
+@given(ranges())
+def test_subtract_self_is_empty(a):
+    assert a.subtract(a) == []
+
+
+@given(ranges(), ranges())
+def test_contains_matches_cell_sets(a, b):
+    assert a.contains(b) == (cells_of(b) <= cells_of(a))
+
+
+@given(ranges())
+@settings(max_examples=50)
+def test_a1_round_trip(a):
+    assert Range.from_a1(a.to_a1()) == a
+
+
+@given(ranges(), st.integers(0, 5), st.integers(0, 5))
+def test_shift_preserves_shape(a, dc, dr):
+    shifted = a.shift(dc, dr)
+    assert shifted.width == a.width and shifted.height == a.height

@@ -1,0 +1,118 @@
+"""Unit tests for A1 addressing and cell references."""
+
+import pytest
+
+from repro.grid.ref import (
+    MAX_COL,
+    MAX_ROW,
+    CellRef,
+    col_to_letters,
+    format_cell,
+    letters_to_col,
+    parse_cell,
+)
+
+
+class TestColumnLetters:
+    @pytest.mark.parametrize(
+        "index,letters",
+        [(1, "A"), (2, "B"), (26, "Z"), (27, "AA"), (28, "AB"), (52, "AZ"),
+         (53, "BA"), (702, "ZZ"), (703, "AAA"), (16384, "XFD")],
+    )
+    def test_round_trip(self, index, letters):
+        assert col_to_letters(index) == letters
+        assert letters_to_col(letters) == index
+
+    def test_lower_case_letters_accepted(self):
+        assert letters_to_col("aa") == 27
+
+    def test_zero_index_rejected(self):
+        with pytest.raises(ValueError):
+            col_to_letters(0)
+
+    def test_bad_letters_rejected(self):
+        with pytest.raises(ValueError):
+            letters_to_col("A1")
+        with pytest.raises(ValueError):
+            letters_to_col("")
+
+    def test_exhaustive_round_trip_small(self):
+        for i in range(1, 1000):
+            assert letters_to_col(col_to_letters(i)) == i
+
+
+class TestParseCell:
+    def test_simple(self):
+        assert parse_cell("B3") == (2, 3)
+
+    def test_dollars_ignored(self):
+        assert parse_cell("$B$3") == (2, 3)
+        assert parse_cell("B$3") == (2, 3)
+
+    def test_whitespace_tolerated(self):
+        assert parse_cell("  C7 ") == (3, 7)
+
+    @pytest.mark.parametrize("bad", ["", "3B", "B", "7", "B0", "B-1", "ABCD1"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            parse_cell(bad)
+
+    def test_out_of_bounds_row(self):
+        with pytest.raises(ValueError):
+            parse_cell(f"A{MAX_ROW + 1}")
+
+    def test_max_bounds_accepted(self):
+        assert parse_cell(f"XFD{MAX_ROW}") == (MAX_COL, MAX_ROW)
+
+
+class TestFormatCell:
+    def test_plain(self):
+        assert format_cell(2, 3) == "B3"
+
+    def test_fixed_markers(self):
+        assert format_cell(2, 3, col_fixed=True) == "$B3"
+        assert format_cell(2, 3, row_fixed=True) == "B$3"
+        assert format_cell(2, 3, True, True) == "$B$3"
+
+    def test_invalid_row(self):
+        with pytest.raises(ValueError):
+            format_cell(1, 0)
+
+
+class TestCellRef:
+    def test_from_a1_relative(self):
+        ref = CellRef.from_a1("C5")
+        assert ref == CellRef(3, 5, False, False)
+        assert ref.pos == (3, 5)
+        assert not ref.is_fixed
+
+    def test_from_a1_fixed(self):
+        ref = CellRef.from_a1("$C$5")
+        assert ref.col_fixed and ref.row_fixed
+        assert ref.is_fixed
+
+    def test_from_a1_mixed(self):
+        assert CellRef.from_a1("$C5") == CellRef(3, 5, True, False)
+        assert CellRef.from_a1("C$5") == CellRef(3, 5, False, True)
+
+    def test_to_a1_round_trip(self):
+        for text in ("A1", "$A1", "A$1", "$A$1", "ZZ99", "$XFD$1048576"):
+            assert CellRef.from_a1(text).to_a1() == text
+
+    def test_shifted_relative(self):
+        assert CellRef.from_a1("B2").shifted(2, 3) == CellRef.from_a1("D5")
+
+    def test_shifted_respects_fixed_axes(self):
+        assert CellRef.from_a1("$B2").shifted(2, 3) == CellRef.from_a1("$B5")
+        assert CellRef.from_a1("B$2").shifted(2, 3) == CellRef.from_a1("D$2")
+        assert CellRef.from_a1("$B$2").shifted(2, 3) == CellRef.from_a1("$B$2")
+
+    def test_shifted_off_sheet_raises(self):
+        with pytest.raises(ReferenceError):
+            CellRef.from_a1("B2").shifted(0, -5)
+        with pytest.raises(ReferenceError):
+            CellRef.from_a1("B2").shifted(-5, 0)
+
+    def test_invalid_ref(self):
+        with pytest.raises(ValueError):
+            CellRef.from_a1("NOT A REF")

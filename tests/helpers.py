@@ -1,0 +1,71 @@
+"""Shared sheet builders and assertion helpers."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.taco_graph import TacoGraph, dependencies_column_major
+from repro.graphs.base import expand_cells
+from repro.graphs.nocomp import NoCompGraph
+from repro.grid.range import Range
+from repro.sheet.autofill import fill_formula_column
+from repro.sheet.sheet import Sheet
+
+
+def build_fig2_sheet(rows: int = 50) -> Sheet:
+    """The paper's Fig. 2 spreadsheet: an IF-chain over two data columns."""
+    sheet = Sheet("fig2")
+    for r in range(1, rows + 1):
+        sheet.set_value((1, r), float(r % 7))    # A: group ids
+        sheet.set_value((13, r), float(r))       # M: amounts
+    sheet.set_formula((14, 2), "=M2")            # N2
+    fill_formula_column(sheet, 14, 3, rows, "=IF(A3=A2,N2+M3,M3)")
+    return sheet
+
+
+def build_mixed_sheet(seed: int = 0, rows: int = 30) -> Sheet:
+    """A sheet mixing every basic pattern plus some noise."""
+    rng = random.Random(seed)
+    sheet = Sheet("mixed")
+    for r in range(1, rows + 6):
+        sheet.set_value((1, r), float(rng.randrange(100)))   # A data
+        sheet.set_value((2, r), float(rng.randrange(100)))   # B data
+    fill_formula_column(sheet, 3, 1, rows, "=SUM(A1:B3)")            # RR window
+    fill_formula_column(sheet, 4, 1, rows, "=SUM($A$1:A1)")          # FR cumulative
+    fill_formula_column(sheet, 5, 1, rows, f"=SUM(A1:$B${rows})")    # RF shrinking
+    fill_formula_column(sheet, 6, 1, rows, "=SUM($A$1:$B$4)*B1")     # FF + RR
+    sheet.set_formula((7, 1), "=A1")
+    fill_formula_column(sheet, 7, 2, rows, "=G1+B2")                 # chain + RR
+    for i in range(5):                                               # noise
+        r1 = rng.randrange(1, rows)
+        sheet.set_formula((9 + 2 * i, 40), f"=SUM(A{r1}:B{r1 + 2})")
+    return sheet
+
+
+def build_graph_pair(sheet: Sheet) -> tuple[TacoGraph, NoCompGraph]:
+    deps = dependencies_column_major(sheet)
+    taco = TacoGraph.full()
+    taco.build(deps)
+    nocomp = NoCompGraph()
+    nocomp.build(deps)
+    return taco, nocomp
+
+
+def assert_same_dependents(taco, nocomp, probe: Range) -> None:
+    got = expand_cells(taco.find_dependents(probe))
+    want = expand_cells(nocomp.find_dependents(probe))
+    assert got == want, (
+        f"dependents of {probe.to_a1()} differ: "
+        f"taco-only={sorted(got - want)[:5]} nocomp-only={sorted(want - got)[:5]}"
+    )
+
+
+def assert_same_precedents(taco, nocomp, probe: Range) -> None:
+    got = expand_cells(taco.find_precedents(probe))
+    want = expand_cells(nocomp.find_precedents(probe))
+    assert got == want, (
+        f"precedents of {probe.to_a1()} differ: "
+        f"taco-only={sorted(got - want)[:5]} nocomp-only={sorted(want - got)[:5]}"
+    )
+
+

@@ -1,0 +1,86 @@
+"""Integration tests for the ``python -m repro`` command-line interface."""
+
+import io
+from contextlib import redirect_stderr, redirect_stdout
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = str(tmp_path / "demo.xlsx")
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = main(["demo", path, "--rows", "60"])
+    assert code == 0
+    return path
+
+
+def run_cli(argv) -> tuple[int, str, str]:
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = main(argv)
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestDemo:
+    def test_demo_writes_file(self, demo_file):
+        from repro.io import read_xlsx
+
+        workbook = read_xlsx(demo_file)
+        assert workbook.active_sheet.formula_count > 0
+
+
+class TestReport:
+    def test_report_table(self, demo_file):
+        code, out, _ = run_cli(["report", demo_file])
+        assert code == 0
+        assert "TACO edges" in out
+        assert "Demo" in out
+
+
+class TestTrace:
+    def test_trace_default_sheet(self, demo_file):
+        code, out, _ = run_cli(["trace", demo_file, "B3"])
+        assert code == 0
+        assert "dependents" in out and "precedents" in out
+
+    def test_trace_sheet_qualified(self, demo_file):
+        code, out, _ = run_cli(["trace", demo_file, "Demo!C3"])
+        assert code == 0
+
+    def test_trace_unknown_sheet_errors(self, demo_file):
+        code, _, err = run_cli(["trace", demo_file, "Nope!A1"])
+        assert code == 2
+        assert "no such sheet" in err
+
+    def test_trace_limit(self, demo_file):
+        code, out, _ = run_cli(["trace", demo_file, "A2", "--limit", "1"])
+        assert code == 0
+
+
+class TestExport:
+    def test_export_dot(self, demo_file):
+        code, out, err = run_cli(["export", demo_file])
+        assert code == 0
+        assert out.startswith("digraph")
+        assert "compressed into" in err
+
+    def test_export_json(self, demo_file):
+        import json
+
+        code, out, _ = run_cli(["export", demo_file, "--json"])
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["edges"]
+
+    def test_export_named_sheet(self, demo_file):
+        code, out, _ = run_cli(["export", demo_file, "--sheet", "Demo"])
+        assert code == 0
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["bogus"])

@@ -1,0 +1,106 @@
+"""Integration tests: the full pipeline across modules.
+
+xlsx file -> reader -> sheet -> dependency stream -> TACO / baselines ->
+queries -> maintenance -> recalculation, all in one flow.
+"""
+
+import io
+
+from helpers import assert_same_dependents, build_graph_pair
+
+from repro.baselines.antifreeze import AntifreezeIndex
+from repro.baselines.excel_like import ExcelLikeEngine
+from repro.baselines.graphdb import RedisGraphLike
+from repro.core.taco_graph import TacoGraph, build_from_sheet, dependencies_column_major
+from repro.datasets.corpora import corpus_specs
+from repro.engine.recalc import RecalcEngine
+from repro.graphs.base import expand_cells
+from repro.graphs.calc import NoCompCalcGraph
+from repro.graphs.nocomp import NoCompGraph
+from repro.grid.range import Range
+from repro.io import read_xlsx, write_xlsx
+
+
+class TestFilePipeline:
+    def test_corpus_sheet_through_xlsx(self):
+        """A generated corpus sheet survives the file round trip with an
+        identical compressed graph."""
+        sheet = corpus_specs("enron", scale=0.15)[1].build()
+        buffer = io.BytesIO()
+        write_xlsx(sheet, buffer)
+        buffer.seek(0)
+        restored = read_xlsx(buffer).active_sheet
+
+        direct = build_from_sheet(sheet)
+        via_file = build_from_sheet(restored)
+        assert len(via_file) == len(direct)
+        assert via_file.raw_edge_count() == direct.raw_edge_count()
+
+        probe = Range.cell(1, 2)
+        assert expand_cells(via_file.find_dependents(probe)) == expand_cells(
+            direct.find_dependents(probe)
+        )
+
+    def test_all_systems_agree_on_one_sheet(self):
+        """Every exact system returns identical dependents."""
+        sheet = corpus_specs("enron", scale=0.12)[0].build()
+        deps = dependencies_column_major(sheet)
+        probe = deps[0].prec
+
+        taco = TacoGraph.full()
+        taco.build(deps)
+        reference = expand_cells(taco.find_dependents(probe))
+
+        for factory in (NoCompGraph, NoCompCalcGraph, RedisGraphLike):
+            graph = factory()
+            graph.build(deps)
+            assert expand_cells(graph.find_dependents(probe)) == reference, factory
+
+        excel = ExcelLikeEngine.from_sheet(sheet)
+        assert expand_cells(excel.find_dependents(probe)) == reference
+
+        # Antifreeze may overcount (bounding ranges) but never undercount.
+        antifreeze = AntifreezeIndex()
+        antifreeze.build(deps)
+        assert reference <= expand_cells(antifreeze.find_dependents(probe))
+
+
+class TestRecalcOverCorpus:
+    def test_recalc_engine_on_generated_sheet(self):
+        sheet = corpus_specs("github", scale=0.1)[0].build()
+        engine = RecalcEngine(sheet)
+        recomputed = engine.recalculate_all()
+        assert recomputed == sheet.formula_count
+        # Every formula cell must now hold a concrete value.
+        for _, cell in sheet.formula_cells():
+            assert cell.value is not None
+
+    def test_update_then_query_consistency(self):
+        sheet = corpus_specs("enron", scale=0.1)[3].build()
+        taco, nocomp = build_graph_pair(sheet)
+        used = sheet.used_range()
+        victim = Range(used.c1, used.r1, used.c1, min(used.r2, used.r1 + 30))
+        taco.clear_cells(victim)
+        nocomp.clear_cells(victim)
+        probe = Range(used.c1 + 1, used.r1, used.c1 + 1, used.r1 + 5)
+        assert_same_dependents(taco, nocomp, probe)
+
+
+class TestCompressionQuality:
+    def test_generated_corpus_compresses_strongly(self):
+        for spec in corpus_specs("github", scale=0.1)[:3]:
+            sheet = spec.build()
+            graph = build_from_sheet(sheet)
+            raw = graph.raw_edge_count()
+            assert raw > 0
+            assert len(graph) / raw < 0.35, spec.spec.name
+
+    def test_inrow_between_full_and_nocomp(self):
+        for spec in corpus_specs("enron", scale=0.1)[:3]:
+            sheet = spec.build()
+            deps = dependencies_column_major(sheet)
+            full = TacoGraph.full()
+            full.build(deps)
+            inrow = TacoGraph.inrow()
+            inrow.build(deps)
+            assert len(full) <= len(inrow) <= len(deps)

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "dependency_audit.py",
+    "xlsx_compression_report.py",
+    "whatif_dashboard.py",
+    "sales_recalc.py",
+    "structural_edits.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    env = dict(os.environ)
+    # Keep the recalc demo small under test.
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print something"
+
+
+def test_quickstart_reports_equivalence():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "match NoComp: OK" in result.stdout
+
+
+def test_audit_reports_blast_radius():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "dependency_audit.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "Audit 1" in result.stdout and "Audit 2" in result.stdout

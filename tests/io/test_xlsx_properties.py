@@ -1,0 +1,75 @@
+"""Property-based round-trip tests for xlsx I/O."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formula.errors import ExcelError
+from repro.io.xlsx_reader import read_xlsx
+from repro.io.xlsx_writer import write_xlsx
+from repro.sheet.sheet import Sheet
+
+# Excel-representable scalars: finite floats, XML-safe text, booleans,
+# error values.
+scalars = st.one_of(
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(
+        alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=20
+    ),
+    st.booleans(),
+    st.sampled_from([ExcelError("#DIV/0!"), ExcelError("#N/A"), ExcelError("#REF!")]),
+)
+
+
+@st.composite
+def value_sheets(draw) -> Sheet:
+    sheet = Sheet("prop")
+    cells = draw(
+        st.dictionaries(
+            st.tuples(st.integers(1, 12), st.integers(1, 20)),
+            scalars,
+            max_size=25,
+        )
+    )
+    for pos, value in cells.items():
+        if isinstance(value, str) and not value:
+            continue  # empty text round-trips to a blank cell; skip
+        sheet.set_value(pos, value)
+    return sheet
+
+
+def round_trip(sheet: Sheet) -> Sheet:
+    buffer = io.BytesIO()
+    write_xlsx(sheet, buffer)
+    buffer.seek(0)
+    return read_xlsx(buffer).active_sheet
+
+
+@given(value_sheets())
+@settings(max_examples=50, deadline=None)
+def test_values_round_trip(sheet):
+    restored = round_trip(sheet)
+    assert len(restored) == len(sheet)
+    for pos, cell in sheet.items():
+        back = restored.get_value(pos)
+        if isinstance(cell.value, float):
+            assert back == float(cell.value)
+        else:
+            assert back == cell.value
+
+
+@given(
+    st.integers(2, 40),
+    st.sampled_from(["=A1*2", "=SUM(A1:A3)", "=SUM($A$1:A1)", "=A1&\"x\""]),
+)
+@settings(max_examples=30, deadline=None)
+def test_autofilled_formulas_round_trip(rows, formula):
+    from repro.sheet.autofill import fill_formula_column
+
+    sheet = Sheet("prop")
+    fill_formula_column(sheet, 2, 1, rows, formula)
+    restored = round_trip(sheet)
+    deps_in = {(d.prec.to_a1(), d.dep.to_a1()) for d in sheet.iter_dependencies()}
+    deps_out = {(d.prec.to_a1(), d.dep.to_a1()) for d in restored.iter_dependencies()}
+    assert deps_in == deps_out

@@ -1,0 +1,162 @@
+"""Unit tests for xlsx reader edge cases and malformed input."""
+
+import io
+import zipfile
+
+import pytest
+
+from repro.io.shared import strip_ns, xml_escape
+from repro.io.xlsx_reader import XlsxFormatError, read_xlsx
+
+
+def make_archive(parts: dict[str, str]) -> io.BytesIO:
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w") as archive:
+        for name, content in parts.items():
+            archive.writestr(name, content)
+    buffer.seek(0)
+    return buffer
+
+
+MAIN = "http://schemas.openxmlformats.org/spreadsheetml/2006/main"
+
+MINIMAL_WORKBOOK = (
+    f'<workbook xmlns="{MAIN}"><sheets>'
+    '<sheet name="S" sheetId="1"/></sheets></workbook>'
+)
+
+
+class TestHelpers:
+    def test_strip_ns(self):
+        assert strip_ns("{ns}tag") == "tag"
+        assert strip_ns("tag") == "tag"
+
+    def test_xml_escape(self):
+        assert xml_escape('<&">') == "&lt;&amp;&quot;&gt;"
+
+
+class TestMalformed:
+    def test_not_a_zip(self):
+        with pytest.raises(XlsxFormatError):
+            read_xlsx(io.BytesIO(b"this is not a zip"))
+
+    def test_missing_workbook_part(self):
+        archive = make_archive({"hello.txt": "x"})
+        with pytest.raises(XlsxFormatError):
+            read_xlsx(archive)
+
+    def test_no_sheets_declared(self):
+        archive = make_archive(
+            {"xl/workbook.xml": f'<workbook xmlns="{MAIN}"><sheets/></workbook>'}
+        )
+        with pytest.raises(XlsxFormatError):
+            read_xlsx(archive)
+
+    def test_missing_worksheet_part(self):
+        archive = make_archive({"xl/workbook.xml": MINIMAL_WORKBOOK})
+        with pytest.raises(XlsxFormatError):
+            read_xlsx(archive)
+
+    def test_malformed_sheet_xml(self):
+        archive = make_archive(
+            {
+                "xl/workbook.xml": MINIMAL_WORKBOOK,
+                "xl/worksheets/sheet1.xml": "<worksheet><unclosed>",
+            }
+        )
+        with pytest.raises(XlsxFormatError):
+            read_xlsx(archive)
+
+    def test_bad_shared_string_index(self):
+        archive = make_archive(
+            {
+                "xl/workbook.xml": MINIMAL_WORKBOOK,
+                "xl/sharedStrings.xml": f'<sst xmlns="{MAIN}"><si><t>x</t></si></sst>',
+                "xl/worksheets/sheet1.xml": (
+                    f'<worksheet xmlns="{MAIN}"><sheetData>'
+                    '<row r="1"><c r="A1" t="s"><v>99</v></c></row>'
+                    "</sheetData></worksheet>"
+                ),
+            }
+        )
+        with pytest.raises(XlsxFormatError):
+            read_xlsx(archive)
+
+
+class TestTolerantParsing:
+    def test_fallback_sheet_targets_without_rels(self):
+        archive = make_archive(
+            {
+                "xl/workbook.xml": MINIMAL_WORKBOOK,
+                "xl/worksheets/sheet1.xml": (
+                    f'<worksheet xmlns="{MAIN}"><sheetData>'
+                    '<row r="1"><c r="A1"><v>5</v></c></row>'
+                    "</sheetData></worksheet>"
+                ),
+            }
+        )
+        workbook = read_xlsx(archive)
+        assert workbook["S"].get_value("A1") == 5.0
+
+    def test_shared_string_rich_text_runs(self):
+        archive = make_archive(
+            {
+                "xl/workbook.xml": MINIMAL_WORKBOOK,
+                "xl/sharedStrings.xml": (
+                    f'<sst xmlns="{MAIN}"><si><r><t>Hello </t></r>'
+                    "<r><t>World</t></r></si></sst>"
+                ),
+                "xl/worksheets/sheet1.xml": (
+                    f'<worksheet xmlns="{MAIN}"><sheetData>'
+                    '<row r="1"><c r="A1" t="s"><v>0</v></c></row>'
+                    "</sheetData></worksheet>"
+                ),
+            }
+        )
+        workbook = read_xlsx(archive)
+        assert workbook["S"].get_value("A1") == "Hello World"
+
+    def test_dangling_shared_follower_keeps_value(self):
+        # A shared follower whose anchor is missing degrades to its cached value.
+        archive = make_archive(
+            {
+                "xl/workbook.xml": MINIMAL_WORKBOOK,
+                "xl/worksheets/sheet1.xml": (
+                    f'<worksheet xmlns="{MAIN}"><sheetData>'
+                    '<row r="2"><c r="B2"><f t="shared" si="7"/><v>42</v></c></row>'
+                    "</sheetData></worksheet>"
+                ),
+            }
+        )
+        workbook = read_xlsx(archive)
+        cell = workbook["S"].cell_at("B2")
+        assert not cell.is_formula
+        assert cell.value == 42.0
+
+    def test_array_formula_keeps_cached_value(self):
+        archive = make_archive(
+            {
+                "xl/workbook.xml": MINIMAL_WORKBOOK,
+                "xl/worksheets/sheet1.xml": (
+                    f'<worksheet xmlns="{MAIN}"><sheetData>'
+                    '<row r="1"><c r="A1"><f t="array" ref="A1:A2">SUM(B:B)</f>'
+                    "<v>7</v></c></row></sheetData></worksheet>"
+                ),
+            }
+        )
+        workbook = read_xlsx(archive)
+        assert workbook["S"].get_value("A1") == 7.0
+
+    def test_cells_without_refs_skipped(self):
+        archive = make_archive(
+            {
+                "xl/workbook.xml": MINIMAL_WORKBOOK,
+                "xl/worksheets/sheet1.xml": (
+                    f'<worksheet xmlns="{MAIN}"><sheetData>'
+                    '<row r="1"><c><v>1</v></c><c r="B1"><v>2</v></c></row>'
+                    "</sheetData></worksheet>"
+                ),
+            }
+        )
+        workbook = read_xlsx(archive)
+        assert len(workbook["S"]) == 1

@@ -1,0 +1,167 @@
+"""Round-trip tests: write a workbook to xlsx, read it back, compare."""
+
+import io
+import zipfile
+
+import pytest
+
+from helpers import build_fig2_sheet, build_mixed_sheet
+
+from repro.core.taco_graph import dependencies_column_major
+from repro.formula.errors import ExcelError
+from repro.io.xlsx_reader import read_xlsx
+from repro.io.xlsx_writer import write_xlsx
+from repro.sheet.sheet import Sheet
+from repro.sheet.workbook import Workbook
+
+
+def round_trip(workbook, shared_formulas=True) -> Workbook:
+    buffer = io.BytesIO()
+    write_xlsx(workbook, buffer, shared_formulas=shared_formulas)
+    buffer.seek(0)
+    return read_xlsx(buffer)
+
+
+class TestValues:
+    def test_numbers(self):
+        sheet = Sheet("S")
+        sheet.set_value("A1", 42.0)
+        sheet.set_value("A2", 3.14)
+        sheet.set_value("A3", -7.0)
+        back = round_trip(sheet)["S"]
+        assert back.get_value("A1") == 42.0
+        assert back.get_value("A2") == 3.14
+        assert back.get_value("A3") == -7.0
+
+    def test_strings_inline(self):
+        sheet = Sheet("S")
+        sheet.set_value("A1", "hello world")
+        sheet.set_value("A2", "x < y & z \"quoted\"")
+        back = round_trip(sheet)["S"]
+        assert back.get_value("A1") == "hello world"
+        assert back.get_value("A2") == 'x < y & z "quoted"'
+
+    def test_booleans(self):
+        sheet = Sheet("S")
+        sheet.set_value("A1", True)
+        sheet.set_value("A2", False)
+        back = round_trip(sheet)["S"]
+        assert back.get_value("A1") is True
+        assert back.get_value("A2") is False
+
+    def test_error_values(self):
+        sheet = Sheet("S")
+        sheet.set_value("A1", ExcelError("#DIV/0!"))
+        back = round_trip(sheet)["S"]
+        assert back.get_value("A1") == ExcelError("#DIV/0!")
+
+    def test_empty_cells_stay_empty(self):
+        sheet = Sheet("S")
+        sheet.set_value("B7", 1.0)
+        back = round_trip(sheet)["S"]
+        assert back.get_value("A1") is None
+        assert len(back) == 1
+
+
+class TestFormulas:
+    def test_formula_text_preserved(self):
+        sheet = Sheet("S")
+        sheet.set_formula("B1", "=SUM(A1:A3)")
+        back = round_trip(sheet)["S"]
+        assert back.cell_at("B1").formula_text == "SUM(A1:A3)"
+
+    def test_cached_value_preserved(self):
+        sheet = Sheet("S")
+        sheet.set_formula("B1", "=1+1")
+        sheet.cell_at("B1").value = 2.0
+        back = round_trip(sheet)["S"]
+        assert back.cell_at("B1").value == 2.0
+        assert back.cell_at("B1").is_formula
+
+    def test_string_result_formula(self):
+        sheet = Sheet("S")
+        sheet.set_formula("B1", '="a"&"b"')
+        sheet.cell_at("B1").value = "ab"
+        back = round_trip(sheet)["S"]
+        assert back.cell_at("B1").value == "ab"
+
+    @pytest.mark.parametrize("shared", [True, False], ids=["shared", "plain"])
+    def test_dependencies_survive(self, shared):
+        sheet = build_mixed_sheet(seed=4)
+        back = round_trip(sheet, shared_formulas=shared)["mixed"]
+        original = {(d.prec.to_a1(), d.dep.to_a1()) for d in sheet.iter_dependencies()}
+        restored = {(d.prec.to_a1(), d.dep.to_a1()) for d in back.iter_dependencies()}
+        assert restored == original
+
+
+class TestSharedFormulas:
+    def test_shared_groups_emitted(self):
+        sheet = build_fig2_sheet(rows=30)
+        buffer = io.BytesIO()
+        write_xlsx(sheet, buffer, shared_formulas=True)
+        buffer.seek(0)
+        with zipfile.ZipFile(buffer) as archive:
+            xml = archive.read("xl/worksheets/sheet1.xml").decode()
+        assert 't="shared"' in xml
+        # Followers must carry no formula body.
+        assert xml.count('<f t="shared"') > xml.count("si=\"0\">")
+
+    def test_shared_formulas_reconstructed(self):
+        from repro.formula.parser import parse_formula
+
+        sheet = build_fig2_sheet(rows=30)
+        back = round_trip(sheet)["fig2"]
+        # A follower cell's formula must be the shifted anchor formula
+        # (compare ASTs: rendering may add explicit parentheses).
+        assert back.cell_at("N10").formula_ast == parse_formula("=IF(A10=A9,N9+M10,M10)")
+
+    def test_shared_and_plain_read_identically(self):
+        sheet = build_fig2_sheet(rows=20)
+        with_shared = round_trip(sheet, shared_formulas=True)["fig2"]
+        without = round_trip(sheet, shared_formulas=False)["fig2"]
+        deps_a = {(d.prec.to_a1(), d.dep.to_a1()) for d in with_shared.iter_dependencies()}
+        deps_b = {(d.prec.to_a1(), d.dep.to_a1()) for d in without.iter_dependencies()}
+        assert deps_a == deps_b
+
+    def test_shared_file_is_smaller(self):
+        sheet = build_fig2_sheet(rows=200)
+        shared_buf, plain_buf = io.BytesIO(), io.BytesIO()
+        write_xlsx(sheet, shared_buf, shared_formulas=True)
+        write_xlsx(sheet, plain_buf, shared_formulas=False)
+        assert len(shared_buf.getvalue()) < len(plain_buf.getvalue())
+
+
+class TestWorkbooks:
+    def test_multiple_sheets(self):
+        wb = Workbook()
+        data = wb.add_sheet("Data")
+        report = wb.add_sheet("Report")
+        data.set_value("A1", 10.0)
+        report.set_formula("A1", "=Data!A1*2")
+        back = round_trip(wb)
+        assert back.sheet_names == ["Data", "Report"]
+        assert back["Data"].get_value("A1") == 10.0
+        assert back["Report"].cell_at("A1").formula_text == "Data!A1*2"
+
+    def test_sheet_name_with_spaces(self):
+        wb = Workbook()
+        wb.add_sheet("My Data").set_value("A1", 1.0)
+        back = round_trip(wb)
+        assert back.sheet_names == ["My Data"]
+
+    def test_empty_workbook_rejected(self):
+        with pytest.raises(ValueError):
+            write_xlsx(Workbook(), io.BytesIO())
+
+    def test_graph_pipeline_from_xlsx(self, tmp_path):
+        # The full paper pipeline: file -> parse -> compress -> query.
+        from repro.core.taco_graph import TacoGraph
+
+        sheet = build_fig2_sheet(rows=40)
+        path = tmp_path / "fig2.xlsx"
+        write_xlsx(sheet, str(path))
+        back = read_xlsx(str(path)).active_sheet
+        graph = TacoGraph.full()
+        graph.build(dependencies_column_major(back))
+        assert graph.raw_edge_count() == len(dependencies_column_major(sheet))
+        assert len(graph) <= 6

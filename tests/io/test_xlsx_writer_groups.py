@@ -1,0 +1,99 @@
+"""Unit tests for shared-formula group planning in the xlsx writer."""
+
+import io
+import zipfile
+from xml.etree import ElementTree
+
+from repro.io.shared import strip_ns
+from repro.io.xlsx_writer import _plan_shared_groups, write_xlsx
+from repro.io.xlsx_reader import read_xlsx
+from repro.sheet.autofill import fill_formula_column
+from repro.sheet.sheet import Sheet
+
+
+class TestGroupPlanning:
+    def test_contiguous_identical_run_is_one_group(self):
+        sheet = Sheet("s")
+        fill_formula_column(sheet, 2, 1, 10, "=A1*2")
+        plan = _plan_shared_groups(sheet)
+        assert len(plan) == 10
+        group_ids = {si for si, _, _ in plan.values()}
+        assert len(group_ids) == 1
+        anchors = [pos for pos, (_, _, is_anchor) in plan.items() if is_anchor]
+        assert anchors == [(2, 1)]
+
+    def test_gap_splits_groups(self):
+        sheet = Sheet("s")
+        fill_formula_column(sheet, 2, 1, 4, "=A1*2")
+        fill_formula_column(sheet, 2, 7, 10, "=A7*2")
+        plan = _plan_shared_groups(sheet)
+        group_ids = {si for si, _, _ in plan.values()}
+        assert len(group_ids) == 2
+
+    def test_different_formulas_split_groups(self):
+        sheet = Sheet("s")
+        sheet.set_formula("B1", "=A1*2")
+        sheet.set_formula("B2", "=A2*2")
+        sheet.set_formula("B3", "=A3+1")   # breaks the run
+        sheet.set_formula("B4", "=A4+1")
+        plan = _plan_shared_groups(sheet)
+        group_ids = {si for si, _, _ in plan.values()}
+        assert len(group_ids) == 2
+
+    def test_lone_formula_not_grouped(self):
+        sheet = Sheet("s")
+        sheet.set_formula("B1", "=A1*2")
+        sheet.set_formula("D9", "=A9*3")
+        assert _plan_shared_groups(sheet) == {}
+
+    def test_fixed_refs_still_group(self):
+        sheet = Sheet("s")
+        fill_formula_column(sheet, 2, 1, 5, "=A1*$Z$1")
+        plan = _plan_shared_groups(sheet)
+        assert len({si for si, _, _ in plan.values()}) == 1
+
+
+class TestEmittedXml:
+    def _sheet_xml(self, sheet: Sheet) -> ElementTree.Element:
+        buffer = io.BytesIO()
+        write_xlsx(sheet, buffer)
+        buffer.seek(0)
+        with zipfile.ZipFile(buffer) as archive:
+            return ElementTree.fromstring(archive.read("xl/worksheets/sheet1.xml"))
+
+    def test_anchor_carries_ref_and_body(self):
+        sheet = Sheet("s")
+        fill_formula_column(sheet, 2, 1, 6, "=A1*2")
+        root = self._sheet_xml(sheet)
+        anchors = [
+            el for el in root.iter()
+            if strip_ns(el.tag) == "f" and el.get("t") == "shared" and el.text
+        ]
+        followers = [
+            el for el in root.iter()
+            if strip_ns(el.tag) == "f" and el.get("t") == "shared" and not el.text
+        ]
+        assert len(anchors) == 1
+        assert anchors[0].get("ref") == "B1:B6"
+        assert len(followers) == 5
+        assert all(f.get("si") == anchors[0].get("si") for f in followers)
+
+    def test_round_trip_of_split_groups(self):
+        sheet = Sheet("s")
+        fill_formula_column(sheet, 2, 1, 4, "=A1*2")
+        fill_formula_column(sheet, 2, 7, 10, "=A7*2")
+        buffer = io.BytesIO()
+        write_xlsx(sheet, buffer)
+        buffer.seek(0)
+        restored = read_xlsx(buffer)["s"]
+        deps_in = {(d.prec.to_a1(), d.dep.to_a1()) for d in sheet.iter_dependencies()}
+        deps_out = {(d.prec.to_a1(), d.dep.to_a1()) for d in restored.iter_dependencies()}
+        assert deps_in == deps_out
+
+    def test_dimension_element_present(self):
+        sheet = Sheet("s")
+        sheet.set_value("B2", 1.0)
+        sheet.set_value("D9", 2.0)
+        root = self._sheet_xml(sheet)
+        dims = [el for el in root.iter() if strip_ns(el.tag) == "dimension"]
+        assert dims and dims[0].get("ref") == "B2:D9"

@@ -1,0 +1,86 @@
+"""Unit tests for autofill: the source of tabular locality."""
+
+import pytest
+
+from repro.grid.range import Range
+from repro.sheet.autofill import autofill, fill_formula_column, fill_formula_row
+from repro.sheet.sheet import Sheet
+
+
+class TestAutofill:
+    def test_fill_down_relative(self):
+        sheet = Sheet()
+        sheet.set_formula("C1", "=SUM(A1:B3)")
+        autofill(sheet, "C1", Range.from_a1("C1:C4"))
+        assert sheet.cell_at("C2").formula_text == "SUM(A2:B4)"
+        assert sheet.cell_at("C4").formula_text == "SUM(A4:B6)"
+
+    def test_fill_down_fixed_tail_gives_rf(self):
+        sheet = Sheet()
+        sheet.set_formula("C1", "=SUM(A1:$B$4)")
+        autofill(sheet, "C1", Range.from_a1("C1:C3"))
+        assert sheet.cell_at("C3").formula_text == "SUM(A3:$B$4)"
+
+    def test_fill_down_fixed_head_gives_fr(self):
+        sheet = Sheet()
+        sheet.set_formula("C1", "=SUM($A$1:B1)")
+        autofill(sheet, "C1", Range.from_a1("C1:C3"))
+        assert sheet.cell_at("C3").formula_text == "SUM($A$1:B3)"
+
+    def test_fill_right(self):
+        sheet = Sheet()
+        sheet.set_formula("A2", "=A1*2")
+        autofill(sheet, "A2", Range.from_a1("A2:D2"))
+        assert sheet.cell_at("D2").formula_text == "(D1*2)"
+
+    def test_fill_value_copies(self):
+        sheet = Sheet()
+        sheet.set_value("A1", 7.0)
+        autofill(sheet, "A1", Range.from_a1("A1:A5"))
+        assert all(sheet.get_value((1, r)) == 7.0 for r in range(1, 6))
+
+    def test_source_cell_untouched(self):
+        sheet = Sheet()
+        sheet.set_formula("C2", "=A2")
+        written = autofill(sheet, "C2", Range.from_a1("C1:C4"))
+        assert written == 3
+        assert sheet.cell_at("C2").formula_text == "A2"
+        assert sheet.cell_at("C1").formula_text == "A1"
+
+    def test_empty_source_raises(self):
+        sheet = Sheet()
+        with pytest.raises(ValueError):
+            autofill(sheet, "A1", Range.from_a1("A1:A3"))
+
+    def test_off_sheet_shift_writes_ref_error(self):
+        sheet = Sheet()
+        sheet.set_formula("B2", "=A1")
+        autofill(sheet, "B2", Range.from_a1("B1:B2"))
+        assert sheet.cell_at("B1").formula_text == "#REF!"
+
+
+class TestFillHelpers:
+    def test_fill_formula_column(self):
+        sheet = Sheet()
+        count = fill_formula_column(sheet, 3, 1, 10, "=A1+B1")
+        assert count == 10
+        assert sheet.cell_at((3, 10)).formula_text == "(A10+B10)"
+
+    def test_fill_formula_column_single_row(self):
+        sheet = Sheet()
+        assert fill_formula_column(sheet, 3, 5, 5, "=A5") == 1
+
+    def test_fill_formula_row(self):
+        sheet = Sheet()
+        count = fill_formula_row(sheet, 2, 1, 5, "=A1*2")
+        assert count == 5
+        assert sheet.cell_at((5, 2)).formula_text == "(E1*2)"
+
+    def test_generated_dependencies_follow_rr(self):
+        sheet = Sheet()
+        fill_formula_column(sheet, 3, 1, 50, "=SUM(A1:B2)")
+        rels = set()
+        for dep in sheet.iter_dependencies():
+            rels.add((dep.prec.c1 - dep.dep.c1, dep.prec.r1 - dep.dep.r1,
+                      dep.prec.c2 - dep.dep.c1, dep.prec.r2 - dep.dep.r1))
+        assert rels == {(-2, 0, -1, 1)}

@@ -1,0 +1,46 @@
+"""Unit tests for Cell laziness and memoisation."""
+
+from repro.formula.parser import parse_formula
+from repro.sheet.cell import Cell
+
+
+class TestPureValue:
+    def test_value_cell(self):
+        cell = Cell(value=5.0)
+        assert not cell.is_formula
+        assert cell.formula_ast is None
+        assert cell.formula_text is None
+        assert cell.display_formula is None
+        assert cell.references == []
+
+
+class TestFormulaCell:
+    def test_from_text_parses_lazily(self):
+        cell = Cell(formula_text="SUM(A1:A3)")
+        assert cell._formula_ast is None        # not parsed yet
+        ast = cell.formula_ast
+        assert ast is not None
+        assert cell.formula_ast is ast          # memoised
+
+    def test_from_ast_renders_lazily(self):
+        ast = parse_formula("=A1+B2")
+        cell = Cell(formula_ast=ast)
+        assert cell._formula_text is None
+        assert cell.formula_text == "(A1+B2)"
+        assert cell.display_formula == "=(A1+B2)"
+
+    def test_references_memoised(self):
+        cell = Cell(formula_text="A1+A1+B2")
+        refs = cell.references
+        assert [r.range.to_a1() for r in refs] == ["A1", "B2"]
+        assert cell.references is refs
+
+    def test_value_cache_independent_of_formula(self):
+        cell = Cell(formula_text="1+1")
+        assert cell.value is None
+        cell.value = 2.0
+        assert cell.is_formula and cell.value == 2.0
+
+    def test_repr_smoke(self):
+        assert "Cell" in repr(Cell(value=1.0))
+        assert "=" in repr(Cell(formula_text="A1"))

@@ -1,0 +1,130 @@
+"""Unit tests for structural sheet edits (insert/delete rows/columns)."""
+
+import pytest
+
+from repro.grid.range import Range
+from repro.sheet.sheet import Sheet
+from repro.sheet.structural import (
+    delete_columns,
+    delete_rows,
+    insert_columns,
+    insert_rows,
+    shift_range_for_delete,
+    shift_range_for_insert,
+)
+
+
+class TestRangeArithmetic:
+    def test_insert_below_range(self):
+        rng = Range.from_a1("A1:A3")
+        assert shift_range_for_insert(rng, 5, 2) == rng
+
+    def test_insert_above_range_shifts(self):
+        assert shift_range_for_insert(Range.from_a1("A5:A8"), 2, 3) == Range.from_a1("A8:A11")
+
+    def test_insert_inside_stretches(self):
+        assert shift_range_for_insert(Range.from_a1("A2:A6"), 4, 2) == Range.from_a1("A2:A8")
+
+    def test_insert_at_head_shifts(self):
+        assert shift_range_for_insert(Range.from_a1("A4:A6"), 4, 1) == Range.from_a1("A5:A7")
+
+    def test_delete_below(self):
+        rng = Range.from_a1("A1:A3")
+        assert shift_range_for_delete(rng, 5, 2) == rng
+
+    def test_delete_above_shifts_up(self):
+        assert shift_range_for_delete(Range.from_a1("A8:A9"), 2, 3) == Range.from_a1("A5:A6")
+
+    def test_delete_overlap_shrinks(self):
+        assert shift_range_for_delete(Range.from_a1("A2:A8"), 4, 2) == Range.from_a1("A2:A6")
+        assert shift_range_for_delete(Range.from_a1("A4:A8"), 2, 4) == Range.from_a1("A2:A4")
+
+    def test_delete_whole_range_is_ref_error(self):
+        assert shift_range_for_delete(Range.from_a1("A4:A5"), 3, 4) is None
+
+    def test_column_axis(self):
+        assert shift_range_for_insert(Range.from_a1("C1:E1"), 2, 1, "col") == Range.from_a1("D1:F1")
+        assert shift_range_for_delete(Range.from_a1("C1:E1"), 4, 1, "col") == Range.from_a1("C1:D1")
+
+
+class TestSheetInsertRows:
+    def make(self) -> Sheet:
+        sheet = Sheet("s")
+        for r in range(1, 7):
+            sheet.set_value((1, r), float(r))
+        sheet.set_formula("B2", "=A2*2")
+        sheet.set_formula("B6", "=SUM(A1:A6)")
+        sheet.set_formula("C1", "=SUM($A$2:$A$4)")
+        return sheet
+
+    def test_cells_move(self):
+        sheet = self.make()
+        insert_rows(sheet, 3, 2)
+        assert sheet.get_value((1, 2)) == 2.0     # above: unchanged
+        assert sheet.get_value((1, 3)) is None    # inserted blank
+        assert sheet.get_value((1, 5)) == 3.0     # shifted down
+
+    def test_references_rewritten(self):
+        sheet = self.make()
+        insert_rows(sheet, 3, 2)
+        assert sheet.cell_at("B2").formula_text == "(A2*2)"        # above edit
+        assert sheet.cell_at("B8").formula_text == "SUM(A1:A8)"   # stretched
+        # Absolute references also move under structural edits.
+        assert sheet.cell_at("C1").formula_text == "SUM($A$2:$A$6)"
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            insert_rows(Sheet(), 0, 1)
+        with pytest.raises(ValueError):
+            insert_rows(Sheet(), 1, 0)
+
+
+class TestSheetDeleteRows:
+    def make(self) -> Sheet:
+        sheet = Sheet("s")
+        for r in range(1, 9):
+            sheet.set_value((1, r), float(r))
+        sheet.set_formula("B8", "=SUM(A1:A8)")
+        sheet.set_formula("C1", "=A5")
+        sheet.set_formula("C2", "=SUM(A3:A4)")
+        sheet.set_formula("D4", "=A1")     # formula inside deleted band
+        return sheet
+
+    def test_cells_and_formulas_move(self):
+        sheet = self.make()
+        delete_rows(sheet, 3, 2)   # rows 3-4 gone
+        assert sheet.get_value((1, 3)) == 5.0
+        assert sheet.cell_at("B6").formula_text == "SUM(A1:A6)"   # shrunk
+        assert sheet.cell_at("C1").formula_text == "A3"           # shifted
+
+    def test_reference_into_deleted_band_is_ref_error(self):
+        sheet = self.make()
+        delete_rows(sheet, 3, 2)
+        assert sheet.cell_at("C2").formula_text == "SUM(#REF!)"
+
+    def test_formula_in_deleted_band_removed(self):
+        sheet = self.make()
+        delete_rows(sheet, 3, 2)
+        assert sheet.cell_at("D4") is None
+        assert all(pos != (4, 4) for pos, _ in sheet.items())
+
+
+class TestColumns:
+    def test_insert_columns(self):
+        sheet = Sheet("s")
+        sheet.set_value("A1", 1.0)
+        sheet.set_value("B1", 2.0)
+        sheet.set_formula("C1", "=A1+B1")
+        insert_columns(sheet, 2, 1)
+        assert sheet.get_value("C1") == 2.0
+        assert sheet.cell_at("D1").formula_text == "(A1+C1)"
+
+    def test_delete_columns(self):
+        sheet = Sheet("s")
+        for c in range(1, 5):
+            sheet.set_value((c, 1), float(c))
+        sheet.set_formula("A2", "=SUM(A1:D1)")
+        sheet.set_formula("B2", "=C1")
+        delete_columns(sheet, 3, 1)
+        assert sheet.cell_at("A2").formula_text == "SUM(A1:C1)"
+        assert sheet.cell_at("B2").formula_text == "#REF!"

@@ -1,0 +1,77 @@
+"""Unit tests for workbooks and the cross-sheet resolver."""
+
+import pytest
+
+from repro.formula.evaluator import Evaluator
+from repro.grid.range import Range
+from repro.sheet.workbook import Workbook
+
+
+class TestWorkbook:
+    def test_add_and_get(self):
+        wb = Workbook()
+        s1 = wb.add_sheet("Data")
+        assert wb.sheet("Data") is s1
+        assert wb["Data"] is s1
+        assert "Data" in wb
+        assert wb.sheet_names == ["Data"]
+
+    def test_duplicate_sheet_rejected(self):
+        wb = Workbook()
+        wb.add_sheet("S")
+        with pytest.raises(ValueError):
+            wb.add_sheet("S")
+
+    def test_active_sheet_is_first(self):
+        wb = Workbook()
+        wb.add_sheet("First")
+        wb.add_sheet("Second")
+        assert wb.active_sheet.name == "First"
+
+    def test_active_sheet_empty_raises(self):
+        with pytest.raises(ValueError):
+            Workbook().active_sheet
+
+    def test_attach_existing_sheet(self):
+        from repro.sheet.sheet import Sheet
+
+        wb = Workbook()
+        sheet = Sheet("Mine")
+        wb.attach_sheet(sheet)
+        assert wb["Mine"] is sheet
+
+    def test_sheets_iteration_order(self):
+        wb = Workbook()
+        for name in ("C", "A", "B"):
+            wb.add_sheet(name)
+        assert [s.name for s in wb.sheets()] == ["C", "A", "B"]
+
+
+class TestCrossSheetEvaluation:
+    def test_cross_sheet_reference(self):
+        wb = Workbook()
+        data = wb.add_sheet("Data")
+        report = wb.add_sheet("Report")
+        data.set_value("A1", 100.0)
+        report.set_formula("B1", "=Data!A1*2")
+        ev = Evaluator(wb.resolver())
+        cell = report.cell_at("B1")
+        assert ev.evaluate(cell.formula_ast, sheet="Report") == 200.0
+
+    def test_default_sheet_resolution(self):
+        wb = Workbook()
+        sheet = wb.add_sheet("Only")
+        sheet.set_value("A1", 5.0)
+        resolver = wb.resolver()
+        assert resolver.get_value(None, 1, 1) == 5.0
+        assert resolver.get_value("Missing", 1, 1) is None
+
+    def test_iter_cells_cross_sheet(self):
+        wb = Workbook()
+        data = wb.add_sheet("Data")
+        data.set_value("A1", 1.0)
+        data.set_value("A2", 2.0)
+        resolver = wb.resolver()
+        got = list(resolver.iter_cells("Data", Range.from_a1("A1:A5")))
+        assert len(got) == 2
+        assert list(resolver.iter_cells("Nope", Range.from_a1("A1:A5"))) == []

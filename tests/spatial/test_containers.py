@@ -1,0 +1,68 @@
+"""Unit tests for the Calc-style container index."""
+
+import random
+
+import pytest
+
+from repro.grid.range import Range
+from repro.spatial.containers import ContainerIndex
+
+
+class TestBasics:
+    def test_insert_and_search(self):
+        index = ContainerIndex()
+        index.insert(Range.from_a1("B2:C4"), "x")
+        assert index.search_payloads(Range.from_a1("C4:D5")) == ["x"]
+        assert index.search_payloads(Range.from_a1("E9")) == []
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            ContainerIndex(block_cols=0)
+
+    def test_cross_block_range_found_once(self):
+        index = ContainerIndex(block_cols=4, block_rows=4)
+        key = Range(1, 1, 10, 10)  # spans several blocks
+        index.insert(key, "wide")
+        hits = index.search(Range(1, 1, 12, 12))
+        assert [payload for _, payload in hits] == ["wide"]
+
+    def test_broadcast_path(self):
+        index = ContainerIndex(block_cols=2, block_rows=2, broadcast_threshold=4)
+        huge = Range(1, 1, 40, 40)
+        index.insert(huge, "huge")
+        assert index.stats()["broadcast_items"] == 1
+        assert index.search_payloads(Range.cell(39, 39)) == ["huge"]
+        assert index.delete(huge, "huge")
+        assert index.search_payloads(Range.cell(39, 39)) == []
+
+    def test_delete(self):
+        index = ContainerIndex()
+        key = Range.from_a1("A1:A5")
+        index.insert(key, "a")
+        index.insert(key, "b")
+        assert index.delete(key, "a")
+        assert index.search_payloads(Range.from_a1("A3")) == ["b"]
+        assert not index.delete(key, "missing")
+        assert len(index) == 1
+
+    def test_iteration_deduplicates(self):
+        index = ContainerIndex(block_cols=2, block_rows=2)
+        index.insert(Range(1, 1, 6, 6), "multi-block")
+        assert [payload for _, payload in index] == ["multi-block"]
+
+
+def test_matches_brute_force_random():
+    rng = random.Random(3)
+    index = ContainerIndex(block_cols=8, block_rows=16)
+    items = []
+    for i in range(250):
+        c1 = rng.randrange(1, 120)
+        r1 = rng.randrange(1, 400)
+        key = Range(c1, r1, c1 + rng.randrange(6), r1 + rng.randrange(30))
+        index.insert(key, i)
+        items.append((key, i))
+    for _ in range(40):
+        qc, qr = rng.randrange(1, 120), rng.randrange(1, 400)
+        query = Range(qc, qr, qc + 10, qr + 40)
+        expected = {payload for key, payload in items if key.overlaps(query)}
+        assert set(index.search_payloads(query)) == expected

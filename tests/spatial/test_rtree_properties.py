@@ -1,0 +1,47 @@
+"""Property-based tests: the R-Tree agrees with brute force."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.range import Range
+from repro.spatial.rtree import RTree
+
+
+@st.composite
+def boxes(draw):
+    c1 = draw(st.integers(1, 30))
+    r1 = draw(st.integers(1, 30))
+    return Range(c1, r1, draw(st.integers(c1, c1 + 6)), draw(st.integers(r1, r1 + 6)))
+
+
+@given(st.lists(boxes(), max_size=60), boxes())
+@settings(max_examples=60)
+def test_search_matches_brute_force(keys, query):
+    tree = RTree()
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+    expected = {i for i, key in enumerate(keys) if key.overlaps(query)}
+    assert set(tree.search_payloads(query)) == expected
+    tree.check_invariants()
+
+
+@given(
+    st.lists(boxes(), min_size=1, max_size=50),
+    st.data(),
+)
+@settings(max_examples=40)
+def test_interleaved_insert_delete(keys, data):
+    tree = RTree()
+    live: list[tuple[Range, int]] = []
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+        live.append((key, i))
+        if live and data.draw(st.booleans()):
+            index = data.draw(st.integers(0, len(live) - 1))
+            victim_key, victim_payload = live.pop(index)
+            assert tree.delete(victim_key, victim_payload)
+    tree.check_invariants()
+    assert len(tree) == len(live)
+    query = data.draw(boxes())
+    expected = {payload for key, payload in live if key.overlaps(query)}
+    assert set(tree.search_payloads(query)) == expected
