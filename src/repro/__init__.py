@@ -39,6 +39,7 @@ from .grid.ref import CellRef
 from .sheet.autofill import autofill, fill_formula_column, fill_formula_row
 from .sheet.sheet import Dependency, Sheet
 from .sheet.workbook import Workbook
+from .spatial import SpatialIndex, available_indexes, make_index, register_index
 
 __version__ = "1.0.0"
 
@@ -57,12 +58,16 @@ __all__ = [
     "Range",
     "RangeSet",
     "Sheet",
+    "SpatialIndex",
     "TacoGraph",
     "Workbook",
     "autofill",
+    "available_indexes",
     "build_from_sheet",
     "dependencies_column_major",
     "expand_cells",
+    "make_index",
+    "register_index",
     "fill_formula_column",
     "fill_formula_row",
     "parse_formula",

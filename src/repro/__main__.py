@@ -6,6 +6,9 @@ Commands operate on real ``.xlsx`` files through the stdlib reader:
 * ``trace FILE SHEET!CELL``    — dependents and precedents of a cell
 * ``export FILE [--dot|--json] [--sheet NAME]`` — compressed graph export
 * ``demo PATH``                — write a demonstration workbook to PATH
+
+``report``, ``trace`` and ``export`` accept ``--index`` to select the
+spatial-index backend backing the graphs (see :mod:`repro.spatial`).
 """
 
 from __future__ import annotations
@@ -21,13 +24,15 @@ from .graphs.nocomp import NoCompGraph
 from .grid.range import Range
 from .io import read_xlsx, write_xlsx
 from .sheet.workbook import Workbook
+from .spatial.registry import available_indexes
 
 __all__ = ["main"]
 
 
-def _build_graph(sheet) -> TacoGraph:
-    graph = TacoGraph.full()
+def _build_graph(sheet, index: str = "rtree") -> TacoGraph:
+    graph = TacoGraph.full(index=index)
     graph.build(dependencies_column_major(sheet))
+    graph.rebuild_indexes()
     return graph
 
 
@@ -39,9 +44,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if not deps:
             rows.append([sheet.name, 0, "-", "-", "-"])
             continue
-        nocomp = NoCompGraph()
+        nocomp = NoCompGraph(index=args.index)
         nocomp.build(deps)
-        taco = _build_graph(sheet)
+        taco = _build_graph(sheet, args.index)
         rows.append([
             sheet.name,
             len(deps),
@@ -67,7 +72,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     except KeyError:
         print(f"error: no such sheet in {args.cell!r}", file=sys.stderr)
         return 2
-    graph = _build_graph(sheet)
+    graph = _build_graph(sheet, args.index)
     print(f"sheet {sheet.name}, probe {probe.to_a1()}")
     dependents = sorted(graph.find_dependents(probe), key=Range.as_tuple)
     print(f"\ndependents ({sum(r.size for r in dependents)} cells):")
@@ -87,7 +92,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     workbook = read_xlsx(args.file)
     sheet = workbook.sheet(args.sheet) if args.sheet else workbook.active_sheet
-    graph = _build_graph(sheet)
+    graph = _build_graph(sheet, args.index)
     if args.json:
         print(to_adjacency_json(graph))
     else:
@@ -118,20 +123,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_index_option(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--index",
+            default="rtree",
+            choices=available_indexes(),
+            help="spatial-index backend for the graphs (default: rtree)",
+        )
+
     report = sub.add_parser("report", help="per-sheet compression report")
     report.add_argument("file")
+    add_index_option(report)
     report.set_defaults(fn=_cmd_report)
 
     trace = sub.add_parser("trace", help="trace dependents/precedents of a cell")
     trace.add_argument("file")
     trace.add_argument("cell", help="A1 address, optionally Sheet!A1")
     trace.add_argument("--limit", type=int, default=20)
+    add_index_option(trace)
     trace.set_defaults(fn=_cmd_trace)
 
     export = sub.add_parser("export", help="export the compressed graph")
     export.add_argument("file")
     export.add_argument("--sheet", default=None)
     export.add_argument("--json", action="store_true", help="JSON instead of dot")
+    add_index_option(export)
     export.set_defaults(fn=_cmd_export)
 
     demo = sub.add_parser("demo", help="write a demonstration workbook")

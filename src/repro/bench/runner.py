@@ -16,6 +16,7 @@ from ..graphs.calc import NoCompCalcGraph
 from ..graphs.nocomp import NoCompGraph
 from ..grid.range import Range
 from ..sheet.sheet import Dependency, Sheet
+from ..spatial.registry import IndexFactory
 
 __all__ = ["BenchSheet", "get_corpus", "top_sheets"]
 
@@ -71,18 +72,24 @@ class BenchSheet:
 
     # -- fresh builds (for build-time measurements) -----------------------------
 
-    def fresh_taco(self, budget: Budget | None = None) -> TacoGraph:
-        graph = TacoGraph.full()
+    def fresh_taco(
+        self, budget: Budget | None = None, index: IndexFactory = "rtree"
+    ) -> TacoGraph:
+        graph = TacoGraph.full(index=index)
         graph.build(self.deps(), budget)
+        graph.rebuild_indexes()  # production path: build_from_sheet repacks
         return graph
 
     def fresh_inrow(self, budget: Budget | None = None) -> TacoGraph:
         graph = TacoGraph.inrow()
         graph.build(self.deps(), budget)
+        graph.rebuild_indexes()
         return graph
 
-    def fresh_nocomp(self, budget: Budget | None = None) -> NoCompGraph:
-        graph = NoCompGraph()
+    def fresh_nocomp(
+        self, budget: Budget | None = None, index: IndexFactory = "rtree"
+    ) -> NoCompGraph:
+        graph = NoCompGraph(index=index)
         graph.build(self.deps(), budget)
         return graph
 

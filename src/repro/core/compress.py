@@ -59,7 +59,7 @@ def select_final_edge(
     dependency: Dependency,
 ) -> tuple[CompressedEdge, CompressedEdge]:
     """Rank valid merges by the paper's heuristics and return the best."""
-    pattern_priority = {pattern.name: i for i, pattern in enumerate(graph.patterns)}
+    pattern_priority = graph.pattern_priority
 
     def score(pair: tuple[CompressedEdge, CompressedEdge]):
         merged, old = pair

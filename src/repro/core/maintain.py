@@ -24,9 +24,12 @@ __all__ = ["clear_cells", "update_cell"]
 def clear_cells(graph: "TacoGraph", rng: Range, budget: Budget | None = None) -> int:
     """Remove the dependencies of all formula cells within ``rng``.
 
-    Returns the number of compressed edges that were touched.
+    Returns the number of compressed edges actually removed or replaced —
+    index hits whose dependent range turns out not to intersect the
+    cleared range are not counted.
     """
     affected = graph.dep_overlapping(rng)
+    touched = 0
     for edge in affected:
         if budget is not None:
             budget.check()
@@ -37,7 +40,8 @@ def clear_cells(graph: "TacoGraph", rng: Range, budget: Budget | None = None) ->
         graph.remove_edge(edge)
         for piece in replacements:
             graph.add_edge_raw(piece)
-    return len(affected)
+        touched += 1
+    return touched
 
 
 def update_cell(

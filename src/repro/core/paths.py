@@ -46,7 +46,7 @@ def explain_dependency(
     """
     # parents maps a visited range to (previous frontier range, edge).
     parents: dict[Range, tuple[Range, CompressedEdge] | None] = {}
-    visited = RangeSet()
+    visited = RangeSet(index=graph.index_spec)
     queue: deque[Range] = deque([source])
     parents[source] = None
     hit: Range | None = None

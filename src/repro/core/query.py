@@ -4,8 +4,9 @@ A modified BFS: the frontier holds ranges, the vertex index finds the
 compressed edges whose precedent overlaps the frontier, each pattern's
 ``find_dep`` computes — in constant time — which subset of the edge's
 dependent range actually depends on the frontier, and a result
-:class:`~repro.grid.rangeset.RangeSet` (with its own R-Tree) keeps only
-the not-yet-visited pieces.  Finding precedents is the symmetric dual.
+:class:`~repro.grid.rangeset.RangeSet` (backed by the graph's own index
+backend) keeps only the not-yet-visited pieces.  Finding precedents is
+the symmetric dual.
 """
 
 from __future__ import annotations
@@ -28,7 +29,7 @@ def find_dependents(
 ) -> list[Range]:
     """All ranges whose cells (transitively) depend on ``rng``."""
     queue: deque[Range] = deque([rng])
-    result = RangeSet()
+    result = RangeSet(index=graph.index_spec)
     stats = graph.query_stats
     while queue:
         prec_to_visit = queue.popleft()
@@ -50,7 +51,7 @@ def find_precedents(
 ) -> list[Range]:
     """All ranges whose cells ``rng`` (transitively) depends on."""
     queue: deque[Range] = deque([rng])
-    result = RangeSet()
+    result = RangeSet(index=graph.index_spec)
     stats = graph.query_stats
     while queue:
         dep_to_visit = queue.popleft()

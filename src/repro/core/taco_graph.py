@@ -1,10 +1,12 @@
 """The TACO compressed formula graph.
 
 Storage follows the paper's prototype (Sec. VI-A): compressed edges in an
-adjacency structure with an R-Tree over the vertices so that the edges
-whose precedent (or dependent) overlaps an input range are found quickly.
-``TacoGraph.full()`` is TACO-Full (all predefined patterns);
-``TacoGraph.inrow()`` is the TACO-InRow variant of Sec. VI-B.
+adjacency structure with a spatial index over the vertices so that the
+edges whose precedent (or dependent) overlaps an input range are found
+quickly.  The index backend is pluggable (``index="rtree"`` by default;
+see :mod:`repro.spatial`).  ``TacoGraph.full()`` is TACO-Full (all
+predefined patterns); ``TacoGraph.inrow()`` is the TACO-InRow variant of
+Sec. VI-B.
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ from typing import Iterable, Iterator
 from ..graphs.base import Budget, FormulaGraph, GraphStats
 from ..grid.range import Range
 from ..sheet.sheet import Dependency, Sheet
-from ..spatial.rtree import RTree
+from ..spatial.registry import IndexFactory, make_index
 from . import compress, maintain, query
 from .patterns.base import CompressedEdge, Pattern
 from .patterns.registry import default_patterns, inrow_patterns
@@ -34,14 +36,19 @@ class TacoGraph(FormulaGraph):
         patterns: list[Pattern] | None = None,
         use_cues: bool = True,
         prefer_column: bool = True,
+        index: IndexFactory = "rtree",
     ):
         self.patterns = default_patterns() if patterns is None else list(patterns)
         self.use_cues = use_cues
         self.prefer_column = prefer_column
         self._reach = max((p.reach for p in self.patterns), default=1)
+        # Selection-heuristic rank of each pattern, fixed at construction
+        # so edge insertion does not rebuild it per dependency.
+        self.pattern_priority = {p.name: i for i, p in enumerate(self.patterns)}
         self._edges: set[CompressedEdge] = set()
-        self._prec_index = RTree()
-        self._dep_index = RTree()
+        self.index_spec = index
+        self._prec_index = make_index(index)
+        self._dep_index = make_index(index)
         self.query_stats = GraphStats()
 
     # -- variants ---------------------------------------------------------------
@@ -71,6 +78,17 @@ class TacoGraph(FormulaGraph):
 
     def edges(self) -> Iterator[CompressedEdge]:
         return iter(self._edges)
+
+    def rebuild_indexes(self) -> None:
+        """Repack both vertex indexes from the final edge set.
+
+        Incremental construction leaves the indexes shaped by insertion
+        order (and, for the R-Tree, loosely packed); a bulk load over the
+        settled edges produces the tightest layout the backend supports,
+        which pays off across the subsequent query workload.
+        """
+        self._prec_index.bulk_load((edge.prec, edge) for edge in self._edges)
+        self._dep_index.bulk_load((edge.dep, edge) for edge in self._edges)
 
     def __len__(self) -> int:
         return len(self._edges)
@@ -208,9 +226,18 @@ def build_from_sheet(
     sheet: Sheet,
     graph: FormulaGraph | None = None,
     budget: Budget | None = None,
+    index: IndexFactory | None = None,
 ) -> FormulaGraph:
-    """Build a formula graph (TACO-Full by default) from a sheet."""
+    """Build a formula graph (TACO-Full by default) from a sheet.
+
+    After the column-major incremental build, graphs that support it get
+    their vertex indexes bulk-repacked (STR for the R-Tree), replacing
+    the one-vertex-at-a-time layout with a packed one.
+    """
     if graph is None:
-        graph = TacoGraph.full()
+        graph = TacoGraph.full() if index is None else TacoGraph.full(index=index)
     graph.build(dependencies_column_major(sheet), budget)
+    rebuild = getattr(graph, "rebuild_indexes", None)
+    if rebuild is not None:
+        rebuild()
     return graph

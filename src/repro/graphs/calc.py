@@ -4,41 +4,19 @@ Identical graph algorithms to NoComp, but the spatial index is the
 container partitioning Calc uses instead of an R-Tree: the sheet space is
 pre-partitioned into blocks, overlapping ranges register in each block
 they touch, and very wide ranges fall into a broadcast list that every
-lookup must scan.
+lookup must scan.  The swap is one registry name — both backends
+implement :class:`repro.spatial.SpatialIndex`.
 """
 
 from __future__ import annotations
 
-from ..grid.range import Range
-from ..spatial.containers import ContainerIndex
 from .nocomp import NoCompGraph
 
 __all__ = ["NoCompCalcGraph"]
-
-
-class _ContainerAdapter:
-    """Uniform (key, payload) search surface over the container index."""
-
-    __slots__ = ("_index",)
-
-    def __init__(self):
-        self._index = ContainerIndex()
-
-    def insert(self, key: Range, payload) -> None:
-        self._index.insert(key, payload)
-
-    def delete(self, key: Range, payload) -> bool:
-        return self._index.delete(key, payload)
-
-    def search_items(self, query: Range) -> list[tuple[Range, object]]:
-        return self._index.search(query)
-
-    def __len__(self) -> int:
-        return len(self._index)
 
 
 class NoCompCalcGraph(NoCompGraph):
     name = "NoComp-Calc"
 
     def __init__(self):
-        super().__init__(index_factory=_ContainerAdapter)
+        super().__init__(index="container")

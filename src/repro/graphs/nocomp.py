@@ -7,44 +7,24 @@ individual formula cells — no pattern knowledge, no compression — which is
 precisely what makes it slow on spreadsheets with hundreds of thousands of
 edges.
 
-The index is pluggable: :class:`NoCompGraph` uses the R-Tree (the paper's
-NoComp) and :class:`repro.graphs.calc.NoCompCalcGraph` swaps in the
-Calc-style container index (the paper's NoComp-Calc).
+The vertex index is any registered spatial backend: :class:`NoCompGraph`
+defaults to the R-Tree (the paper's NoComp) and
+:class:`repro.graphs.calc.NoCompCalcGraph` selects the Calc-style
+container index (the paper's NoComp-Calc).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Iterable
+from typing import Iterable
 
 from ..grid.range import Range
 from ..grid.rangeset import RangeSet
 from ..sheet.sheet import Dependency
-from ..spatial.rtree import RTree
+from ..spatial.registry import IndexFactory, make_index
 from .base import Budget, FormulaGraph, GraphStats
 
 __all__ = ["NoCompGraph"]
-
-
-class _RTreeAdapter:
-    """Uniform (key, payload) search surface over the R-Tree."""
-
-    __slots__ = ("_tree",)
-
-    def __init__(self):
-        self._tree = RTree()
-
-    def insert(self, key: Range, payload) -> None:
-        self._tree.insert(key, payload)
-
-    def delete(self, key: Range, payload) -> bool:
-        return self._tree.delete(key, payload)
-
-    def search_items(self, query: Range) -> list[tuple[Range, object]]:
-        return [(entry.key, entry.payload) for entry in self._tree.search(query)]
-
-    def __len__(self) -> int:
-        return len(self._tree)
 
 
 class NoCompGraph(FormulaGraph):
@@ -52,14 +32,14 @@ class NoCompGraph(FormulaGraph):
 
     name = "NoComp"
 
-    def __init__(self, index_factory: Callable[[], object] = _RTreeAdapter):
-        self._index_factory = index_factory
+    def __init__(self, index: IndexFactory = "rtree"):
+        self.index_spec = index
         # prec range -> list of dependent formula cells (col, row)
         self._adjacency: dict[Range, list[tuple[int, int]]] = {}
         # dep cell -> list of prec ranges
         self._reverse: dict[tuple[int, int], list[Range]] = {}
-        self._prec_index = index_factory()
-        self._dep_index = index_factory()
+        self._prec_index = make_index(index)
+        self._dep_index = make_index(index)
         self._edge_count = 0
         self._stats = GraphStats()
 
@@ -67,19 +47,37 @@ class NoCompGraph(FormulaGraph):
 
     def add_dependency(self, dep: Dependency, budget: Budget | None = None) -> None:
         prec, cell = dep.prec, dep.dep.head
+        self._record(prec, cell, index=True)
+
+    def _record(self, prec: Range, cell: tuple[int, int], index: bool) -> None:
         dependents = self._adjacency.get(prec)
         if dependents is None:
             self._adjacency[prec] = [cell]
-            self._prec_index.insert(prec, prec)
+            if index:
+                self._prec_index.insert(prec, prec)
         else:
             dependents.append(cell)
         precs = self._reverse.get(cell)
         if precs is None:
             self._reverse[cell] = [prec]
-            self._dep_index.insert(Range.cell(*cell), cell)
+            if index:
+                self._dep_index.insert(Range.cell(*cell), cell)
         else:
             precs.append(prec)
         self._edge_count += 1
+
+    def build(self, deps: Iterable[Dependency], budget: Budget | None = None) -> None:
+        """Bulk construction: fill the adjacency first, then bulk-load the
+        vertex indexes over the settled key sets (STR packing for the
+        R-Tree) instead of inserting every vertex one at a time."""
+        for dep in deps:
+            if budget is not None:
+                budget.check()
+            self._record(dep.prec, dep.dep.head, index=False)
+        self._prec_index.bulk_load((prec, prec) for prec in self._adjacency)
+        self._dep_index.bulk_load(
+            (Range.cell(*cell), cell) for cell in self._reverse
+        )
 
     def clear_cells(self, rng: Range, budget: Budget | None = None) -> None:
         self._stats.index_searches += 1
@@ -120,7 +118,7 @@ class NoCompGraph(FormulaGraph):
         return [Range.cell(*cell) for cell in visited]
 
     def find_precedents(self, rng: Range, budget: Budget | None = None) -> list[Range]:
-        result = RangeSet()
+        result = RangeSet(index=self.index_spec)
         queue: deque[Range] = deque([rng])
         while queue:
             frontier = queue.popleft()

@@ -11,17 +11,22 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from ..spatial.rtree import RTree
+from ..spatial.registry import IndexFactory, make_index
 from .range import Range
 
 __all__ = ["RangeSet"]
 
 
 class RangeSet:
-    """A collection of ranges supporting overlap and coverage queries."""
+    """A collection of ranges supporting overlap and coverage queries.
 
-    def __init__(self, initial: "list[Range] | None" = None):
-        self._tree = RTree()
+    The member index is any registered spatial backend (``index=`` takes a
+    name or factory); graphs thread their own backend choice through so an
+    ablation swaps every index in the query path, not just the vertex one.
+    """
+
+    def __init__(self, initial: "list[Range] | None" = None, index: IndexFactory = "rtree"):
+        self._tree = make_index(index)
         self._ranges: list[Range] = []
         self._cell_count = 0
         if initial:

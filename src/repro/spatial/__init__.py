@@ -1,6 +1,27 @@
-"""Spatial indexes over ranges: R-Tree and Calc-style containers."""
+"""Pluggable spatial indexes over ranges.
 
+:class:`SpatialIndex` is the protocol every backend implements;
+:func:`make_index` instantiates one by registered name.  Shipped
+backends: ``"rtree"`` (Guttman R-Tree with STR bulk loading),
+``"gridbucket"`` (hashed cell buckets with a coarse overflow tier), and
+``"container"`` (OpenOffice-Calc-style block partitioning).
+"""
+
+from .base import IndexEntry, SpatialIndex
 from .containers import ContainerIndex
+from .gridbucket import GridBucketIndex
+from .registry import IndexFactory, available_indexes, make_index, register_index
 from .rtree import RTree, RTreeEntry
 
-__all__ = ["ContainerIndex", "RTree", "RTreeEntry"]
+__all__ = [
+    "ContainerIndex",
+    "GridBucketIndex",
+    "IndexEntry",
+    "IndexFactory",
+    "RTree",
+    "RTreeEntry",
+    "SpatialIndex",
+    "available_indexes",
+    "make_index",
+    "register_index",
+]

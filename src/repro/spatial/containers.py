@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from ..grid.range import Range
+from .base import IndexEntry, SpatialIndex
 
 __all__ = ["ContainerIndex"]
 
@@ -22,7 +23,7 @@ DEFAULT_BLOCK_ROWS = 1024
 DEFAULT_BROADCAST_THRESHOLD = 64
 
 
-class ContainerIndex:
+class ContainerIndex(SpatialIndex):
     """Block-partitioned spatial index over ranges.
 
     Functionally interchangeable with :class:`~repro.spatial.rtree.RTree`
@@ -31,19 +32,22 @@ class ContainerIndex:
     broadcast list.
     """
 
+    backend_name = "container"
+
     def __init__(
         self,
         block_cols: int = DEFAULT_BLOCK_COLS,
         block_rows: int = DEFAULT_BLOCK_ROWS,
         broadcast_threshold: int = DEFAULT_BROADCAST_THRESHOLD,
     ):
+        super().__init__()
         if block_cols < 1 or block_rows < 1:
             raise ValueError("block dimensions must be positive")
         self._block_cols = block_cols
         self._block_rows = block_rows
         self._broadcast_threshold = broadcast_threshold
-        self._blocks: dict[tuple[int, int], list[tuple[Range, Any]]] = {}
-        self._broadcast: list[tuple[Range, Any]] = []
+        self._blocks: dict[tuple[int, int], list[IndexEntry]] = {}
+        self._broadcast: list[IndexEntry] = []
         self._size = 0
 
     def __len__(self) -> int:
@@ -70,74 +74,71 @@ class ContainerIndex:
 
     # -- operations ------------------------------------------------------------
 
-    def insert(self, key: Range, payload: Any = None) -> None:
-        item = (key, payload)
-        if self._is_broadcast(key):
-            self._broadcast.append(item)
+    def _place(self, entry: IndexEntry) -> None:
+        if self._is_broadcast(entry.key):
+            self._broadcast.append(entry)
         else:
-            for block in self._blocks_of(key):
-                self._blocks.setdefault(block, []).append(item)
+            for block in self._blocks_of(entry.key):
+                self._blocks.setdefault(block, []).append(entry)
         self._size += 1
 
+    def insert(self, key: Range, payload: Any = None) -> None:
+        self.insert_ops += 1
+        self._place(IndexEntry(key, payload))
+
     def delete(self, key: Range, payload: Any = None) -> bool:
-        removed = False
+        self.delete_ops += 1
         if self._is_broadcast(key):
-            removed = self._remove_from(self._broadcast, key, payload)
+            entry = self._match(self._broadcast, key, payload)
+            if entry is not None:
+                self._broadcast.remove(entry)
         else:
-            for block in self._blocks_of(key):
-                items = self._blocks.get(block)
-                if items is None:
-                    continue
-                if self._remove_from(items, key, payload):
-                    removed = True
-                if not items:
-                    del self._blocks[block]
-        if removed:
-            self._size -= 1
-        return removed
+            entry = self._remove_registered(
+                self._blocks, list(self._blocks_of(key)), key, payload
+            )
+        if entry is None:
+            return False
+        self._size -= 1
+        return True
 
-    @staticmethod
-    def _remove_from(items: list[tuple[Range, Any]], key: Range, payload: Any) -> bool:
-        for i, (k, p) in enumerate(items):
-            if k == key and (payload is None or p is payload):
-                items.pop(i)
-                return True
-        return False
-
-    def search(self, query: Range) -> list[tuple[Range, Any]]:
-        """All (key, payload) pairs whose key overlaps ``query``.
+    def search(self, query: Range) -> list[IndexEntry]:
+        """All entries whose key overlaps ``query``.
 
         An item registered in several visited blocks is reported once; we
         deduplicate by identity, mirroring Calc's listener de-duplication.
         """
-        out: list[tuple[Range, Any]] = []
+        self.search_ops += 1
+        out: list[IndexEntry] = []
         seen: set[int] = set()
         for block in self._blocks_of(query):
-            for item in self._blocks.get(block, ()):  # noqa: B020
-                if item[0].overlaps(query) and id(item) not in seen:
-                    seen.add(id(item))
-                    out.append(item)
-        for item in self._broadcast:
-            if item[0].overlaps(query):
-                out.append(item)
+            for entry in self._blocks.get(block, ()):
+                if entry.key.overlaps(query) and id(entry) not in seen:
+                    seen.add(id(entry))
+                    out.append(entry)
+        for entry in self._broadcast:
+            if entry.key.overlaps(query):
+                out.append(entry)
         return out
 
-    def search_payloads(self, query: Range) -> list[Any]:
-        return [payload for _, payload in self.search(query)]
+    def _reset(self) -> None:
+        self._blocks.clear()
+        self._broadcast.clear()
+        self._size = 0
 
-    def __iter__(self) -> Iterator[tuple[Range, Any]]:
+    def __iter__(self) -> Iterator[IndexEntry]:
         seen: set[int] = set()
         for items in self._blocks.values():
-            for item in items:
-                if id(item) not in seen:
-                    seen.add(id(item))
-                    yield item
+            for entry in items:
+                if id(entry) not in seen:
+                    seen.add(id(entry))
+                    yield entry
         yield from self._broadcast
 
-    def stats(self) -> dict[str, int]:
-        return {
-            "blocks": len(self._blocks),
-            "broadcast_items": len(self._broadcast),
-            "registrations": sum(len(v) for v in self._blocks.values()),
-            "size": self._size,
-        }
+    def stats(self) -> dict[str, int | str]:
+        out = super().stats()
+        out.update(
+            blocks=len(self._blocks),
+            broadcast_items=len(self._broadcast),
+            registrations=sum(len(v) for v in self._blocks.values()) + len(self._broadcast),
+        )
+        return out

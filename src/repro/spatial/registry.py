@@ -1,0 +1,64 @@
+"""Named registry of spatial-index backends.
+
+Consumers (the graphs, :class:`~repro.grid.rangeset.RangeSet`, the
+benchmark runner, the CLI) select a backend with
+``make_index("rtree" | "gridbucket" | "container")`` instead of importing
+a concrete class; new backends plug in through :func:`register_index`
+without re-plumbing any consumer.
+
+An ``IndexFactory`` is either a registered name or a zero-argument
+callable returning a fresh :class:`~repro.spatial.base.SpatialIndex`
+(handy for parameterised backends, e.g.
+``lambda: GridBucketIndex(bucket_rows=64)``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from .base import SpatialIndex
+
+__all__ = ["IndexFactory", "available_indexes", "make_index", "register_index"]
+
+IndexFactory = Union[str, Callable[[], SpatialIndex]]
+
+_REGISTRY: dict[str, Callable[..., SpatialIndex]] = {}
+_builtins_loaded = False
+
+
+def register_index(name: str, factory: Callable[..., SpatialIndex]) -> None:
+    """Register (or override) a backend under ``name``."""
+    _REGISTRY[name.lower()] = factory
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    # Imported lazily so registry <-> backend imports cannot cycle.
+    from .containers import ContainerIndex
+    from .gridbucket import GridBucketIndex
+    from .rtree import RTree
+
+    _REGISTRY.setdefault("rtree", RTree)
+    _REGISTRY.setdefault("gridbucket", GridBucketIndex)
+    _REGISTRY.setdefault("container", ContainerIndex)
+    _builtins_loaded = True
+
+
+def available_indexes() -> tuple[str, ...]:
+    """The registered backend names, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def make_index(spec: IndexFactory = "rtree", **kwargs) -> SpatialIndex:
+    """Instantiate a backend from a registered name or a factory callable."""
+    if callable(spec):
+        return spec(**kwargs)
+    _ensure_builtins()
+    factory = _REGISTRY.get(spec.lower())
+    if factory is None:
+        names = ", ".join(available_indexes())
+        raise ValueError(f"unknown spatial index {spec!r}; available: {names}")
+    return factory(**kwargs)

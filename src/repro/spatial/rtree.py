@@ -10,30 +10,23 @@ and every entry carries an arbitrary payload (in the graphs, an edge).
 Supported operations match the paper's complexity assumptions: search is
 linear in the worst case but logarithmic in practice, insert and delete are
 logarithmic.  Duplicate keys are allowed (two edges may share a vertex).
+Bulk construction uses sort-tile-recursive (STR) packing, which produces a
+tighter tree than one-at-a-time insertion of a known vertex set.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from ..grid.range import Range
+from .base import IndexEntry, SpatialIndex
 
 __all__ = ["RTree", "RTreeEntry"]
 
 DEFAULT_MAX_ENTRIES = 8
 
-
-class RTreeEntry:
-    """A leaf entry: an exact range key and its payload."""
-
-    __slots__ = ("key", "payload")
-
-    def __init__(self, key: Range, payload: Any):
-        self.key = key
-        self.payload = payload
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"RTreeEntry({self.key}, {self.payload!r})"
+# Historical name; R-Tree leaf entries are plain index entries.
+RTreeEntry = IndexEntry
 
 
 class _Node:
@@ -95,6 +88,24 @@ class _Node:
         return len(self.entries) if self.leaf else len(self.children)
 
 
+def _even_chunks(seq: list, capacity: int) -> list[list]:
+    """Split ``seq`` into ceil(len/capacity) contiguous chunks of even size.
+
+    Balanced sizes (they differ by at most one) keep every chunk at or
+    above half capacity whenever more than one chunk is produced, which
+    is what the packed tree's minimum-fill invariant needs.
+    """
+    count = -(-len(seq) // capacity)
+    base, rem = divmod(len(seq), count)
+    out: list[list] = []
+    start = 0
+    for i in range(count):
+        size = base + (1 if i < rem else 0)
+        out.append(seq[start : start + size])
+        start += size
+    return out
+
+
 def _enlargement(node: _Node, c1: int, r1: int, c2: int, r2: int) -> int:
     """Area growth of ``node``'s MBR if it absorbed the given box."""
     if node.mbr_is_empty():
@@ -106,20 +117,19 @@ def _enlargement(node: _Node, c1: int, r1: int, c2: int, r2: int) -> int:
     return (nc2 - nc1 + 1) * (nr2 - nr1 + 1) - node.area()
 
 
-class RTree:
+class RTree(SpatialIndex):
     """Dynamic R-Tree mapping :class:`Range` keys to payloads."""
 
+    backend_name = "rtree"
+
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        super().__init__()
         if max_entries < 4:
             raise ValueError("max_entries must be >= 4")
         self._max = max_entries
         self._min = max(2, max_entries // 2)
         self._root = _Node(leaf=True)
         self._size = 0
-        # Instrumentation used by the benchmark harness.
-        self.search_ops = 0
-        self.insert_ops = 0
-        self.delete_ops = 0
 
     def __len__(self) -> int:
         return self._size
@@ -145,13 +155,6 @@ class RTree:
                 stack.extend(node.children)
         return out
 
-    def search_payloads(self, query: Range) -> list[Any]:
-        return [entry.payload for entry in self.search(query)]
-
-    def covering(self, query: Range) -> list[RTreeEntry]:
-        """All entries whose key fully contains ``query``."""
-        return [entry for entry in self.search(query) if entry.key.contains(query)]
-
     def __iter__(self) -> Iterator[RTreeEntry]:
         stack = [self._root]
         while stack:
@@ -165,11 +168,17 @@ class RTree:
 
     def insert(self, key: Range, payload: Any = None) -> None:
         self.insert_ops += 1
-        entry = RTreeEntry(key, payload)
+        self._size += 1
+        self._insert_entry(RTreeEntry(key, payload))
+
+    def _insert_entry(self, entry: RTreeEntry) -> None:
+        """Place an entry without touching counters; also the re-insert
+        path used by :meth:`_condense`, so ``insert_ops`` and ``_size``
+        reflect caller operations only."""
+        key = entry.key
         leaf = self._choose_leaf(self._root, key)
         leaf.entries.append(entry)
         leaf.include(key.c1, key.r1, key.c2, key.r2)
-        self._size += 1
         if len(leaf.entries) > self._max:
             self._split(leaf)
         else:
@@ -370,9 +379,71 @@ class RTree:
         if not self._root.leaf and len(self._root.children) == 1:
             self._root = self._root.children[0]
             self._root.parent = None
-        self._size -= len(orphans)
+        # Orphans never left the tree from the caller's point of view:
+        # re-place them through the internal path so neither ``_size`` nor
+        # ``insert_ops`` records the restructuring.
         for entry in orphans:
-            self.insert(entry.key, entry.payload)
+            self._insert_entry(entry)
+
+    # -- bulk loading --------------------------------------------------------
+
+    def bulk_load(self, items: Iterable[tuple[Range, Any]]) -> None:
+        """Replace the whole contents using sort-tile-recursive packing.
+
+        STR (Leutenegger et al., ICDE 1997): sort by centre column, cut
+        into vertical slabs, sort each slab by centre row, and cut into
+        full nodes; repeat level by level.  The result is a near-fully
+        packed tree, much tighter than the one incremental insertion
+        leaves behind — ideal after a column-major build where every
+        vertex arrived one at a time.
+        """
+        self.bulk_loads += 1
+        entries = [RTreeEntry(key, payload) for key, payload in items]
+        self._size = len(entries)
+        if not entries:
+            self._root = _Node(leaf=True)
+            return
+        leaves: list[_Node] = []
+        for group in self._str_tiles(
+            entries, lambda e: (e.key.c1 + e.key.c2, e.key.r1 + e.key.r2)
+        ):
+            leaf = _Node(leaf=True)
+            leaf.entries = group
+            leaf.recompute_mbr()
+            leaves.append(leaf)
+        level = leaves
+        while len(level) > 1:
+            parents: list[_Node] = []
+            for group in self._str_tiles(
+                level, lambda n: (n.c1 + n.c2, n.r1 + n.r2)
+            ):
+                parent = _Node(leaf=False)
+                parent.children = group
+                for child in group:
+                    child.parent = parent
+                parent.recompute_mbr()
+                parents.append(parent)
+            level = parents
+        self._root = level[0]
+        self._root.parent = None
+
+    def _str_tiles(self, items: list, centre) -> list[list]:
+        """Partition ``items`` into node-sized groups by the STR recipe.
+
+        ``centre`` maps an item to its (2*cx, 2*cy) box centre.  Groups
+        are evenly sized, which keeps every group within
+        ``[self._min, self._max]`` whenever more than one is needed.
+        """
+        if len(items) <= self._max:
+            return [items]
+        node_count = -(-len(items) // self._max)
+        slab_count = max(1, round(node_count**0.5))
+        ordered = sorted(items, key=lambda item: centre(item)[0])
+        groups: list[list] = []
+        for slab in _even_chunks(ordered, -(-len(ordered) // slab_count)):
+            slab.sort(key=lambda item: centre(item)[1])
+            groups.extend(_even_chunks(slab, self._max))
+        return groups
 
     # -- diagnostics ---------------------------------------------------------
 
@@ -383,6 +454,20 @@ class RTree:
             depth += 1
             node = node.children[0]
         return depth
+
+    def stats(self) -> "dict[str, int | str]":
+        out = super().stats()
+        nodes = leaves = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            nodes += 1
+            if node.leaf:
+                leaves += 1
+            else:
+                stack.extend(node.children)
+        out.update(depth=self.depth(), nodes=nodes, leaves=leaves)
+        return out
 
     def check_invariants(self) -> None:
         """Validate structure; used by the property tests."""

@@ -2,7 +2,7 @@
 
 from helpers import assert_same_dependents, build_graph_pair, build_mixed_sheet
 
-from repro.core.maintain import update_cell
+from repro.core.maintain import clear_cells, update_cell
 from repro.core.taco_graph import TacoGraph, dependencies_column_major
 from repro.grid.range import Range
 from repro.sheet.sheet import Dependency
@@ -51,6 +51,39 @@ class TestClear:
         graph = TacoGraph.full()
         graph.add_dependency(dep("A1", "B1"))
         graph.clear_cells(Range.from_a1("X1:X100"))
+        assert len(graph) == 1
+
+    def test_clear_returns_count_of_edges_actually_touched(self):
+        graph = TacoGraph.full()
+        for i in range(1, 6):
+            graph.add_dependency(dep(f"A{i}", f"C{i}"))      # one RR run C1:C5
+        graph.add_dependency(dep("F1", "G1"))                # unrelated single
+        assert clear_cells(graph, Range.from_a1("C2:C3")) == 1
+        assert clear_cells(graph, Range.from_a1("X1:X50")) == 0
+        assert clear_cells(graph, Range.from_a1("G1")) == 1
+
+    def test_clear_count_excludes_non_intersecting_index_hits(self):
+        """A backend may over-approximate; only real removals count."""
+
+        class ChattyIndex:
+            """Index stand-in whose search returns every stored entry."""
+
+            def __init__(self):
+                from repro.spatial.gridbucket import GridBucketIndex
+
+                self._inner = GridBucketIndex()
+
+            def search(self, query):
+                return list(self._inner)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        graph = TacoGraph.full(index=ChattyIndex)
+        graph.add_dependency(dep("A1", "B1"))
+        graph.add_dependency(dep("A9", "H9"))
+        # The chatty index reports both edges; only B1's is really cleared.
+        assert clear_cells(graph, Range.from_a1("B1")) == 1
         assert len(graph) == 1
 
 

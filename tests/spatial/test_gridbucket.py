@@ -1,0 +1,107 @@
+"""Unit tests for the grid-bucket index."""
+
+import random
+
+import pytest
+
+from repro.grid.range import Range
+from repro.spatial.gridbucket import GridBucketIndex
+
+
+class TestBasics:
+    def test_insert_and_search(self):
+        index = GridBucketIndex()
+        index.insert(Range.from_a1("B2:C4"), "x")
+        assert index.search_payloads(Range.from_a1("C4:D5")) == ["x"]
+        assert index.search_payloads(Range.from_a1("E9")) == []
+        assert len(index) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GridBucketIndex(bucket_cols=0)
+        with pytest.raises(ValueError):
+            GridBucketIndex(fine_bucket_limit=0)
+
+    def test_cross_bucket_range_found_once(self):
+        index = GridBucketIndex(bucket_cols=4, bucket_rows=4)
+        key = Range(1, 1, 7, 7)  # spans four fine buckets
+        index.insert(key, "wide")
+        hits = index.search(Range(1, 1, 12, 12))
+        assert [entry.payload for entry in hits] == ["wide"]
+
+    def test_column_run_goes_to_stripe_tier(self):
+        index = GridBucketIndex(bucket_cols=4, bucket_rows=8, fine_bucket_limit=4)
+        column = Range(2, 1, 2, 500)  # 63 row-buckets: too many for fine tier
+        index.insert(column, "col")
+        assert index.stats()["stripes"] == 1
+        assert index.search_payloads(Range.cell(2, 499)) == ["col"]
+        assert index.search_payloads(Range.cell(7, 499)) == []
+        assert index.delete(column, "col")
+        assert index.search_payloads(Range.cell(2, 499)) == []
+
+    def test_huge_range_goes_to_broadcast(self):
+        index = GridBucketIndex(
+            bucket_cols=2, bucket_rows=2, fine_bucket_limit=2, stripe_limit=2
+        )
+        huge = Range(1, 1, 40, 40)
+        index.insert(huge, "huge")
+        assert index.stats()["broadcast_items"] == 1
+        assert index.search_payloads(Range.cell(39, 39)) == ["huge"]
+        assert index.delete(huge, "huge")
+        assert index.search_payloads(Range.cell(39, 39)) == []
+
+    def test_delete_with_duplicate_keys(self):
+        index = GridBucketIndex()
+        key = Range.from_a1("A1:A5")
+        index.insert(key, "a")
+        index.insert(key, "b")
+        assert index.delete(key, "a")
+        assert index.search_payloads(Range.from_a1("A3")) == ["b"]
+        assert not index.delete(key, "missing")
+        assert len(index) == 1
+
+    def test_iteration_deduplicates(self):
+        index = GridBucketIndex(bucket_cols=2, bucket_rows=2)
+        index.insert(Range(1, 1, 4, 4), "multi-bucket")
+        assert [entry.payload for entry in index] == ["multi-bucket"]
+
+    def test_bulk_load_replaces_contents(self):
+        index = GridBucketIndex()
+        index.insert(Range.from_a1("A1"), "old")
+        index.bulk_load([(Range.from_a1("B2"), "new"), (Range(3, 1, 3, 4000), "col")])
+        assert len(index) == 2
+        assert index.search_payloads(Range.from_a1("A1")) == []
+        assert sorted(
+            payload for _, payload in index.search_items(Range(1, 1, 10, 5000))
+        ) == ["col", "new"]
+
+    def test_op_counters_track_caller_operations(self):
+        index = GridBucketIndex()
+        index.insert(Range.from_a1("A1"), 1)
+        index.search(Range.from_a1("A1"))
+        index.delete(Range.from_a1("A1"), 1)
+        index.bulk_load([])
+        counts = index.op_counts()
+        assert counts == {
+            "search_ops": 1, "insert_ops": 1, "delete_ops": 1, "bulk_loads": 1,
+        }
+
+
+def test_matches_brute_force_random():
+    rng = random.Random(5)
+    index = GridBucketIndex(bucket_cols=4, bucket_rows=32)
+    items = []
+    for i in range(250):
+        c1 = rng.randrange(1, 120)
+        r1 = rng.randrange(1, 400)
+        if i % 11 == 0:  # sprinkle tall column runs into the coarse tiers
+            key = Range(c1, 1, c1 + rng.randrange(3), 4000)
+        else:
+            key = Range(c1, r1, c1 + rng.randrange(6), r1 + rng.randrange(30))
+        index.insert(key, i)
+        items.append((key, i))
+    for _ in range(40):
+        qc, qr = rng.randrange(1, 120), rng.randrange(1, 400)
+        query = Range(qc, qr, qc + 10, qr + 40)
+        expected = {payload for key, payload in items if key.overlaps(query)}
+        assert set(index.search_payloads(query)) == expected

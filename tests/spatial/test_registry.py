@@ -1,0 +1,62 @@
+"""Unit tests for the spatial-index registry."""
+
+import pytest
+
+from repro.spatial import (
+    ContainerIndex,
+    GridBucketIndex,
+    RTree,
+    SpatialIndex,
+    available_indexes,
+    make_index,
+    register_index,
+)
+from repro.spatial.registry import _REGISTRY
+
+
+def test_builtins_are_registered():
+    assert {"rtree", "gridbucket", "container"} <= set(available_indexes())
+
+
+def test_make_index_by_name():
+    assert isinstance(make_index("rtree"), RTree)
+    assert isinstance(make_index("gridbucket"), GridBucketIndex)
+    assert isinstance(make_index("container"), ContainerIndex)
+    assert isinstance(make_index("RTree"), RTree)  # case-insensitive
+
+
+def test_make_index_passes_kwargs():
+    index = make_index("rtree", max_entries=16)
+    assert index._max == 16
+
+
+def test_make_index_accepts_factory_callable():
+    index = make_index(lambda: GridBucketIndex(bucket_rows=7))
+    assert isinstance(index, GridBucketIndex)
+    assert index._bucket_rows == 7
+
+
+def test_unknown_backend_raises_with_choices():
+    with pytest.raises(ValueError, match="gridbucket"):
+        make_index("btree")
+
+
+def test_register_custom_backend():
+    class Custom(GridBucketIndex):
+        backend_name = "custom"
+
+    register_index("custom-test", Custom)
+    try:
+        assert isinstance(make_index("custom-test"), Custom)
+        assert "custom-test" in available_indexes()
+    finally:
+        _REGISTRY.pop("custom-test", None)
+
+
+def test_every_builtin_satisfies_the_protocol():
+    for name in ("rtree", "gridbucket", "container"):
+        index = make_index(name)
+        assert isinstance(index, SpatialIndex)
+        stats = index.stats()
+        assert stats["backend"] == index.backend_name
+        assert stats["size"] == 0

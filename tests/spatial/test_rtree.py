@@ -133,3 +133,71 @@ class TestDelete:
         # The tree must remain usable after being emptied.
         tree.insert(Range.cell(5, 5), "again")
         assert tree.search_payloads(Range.cell(5, 5)) == ["again"]
+
+    def test_condense_reinserts_do_not_skew_instrumentation(self):
+        """Internal restructuring must not count as caller operations."""
+        tree = RTree()
+        items = [(Range.cell(col, row), (col, row))
+                 for col in range(1, 15) for row in range(1, 15)]
+        for key, payload in items:
+            tree.insert(key, payload)
+        assert tree.insert_ops == len(items)
+        # Deleting most entries forces underfull leaves and condense
+        # re-inserts of the orphaned survivors.
+        victims = items[: len(items) - 10]
+        for key, payload in victims:
+            assert tree.delete(key, payload)
+        tree.check_invariants()
+        assert tree.insert_ops == len(items), "condense leaked into insert_ops"
+        assert tree.delete_ops == len(victims)
+        assert len(tree) == 10
+
+
+class TestBulkLoad:
+    def test_empty_and_tiny_loads(self):
+        tree = RTree()
+        tree.bulk_load([])
+        assert len(tree) == 0
+        assert tree.search(Range(1, 1, 50, 50)) == []
+        tree.bulk_load([(Range.cell(2, 2), "a")])
+        assert tree.search_payloads(Range.cell(2, 2)) == ["a"]
+        tree.check_invariants()
+
+    def test_str_pack_matches_brute_force(self):
+        rng = random.Random(11)
+        items = []
+        for i in range(500):
+            c1 = rng.randrange(1, 150)
+            r1 = rng.randrange(1, 500)
+            items.append((Range(c1, r1, c1 + rng.randrange(4), r1 + rng.randrange(20)), i))
+        tree = RTree()
+        tree.bulk_load(items)
+        tree.check_invariants()
+        assert len(tree) == len(items)
+        for _ in range(40):
+            qc, qr = rng.randrange(1, 150), rng.randrange(1, 500)
+            query = Range(qc, qr, qc + 10, qr + 30)
+            assert set(tree.search_payloads(query)) == brute_force_overlaps(items, query)
+
+    def test_str_pack_is_tighter_than_incremental(self):
+        # A packed tree over a column-major vertex stream should not be
+        # deeper than the incrementally grown one.
+        items = [(Range(col, row, col, row + 4), (col, row))
+                 for col in range(1, 12) for row in range(1, 400, 5)]
+        incremental = RTree()
+        for key, payload in items:
+            incremental.insert(key, payload)
+        packed = RTree()
+        packed.bulk_load(items)
+        packed.check_invariants()
+        assert packed.depth() <= incremental.depth()
+        assert packed.stats()["nodes"] <= incremental.stats()["nodes"]
+
+    def test_bulk_load_replaces_existing_contents(self):
+        tree = RTree()
+        tree.insert(Range.cell(1, 1), "old")
+        tree.bulk_load([(Range.cell(9, 9), "new")])
+        assert tree.search_payloads(Range(1, 1, 20, 20)) == ["new"]
+        assert len(tree) == 1
+        assert tree.bulk_loads == 1
+        assert tree.insert_ops == 1  # only the caller's original insert
