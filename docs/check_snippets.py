@@ -1,0 +1,90 @@
+"""Execute every Python snippet in README.md and docs/*.md.
+
+CI runs this so the documentation cannot drift from the code: each
+fenced ```python block is executed, with blocks from the same file
+sharing one namespace (so a page reads like a console session).
+Blocks fenced as ```python no-run are skipped, as are non-Python
+fences (console, text, ...) and indented/quoted pseudo-code.
+
+Usage:  PYTHONPATH=src python docs/check_snippets.py [files...]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+DOCS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(DOCS_DIR)
+
+FENCE = re.compile(r"^```(\S*)[ \t]*([^\n]*)$")
+
+
+def extract_blocks(path: str) -> list[tuple[int, str]]:
+    """(start_line, source) for every runnable python block in ``path``."""
+    blocks: list[tuple[int, str]] = []
+    lang = None
+    info = ""
+    buf: list[str] = []
+    start = 0
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.rstrip("\n")
+            match = FENCE.match(stripped.strip())
+            if match and lang is None:
+                lang, info = match.group(1).lower(), match.group(2)
+                buf, start = [], lineno + 1
+                continue
+            if stripped.strip() == "```" and lang is not None:
+                if lang == "python" and "no-run" not in info:
+                    blocks.append((start, "\n".join(buf)))
+                lang = None
+                continue
+            if lang is not None:
+                buf.append(line.rstrip("\n"))
+    return blocks
+
+
+def run_file(path: str) -> int:
+    blocks = extract_blocks(path)
+    rel = os.path.relpath(path, REPO_ROOT)
+    if not blocks:
+        print(f"  {rel}: no runnable python blocks")
+        return 0
+    namespace: dict = {"__name__": "__docs__"}
+    failures = 0
+    for start, source in blocks:
+        try:
+            code = compile(source, f"{rel}:{start}", "exec")
+            exec(code, namespace)  # noqa: S102 - that is the point
+        except Exception as err:  # pragma: no cover - failure reporting
+            failures += 1
+            print(f"FAIL {rel}:{start}: {type(err).__name__}: {err}")
+            for i, line in enumerate(source.splitlines(), start=start):
+                print(f"    {i:4d} | {line}")
+    status = "ok" if not failures else f"{failures} FAILED"
+    print(f"  {rel}: {len(blocks)} blocks, {status}")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        targets = argv
+    else:
+        targets = [os.path.join(REPO_ROOT, "README.md")] + sorted(
+            os.path.join(DOCS_DIR, name)
+            for name in os.listdir(DOCS_DIR)
+            if name.endswith(".md")
+        )
+    print("checking documentation snippets:")
+    failures = sum(run_file(path) for path in targets)
+    if failures:
+        print(f"{failures} snippet(s) failed")
+        return 1
+    print("all documentation snippets ran cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -26,6 +26,13 @@ Quickstart::
 
 from .core.patterns.base import CompressedEdge
 from .core.taco_graph import TacoGraph, build_from_sheet, dependencies_column_major
+from .engine import (
+    BatchEditSession,
+    BatchResult,
+    CircularReferenceError,
+    RecalcEngine,
+    RecalcResult,
+)
 from .formula.errors import ExcelError, FormulaSyntaxError
 from .formula.evaluator import Evaluator
 from .formula.parser import parse_formula
@@ -44,11 +51,16 @@ from .spatial import SpatialIndex, available_indexes, make_index, register_index
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchEditSession",
+    "BatchResult",
     "Budget",
     "CellRef",
+    "CircularReferenceError",
     "CompressedEdge",
     "DNFError",
     "Dependency",
+    "RecalcEngine",
+    "RecalcResult",
     "Evaluator",
     "ExcelError",
     "FormulaGraph",

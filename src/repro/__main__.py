@@ -5,10 +5,13 @@ Commands operate on real ``.xlsx`` files through the stdlib reader:
 * ``report FILE``              — per-sheet compression report (Tables II-V style)
 * ``trace FILE SHEET!CELL``    — dependents and precedents of a cell
 * ``export FILE [--dot|--json] [--sheet NAME]`` — compressed graph export
+* ``edit FILE [--set A1=5] [--formula B1=A1*2] [--clear C1] [--batch]``
+  — apply edits and recalculate, per-edit or as one batched commit
 * ``demo PATH``                — write a demonstration workbook to PATH
 
-``report``, ``trace`` and ``export`` accept ``--index`` to select the
-spatial-index backend backing the graphs (see :mod:`repro.spatial`).
+``report``, ``trace``, ``export`` and ``edit`` accept ``--index`` to
+select the spatial-index backend backing the graphs (see
+:mod:`repro.spatial`).
 """
 
 from __future__ import annotations
@@ -101,6 +104,99 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_assignment(spec: str) -> tuple[str, str]:
+    if "=" not in spec:
+        raise SystemExit(f"error: expected CELL=VALUE, got {spec!r}")
+    cell, _, value = spec.partition("=")
+    return cell, value
+
+
+def _cmd_edit(args: argparse.Namespace) -> int:
+    """Apply a stream of edits and recalculate, per-edit or batched."""
+    import time
+
+    from .engine.recalc import CircularReferenceError, RecalcEngine
+
+    workbook = read_xlsx(args.file)
+    sheet = workbook.sheet(args.sheet) if args.sheet else workbook.active_sheet
+    engine = RecalcEngine(sheet, _build_graph(sheet, args.index))
+    try:
+        engine.recalculate_all()
+    except CircularReferenceError as err:
+        print(f"error: workbook has a pre-existing {err}", file=sys.stderr)
+        return 1
+
+    ops: list[tuple[str, str, str | None]] = []
+    for spec in args.set or ():
+        cell, value = _parse_assignment(spec)
+        ops.append(("value", cell, value))
+    for spec in args.formula or ():
+        cell, text = _parse_assignment(spec)
+        ops.append(("formula", cell, text))
+    for cell in args.clear or ():
+        ops.append(("clear", cell, None))
+    if args.random:
+        rng = random.Random(args.seed)
+        values = [pos for pos, cell in sheet.items() if not cell.is_formula]
+        if not values:
+            print("error: --random needs value cells to edit", file=sys.stderr)
+            return 2
+        for _ in range(args.random):
+            col, row = rng.choice(values)
+            ops.append(("value", Range.cell(col, row).to_a1(),
+                        str(float(rng.randrange(1000)))))
+    if not ops:
+        print("error: no edits given (--set/--formula/--clear/--random)",
+              file=sys.stderr)
+        return 2
+
+    def coerce(value: str):
+        try:
+            return float(value)
+        except ValueError:
+            return value
+
+    start = time.perf_counter()
+    recomputed = 0
+    try:
+        if args.batch:
+            with engine.begin_batch() as batch:
+                for kind, cell, payload in ops:
+                    if kind == "value":
+                        batch.set_value(cell, coerce(payload))
+                    elif kind == "formula":
+                        batch.set_formula(cell, payload)
+                    else:
+                        batch.clear_cell(cell)
+            result = batch.result
+            recomputed = result.recomputed
+            print(
+                f"batched commit: {result.ops} edits -> "
+                f"{len(result.cleared_ranges)} cleared ranges, "
+                f"{result.edges_touched} edges touched, "
+                f"repacked={result.repacked}"
+            )
+        else:
+            for kind, cell, payload in ops:
+                if kind == "value":
+                    recomputed += engine.set_value(cell, coerce(payload)).recomputed
+                elif kind == "formula":
+                    recomputed += engine.set_formula(cell, payload).recomputed
+                else:
+                    recomputed += engine.clear_cell(cell).recomputed
+    except CircularReferenceError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - start
+    mode = "batched" if args.batch else "per-edit"
+    print(f"{mode}: {len(ops)} edits, {recomputed} cells recomputed "
+          f"in {elapsed * 1000:.1f} ms")
+    if args.out:
+        write_xlsx(workbook, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from .datasets.regions import build_region
 
@@ -149,6 +245,25 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--json", action="store_true", help="JSON instead of dot")
     add_index_option(export)
     export.set_defaults(fn=_cmd_export)
+
+    edit = sub.add_parser("edit", help="apply edits and recalculate")
+    edit.add_argument("file")
+    edit.add_argument("--sheet", default=None)
+    edit.add_argument("--set", action="append", metavar="CELL=VALUE",
+                      help="write a value (repeatable)")
+    edit.add_argument("--formula", action="append", metavar="CELL=EXPR",
+                      help="write a formula (repeatable)")
+    edit.add_argument("--clear", action="append", metavar="CELL",
+                      help="erase a cell (repeatable)")
+    edit.add_argument("--random", type=int, default=0, metavar="N",
+                      help="append N random value edits (workload demo)")
+    edit.add_argument("--seed", type=int, default=7)
+    edit.add_argument("--batch", action="store_true",
+                      help="commit all edits as one batched session "
+                           "(coalesced maintenance + single recalc)")
+    edit.add_argument("--out", default=None, help="write the result to OUT")
+    add_index_option(edit)
+    edit.set_defaults(fn=_cmd_edit)
 
     demo = sub.add_parser("demo", help="write a demonstration workbook")
     demo.add_argument("path")

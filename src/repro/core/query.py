@@ -12,7 +12,7 @@ the symmetric dual.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 from ..grid.range import Range
 from ..grid.rangeset import RangeSet
@@ -21,14 +21,34 @@ from ..graphs.base import Budget
 if TYPE_CHECKING:  # pragma: no cover
     from .taco_graph import TacoGraph
 
-__all__ = ["find_dependents", "find_precedents"]
+__all__ = ["find_dependents", "find_dependents_multi", "find_precedents"]
 
 
 def find_dependents(
     graph: "TacoGraph", rng: Range, budget: Budget | None = None
 ) -> list[Range]:
-    """All ranges whose cells (transitively) depend on ``rng``."""
-    queue: deque[Range] = deque([rng])
+    """All ranges whose cells (transitively) depend on ``rng``.
+
+    Cost is ``O(E' · (S + P))`` where ``E'`` is the number of compressed
+    edges actually reached, ``S`` the backend's search cost and ``P`` the
+    pattern's constant-time ``find_dep`` — independent of how many raw
+    dependencies the reached edges compress away.
+    """
+    return find_dependents_multi(graph, (rng,), budget)
+
+
+def find_dependents_multi(
+    graph: "TacoGraph", seeds: Iterable[Range], budget: Budget | None = None
+) -> list[Range]:
+    """Dependents of *all* ``seeds`` in one BFS pass (batch-commit path).
+
+    Seeding a single traversal with every edited range visits each
+    compressed edge at most once per distinct overlap, instead of once
+    per seed as repeated :func:`find_dependents` calls would; the shared
+    :class:`~repro.grid.rangeset.RangeSet` also deduplicates dependents
+    reachable from several seeds.  Returned ranges are disjoint.
+    """
+    queue: deque[Range] = deque(seeds)
     result = RangeSet(index=graph.index_spec)
     stats = graph.query_stats
     while queue:

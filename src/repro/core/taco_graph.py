@@ -7,6 +7,18 @@ quickly.  The index backend is pluggable (``index="rtree"`` by default;
 see :mod:`repro.spatial`).  ``TacoGraph.full()`` is TACO-Full (all
 predefined patterns); ``TacoGraph.inrow()`` is the TACO-InRow variant of
 Sec. VI-B.
+
+Maintenance invariants (paper Sec. IV-C):
+
+* ``_edges`` is always the true compressed edge set; outside deferred
+  mode both vertex indexes contain exactly one entry per edge per side.
+* In deferred mode (:meth:`TacoGraph.begin_deferred_maintenance`, used
+  by batch commits) the indexes may hold stale entries for removed
+  edges; every lookup filters them, and
+  :meth:`TacoGraph.end_deferred_maintenance` restores the exact-match
+  invariant by replaying the queued deletes or bulk-repacking.
+* :meth:`TacoGraph.decompress` always reconstructs the exact raw
+  dependency set — compression and maintenance are lossless.
 """
 
 from __future__ import annotations
@@ -50,6 +62,9 @@ class TacoGraph(FormulaGraph):
         self._prec_index = make_index(index)
         self._dep_index = make_index(index)
         self.query_stats = GraphStats()
+        # Deferred-maintenance state (see begin_deferred_maintenance).
+        self._deferred = False
+        self._pending_index_deletes: list[CompressedEdge] = []
 
     # -- variants ---------------------------------------------------------------
 
@@ -66,13 +81,30 @@ class TacoGraph(FormulaGraph):
     # -- edge storage -----------------------------------------------------------
 
     def add_edge_raw(self, edge: CompressedEdge) -> None:
-        """Insert an edge without attempting any compression."""
+        """Insert an edge without attempting any compression.
+
+        Two backend inserts — ``O(log n)`` on the R-Tree, ``O(area)`` on
+        the grid buckets.  Inserts are applied eagerly even in deferred
+        mode, because the compression probes of Algorithm 2 must see an
+        edge as soon as it exists.
+        """
         self._edges.add(edge)
         self._prec_index.insert(edge.prec, edge)
         self._dep_index.insert(edge.dep, edge)
 
     def remove_edge(self, edge: CompressedEdge) -> None:
+        """Drop an edge from the graph (and, eventually, its indexes).
+
+        In deferred-maintenance mode the backend deletes — the expensive
+        half of maintenance (R-Tree condense can cascade re-inserts) —
+        are queued; the edge leaves ``_edges`` immediately, and lookups
+        filter the stale index entries until
+        :meth:`end_deferred_maintenance` settles the indexes.
+        """
         self._edges.remove(edge)
+        if self._deferred:
+            self._pending_index_deletes.append(edge)
+            return
         self._prec_index.delete(edge.prec, edge)
         self._dep_index.delete(edge.dep, edge)
 
@@ -93,15 +125,67 @@ class TacoGraph(FormulaGraph):
     def __len__(self) -> int:
         return len(self._edges)
 
+    # -- deferred maintenance -----------------------------------------------------
+
+    def begin_deferred_maintenance(self) -> None:
+        """Enter deferred mode: queue index deletes instead of applying them.
+
+        Invariants while deferred: ``_edges`` is always the true edge
+        set; the vertex indexes are a *superset* of it (stale entries for
+        removed edges remain), so every lookup filters hits through an
+        ``O(1)`` membership check.  Net effect: a commit touching ``k``
+        edges pays ``k`` set-removals now and either ``k`` backend
+        deletes or one bulk repack later — never both, and never the
+        R-Tree's per-delete condense cascades.
+        """
+        if self._deferred:
+            raise RuntimeError("deferred maintenance is already active")
+        self._deferred = True
+
+    def end_deferred_maintenance(
+        self, repack_fraction: float = 0.25, repack_min: int = 64
+    ) -> bool:
+        """Leave deferred mode and settle the vertex indexes.
+
+        When the queued deletes amount to a large share of the graph
+        (``>= repack_fraction`` of the live edges, and at least
+        ``repack_min``), both indexes are rebuilt from the live edge set
+        in one bulk load — STR packing on the R-Tree — which is ``O(n
+        log n)`` total instead of ``O(k log n)`` scattered deletes and
+        leaves the tightest layout the backend supports.  Otherwise the
+        queued deletes are replayed individually.  Returns ``True`` when
+        the bulk repack path ran.
+        """
+        if not self._deferred:
+            raise RuntimeError("deferred maintenance is not active")
+        self._deferred = False
+        pending, self._pending_index_deletes = self._pending_index_deletes, []
+        if not pending:
+            return False
+        threshold = max(repack_min, repack_fraction * max(len(self._edges), 1))
+        if len(pending) >= threshold:
+            self.rebuild_indexes()
+            return True
+        for edge in pending:
+            self._prec_index.delete(edge.prec, edge)
+            self._dep_index.delete(edge.dep, edge)
+        return False
+
     # -- index lookups ------------------------------------------------------------
 
     def prec_overlapping(self, rng: Range) -> list[CompressedEdge]:
-        """Edges whose precedent range overlaps ``rng``."""
-        return [entry.payload for entry in self._prec_index.search(rng)]
+        """Edges whose precedent range overlaps ``rng`` (one index search)."""
+        entries = self._prec_index.search(rng)
+        if self._deferred:
+            return [e.payload for e in entries if e.payload in self._edges]
+        return [entry.payload for entry in entries]
 
     def dep_overlapping(self, rng: Range) -> list[CompressedEdge]:
-        """Edges whose dependent range overlaps ``rng``."""
-        return [entry.payload for entry in self._dep_index.search(rng)]
+        """Edges whose dependent range overlaps ``rng`` (one index search)."""
+        entries = self._dep_index.search(rng)
+        if self._deferred:
+            return [e.payload for e in entries if e.payload in self._edges]
+        return [entry.payload for entry in entries]
 
     def candidate_edges(self, cell: tuple[int, int]) -> list[CompressedEdge]:
         """Edges whose dependent is adjacent to ``cell`` on a row/column axis.
@@ -124,9 +208,12 @@ class TacoGraph(FormulaGraph):
         ]
         out: list[CompressedEdge] = []
         seen: set[int] = set()
+        deferred = self._deferred
         for entry in self._dep_index.search(probe):
             dep_range = entry.key
             if id(entry.payload) in seen:
+                continue
+            if deferred and entry.payload not in self._edges:
                 continue
             for ncol, nrow in neighbours:
                 if ncol >= 1 and nrow >= 1 and dep_range.contains_cell(ncol, nrow):
@@ -138,16 +225,37 @@ class TacoGraph(FormulaGraph):
     # -- FormulaGraph interface ----------------------------------------------------
 
     def add_dependency(self, dep: Dependency, budget: Budget | None = None) -> None:
+        """Compress one dependency into the graph (paper Algorithm 2).
+
+        One bounded index probe around the formula cell plus a
+        constant number of pattern fit checks per candidate —
+        ``O(S + C)`` for search cost ``S`` and ``C`` candidates, never
+        proportional to the size of the ranges involved.
+        """
         compress.insert_dependency(self, dep)
 
     def find_dependents(self, rng: Range, budget: Budget | None = None) -> list[Range]:
+        """Transitive dependents of ``rng`` by BFS on compressed edges
+        (paper Algorithm 3); cost tracks compressed edges reached, not
+        raw dependencies."""
         return query.find_dependents(self, rng, budget)
 
+    def find_dependents_multi(
+        self, seeds: Iterable[Range], budget: Budget | None = None
+    ) -> list[Range]:
+        """Dependents of all ``seeds`` in one shared BFS (see query module)."""
+        return query.find_dependents_multi(self, seeds, budget)
+
     def find_precedents(self, rng: Range, budget: Budget | None = None) -> list[Range]:
+        """Transitive precedents of ``rng`` — the symmetric dual of
+        :meth:`find_dependents` over the dependent-side index."""
         return query.find_precedents(self, rng, budget)
 
-    def clear_cells(self, rng: Range, budget: Budget | None = None) -> None:
-        maintain.clear_cells(self, rng, budget)
+    def clear_cells(self, rng: Range, budget: Budget | None = None) -> int:
+        """Remove the dependencies of the formula cells in ``rng``;
+        returns the number of compressed edges removed or replaced
+        (see :func:`repro.core.maintain.clear_cells` for the cost)."""
+        return maintain.clear_cells(self, rng, budget)
 
     # -- statistics -----------------------------------------------------------------
 

@@ -1,11 +1,28 @@
-"""Recalculation engines built on formula graphs."""
+"""Recalculation engines built on formula graphs.
+
+Three execution models over the same graph interface:
+
+* :class:`RecalcEngine` — synchronous per-edit updates: graph
+  maintenance, a dependents BFS, and a topological re-evaluation per
+  edit (the paper's motivating application, Sec. I);
+* :class:`~repro.engine.batch.BatchEditSession` — the batched pipeline:
+  edits coalesce, maintenance and recalculation are paid once per
+  commit (open one with ``engine.begin_batch()``);
+* :class:`AsyncRecalcEngine` — DataSpread-style deferred execution:
+  updates return at the control-return point, recomputation is pumped
+  in steps.
+"""
 
 from .async_engine import AsyncRecalcEngine, CellView, UpdateTicket
-from .recalc import RecalcEngine, RecalcResult
+from .batch import BatchEditSession, BatchResult
+from .recalc import CircularReferenceError, RecalcEngine, RecalcResult
 
 __all__ = [
     "AsyncRecalcEngine",
+    "BatchEditSession",
+    "BatchResult",
     "CellView",
+    "CircularReferenceError",
     "RecalcEngine",
     "RecalcResult",
     "UpdateTicket",

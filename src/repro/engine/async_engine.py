@@ -57,16 +57,34 @@ class AsyncRecalcEngine:
     # -- the critical path -----------------------------------------------------
 
     def set_value(self, target, value) -> UpdateTicket:
-        """Apply an update; returns once the dirty set is known."""
+        """Apply an update; returns once the dirty set is known.
+
+        Overwriting a formula cell with a value clears the cell's own
+        dependencies from the graph (same contract as the synchronous
+        engine): stale edges would otherwise keep reporting phantom
+        dirty cells forever.
+        """
         start = time.perf_counter()
         pos = self._position(target)
+        cell_range = Range.cell(*pos)
+        previous = self.sheet.cell_at(pos)
+        if previous is not None and previous.is_formula:
+            self.graph.clear_cells(cell_range)
+            self._dirty.discard(pos)
         self.sheet.set_value(pos, value)
-        dirty_ranges = self.graph.find_dependents(Range.cell(*pos))
+        dirty_ranges = self.graph.find_dependents(cell_range)
         self._mark_dirty(dirty_ranges)
         elapsed = time.perf_counter() - start
         return UpdateTicket(dirty_ranges, len(self._dirty), elapsed)
 
     def set_formula(self, target, text: str) -> UpdateTicket:
+        """Rewire a formula cell; returns once its dependents are marked.
+
+        Graph maintenance (clear + insert, Sec. IV-C) plus one
+        dependents BFS — the same control-return critical path as
+        :meth:`set_value`, with maintenance cost proportional to the
+        compressed edges touched, not the raw dependencies.
+        """
         start = time.perf_counter()
         pos = self._position(target)
         cell_range = Range.cell(*pos)
@@ -103,6 +121,7 @@ class AsyncRecalcEngine:
         return len(self._dirty)
 
     def is_dirty(self, target) -> bool:
+        """Whether a cell still awaits recomputation (O(1))."""
         return self._position(target) in self._dirty
 
     def read(self, target) -> CellView:

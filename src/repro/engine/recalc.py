@@ -6,12 +6,25 @@ returning control to the user — mark them dirty, and recompute them in
 dependency order.  The engine works against any
 :class:`~repro.graphs.base.FormulaGraph`; plugging TACO in shrinks the
 control-return time, which is exactly the paper's headline claim.
+
+Per-edit cost: one graph BFS (compressed-edge bound, see
+:mod:`repro.core.query`) to find the dirty set, then ``O(D + R)`` to
+order and re-evaluate the ``D`` dirty formula cells with ``R`` dirty-set
+reference pairs — untouched cells are never re-evaluated.  For many
+edits at once, :meth:`RecalcEngine.begin_batch` amortises the graph
+maintenance, the BFS, and the topological sort over the whole batch (see
+:mod:`repro.engine.batch`).
+
+Circular references discovered while ordering the dirty set raise
+:class:`CircularReferenceError` carrying one offending cell chain; the
+cells trapped in or downstream of cycles are marked ``#CYCLE!`` first,
+so the sheet is left explicit about what could not be computed.
 """
 
 from __future__ import annotations
 
 import time
-from typing import NamedTuple
+from typing import TYPE_CHECKING, Iterable, NamedTuple
 
 from ..core.taco_graph import TacoGraph, dependencies_column_major
 from ..formula.errors import CYCLE_ERROR
@@ -20,7 +33,26 @@ from ..graphs.base import FormulaGraph, expand_cells
 from ..grid.range import Range
 from ..sheet.sheet import Dependency, Sheet, SheetResolver
 
-__all__ = ["RecalcEngine", "RecalcResult"]
+if TYPE_CHECKING:  # pragma: no cover
+    from .batch import BatchEditSession
+
+__all__ = ["CircularReferenceError", "RecalcEngine", "RecalcResult"]
+
+
+class CircularReferenceError(RuntimeError):
+    """A dependency cycle was found while ordering dirty cells.
+
+    ``cycle`` is one concrete offending chain as ``(col, row)`` positions,
+    closed — the first cell appears again at the end — and the message
+    spells it in A1 notation (``B1 -> A1 -> B1``).  Every cell trapped in
+    or downstream of a cycle has already been assigned ``#CYCLE!`` when
+    this is raised.
+    """
+
+    def __init__(self, cycle: list[tuple[int, int]]):
+        self.cycle = list(cycle)
+        chain = " -> ".join(Range.cell(c, r).to_a1() for c, r in self.cycle)
+        super().__init__(f"circular reference: {chain}")
 
 
 class RecalcResult(NamedTuple):
@@ -34,7 +66,14 @@ class RecalcResult(NamedTuple):
 
 
 class RecalcEngine:
-    """A sheet, its formula graph, and an evaluator, kept in sync."""
+    """A sheet, its formula graph, and an evaluator, kept in sync.
+
+    The engine owns the coupling invariant: after every public mutation
+    returns, the graph's decompressed dependency set equals exactly the
+    references of the sheet's formula cells (restricted to this sheet),
+    and every formula cell whose value could have changed has been
+    re-evaluated.
+    """
 
     def __init__(self, sheet: Sheet, graph: FormulaGraph | None = None):
         self.sheet = sheet
@@ -49,22 +88,27 @@ class RecalcEngine:
     def recalculate_all(self) -> int:
         """Evaluate every formula cell from scratch, in dependency order."""
         cells = [pos for pos, _ in self.sheet.formula_cells()]
-        order = self._topological_order(set(cells))
-        for pos in order:
-            self._evaluate_cell(pos)
-        return len(order)
+        return self._evaluate_in_order(set(cells))
 
     # -- updates ------------------------------------------------------------------
 
     def set_value(self, target, value) -> RecalcResult:
-        """Change a pure value and refresh its dependents."""
+        """Change a pure value and refresh its dependents.
+
+        Overwriting a formula cell with a value also clears the cell's
+        dependencies from the graph — otherwise stale edges would keep
+        reporting dependents of a formula that no longer exists.
+        """
         start = time.perf_counter()
         pos = self._position(target)
-        self.sheet.set_value(pos, value)
         cell_range = Range.cell(*pos)
+        previous = self.sheet.cell_at(pos)
+        if previous is not None and previous.is_formula:
+            self.graph.clear_cells(cell_range)
+        self.sheet.set_value(pos, value)
         dirty_ranges = self.graph.find_dependents(cell_range)
         control_return = time.perf_counter() - start
-        recomputed = self._recompute(dirty_ranges)
+        recomputed = self.recompute(dirty_ranges)
         total = time.perf_counter() - start
         return RecalcResult(
             dirty_ranges, sum(r.size for r in dirty_ranges), recomputed,
@@ -85,7 +129,7 @@ class RecalcEngine:
             self.graph.add_dependency(Dependency(ref.range, cell_range, ref.cue))
         dirty_ranges = self.graph.find_dependents(cell_range)
         control_return = time.perf_counter() - start
-        recomputed = self._recompute(dirty_ranges, extra={pos})
+        recomputed = self.recompute(dirty_ranges, extra={pos})
         total = time.perf_counter() - start
         return RecalcResult(
             dirty_ranges, sum(r.size for r in dirty_ranges), recomputed,
@@ -93,6 +137,7 @@ class RecalcEngine:
         )
 
     def clear_cell(self, target) -> RecalcResult:
+        """Erase a cell entirely and refresh its dependents."""
         start = time.perf_counter()
         pos = self._position(target)
         cell_range = Range.cell(*pos)
@@ -100,23 +145,40 @@ class RecalcEngine:
         self.sheet.clear_cell(pos)
         dirty_ranges = self.graph.find_dependents(cell_range)
         control_return = time.perf_counter() - start
-        recomputed = self._recompute(dirty_ranges)
+        recomputed = self.recompute(dirty_ranges)
         total = time.perf_counter() - start
         return RecalcResult(
             dirty_ranges, sum(r.size for r in dirty_ranges), recomputed,
             control_return, total,
         )
 
-    # -- internals -------------------------------------------------------------------
+    # -- batched editing ---------------------------------------------------------
 
-    @staticmethod
-    def _position(target) -> tuple[int, int]:
-        from ..sheet.sheet import _coerce_pos
+    def begin_batch(self, **kwargs) -> "BatchEditSession":
+        """Open a :class:`~repro.engine.batch.BatchEditSession` on this engine.
 
-        return _coerce_pos(target)
+        Usable as a context manager: edits recorded inside the ``with``
+        block are coalesced and committed on exit (discarded if the block
+        raises).  See :mod:`repro.engine.batch` for the pipeline.
+        """
+        from .batch import BatchEditSession
 
-    def _recompute(self, dirty_ranges: list[Range],
-                   extra: set[tuple[int, int]] | None = None) -> int:
+        return BatchEditSession(self, **kwargs)
+
+    # -- dirty-set recomputation ---------------------------------------------------
+
+    def recompute(self, dirty_ranges: Iterable[Range],
+                  extra: set[tuple[int, int]] | None = None) -> int:
+        """Re-evaluate the formula cells of ``dirty_ranges`` in topological order.
+
+        ``extra`` adds individual positions (e.g. an edited formula cell
+        itself) to the dirty set.  This is the common tail of every
+        update path — per-edit or batched: callers supply whatever dirty
+        ranges their graph query produced and the engine orders and
+        evaluates only those cells.  Raises
+        :class:`CircularReferenceError` if the dirty subgraph contains a
+        dependency cycle.
+        """
         dirty = {
             pos
             for pos in expand_cells(dirty_ranges)
@@ -127,17 +189,43 @@ class RecalcEngine:
                 cell = self.sheet.cell_at(pos)
                 if cell is not None and cell.is_formula:
                     dirty.add(pos)
-        order = self._topological_order(dirty)
+        return self._evaluate_in_order(dirty)
+
+    # -- internals -------------------------------------------------------------------
+
+    @staticmethod
+    def _position(target) -> tuple[int, int]:
+        from ..sheet.sheet import _coerce_pos
+
+        return _coerce_pos(target)
+
+    def _evaluate_in_order(self, dirty: set[tuple[int, int]]) -> int:
+        order, cyclic, preds = self._topological_order(dirty)
         for pos in order:
             self._evaluate_cell(pos)
+        if cyclic:
+            for pos in cyclic:
+                self.sheet.cell_at(pos).value = CYCLE_ERROR
+            raise CircularReferenceError(self._trace_cycle(cyclic, preds))
         return len(order)
 
-    def _topological_order(self, dirty: set[tuple[int, int]]) -> list[tuple[int, int]]:
+    def _topological_order(
+        self, dirty: set[tuple[int, int]]
+    ) -> tuple[
+        list[tuple[int, int]],
+        set[tuple[int, int]],
+        dict[tuple[int, int], list[tuple[int, int]]],
+    ]:
         """Kahn's algorithm over the dirty cells' reference structure.
 
-        Cells left unordered (a dependency cycle) are assigned #CYCLE!.
+        Returns ``(order, cyclic, pred_map)``: the evaluable cells in
+        dependency order, the cells left unordered (in or downstream of a
+        cycle), and the dirty-set predecessor adjacency used to extract a
+        concrete offending chain.  ``O(D + R)`` for ``D`` dirty cells
+        with ``R`` dirty-set reference pairs.
         """
         preds: dict[tuple[int, int], int] = {}
+        pred_map: dict[tuple[int, int], list[tuple[int, int]]] = {}
         succs: dict[tuple[int, int], list[tuple[int, int]]] = {}
         dirty_list = list(dirty)
         for pos in dirty_list:
@@ -147,6 +235,12 @@ class RecalcEngine:
                 if ref.sheet is not None and ref.sheet != self.sheet.name:
                     continue
                 rng = ref.range
+                if rng.contains_cell(*pos):
+                    # Self-reference (direct, or a range containing the
+                    # cell): a one-cell cycle.  The never-decremented
+                    # count keeps the cell unordered.
+                    count += 1
+                    pred_map.setdefault(pos, []).append(pos)
                 if rng.size <= len(dirty):
                     members = [p for p in rng.cells() if p in dirty and p != pos]
                 else:
@@ -154,6 +248,7 @@ class RecalcEngine:
                 for member in members:
                     count += 1
                     succs.setdefault(member, []).append(pos)
+                    pred_map.setdefault(pos, []).append(member)
             preds[pos] = count
         ready = [pos for pos in dirty_list if preds[pos] == 0]
         order: list[tuple[int, int]] = []
@@ -164,11 +259,32 @@ class RecalcEngine:
                 preds[succ] -= 1
                 if preds[succ] == 0:
                     ready.append(succ)
-        if len(order) < len(dirty_list):
-            for pos in dirty_list:
-                if preds[pos] > 0:
-                    self.sheet.cell_at(pos).value = CYCLE_ERROR
-        return order
+        cyclic = {pos for pos in dirty_list if preds[pos] > 0}
+        return order, cyclic, pred_map
+
+    @staticmethod
+    def _trace_cycle(
+        cyclic: set[tuple[int, int]],
+        pred_map: dict[tuple[int, int], list[tuple[int, int]]],
+    ) -> list[tuple[int, int]]:
+        """Walk predecessors inside the unordered set until one repeats.
+
+        Every unordered cell has at least one unordered predecessor (that
+        is what kept it unordered), so the walk always closes a cycle.
+        The returned chain is in dependency order and closed: the first
+        cell is repeated at the end.
+        """
+        start = min(cyclic)
+        seen: dict[tuple[int, int], int] = {}
+        chain: list[tuple[int, int]] = []
+        pos = start
+        while pos not in seen:
+            seen[pos] = len(chain)
+            chain.append(pos)
+            pos = next(p for p in pred_map[pos] if p in cyclic)
+        cycle = chain[seen[pos]:]
+        cycle.reverse()
+        return cycle + [cycle[0]]
 
     def _evaluate_cell(self, pos: tuple[int, int]) -> None:
         cell = self.sheet.cell_at(pos)

@@ -128,6 +128,23 @@ class Sheet:
         rows = [pos[1] for pos in self._cells]
         return Range(min(cols), min(rows), max(cols), max(rows))
 
+    # -- batched editing ---------------------------------------------------------
+
+    def begin_batch(self, graph=None, **kwargs):
+        """Open a batched edit session on this sheet.
+
+        Convenience entry point for the edit-batch pipeline
+        (:mod:`repro.engine.batch`): builds a
+        :class:`~repro.engine.recalc.RecalcEngine` over this sheet (and
+        ``graph``, or a freshly built TACO graph) and returns its
+        :class:`~repro.engine.batch.BatchEditSession`.  Callers that
+        already hold an engine should use ``engine.begin_batch()``
+        instead so the graph is reused across batches.
+        """
+        from ..engine.recalc import RecalcEngine  # deferred: engine sits above sheet
+
+        return RecalcEngine(self, graph).begin_batch(**kwargs)
+
     # -- formula graph input ----------------------------------------------------
 
     def iter_dependencies(self) -> Iterator[Dependency]:

@@ -57,6 +57,16 @@ class Workbook:
         for name in self._order:
             yield self._sheets[name]
 
+    def begin_batch(self, sheet: str | None = None, graph=None, **kwargs):
+        """Open a batched edit session on one sheet (default: the active one).
+
+        See :meth:`repro.sheet.sheet.Sheet.begin_batch`; formula graphs
+        are per-sheet (as in the paper), so a workbook batch targets one
+        sheet's graph.
+        """
+        target = self.active_sheet if sheet is None else self._sheets[sheet]
+        return target.begin_batch(graph=graph, **kwargs)
+
     def resolver(self) -> "WorkbookResolver":
         return WorkbookResolver(self)
 

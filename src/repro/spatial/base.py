@@ -57,6 +57,17 @@ class SpatialIndex(abc.ABC):
     The ``search_ops`` / ``insert_ops`` / ``delete_ops`` counters record
     *caller* operations only; internal restructuring work (node splits,
     condense re-inserts, bulk packing) must not inflate them.
+
+    Complexity expectations, ``n`` entries: ``insert``/``delete`` should
+    be sub-linear (R-Tree: ``O(log n)`` amortised; grid buckets:
+    ``O(key area)``); ``search`` should cost the backend's probe plus
+    the number of hits; ``bulk_load`` may take ``O(n log n)`` to buy a
+    packed layout — graph builds and large batch commits call it instead
+    of incremental inserts/deletes exactly for that trade.  Consumers
+    rely on two invariants: an entry inserted and not deleted is
+    returned by every overlapping ``search``, and iteration visits each
+    stored entry exactly once (the graphs' index-consistency checks are
+    built on it).
     """
 
     backend_name = "abstract"

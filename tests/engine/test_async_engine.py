@@ -97,3 +97,21 @@ class TestCycles:
         engine.drain()
         assert engine.pending == 0
         assert engine.read("B1").value == CYCLE_ERROR
+
+
+class TestFormulaOverwrite:
+    def test_value_over_formula_clears_stale_edges(self):
+        """Regression: overwriting a formula with a value must drop the
+        cell's own graph dependencies, as in the synchronous engine."""
+        sheet = Sheet("overwrite")
+        sheet.set_value("B1", 2.0)
+        sheet.set_formula("A1", "=B1*2")
+        engine = AsyncRecalcEngine(sheet)
+        engine.drain()
+        engine.set_value("A1", 99.0)          # formula -> plain value
+        ticket = engine.set_value("B1", 5.0)
+        dirty = {pos for rng in ticket.dirty_ranges for pos in rng.cells()}
+        assert (1, 1) not in dirty            # no phantom dependent
+        assert not engine.is_dirty("A1")
+        engine.drain()
+        assert engine.read("A1").value == 99.0

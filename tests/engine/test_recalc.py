@@ -4,7 +4,7 @@ import pytest
 
 from helpers import build_fig2_sheet
 
-from repro.engine.recalc import RecalcEngine
+from repro.engine.recalc import CircularReferenceError, RecalcEngine
 from repro.formula.errors import CYCLE_ERROR, ExcelError
 from repro.graphs.nocomp import NoCompGraph
 from repro.core.taco_graph import dependencies_column_major
@@ -107,12 +107,71 @@ class TestIncremental:
 
 
 class TestErrorsAndCycles:
-    def test_cycle_marks_cells(self):
+    def test_cycle_raises_and_marks_cells(self):
         sheet = Sheet("cyc")
         sheet.set_formula("A1", "=B1+1")
         sheet.set_formula("B1", "=A1+1")
         engine = RecalcEngine(sheet)
+        with pytest.raises(CircularReferenceError):
+            engine.recalculate_all()
+        assert engine.sheet.get_value("A1") == CYCLE_ERROR
+        assert engine.sheet.get_value("B1") == CYCLE_ERROR
+
+    def test_cycle_error_reports_offending_chain(self):
+        """Regression: the raised error names the actual cell chain."""
+        sheet = Sheet("cyc")
+        sheet.set_value("Z9", 1.0)
+        sheet.set_formula("A1", "=B1+1")
+        sheet.set_formula("B1", "=C1+1")
+        sheet.set_formula("C1", "=A1+1")
+        sheet.set_formula("D1", "=A1*2")    # downstream of the cycle
+        sheet.set_formula("E1", "=Z9+1")    # healthy, must still evaluate
+        engine = RecalcEngine(sheet)
+        with pytest.raises(CircularReferenceError) as excinfo:
+            engine.recalculate_all()
+        err = excinfo.value
+        # The chain is closed and contains exactly the three-cycle.
+        assert err.cycle[0] == err.cycle[-1]
+        assert {(1, 1), (2, 1), (3, 1)} == set(err.cycle)
+        for name in ("A1", "B1", "C1"):
+            assert name in str(err)
+        # Cycle members and their downstream cells are marked ...
+        assert engine.sheet.get_value("A1") == CYCLE_ERROR
+        assert engine.sheet.get_value("D1") == CYCLE_ERROR
+        # ... while the healthy part of the sheet was evaluated first.
+        assert engine.sheet.get_value("E1") == 2.0
+
+    def test_self_reference_is_a_cycle(self):
+        """Regression: a direct self-reference must not silently evaluate."""
+        sheet = Sheet("selfref")
+        sheet.set_formula("A1", "=A1+1")
+        engine = RecalcEngine(sheet)
+        with pytest.raises(CircularReferenceError) as excinfo:
+            engine.recalculate_all()
+        assert excinfo.value.cycle == [(1, 1), (1, 1)]
+        assert engine.sheet.get_value("A1") == CYCLE_ERROR
+
+    def test_range_containing_own_cell_is_a_cycle(self):
+        """Regression: B5=SUM(B1:B10) includes B5 itself — circular."""
+        sheet = Sheet("selfrange")
+        for r in (1, 2, 3):
+            sheet.set_value((2, r), float(r))
+        sheet.set_formula("B5", "=SUM(B1:B10)")
+        engine = RecalcEngine(sheet)
+        with pytest.raises(CircularReferenceError):
+            engine.recalculate_all()
+        assert engine.sheet.get_value("B5") == CYCLE_ERROR
+
+    def test_cycle_created_mid_propagation_raises(self):
+        """Regression: an edit that closes a cycle raises with the chain."""
+        sheet = Sheet("cyc")
+        sheet.set_formula("A1", "=B1+1")
+        sheet.set_value("B1", 1.0)
+        engine = RecalcEngine(sheet)
         engine.recalculate_all()
+        assert engine.sheet.get_value("A1") == 2.0
+        with pytest.raises(CircularReferenceError, match="circular reference"):
+            engine.set_formula("B1", "=A1+1")
         assert engine.sheet.get_value("A1") == CYCLE_ERROR
         assert engine.sheet.get_value("B1") == CYCLE_ERROR
 

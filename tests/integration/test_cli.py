@@ -81,6 +81,70 @@ class TestExport:
         assert code == 0
 
 
+class TestEdit:
+    def test_edit_per_edit_mode(self, demo_file):
+        code, out, _ = run_cli(["edit", demo_file, "--set", "M3=123"])
+        assert code == 0
+        assert "per-edit" in out
+
+    def test_edit_batch_mode_writes_output(self, demo_file, tmp_path):
+        out_path = str(tmp_path / "edited.xlsx")
+        code, out, _ = run_cli([
+            "edit", demo_file, "--batch", "--random", "25",
+            "--set", "M3=5", "--formula", "F1==M3*2",
+            "--out", out_path,
+        ])
+        assert code == 0
+        assert "batched commit" in out
+        from repro.io import read_xlsx
+
+        edited = read_xlsx(out_path)
+        assert edited.active_sheet.get_value("M3") == 5.0
+
+    def test_edit_batch_matches_per_edit_values(self, demo_file):
+        from repro.io import read_xlsx
+
+        results = {}
+        for mode in ("plain", "batch"):
+            argv = ["edit", demo_file, "--set", "M2=77", "--clear", "M4",
+                    "--formula", "F2==M2+1"]
+            if mode == "batch":
+                argv.append("--batch")
+            code, _, _ = run_cli(argv + ["--out", demo_file + f".{mode}.xlsx"])
+            assert code == 0
+            sheet = read_xlsx(demo_file + f".{mode}.xlsx").active_sheet
+            results[mode] = {pos: cell.value for pos, cell in sheet.items()}
+        assert results["batch"] == results["plain"]
+
+    def test_edit_without_ops_errors(self, demo_file):
+        code, _, err = run_cli(["edit", demo_file])
+        assert code == 2
+        assert "no edits" in err
+
+    def test_edit_pre_existing_cycle_reports_cleanly(self, tmp_path):
+        from repro.io import write_xlsx
+        from repro.sheet.sheet import Sheet
+        from repro.sheet.workbook import Workbook
+
+        workbook = Workbook("cyc")
+        sheet = workbook.attach_sheet(Sheet("S"))
+        sheet.set_formula("A1", "=B1+1")
+        sheet.set_formula("B1", "=A1+1")
+        path = str(tmp_path / "cycle.xlsx")
+        write_xlsx(workbook, path)
+        code, _, err = run_cli(["edit", path, "--set", "C1=5"])
+        assert code == 1
+        assert "circular reference" in err
+
+    def test_edit_introduced_cycle_reports_cleanly(self, demo_file):
+        code, _, err = run_cli([
+            "edit", demo_file, "--batch",
+            "--formula", "F1==F2+1", "--formula", "F2==F1+1",
+        ])
+        assert code == 1
+        assert "circular reference" in err
+
+
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["bogus"])

@@ -15,6 +15,7 @@ EXAMPLES = [
     "whatif_dashboard.py",
     "sales_recalc.py",
     "structural_edits.py",
+    "batch_editing.py",
 ]
 
 
