@@ -1,0 +1,99 @@
+"""Micro-benchmark: non-materialising aggregate iteration.
+
+``SUM``/``AVERAGE``/``MIN``/``MAX`` used to funnel through
+``_flatten_numbers``, which coerces and **materialises** a Python list
+of every numeric cell in the argument ranges — on a 200k-cell range
+that is a transient multi-megabyte allocation per evaluation, purely to
+feed ``fsum``/``min``/``max`` once.  PR 3 switched the single-pass
+aggregates to the lazy ``_iter_numbers`` generator (AVERAGE pairs it
+with ``fsum_count``, which is bit-identical to fsum-over-a-list).
+
+This benchmark measures both the time and the *peak transient
+allocation* (via tracemalloc) of SUM over a large range, against a
+reference reimplementation of the materialising path, and asserts the
+allocation win.
+"""
+
+import os
+import time
+import tracemalloc
+
+from _common import emit
+
+from repro.bench.reporting import ascii_table, banner, format_ms
+from repro.formula.evaluator import Evaluator
+from repro.sheet.sheet import Sheet, SheetResolver
+
+ROWS = int(os.environ.get("REPRO_MICRO_AGG_ROWS", "200000"))
+
+
+def build_sheet(rows: int) -> Sheet:
+    sheet = Sheet("micro")
+    for r in range(1, rows + 1):
+        sheet.set_value((1, r), float(r % 1009))
+    return sheet
+
+
+def materializing_sum(rng_value) -> float:
+    """The historical implementation: coerce into a list, then fsum."""
+    import math
+
+    numbers = [v for v in rng_value.iter_numbers()]
+    return math.fsum(numbers)
+
+
+def measure(fn):
+    tracemalloc.start()
+    start = time.perf_counter()
+    value = fn()
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return value, elapsed, peak
+
+
+def test_aggregate_iteration_allocation(benchmark):
+    sheet = build_sheet(ROWS)
+    evaluator = Evaluator(SheetResolver(sheet))
+    formula = f"=SUM(A1:A{ROWS})"
+
+    from repro.formula.parser import parse_formula
+    from repro.formula.values import RangeValue
+    from repro.grid.range import Range
+
+    ast = parse_formula(formula)
+    rng_value = RangeValue(Range(1, 1, 1, ROWS), "micro", SheetResolver(sheet))
+
+    def run():
+        lazy_value, lazy_s, lazy_peak = measure(
+            lambda: evaluator.evaluate(ast, "micro", 2, 1)
+        )
+        mat_value, mat_s, mat_peak = measure(lambda: materializing_sum(rng_value))
+        assert lazy_value == mat_value
+        return lazy_s, lazy_peak, mat_s, mat_peak
+
+    lazy_s, lazy_peak, mat_s, mat_peak = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    win = mat_peak / max(lazy_peak, 1)
+    verdict = (
+        f"OK: lazy aggregation peaks at {lazy_peak:,} B vs "
+        f"{mat_peak:,} B materialised ({win:.0f}x less transient allocation)"
+        if lazy_peak * 4 < mat_peak
+        else f"REGRESSION: lazy path peak {lazy_peak:,} B is not well below "
+             f"materialised {mat_peak:,} B"
+    )
+    lines = [banner(
+        "Aggregate iteration: lazy generator vs materialised list",
+        f"SUM over a {ROWS:,}-cell column, time + tracemalloc peak",
+    )]
+    lines.append(ascii_table(
+        ["path", "time", "peak alloc"],
+        [
+            ["lazy (_iter_numbers)", format_ms(lazy_s), f"{lazy_peak:,} B"],
+            ["materialised (list)", format_ms(mat_s), f"{mat_peak:,} B"],
+        ],
+    ))
+    lines.append("\n" + verdict)
+    emit("micro_aggregates", "\n".join(lines))
+    assert lazy_peak * 4 < mat_peak, verdict

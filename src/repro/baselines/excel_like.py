@@ -19,58 +19,12 @@ behaviours are modelled:
 from __future__ import annotations
 
 from ..formula.ast_nodes import CellNode, Node, RangeNode, walk
+from ..formula.r1c1 import to_r1c1
 from ..graphs.base import Budget, FormulaGraph, GraphStats
 from ..grid.range import Range
-from ..grid.ref import CellRef
 from ..sheet.sheet import Sheet
 
 __all__ = ["ExcelLikeEngine", "to_r1c1"]
-
-
-def _ref_to_r1c1(ref: CellRef, host_col: int, host_row: int) -> str:
-    if ref.col_fixed:
-        col_part = f"C{ref.col}"
-    else:
-        delta = ref.col - host_col
-        col_part = "C" if delta == 0 else f"C[{delta}]"
-    if ref.row_fixed:
-        row_part = f"R{ref.row}"
-    else:
-        delta = ref.row - host_row
-        row_part = "R" if delta == 0 else f"R[{delta}]"
-    return row_part + col_part
-
-
-def to_r1c1(ast: Node, host_col: int, host_row: int) -> str:
-    """Render a formula in R1C1 notation relative to its host cell.
-
-    Formulae generated by autofill share one R1C1 rendering, which is the
-    key Excel uses to store them once.
-    """
-    if isinstance(ast, CellNode):
-        return _ref_to_r1c1(ast.ref, host_col, host_row)
-    if isinstance(ast, RangeNode):
-        return (
-            _ref_to_r1c1(ast.head, host_col, host_row)
-            + ":"
-            + _ref_to_r1c1(ast.tail, host_col, host_row)
-        )
-    children = ast.children()
-    if not children:
-        return ast.to_formula()
-    rendered = [to_r1c1(child, host_col, host_row) for child in children]
-    # Reassemble using the node's own shape.
-    from ..formula.ast_nodes import BinaryOp, FunctionCall, UnaryOp
-
-    if isinstance(ast, FunctionCall):
-        return f"{ast.name}({','.join(rendered)})"
-    if isinstance(ast, BinaryOp):
-        return f"({rendered[0]}{ast.op}{rendered[1]})"
-    if isinstance(ast, UnaryOp):
-        if ast.op == "%":
-            return f"{rendered[0]}%"
-        return f"{ast.op}{rendered[0]}"
-    return ast.to_formula()  # pragma: no cover - no other composite nodes
 
 
 class _FormulaGroup:

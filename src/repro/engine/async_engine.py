@@ -19,7 +19,7 @@ import time
 from typing import NamedTuple
 
 from ..core.taco_graph import TacoGraph, dependencies_column_major
-from ..formula.evaluator import Evaluator
+from ..formula.compile import CompilingEvaluator
 from ..graphs.base import FormulaGraph, expand_cells
 from ..grid.range import Range
 from ..sheet.sheet import Dependency, Sheet, SheetResolver
@@ -45,13 +45,21 @@ class CellView(NamedTuple):
 class AsyncRecalcEngine:
     """A sheet whose recomputation is decoupled from updates."""
 
-    def __init__(self, sheet: Sheet, graph: FormulaGraph | None = None):
+    def __init__(
+        self, sheet: Sheet, graph: FormulaGraph | None = None, *,
+        evaluation: str = "auto",
+    ):
+        if evaluation not in ("auto", "interpreter"):
+            raise ValueError(f"unknown evaluation mode {evaluation!r}")
         self.sheet = sheet
         if graph is None:
             graph = TacoGraph.full()
             graph.build(dependencies_column_major(sheet))
         self.graph = graph
-        self.evaluator = Evaluator(SheetResolver(sheet))
+        self.evaluation = evaluation
+        self.cell_evaluator = CompilingEvaluator(SheetResolver(sheet))
+        self.eval_stats = self.cell_evaluator.stats
+        self.evaluator = self.cell_evaluator.interpreter
         self._dirty: set[tuple[int, int]] = set()
 
     # -- the critical path -----------------------------------------------------
@@ -151,9 +159,14 @@ class AsyncRecalcEngine:
                 break
             for pos in ready:
                 cell = self.sheet.cell_at(pos)
-                cell.value = self.evaluator.evaluate(
-                    cell.formula_ast, self.sheet.name, pos[0], pos[1]
-                )
+                if self.evaluation == "auto":
+                    cell.value = self.cell_evaluator.evaluate_cell(
+                        cell, self.sheet.name, pos[0], pos[1]
+                    )
+                else:
+                    cell.value = self.cell_evaluator.interpret_cell(
+                        cell, self.sheet.name, pos[0], pos[1]
+                    )
                 self._dirty.discard(pos)
                 computed += 1
         return computed

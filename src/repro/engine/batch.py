@@ -81,6 +81,8 @@ class BatchResult(NamedTuple):
     maintain_seconds: float       # sheet apply + graph maintenance
     recalc_seconds: float         # dirty BFS + topological re-evaluation
     total_seconds: float
+    windowed_cells: int = 0       # cells evaluated by rolling-window runs
+    compiled_cells: int = 0       # cells evaluated by compiled templates
 
 
 class BatchEditSession:
@@ -231,6 +233,9 @@ class BatchEditSession:
         recalc_start = time.perf_counter()
         dirty_ranges = self._find_dirty(cleared)
         recomputed = 0
+        stats = engine.eval_stats
+        windowed_before = stats.windowed_cells
+        compiled_before = stats.compiled_cells
         if self.recalc:
             recomputed = engine.recompute(dirty_ranges, extra=formula_positions)
         recalc_seconds = time.perf_counter() - recalc_start
@@ -248,6 +253,8 @@ class BatchEditSession:
             maintain_seconds=maintain_seconds,
             recalc_seconds=recalc_seconds,
             total_seconds=time.perf_counter() - start,
+            windowed_cells=stats.windowed_cells - windowed_before,
+            compiled_cells=stats.compiled_cells - compiled_before,
         )
         return self.result
 

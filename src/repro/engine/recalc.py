@@ -24,14 +24,16 @@ so the sheet is left explicit about what could not be computed.
 from __future__ import annotations
 
 import time
+from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING, Iterable, NamedTuple
 
 from ..core.taco_graph import TacoGraph, dependencies_column_major
+from ..formula.compile import CompilingEvaluator, TemplateRegistry
 from ..formula.errors import CYCLE_ERROR
-from ..formula.evaluator import Evaluator
 from ..graphs.base import FormulaGraph, expand_cells
 from ..grid.range import Range
 from ..sheet.sheet import Dependency, Sheet, SheetResolver
+from . import vectorized
 
 if TYPE_CHECKING:  # pragma: no cover
     from .batch import BatchEditSession
@@ -55,6 +57,34 @@ class CircularReferenceError(RuntimeError):
         super().__init__(f"circular reference: {chain}")
 
 
+class _TemplateRun:
+    """One dispatchable windowed run: a column stretch + its blockers.
+
+    A run is a maximal stretch of consecutive dirty cells in one column
+    sharing a windowed-aggregate template.  ``blockers`` are the dirty
+    cells *outside* the run that some member's window reads — in the
+    super-node ordering they are the run's predecessors, so the run is
+    scheduled only after all of them; in-run references need no edges
+    because the rolling direction evaluates them in dependency order.
+    """
+
+    __slots__ = ("spec", "col", "rows", "member_set", "blockers")
+
+    def __init__(self, spec, col: int, rows: list[int],
+                 member_set: set[tuple[int, int]], blockers: set[tuple[int, int]]):
+        self.spec = spec
+        self.col = col
+        self.rows = rows                # ascending, consecutive
+        self.member_set = member_set
+        self.blockers = blockers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"_TemplateRun({self.spec.func} col={self.col} "
+            f"rows={self.rows[0]}..{self.rows[-1]}, {len(self.blockers)} blockers)"
+        )
+
+
 class RecalcResult(NamedTuple):
     """Outcome of one update."""
 
@@ -75,13 +105,28 @@ class RecalcEngine:
     re-evaluated.
     """
 
-    def __init__(self, sheet: Sheet, graph: FormulaGraph | None = None):
+    def __init__(
+        self,
+        sheet: Sheet,
+        graph: FormulaGraph | None = None,
+        *,
+        evaluation: str = "auto",
+        registry: TemplateRegistry | None = None,
+    ):
+        if evaluation not in ("auto", "interpreter"):
+            raise ValueError(f"unknown evaluation mode {evaluation!r}")
         self.sheet = sheet
         if graph is None:
             graph = TacoGraph.full()
             graph.build(dependencies_column_major(sheet))
         self.graph = graph
-        self.evaluator = Evaluator(SheetResolver(sheet))
+        #: ``"auto"`` — compiled templates + windowed runs with transparent
+        #: interpreter fallback; ``"interpreter"`` — tree-walker only (the
+        #: pre-compilation behaviour, kept for benchmarking/differential tests).
+        self.evaluation = evaluation
+        self.cell_evaluator = CompilingEvaluator(SheetResolver(sheet), registry=registry)
+        self.eval_stats = self.cell_evaluator.stats
+        self.evaluator = self.cell_evaluator.interpreter
 
     # -- full recomputation ----------------------------------------------------
 
@@ -200,6 +245,14 @@ class RecalcEngine:
         return _coerce_pos(target)
 
     def _evaluate_in_order(self, dirty: set[tuple[int, int]]) -> int:
+        if self.evaluation == "auto" and len(dirty) >= vectorized.MIN_RUN:
+            runs, by_col, member_map = self._detect_runs(dirty)
+            if runs:
+                plan = self._order_with_runs(dirty, runs, by_col, member_map)
+                if plan is not None:
+                    return self._execute_plan(plan)
+                # A cycle (or a self-reference) is in play somewhere: the
+                # generic cell-level ordering below owns that semantics.
         order, cyclic, preds = self._topological_order(dirty)
         for pos in order:
             self._evaluate_cell(pos)
@@ -208,6 +261,245 @@ class RecalcEngine:
                 self.sheet.cell_at(pos).value = CYCLE_ERROR
             raise CircularReferenceError(self._trace_cycle(cyclic, preds))
         return len(order)
+
+    # -- windowed-run dispatch ----------------------------------------------------
+
+    def _order_with_runs(
+        self,
+        dirty: set[tuple[int, int]],
+        runs: list["_TemplateRun"],
+        by_col: dict[int, list[int]],
+        member_map: dict[tuple[int, int], "_TemplateRun"],
+    ):
+        """Topologically order singles and runs-as-super-nodes.
+
+        The generic ordering materialises one edge per (window cell,
+        member) pair — ``O(run x window)`` for a running-total column,
+        the very cost the rolling evaluator removes.  Here a run is one
+        node whose predecessors are its *blockers* (computed once from
+        the union window), so ordering costs ``O(D log D + E')`` in the
+        number of dirty cells and coalesced edges.  In-run prefix
+        references need no edges: the rolling direction orders them.
+
+        Returns the execution plan — a list of ``(col, row)`` singles and
+        :class:`_TemplateRun` nodes — or ``None`` when a self-reference
+        or cycle is detected, in which case the caller must use the
+        generic ordering (which owns ``#CYCLE!`` semantics).
+        """
+        preds: dict[object, int] = {}
+        succs: dict[object, list[object]] = {}
+        sheet_name = self.sheet.name
+        for pos in dirty:
+            if pos in member_map:
+                continue
+            cell = self.sheet.cell_at(pos)
+            count = 0
+            seen: set[object] = set()
+            for ref in cell.references:
+                if ref.sheet is not None and ref.sheet != sheet_name:
+                    continue
+                rng = ref.range
+                if rng.contains_cell(*pos):
+                    return None         # self-reference: a one-cell cycle
+                for prec in self._dirty_in_range(rng, by_col):
+                    if prec == pos:
+                        continue
+                    node = member_map.get(prec, prec)
+                    if node in seen:
+                        continue
+                    seen.add(node)
+                    count += 1
+                    succs.setdefault(node, []).append(pos)
+            preds[pos] = count
+        for run in runs:
+            count = 0
+            seen = set()
+            for prec in run.blockers:
+                node = member_map.get(prec, prec)
+                if node in seen:
+                    continue
+                seen.add(node)
+                count += 1
+                succs.setdefault(node, []).append(run)
+            preds[run] = count
+        ready = [node for node, count in preds.items() if count == 0]
+        plan: list[object] = []
+        while ready:
+            node = ready.pop()
+            plan.append(node)
+            for succ in succs.get(node, ()):  # noqa: B020
+                preds[succ] -= 1
+                if preds[succ] == 0:
+                    ready.append(succ)
+        if len(plan) != len(preds):
+            return None                 # cycle among dirty cells/runs
+        return plan
+
+    @staticmethod
+    def _dirty_in_range(rng: Range, by_col: dict[int, list[int]]):
+        """Dirty positions inside ``rng``, via per-column sorted rows."""
+        r1, r2 = rng.r1, rng.r2
+        c1, c2 = rng.c1, rng.c2
+        for col, rows in by_col.items():
+            if col < c1 or col > c2:
+                continue
+            lo = bisect_left(rows, r1)
+            hi = bisect_right(rows, r2)
+            for row in rows[lo:hi]:
+                yield (col, row)
+
+    def _execute_plan(self, plan) -> int:
+        """Evaluate an ordered plan of singles and runs."""
+        stats = self.eval_stats
+        count = 0
+        for node in plan:
+            if type(node) is tuple:
+                self._evaluate_cell(node)
+                count += 1
+                continue
+            rows = list(node.rows)
+            rolled = vectorized.evaluate_run(
+                self.sheet, node.spec, node.col, rows, self._evaluate_cell
+            )
+            if rolled is None:
+                # Geometry refused at the last moment: evaluate per cell,
+                # respecting the rolling direction for self-references.
+                descending = node.spec.tail_row.fixed and not node.spec.head_row.fixed
+                for row in (reversed(rows) if descending else rows):
+                    self._evaluate_cell((node.col, row))
+            elif rolled:
+                # `rolled` counts only cells the rolling path computed;
+                # delegated cells were accounted by _evaluate_cell.
+                stats.windowed_cells += rolled
+                stats.windowed_runs += 1
+            count += len(rows)
+        return count
+
+    def _detect_runs(self, dirty: set[tuple[int, int]]):
+        """Same-template windowed runs hiding in the dirty set.
+
+        Candidate spans come from the compressed graph's dependent ranges
+        when it exposes them — the RR/FR edges *are* the autofill
+        families — with the raw per-column extents appended so cells the
+        graph left uncompressed (or graphs without the hook) still get
+        run detection.  Each maximal consecutive stretch of cells sharing
+        one windowed-aggregate template becomes a :class:`_TemplateRun`
+        carrying its out-of-run dirty *blockers*; stretches whose in-run
+        references do not follow the rolling direction are discarded.
+        """
+        by_col: dict[int, list[int]] = {}
+        for c, r in dirty:
+            by_col.setdefault(c, []).append(r)
+        for rows in by_col.values():
+            rows.sort()
+        spans: list[Range] = []
+        runs_of = getattr(self.graph, "dependent_column_runs", None)
+        if runs_of is not None:
+            c1, c2 = min(by_col), max(by_col)
+            r1 = min(rows[0] for rows in by_col.values())
+            r2 = max(rows[-1] for rows in by_col.values())
+            spans.extend(runs_of(Range(c1, r1, c2, r2)))
+        spans.extend(Range(c, rows[0], c, rows[-1]) for c, rows in by_col.items())
+
+        runs: list[_TemplateRun] = []
+        claimed: set[tuple[int, int]] = set()
+        for span in spans:
+            rows = by_col.get(span.c1)
+            if not rows:
+                continue
+            lo = bisect_left(rows, span.r1)
+            hi = bisect_right(rows, span.r2)
+            self._stretches_in_rows(span.c1, rows[lo:hi], claimed, by_col, runs)
+        member_map = {pos: run for run in runs for pos in run.member_set}
+        return runs, by_col, member_map
+
+    def _stretches_in_rows(
+        self,
+        col: int,
+        rows: list[int],
+        claimed: set[tuple[int, int]],
+        by_col: dict[int, list[int]],
+        out: list["_TemplateRun"],
+    ) -> None:
+        stretch: list[int] = []
+        stretch_key: str | None = None
+        stretch_spec = None
+
+        def flush() -> None:
+            if stretch_spec is None or len(stretch) < vectorized.MIN_RUN:
+                return
+            run = self._make_run(stretch_spec, col, list(stretch), by_col)
+            if run is not None:
+                claimed.update(run.member_set)
+                out.append(run)
+
+        for row in rows:
+            pos = (col, row)
+            if pos in claimed:              # already part of an earlier span's run
+                flush()
+                stretch, stretch_key, stretch_spec = [], None, None
+                continue
+            cell = self.sheet.cell_at(pos)
+            template = self.cell_evaluator.template_for_cell(cell, col, row)
+            key = template.key if template is not None and template.window else None
+            if key is None or key != stretch_key or (stretch and row != stretch[-1] + 1):
+                flush()
+                stretch = []
+                stretch_key = key
+                stretch_spec = template.window if key is not None else None
+            if key is not None:
+                stretch.append(row)
+        flush()
+
+    def _make_run(
+        self,
+        spec,
+        col: int,
+        run_rows: list[int],
+        by_col: dict[int, list[int]],
+    ) -> "_TemplateRun | None":
+        """Build a run if its geometry rolls and its self-references are
+        ordered by the rolling direction; collect its dirty blockers.
+
+        In-run window hits are permitted only when every member's window
+        stays strictly on the already-evaluated side of the rolling
+        order: strictly above the host for top-down prefix/sliding
+        windows, strictly below for the bottom-up suffix shape.  Dirty
+        cells inside the windows but outside the run become *blockers* —
+        the super-node ordering schedules the run after all of them.
+        """
+        cols = vectorized.window_cols(spec, col)
+        if cols is None:
+            return None
+        lo_first, hi_first = vectorized.window_rows_at(spec, run_rows[0])
+        lo_last, hi_last = vectorized.window_rows_at(spec, run_rows[-1])
+        if lo_first > hi_first or lo_last > hi_last or min(lo_first, lo_last) < 1:
+            return None
+        self_ok = (
+            # windows strictly above their host, processed top-down
+            (not spec.tail_row.fixed and spec.tail_row.value <= -1)
+            # windows strictly below their host, processed bottom-up
+            or (spec.tail_row.fixed and not spec.head_row.fixed
+                and spec.head_row.value >= 1)
+        )
+        run_set = {(col, r) for r in run_rows}
+        blockers: set[tuple[int, int]] = set()
+        w_lo = min(lo_first, lo_last)
+        w_hi = max(hi_first, hi_last)
+        c1, c2 = cols
+        for dirty_col, dirty_rows in by_col.items():
+            if dirty_col < c1 or dirty_col > c2:
+                continue
+            lo = bisect_left(dirty_rows, w_lo)
+            hi = bisect_right(dirty_rows, w_hi)
+            for row in dirty_rows[lo:hi]:
+                pos = (dirty_col, row)
+                if pos in run_set:
+                    if not self_ok:
+                        return None
+                else:
+                    blockers.add(pos)
+        return _TemplateRun(spec, col, run_rows, run_set, blockers)
 
     def _topological_order(
         self, dirty: set[tuple[int, int]]
@@ -288,7 +580,12 @@ class RecalcEngine:
 
     def _evaluate_cell(self, pos: tuple[int, int]) -> None:
         cell = self.sheet.cell_at(pos)
-        value = self.evaluator.evaluate(
-            cell.formula_ast, self.sheet.name, pos[0], pos[1]
-        )
+        if self.evaluation == "auto":
+            value = self.cell_evaluator.evaluate_cell(
+                cell, self.sheet.name, pos[0], pos[1]
+            )
+        else:
+            value = self.cell_evaluator.interpret_cell(
+                cell, self.sheet.name, pos[0], pos[1]
+            )
         cell.value = value

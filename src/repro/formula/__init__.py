@@ -24,8 +24,19 @@ from .errors import (
     ExcelError,
     FormulaSyntaxError,
 )
+from .compile import (
+    CompiledTemplate,
+    CompilingEvaluator,
+    EvalStats,
+    TemplateRegistry,
+    WindowSpec,
+    compile_template,
+    default_registry,
+)
 from .evaluator import EvalContext, Evaluator
+from .numeric import ExactSum, fsum_count
 from .parser import parse_formula
+from .r1c1 import to_r1c1
 from .references import ReferencedRange, extract_references, references_of_formula
 from .tokenizer import Token, TokenKind, tokenize
 from .values import CellResolver, RangeValue
@@ -36,10 +47,14 @@ __all__ = [
     "CYCLE_ERROR",
     "CellNode",
     "CellResolver",
+    "CompiledTemplate",
+    "CompilingEvaluator",
     "DIV0",
     "ErrorLiteral",
     "EvalContext",
+    "EvalStats",
     "Evaluator",
+    "ExactSum",
     "ExcelError",
     "FormulaSyntaxError",
     "FunctionCall",
@@ -53,13 +68,19 @@ __all__ = [
     "RangeValue",
     "ReferencedRange",
     "String",
+    "TemplateRegistry",
     "Token",
     "TokenKind",
     "UnaryOp",
     "VALUE_ERROR",
+    "WindowSpec",
+    "compile_template",
+    "default_registry",
     "extract_references",
+    "fsum_count",
     "parse_formula",
     "references_of_formula",
+    "to_r1c1",
     "tokenize",
     "walk",
 ]

@@ -1,0 +1,584 @@
+"""Formula templates compiled once, evaluated per cell.
+
+The paper's compression story is that autofill makes formulae *families*:
+10,000 cells of a running-total column are one R1C1 template
+(``SUM(R1C1:RC[-1])``) instantiated at 10,000 positions.  The
+tree-walking :class:`~repro.formula.evaluator.Evaluator` re-discovers
+that structure on every evaluation — an isinstance chain per AST node
+per cell.  This module removes the repeated discovery:
+
+* each formula is normalised to its R1C1 template key
+  (:func:`~repro.formula.r1c1.to_r1c1`);
+* the first time a key is seen, the template is *compiled* into a tree
+  of specialised Python closures over ``(resolver, sheet, col, row)`` —
+  cell references become precomputed column/row deltas, operators and
+  function impls are bound once;
+* every later cell with the same key (the other 9,999 rows) reuses the
+  compiled closure from a bounded :class:`TemplateRegistry`.
+
+Compilation is *transparent*: constructs the compiler does not cover —
+uncommon lazy builtins, unknown function names — yield an unsupported
+marker and the cell falls back to the tree-walking interpreter.  The
+compiled closure calls the same coercions and the same function impls as
+the interpreter, so results (values *and* error propagation) are
+observationally identical; ``tests/engine/test_eval_differential.py``
+pins this.
+
+Templates whose whole body is one aggregate over one sliding/growing
+range additionally expose a :class:`WindowSpec`, which is what lets the
+recalculation engine evaluate a whole run of cells with rolling
+aggregates (:mod:`repro.engine.vectorized`) instead of per-cell windows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, NamedTuple
+
+from ..grid.range import Range
+from ..grid.ref import CellRef
+from .ast_nodes import (
+    BinaryOp,
+    Boolean,
+    CellNode,
+    ErrorLiteral,
+    FunctionCall,
+    Node,
+    Number,
+    RangeNode,
+    String,
+    UnaryOp,
+)
+from .errors import REF_ERROR, VALUE_ERROR, ExcelError
+from .evaluator import Evaluator
+from .functions import REGISTRY, _truthy_for_logical
+from .r1c1 import to_r1c1
+from .values import (
+    CellResolver,
+    ErrorSignal,
+    RangeValue,
+    compare_values,
+    safe_divide,
+    to_bool,
+    to_number,
+    to_text,
+)
+
+__all__ = [
+    "AxisRef",
+    "CompiledTemplate",
+    "CompilingEvaluator",
+    "EvalStats",
+    "TemplateRegistry",
+    "WindowSpec",
+    "compile_template",
+    "default_registry",
+]
+
+# A compiled sub-expression: (resolver, sheet, col, row) -> runtime value.
+# Errors travel as ErrorSignal exactly as in the interpreter.
+_Closure = Callable[[CellResolver, "str | None", int, int], object]
+
+
+class _Unsupported(Exception):
+    """Internal: the compiler does not cover this construct."""
+
+
+class AxisRef(NamedTuple):
+    """One axis of a template reference: absolute or host-relative.
+
+    ``fixed`` axes carry the absolute coordinate in ``value``; relative
+    axes carry the delta from the host cell.
+    """
+
+    fixed: bool
+    value: int
+
+    def at(self, host: int) -> int:
+        """Resolve against a host coordinate."""
+        return self.value if self.fixed else host + self.value
+
+
+def _axis_refs(ref: CellRef, host_col: int, host_row: int) -> tuple[AxisRef, AxisRef]:
+    col = AxisRef(True, ref.col) if ref.col_fixed else AxisRef(False, ref.col - host_col)
+    row = AxisRef(True, ref.row) if ref.row_fixed else AxisRef(False, ref.row - host_row)
+    return col, row
+
+
+class WindowSpec(NamedTuple):
+    """A template of the form ``AGG(range)`` — a windowed aggregate.
+
+    ``func`` is the canonical aggregate name (SUM/COUNT/AVERAGE/MIN/MAX);
+    the four :class:`AxisRef` fields locate the window corners relative
+    to the host cell.  Per host row ``r`` (a column run), the window rows
+    are ``[head_row.at(r), tail_row.at(r)]``: fixed head + relative tail
+    is the growing prefix window, both relative is the sliding window.
+    """
+
+    func: str
+    head_col: AxisRef
+    head_row: AxisRef
+    tail_col: AxisRef
+    tail_row: AxisRef
+
+
+_WINDOW_FUNCS = {
+    "SUM": "SUM",
+    "COUNT": "COUNT",
+    "AVERAGE": "AVERAGE",
+    "AVG": "AVERAGE",
+    "MIN": "MIN",
+    "MAX": "MAX",
+}
+
+
+def window_spec(ast: Node, host_col: int, host_row: int) -> WindowSpec | None:
+    """The :class:`WindowSpec` of a pure windowed-aggregate template.
+
+    Only same-sheet single-range aggregates qualify; anything else —
+    extra arguments, scalar arguments, cross-sheet ranges — evaluates
+    through the compiled closure (or the interpreter) per cell.
+    """
+    if not isinstance(ast, FunctionCall):
+        return None
+    func = _WINDOW_FUNCS.get(ast.name)
+    if func is None or len(ast.args) != 1:
+        return None
+    rng = ast.args[0]
+    if not isinstance(rng, RangeNode) or rng.sheet is not None:
+        return None
+    head_col, head_row = _axis_refs(rng.head, host_col, host_row)
+    tail_col, tail_row = _axis_refs(rng.tail, host_col, host_row)
+    return WindowSpec(func, head_col, head_row, tail_col, tail_row)
+
+
+# ---------------------------------------------------------------------------
+# node compilers
+
+
+def _compile_cell(node: CellNode, host_col: int, host_row: int) -> _Closure:
+    ref_sheet = node.sheet
+    col_ref, row_ref = _axis_refs(node.ref, host_col, host_row)
+
+    def closure(res, sheet, col, row):
+        c = col_ref.value if col_ref.fixed else col + col_ref.value
+        r = row_ref.value if row_ref.fixed else row + row_ref.value
+        if c < 1 or r < 1:
+            raise ErrorSignal(REF_ERROR)
+        value = res.get_value(ref_sheet if ref_sheet is not None else sheet, c, r)
+        if isinstance(value, ExcelError):
+            raise ErrorSignal(value)
+        return value
+
+    return closure
+
+
+def _compile_range(node: RangeNode, host_col: int, host_row: int) -> _Closure:
+    ref_sheet = node.sheet
+    hc, hr = _axis_refs(node.head, host_col, host_row)
+    tc, tr = _axis_refs(node.tail, host_col, host_row)
+
+    def closure(res, sheet, col, row):
+        c1 = hc.value if hc.fixed else col + hc.value
+        r1 = hr.value if hr.fixed else row + hr.value
+        c2 = tc.value if tc.fixed else col + tc.value
+        r2 = tr.value if tr.fixed else row + tr.value
+        if c1 > c2:
+            c1, c2 = c2, c1
+        if r1 > r2:
+            r1, r2 = r2, r1
+        if c1 < 1 or r1 < 1:
+            raise ErrorSignal(REF_ERROR)
+        return RangeValue(
+            Range(c1, r1, c2, r2),
+            ref_sheet if ref_sheet is not None else sheet,
+            res,
+        )
+
+    return closure
+
+
+def _compile_unary(node: UnaryOp, host_col: int, host_row: int) -> _Closure:
+    operand = _compile(node.operand, host_col, host_row)
+    if node.op == "-":
+        return lambda res, sheet, col, row: -to_number(operand(res, sheet, col, row))
+    if node.op == "%":
+        return lambda res, sheet, col, row: to_number(operand(res, sheet, col, row)) / 100.0
+    return lambda res, sheet, col, row: to_number(operand(res, sheet, col, row))
+
+
+_COMPARATORS: dict[str, Callable[[int], bool]] = {
+    "=": lambda cmp: cmp == 0,
+    "<>": lambda cmp: cmp != 0,
+    "<": lambda cmp: cmp < 0,
+    "<=": lambda cmp: cmp <= 0,
+    ">": lambda cmp: cmp > 0,
+    ">=": lambda cmp: cmp >= 0,
+}
+
+
+def _compile_binary(node: BinaryOp, host_col: int, host_row: int) -> _Closure:
+    # The interpreter evaluates BOTH operands before any coercion
+    # (_eval_binary), so when the left operand coerces to one error and
+    # the right operand *evaluates* to another, the right one wins.  The
+    # compiled closures must keep that order: evaluate left, evaluate
+    # right, then coerce.
+    left = _compile(node.left, host_col, host_row)
+    right = _compile(node.right, host_col, host_row)
+    op = node.op
+    if op == "&":
+
+        def concat(res, sheet, col, row):
+            lhs = left(res, sheet, col, row)
+            rhs = right(res, sheet, col, row)
+            return to_text(lhs) + to_text(rhs)
+
+        return concat
+    if op in _COMPARATORS:
+        verdict = _COMPARATORS[op]
+        return lambda res, sheet, col, row: verdict(
+            compare_values(left(res, sheet, col, row), right(res, sheet, col, row))
+        )
+    if op == "+":
+
+        def add(res, sheet, col, row):
+            lhs = left(res, sheet, col, row)
+            rhs = right(res, sheet, col, row)
+            return to_number(lhs) + to_number(rhs)
+
+        return add
+    if op == "-":
+
+        def sub(res, sheet, col, row):
+            lhs = left(res, sheet, col, row)
+            rhs = right(res, sheet, col, row)
+            return to_number(lhs) - to_number(rhs)
+
+        return sub
+    if op == "*":
+
+        def mul(res, sheet, col, row):
+            lhs = left(res, sheet, col, row)
+            rhs = right(res, sheet, col, row)
+            return to_number(lhs) * to_number(rhs)
+
+        return mul
+    if op == "/":
+
+        def div(res, sheet, col, row):
+            lhs = left(res, sheet, col, row)
+            rhs = right(res, sheet, col, row)
+            return safe_divide(to_number(lhs), to_number(rhs))
+
+        return div
+    if op == "^":
+
+        def power(res, sheet, col, row):
+            lhs = left(res, sheet, col, row)
+            rhs = right(res, sheet, col, row)
+            lnum = to_number(lhs)
+            rnum = to_number(rhs)
+            try:
+                result = lnum ** rnum
+            except (OverflowError, ZeroDivisionError, ValueError):
+                raise ErrorSignal(ExcelError("#NUM!")) from None
+            if isinstance(result, complex):
+                raise ErrorSignal(ExcelError("#NUM!"))
+            return float(result)
+
+        return power
+    raise _Unsupported(f"operator {op!r}")
+
+
+def _compile_if(args: list[_Closure]) -> _Closure:
+    cond, then = args[0], args[1]
+    otherwise = args[2] if len(args) >= 3 else None
+
+    def closure(res, sheet, col, row):
+        if to_bool(cond(res, sheet, col, row)):
+            return then(res, sheet, col, row)
+        if otherwise is not None:
+            return otherwise(res, sheet, col, row)
+        return False
+
+    return closure
+
+
+def _compile_and(args: list[_Closure]) -> _Closure:
+    def closure(res, sheet, col, row):
+        for arg in args:
+            if not _truthy_for_logical(arg(res, sheet, col, row)):
+                return False
+        return True
+
+    return closure
+
+
+def _compile_or(args: list[_Closure]) -> _Closure:
+    def closure(res, sheet, col, row):
+        for arg in args:
+            if _truthy_for_logical(arg(res, sheet, col, row)):
+                return True
+        return False
+
+    return closure
+
+
+def _compile_iferror(args: list[_Closure]) -> _Closure:
+    attempt, recover = args
+
+    def closure(res, sheet, col, row):
+        try:
+            value = attempt(res, sheet, col, row)
+        except ErrorSignal:
+            return recover(res, sheet, col, row)
+        if isinstance(value, ExcelError):
+            return recover(res, sheet, col, row)
+        return value
+
+    return closure
+
+
+def _compile_iserror(args: list[_Closure]) -> _Closure:
+    (attempt,) = args
+
+    def closure(res, sheet, col, row):
+        try:
+            value = attempt(res, sheet, col, row)
+        except ErrorSignal:
+            return True
+        return isinstance(value, ExcelError)
+
+    return closure
+
+
+# Lazy builtins the compiler short-circuits natively.  The remaining lazy
+# functions (XOR, ROW/COLUMN/ROWS/COLUMNS, future registrations) fall
+# back to the interpreter — that keeps the fallback path genuinely alive.
+_LAZY_COMPILERS: dict[str, Callable[[list[_Closure]], _Closure]] = {
+    "IF": _compile_if,
+    "AND": _compile_and,
+    "OR": _compile_or,
+    "IFERROR": _compile_iferror,
+    "ISERROR": _compile_iserror,
+}
+
+
+def _compile_call(node: FunctionCall, host_col: int, host_row: int) -> _Closure:
+    spec = REGISTRY.get(node.name)
+    if spec is None:
+        raise _Unsupported(f"unknown function {node.name}")
+    arity = len(node.args)
+    if arity < spec.min_args or (spec.max_args is not None and arity > spec.max_args):
+        def arity_error(res, sheet, col, row):
+            raise ErrorSignal(VALUE_ERROR)
+
+        return arity_error
+    if spec.lazy:
+        lazy_compiler = _LAZY_COMPILERS.get(node.name)
+        if lazy_compiler is None:
+            raise _Unsupported(f"lazy function {node.name}")
+        return lazy_compiler([_compile(arg, host_col, host_row) for arg in node.args])
+    impl = spec.impl
+    args = tuple(_compile(arg, host_col, host_row) for arg in node.args)
+    # Eager impls never touch the context argument (only lazy ones need
+    # it for sub-evaluation), so the compiled call passes None.
+    if len(args) == 1:
+        arg0 = args[0]
+        return lambda res, sheet, col, row: impl(None, arg0(res, sheet, col, row))
+    if len(args) == 2:
+        arg0, arg1 = args
+        return lambda res, sheet, col, row: impl(
+            None, arg0(res, sheet, col, row), arg1(res, sheet, col, row)
+        )
+    return lambda res, sheet, col, row: impl(
+        None, *[arg(res, sheet, col, row) for arg in args]
+    )
+
+
+def _compile(node: Node, host_col: int, host_row: int) -> _Closure:
+    if isinstance(node, Number):
+        value = node.value
+        return lambda res, sheet, col, row: value
+    if isinstance(node, String):
+        value = node.value
+        return lambda res, sheet, col, row: value
+    if isinstance(node, Boolean):
+        value = node.value
+        return lambda res, sheet, col, row: value
+    if isinstance(node, ErrorLiteral):
+        error = ExcelError(node.code)
+
+        def raise_literal(res, sheet, col, row):
+            raise ErrorSignal(error)
+
+        return raise_literal
+    if isinstance(node, CellNode):
+        return _compile_cell(node, host_col, host_row)
+    if isinstance(node, RangeNode):
+        return _compile_range(node, host_col, host_row)
+    if isinstance(node, UnaryOp):
+        return _compile_unary(node, host_col, host_row)
+    if isinstance(node, BinaryOp):
+        return _compile_binary(node, host_col, host_row)
+    if isinstance(node, FunctionCall):
+        return _compile_call(node, host_col, host_row)
+    raise _Unsupported(f"node {type(node).__name__}")
+
+
+class CompiledTemplate:
+    """One compiled formula template: closure + optional window shape."""
+
+    __slots__ = ("key", "fn", "window")
+
+    def __init__(self, key: str, fn: _Closure, window: WindowSpec | None):
+        self.key = key
+        self.fn = fn
+        self.window = window
+
+    def run(self, resolver: CellResolver, sheet: str | None, col: int, row: int):
+        """Evaluate at a host cell; same top-level contract as
+        :meth:`~repro.formula.evaluator.Evaluator.evaluate` (errors come
+        back as values, bare 1x1 ranges intersect implicitly)."""
+        try:
+            value = self.fn(resolver, sheet, col, row)
+        except ErrorSignal as signal:
+            return signal.error
+        except RecursionError:  # pragma: no cover - parity with Evaluator
+            return ExcelError("#VALUE!")
+        if isinstance(value, RangeValue):
+            if value.width == 1 and value.height == 1:
+                return value.get(0, 0)
+            return VALUE_ERROR
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = f", window={self.window.func}" if self.window else ""
+        return f"CompiledTemplate({self.key!r}{tag})"
+
+
+def compile_template(ast: Node, host_col: int, host_row: int,
+                     key: str | None = None) -> CompiledTemplate | None:
+    """Compile one formula AST into a template, or None if unsupported.
+
+    ``key`` is the template's R1C1 rendering (computed when omitted);
+    the closure is position-independent — any host cell whose formula
+    shares the key evaluates correctly through it.
+    """
+    if key is None:
+        key = to_r1c1(ast, host_col, host_row)
+    try:
+        fn = _compile(ast, host_col, host_row)
+    except _Unsupported:
+        return None
+    return CompiledTemplate(key, fn, window_spec(ast, host_col, host_row))
+
+
+class TemplateRegistry:
+    """Bounded cache of compiled templates keyed by R1C1 text.
+
+    10,000 autofilled cells share one key and therefore compile exactly
+    once; unsupported templates are negatively cached so the registry is
+    consulted, not the compiler.  FIFO eviction keeps the registry
+    bounded under adversarial churn (every formula unique).
+    """
+
+    def __init__(self, max_templates: int = 4096):
+        self.max_templates = max_templates
+        self._templates: dict[str, CompiledTemplate | None] = {}
+        self.compilations = 0
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def template_for(self, key: str, ast: Node, host_col: int,
+                     host_row: int) -> CompiledTemplate | None:
+        """The compiled template for ``key``, compiling on first sight."""
+        try:
+            return self._templates[key]
+        except KeyError:
+            pass
+        while len(self._templates) >= self.max_templates:
+            self._templates.pop(next(iter(self._templates)))
+        template = compile_template(ast, host_col, host_row, key=key)
+        self.compilations += 1
+        self._templates[key] = template
+        return template
+
+    def clear(self) -> None:
+        self._templates.clear()
+
+
+_DEFAULT_REGISTRY = TemplateRegistry()
+
+
+def default_registry() -> TemplateRegistry:
+    """The process-wide registry shared by every engine by default."""
+    return _DEFAULT_REGISTRY
+
+
+class EvalStats:
+    """Counters for how formula cells were evaluated (one engine's view)."""
+
+    __slots__ = ("compiled_cells", "interpreted_cells", "windowed_cells", "windowed_runs")
+
+    def __init__(self) -> None:
+        self.compiled_cells = 0
+        self.interpreted_cells = 0
+        self.windowed_cells = 0
+        self.windowed_runs = 0
+
+    @property
+    def total_cells(self) -> int:
+        return self.compiled_cells + self.interpreted_cells + self.windowed_cells
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EvalStats(compiled={self.compiled_cells}, "
+            f"interpreted={self.interpreted_cells}, "
+            f"windowed={self.windowed_cells} in {self.windowed_runs} runs)"
+        )
+
+
+class CompilingEvaluator:
+    """Per-cell evaluation through the template registry.
+
+    The front door the recalculation engines use for a single formula
+    cell: compiled closure when the template is covered, tree-walking
+    interpreter otherwise.  Exposes the interpreter too, so callers can
+    force it (``evaluation="interpreter"``) or use it as the fallback
+    inside the windowed fast path.
+    """
+
+    __slots__ = ("resolver", "interpreter", "registry", "stats")
+
+    def __init__(
+        self,
+        resolver: CellResolver,
+        registry: TemplateRegistry | None = None,
+        stats: EvalStats | None = None,
+    ):
+        self.resolver = resolver
+        self.interpreter = Evaluator(resolver)
+        self.registry = default_registry() if registry is None else registry
+        self.stats = stats if stats is not None else EvalStats()
+
+    def template_for_cell(self, cell, col: int, row: int) -> CompiledTemplate | None:
+        """The cell's compiled template (None when uncompilable)."""
+        key = cell.template_key(col, row)
+        if not key:
+            return None
+        return self.registry.template_for(key, cell.formula_ast, col, row)
+
+    def evaluate_cell(self, cell, sheet: str | None, col: int, row: int):
+        """Evaluate one formula cell's AST to a value."""
+        template = self.template_for_cell(cell, col, row)
+        if template is not None:
+            self.stats.compiled_cells += 1
+            return template.run(self.resolver, sheet, col, row)
+        self.stats.interpreted_cells += 1
+        return self.interpreter.evaluate(cell.formula_ast, sheet, col, row)
+
+    def interpret_cell(self, cell, sheet: str | None, col: int, row: int):
+        """Evaluate one cell strictly through the tree-walking interpreter."""
+        self.stats.interpreted_cells += 1
+        return self.interpreter.evaluate(cell.formula_ast, sheet, col, row)

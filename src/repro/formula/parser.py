@@ -8,6 +8,8 @@ sign, and postfix percent.  Range construction ``A1:B2`` binds tightest.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from ..grid.ref import CellRef
 from .ast_nodes import (
     BinaryOp,
@@ -38,14 +40,28 @@ _PREFIX_PRECEDENCE = 6
 _PERCENT_PRECEDENCE = 7
 
 
+@lru_cache(maxsize=4096)
+def _parse_body(body: str) -> Node:
+    return Parser(tokenize(body)).parse()
+
+
 def parse_formula(text: str) -> Node:
     """Parse a formula into an AST.
 
     Accepts either a full formula with a leading ``=`` or a bare
-    expression body.
+    expression body.  Results are memoised in a bounded LRU cache keyed
+    on the body text: AST nodes are immutable once built (``shifted``
+    returns copies), so repeated parses of the same text — re-evaluating
+    an edited cell, loading a column of identical absolute formulae —
+    share one tree.  ``parse_formula.cache_info()`` /
+    ``parse_formula.cache_clear()`` expose the cache for tests.
     """
     body = text[1:] if text.startswith("=") else text
-    return Parser(tokenize(body)).parse()
+    return _parse_body(body)
+
+
+parse_formula.cache_info = _parse_body.cache_info
+parse_formula.cache_clear = _parse_body.cache_clear
 
 
 class Parser:

@@ -95,7 +95,13 @@ class NoCompGraph(FormulaGraph):
                 self._edge_count -= 1
                 if not dependents:
                     del self._adjacency[prec]
-                    self._prec_index.delete(prec, prec)
+                    # Delete by key only: the index holds exactly one
+                    # entry per unique prec range, and `prec` here comes
+                    # from the _reverse list — an *equal* Range, but not
+                    # necessarily the same object the index stores, so an
+                    # identity-matched (key, payload) delete can miss and
+                    # leave a stale entry behind.
+                    self._prec_index.delete(prec)
 
     # -- queries ---------------------------------------------------------------
 

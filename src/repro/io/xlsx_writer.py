@@ -19,7 +19,7 @@ from __future__ import annotations
 import zipfile
 from typing import IO
 
-from ..baselines.excel_like import to_r1c1
+from ..formula.r1c1 import to_r1c1
 from ..formula.errors import ExcelError
 from ..grid.range import Range
 from ..grid.ref import format_cell

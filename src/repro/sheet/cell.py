@@ -19,13 +19,14 @@ class Cell:
     ever evaluates.
     """
 
-    __slots__ = ("value", "_formula_text", "_formula_ast", "_references")
+    __slots__ = ("value", "_formula_text", "_formula_ast", "_references", "_template_key")
 
     def __init__(self, value=None, formula_text: str | None = None, formula_ast: Node | None = None):
         self.value = value
         self._formula_text = formula_text
         self._formula_ast = formula_ast
         self._references: list[ReferencedRange] | None = None
+        self._template_key: str | None = None
 
     @property
     def is_formula(self) -> bool:
@@ -48,6 +49,21 @@ class Cell:
     def display_formula(self) -> str | None:
         text = self.formula_text
         return None if text is None else "=" + text
+
+    def template_key(self, col: int, row: int) -> str:
+        """The formula's R1C1 template key, memoised per cell.
+
+        ``(col, row)`` is the cell's own position (cells don't know where
+        they live; the sheet does).  Cells produced by autofill share one
+        key, which is what lets the template registry compile a 10,000-row
+        column exactly once.  Empty string for pure-value cells.
+        """
+        if self._template_key is None:
+            from ..formula.r1c1 import to_r1c1  # deferred: keep Cell import-light
+
+            ast = self.formula_ast
+            self._template_key = "" if ast is None else to_r1c1(ast, col, row)
+        return self._template_key
 
     @property
     def references(self) -> list[ReferencedRange]:

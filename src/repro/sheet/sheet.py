@@ -75,6 +75,15 @@ class Sheet:
         cell = self._cells.get(_coerce_pos(target))
         return None if cell is None else cell.value
 
+    def raw_value(self, col: int, row: int):
+        """Value at bare integer coordinates — the hot-loop accessor.
+
+        Skips target coercion; the windowed evaluation runs call this
+        once per (cell, window-entry) pair.
+        """
+        cell = self._cells.get((col, row))
+        return None if cell is None else cell.value
+
     def set_value(self, target, value) -> None:
         pos = _coerce_pos(target)
         if value is None:

@@ -1,0 +1,187 @@
+"""The template compiler: closures ≡ interpreter, compile-once registry.
+
+Observational identity of the compiled closures with the tree-walking
+evaluator is pinned here on a hand-picked battery (the hypothesis-driven
+engine-level differential lives in
+``tests/engine/test_eval_differential.py``), alongside the registry
+contract (one compilation per template key, bounded size, negative
+caching of unsupported templates) and window-spec detection.
+"""
+
+import pytest
+
+from repro.formula.compile import (
+    CompilingEvaluator,
+    TemplateRegistry,
+    compile_template,
+    window_spec,
+)
+from repro.formula.errors import ExcelError
+from repro.formula.evaluator import Evaluator
+from repro.formula.parser import parse_formula
+from repro.sheet.autofill import fill_formula_column
+from repro.sheet.sheet import Sheet, SheetResolver
+
+
+@pytest.fixture
+def sheet():
+    s = Sheet("S")
+    for r in range(1, 13):
+        s.set_value((1, r), float(r))              # A: numbers
+    s.set_value((1, 13), "text")
+    s.set_value((1, 14), True)
+    s.set_value((2, 1), 2.5)                       # B1
+    s.set_value((2, 2), "7")                       # B2: numeric text
+    s.set_formula((3, 1), "=1/0")                  # C1: stored error
+    return s
+
+
+BATTERY = [
+    "=1+2*3",
+    "=A1*2+A2",
+    "=A1&\"x\"&A2",
+    "=A1>A2",
+    "=A1<=3",
+    "=A1<>B2",
+    "=-A3%",
+    "=+A4",
+    "=2^A2",
+    "=(-2)^0.5",                    # complex -> #NUM!
+    "=A1/0",                        # #DIV/0!
+    "=#REF!+1",                     # error literal
+    "=SUM(A1:A12)",
+    "=SUM($A$1:A5)",
+    "=SUM(A1:A14)",                 # text+bool cells skipped
+    "=AVERAGE(A1:A12)",
+    "=MIN(A1:A12)",
+    "=MAX(A1:A12)",
+    "=COUNT(A1:A14)",
+    "=SUM(B1,B2,3)",                # scalar coercions
+    "=SUM(C1:C1)",                  # error in range propagates
+    "=IF(A1>0,A2,A3)",
+    "=IF(A1<0,A2)",
+    "=IFERROR(1/0,42)",
+    "=IFERROR(A1,99)",
+    "=ISERROR(C1)",
+    "=ISERROR(A1)",
+    "=AND(A1>0,A2>1)",
+    "=OR(A1>5,A2>5)",
+    "=VLOOKUP(3,A1:A12,1,FALSE)",
+    "=ROUND(A5/A2,1)",
+    "=CONCATENATE(A1,\"-\",A2)",
+    "=B2+1",                        # text-number coercion
+    "=A13+1",                       # #VALUE!
+    "=A1:A1",                       # implicit intersection at top level
+    "=A1:A3",                       # non-1x1 bare range -> #VALUE!
+    "=UPPER(A13)",
+]
+
+
+def both(sheet, text, col=5, row=5):
+    resolver = SheetResolver(sheet)
+    ast = parse_formula(text)
+    want = Evaluator(resolver).evaluate(ast, "S", col, row)
+    template = compile_template(ast, col, row)
+    assert template is not None, f"{text} unexpectedly unsupported"
+    got = template.run(resolver, "S", col, row)
+    return got, want
+
+
+@pytest.mark.parametrize("text", BATTERY)
+def test_compiled_matches_interpreter(sheet, text):
+    got, want = both(sheet, text)
+    assert type(got) is type(want)
+    if isinstance(want, ExcelError):
+        assert got.code == want.code
+    else:
+        assert got == want
+
+
+@pytest.mark.parametrize("text", [
+    "=A13+(1/0)",          # left coerces to #VALUE!, right evaluates #DIV/0!
+    "=A13-(1/0)",
+    "=A13*(1/0)",
+    "=A13/(1/0)",
+    "=A13^(1/0)",
+    "=C1&(1/0)",           # left is a stored error
+])
+def test_binary_ops_evaluate_both_operands_before_coercing(sheet, text):
+    """The interpreter evaluates both operands, then coerces; the error
+    raised by the *right operand's evaluation* must win over the error
+    the left operand's coercion would raise (regression: the compiled
+    closures used to coerce left before evaluating right)."""
+    got, want = both(sheet, text)
+    assert isinstance(want, ExcelError)
+    assert isinstance(got, ExcelError) and got.code == want.code
+
+
+def test_relative_refs_shift_with_host(sheet):
+    template = compile_template(parse_formula("=A1*10"), 2, 1)
+    resolver = SheetResolver(sheet)
+    # The same closure serves every host position of the family.
+    for row in range(1, 8):
+        assert template.run(resolver, "S", 2, row) == float(row) * 10
+
+
+def test_unsupported_templates_return_none():
+    assert compile_template(parse_formula("=NOSUCHFN(1)"), 1, 1) is None
+    assert compile_template(parse_formula("=XOR(TRUE,FALSE)"), 1, 1) is None
+    assert compile_template(parse_formula("=ROWS(A1:A5)"), 1, 1) is None
+
+
+def test_arity_error_compiles_to_value_error(sheet):
+    got, want = both(sheet, "=ABS(1,2)")
+    assert isinstance(got, ExcelError) and got.code == want.code == "#VALUE!"
+
+
+class TestWindowSpec:
+    def test_prefix_window(self):
+        spec = window_spec(parse_formula("=SUM($A$1:A9)"), 2, 9)
+        assert spec.func == "SUM"
+        assert spec.head_row.fixed and spec.head_row.value == 1
+        assert not spec.tail_row.fixed and spec.tail_row.value == 0
+
+    def test_sliding_window(self):
+        spec = window_spec(parse_formula("=AVERAGE(A1:A5)"), 2, 5)
+        assert spec.func == "AVERAGE"
+        assert not spec.head_row.fixed and spec.head_row.value == -4
+        assert not spec.tail_row.fixed and spec.tail_row.value == 0
+
+    def test_avg_alias_normalises(self):
+        assert window_spec(parse_formula("=AVG(A1:A5)"), 2, 5).func == "AVERAGE"
+
+    def test_non_window_shapes_are_rejected(self):
+        for text in ("=SUM(A1:A5)*2", "=SUM(A1:A5,B1)", "=SUM(A1)",
+                     "=MEDIAN(A1:A5)", "=SUM(Data!A1:A5)"):
+            assert window_spec(parse_formula(text), 2, 5) is None
+
+
+class TestRegistry:
+    def test_family_compiles_once(self):
+        sheet = Sheet("S")
+        for r in range(1, 101):
+            sheet.set_value((1, r), float(r))
+        fill_formula_column(sheet, 2, 1, 100, "=A1*2")
+        registry = TemplateRegistry()
+        evaluator = CompilingEvaluator(SheetResolver(sheet), registry=registry)
+        for (col, row), cell in sheet.formula_cells():
+            evaluator.evaluate_cell(cell, "S", col, row)
+        assert registry.compilations == 1
+        assert evaluator.stats.compiled_cells == 100
+
+    def test_negative_cache_for_unsupported(self):
+        sheet = Sheet("S")
+        fill_formula_column(sheet, 1, 1, 20, "=XOR(TRUE,FALSE)")
+        registry = TemplateRegistry()
+        evaluator = CompilingEvaluator(SheetResolver(sheet), registry=registry)
+        for (col, row), cell in sheet.formula_cells():
+            assert evaluator.evaluate_cell(cell, "S", col, row) is True
+        assert registry.compilations == 1          # tried once, cached the miss
+        assert evaluator.stats.interpreted_cells == 20
+
+    def test_bounded_eviction(self):
+        registry = TemplateRegistry(max_templates=8)
+        for i in range(40):
+            ast = parse_formula(f"=A1+{i}")
+            registry.template_for(f"key{i}", ast, 2, 1)
+        assert len(registry) <= 8

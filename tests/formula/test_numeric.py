@@ -1,0 +1,102 @@
+"""ExactSum: incrementally-updated sums bit-identical to math.fsum.
+
+This is the property the windowed fast path's observational identity
+rests on: an :class:`~repro.formula.numeric.ExactSum` that has absorbed
+any sequence of adds and exact removals reports precisely
+``math.fsum`` of the surviving elements.
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.formula.numeric import ExactSum, fsum_count
+
+floats = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+@given(st.lists(floats, max_size=60))
+def test_exact_sum_matches_fsum(xs):
+    acc = ExactSum()
+    for x in xs:
+        acc.add(x)
+    assert acc.value() == math.fsum(xs)
+
+
+@given(st.lists(floats, max_size=60), st.data())
+def test_exact_sum_survives_removals(xs, data):
+    """Removing a sliding-window prefix leaves fsum of the suffix."""
+    acc = ExactSum()
+    for x in xs:
+        acc.add(x)
+    k = data.draw(st.integers(0, len(xs)))
+    for x in xs[:k]:
+        acc.subtract(x)
+    assert acc.value() == math.fsum(xs[k:])
+
+
+@given(st.lists(floats, max_size=60))
+def test_fsum_count_single_pass(xs):
+    total, count = fsum_count(iter(xs))
+    assert total == math.fsum(xs)
+    assert count == len(xs)
+
+
+class TestSpecialValues:
+    """ExactSum mirrors fsum's non-finite semantics (regression: inf
+    inputs used to poison the partials into nan)."""
+
+    def test_infinities_sum_to_inf(self):
+        acc = ExactSum()
+        for x in (math.inf, math.inf, 1.5):
+            acc.add(x)
+        assert acc.value() == math.fsum([math.inf, math.inf, 1.5]) == math.inf
+
+    def test_nan_dominates(self):
+        acc = ExactSum()
+        acc.add(math.nan)
+        acc.add(2.0)
+        assert math.isnan(acc.value())
+
+    def test_opposed_infinities_raise_like_fsum(self):
+        acc = ExactSum()
+        acc.add(math.inf)
+        acc.add(-math.inf)
+        with pytest.raises(ValueError):
+            acc.value()
+
+    def test_subtract_cancels_a_special(self):
+        acc = ExactSum()
+        acc.add(math.inf)
+        acc.add(3.0)
+        acc.subtract(math.inf)
+        assert acc.value() == 3.0
+        acc.add(math.nan)
+        acc.subtract(math.nan)
+        assert acc.value() == 3.0
+
+    def test_finite_overflow_raises_like_fsum(self):
+        acc = ExactSum()
+        acc.add(1e308)
+        with pytest.raises(OverflowError):
+            acc.add(1e308)
+
+    def test_fsum_count_with_infinities(self):
+        total, count = fsum_count([math.inf, math.inf])
+        assert total == math.inf and count == 2
+
+
+def test_catastrophic_cancellation_stays_exact():
+    acc = ExactSum()
+    for x in (1e16, 1.0, -1e16):
+        acc.add(x)
+    assert acc.value() == math.fsum([1e16, 1.0, -1e16]) == 1.0
+
+
+def test_empty_sum_is_zero():
+    assert ExactSum().value() == 0.0
+    assert fsum_count(()) == (0.0, 0)

@@ -1,0 +1,59 @@
+"""The bounded parse memo: repeated evaluation of one text parses once."""
+
+import pytest
+
+from repro.formula import parser
+from repro.formula.evaluator import Evaluator
+from repro.formula.parser import parse_formula
+from repro.sheet.sheet import Sheet, SheetResolver
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    parse_formula.cache_clear()
+    yield
+    parse_formula.cache_clear()
+
+
+def test_repeated_evaluation_parses_once(monkeypatch):
+    parses = []
+    original = parser.Parser.parse
+
+    def counting_parse(self):
+        parses.append(1)
+        return original(self)
+
+    monkeypatch.setattr(parser.Parser, "parse", counting_parse)
+    sheet = Sheet("S")
+    sheet.set_value((1, 1), 4.0)
+    evaluator = Evaluator(SheetResolver(sheet))
+    results = {evaluator.evaluate_formula("=A1*3", "S") for _ in range(10)}
+    assert results == {12.0}
+    assert len(parses) == 1
+
+
+def test_leading_equals_shares_the_cache_entry():
+    assert parse_formula("=A1+1") is parse_formula("A1+1")
+
+
+def test_cache_info_reports_hits():
+    parse_formula.cache_clear()
+    parse_formula("=SUM(A1:A5)")
+    before = parse_formula.cache_info().hits
+    parse_formula("=SUM(A1:A5)")
+    assert parse_formula.cache_info().hits == before + 1
+
+
+def test_syntax_errors_are_not_cached_as_results():
+    from repro.formula.errors import FormulaSyntaxError
+
+    for _ in range(2):
+        with pytest.raises(FormulaSyntaxError):
+            parse_formula("=SUM(")
+
+
+def test_cache_is_bounded():
+    parse_formula.cache_clear()
+    for i in range(5000):
+        parse_formula(f"={i}+1")
+    assert parse_formula.cache_info().currsize <= 4096

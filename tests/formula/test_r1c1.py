@@ -1,0 +1,93 @@
+"""The promoted R1C1 renderer: template keys for the whole stack.
+
+``to_r1c1`` moved from ``baselines/excel_like.py`` into ``formula/`` so
+the Excel-like baseline, the xlsx writer, and the template compiler all
+share one renderer.  These tests pin the rendering rules (absolute /
+relative / mixed axes, sheet qualifiers) and the property that makes the
+key usable as a template identity: autofilled copies of a formula share
+one rendering, and formulas with different semantics never collide.
+"""
+
+from repro.baselines.excel_like import to_r1c1 as baseline_to_r1c1
+from repro.formula.parser import parse_formula
+from repro.formula.r1c1 import to_r1c1
+
+
+def render(text: str, col: int, row: int) -> str:
+    return to_r1c1(parse_formula(text), col, row)
+
+
+class TestRefRendering:
+    def test_relative_offsets(self):
+        assert render("=A1", 2, 2) == "R[-1]C[-1]"
+        assert render("=C5", 2, 2) == "R[3]C[1]"
+
+    def test_same_row_and_column_render_bare(self):
+        assert render("=B2", 2, 2) == "RC"
+        assert render("=B9", 2, 2) == "R[7]C"
+        assert render("=F2", 2, 2) == "RC[4]"
+
+    def test_absolute_axes(self):
+        assert render("=$A$1", 5, 5) == "R1C1"
+        assert render("=$A1", 5, 5) == "R[-4]C1"
+        assert render("=A$1", 5, 5) == "R1C[-4]"
+
+    def test_range_renders_both_corners(self):
+        assert render("=SUM($A$1:A5)", 2, 5) == "SUM(R1C1:RC[-1])"
+        assert render("=SUM(A1:B3)", 3, 2) == "SUM(R[-1]C[-2]:R[1]C[-1])"
+
+    def test_composite_shapes(self):
+        assert render("=A1*2+B1", 3, 1) == "((RC[-2]*2)+RC[-1])"
+        assert render("=-A1%", 2, 1) == "-RC[-1]%"
+        assert render('=IF(A1>0,"y",B1)', 3, 1) == 'IF((RC[-2]>0),"y",RC[-1])'
+
+
+class TestSheetQualifiers:
+    def test_cross_sheet_cell_keeps_prefix(self):
+        assert render("=Data!A1", 2, 1) == "Data!RC[-1]"
+
+    def test_cross_sheet_range_keeps_prefix(self):
+        assert render("=SUM(Data!A1:A5)", 2, 1) == "SUM(Data!RC[-1]:R[4]C[-1])"
+
+    def test_quoted_sheet_names(self):
+        assert render("='My Data'!A1", 2, 1) == "'My Data'!RC[-1]"
+
+    def test_cross_sheet_does_not_collide_with_local(self):
+        # The historical baseline renderer dropped the prefix, making
+        # Sheet2!A1 and A1 share a template — semantically wrong.
+        local = render("=A1", 2, 1)
+        remote = render("=Data!A1", 2, 1)
+        assert local != remote
+
+
+class TestTemplateIdentity:
+    def test_autofill_family_shares_one_key(self):
+        anchor = parse_formula("=SUM($A$1:A1)*B1")
+        keys = {
+            to_r1c1(anchor.shifted(0, dr), 3, 1 + dr) for dr in range(0, 40)
+        }
+        assert len(keys) == 1
+
+    def test_different_offsets_get_different_keys(self):
+        assert render("=A1", 3, 1) != render("=B1", 3, 1)
+        # the same text at a shifted host is a *different* template...
+        assert render("=A1", 3, 1) != render("=A1", 3, 2)
+        # ...while the autofilled text at the shifted host is the same one.
+        assert render("=A1", 3, 1) == render("=A2", 3, 2)
+
+    def test_baseline_reexports_the_promoted_renderer(self):
+        assert baseline_to_r1c1 is to_r1c1
+
+
+class TestRoundTripThroughAutofill:
+    """R1C1 is relative: re-anchoring the template at another host must
+    reproduce exactly the autofilled formula's rendering."""
+
+    def test_mixed_fixedness_round_trip(self):
+        for text in ("=SUM($A$1:A1)", "=SUM(A1:A10)", "=SUM(A1:$A$50)",
+                     "=$B2+C$3", "=AVERAGE($A1:B$9)"):
+            anchor = parse_formula(text)
+            key = to_r1c1(anchor, 4, 10)
+            for dr in (1, 5, 17):
+                shifted = anchor.shifted(0, dr)
+                assert to_r1c1(shifted, 4, 10 + dr) == key, text

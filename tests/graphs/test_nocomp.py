@@ -77,6 +77,25 @@ class TestMaintenance:
         graph.clear_cells(Range.from_a1("B5:B15"))
         assert graph.num_edges == 8
 
+    def test_clear_shared_prec_leaves_no_stale_index_entry(self, graph):
+        # Two cells referencing *equal but distinct* Range objects: the
+        # adjacency key is the first dependency's object, the reverse
+        # lists hold each dependency's own.  Clearing in an order where
+        # the last-removed dependent carries the non-key object used to
+        # miss the identity-matched index delete, leaving a stale prec
+        # entry that later made find_dependents raise KeyError.
+        graph.add_dependency(dep("A1", "D1"))
+        graph.add_dependency(dep("A1", "E1"))
+        graph.clear_cells(Range.from_a1("D1:E1"))
+        assert graph.num_edges == 0
+        assert graph.find_dependents(Range.from_a1("A1")) == []
+
+    def test_clear_shared_prec_after_bulk_build(self, graph):
+        graph.build([dep("A1", "D1"), dep("A1", "E1"), dep("B2", "F3")])
+        graph.clear_cells(Range.from_a1("D1:E1"))
+        assert graph.find_dependents(Range.from_a1("A1")) == []
+        assert graph.find_dependents(Range.from_a1("B2")) == [Range.from_a1("F3")]
+
 
 class TestBudget:
     def test_dnf_on_tiny_budget(self):
