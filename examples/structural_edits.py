@@ -1,46 +1,66 @@
-"""Structural edits and graph persistence.
+"""Structural edits end-to-end, and graph persistence.
 
 A host spreadsheet system must keep the formula graph consistent when
 users insert or delete whole rows — and should not pay the compression
-cost twice when a file is reopened.  This example exercises both: rows
-are inserted into a live ledger (the compressed graph is maintained
-in place and checked against a rebuild), then the graph is saved to
-JSON and reloaded.
+cost twice when a file is reopened.  This example exercises the whole
+pipeline: rows are inserted into a live multi-sheet ledger through
+``RecalcEngine.insert_rows`` (sheet rewrite + incremental graph
+maintenance + dirty recalculation in one call), a band of rows is then
+deleted so references into it collapse to ``#REF!``, and finally the
+maintained graph is saved to JSON and reloaded.
 
 Run with:  python examples/structural_edits.py
 """
 
-import io
-
-from repro import Range, Sheet, build_from_sheet, dependencies_column_major, fill_formula_column
-from repro.core import structural as graph_structural
+from repro import Range, build_from_sheet, dependencies_column_major, fill_formula_column
 from repro.core.serialize import dumps_graph, loads_graph
 from repro.core.taco_graph import TacoGraph
-from repro.sheet import structural as sheet_structural
+from repro.engine import RecalcEngine
+from repro.formula.errors import REF_ERROR
+from repro.sheet.workbook import Workbook
 
 ROWS = 400
 
 
-def build_ledger() -> Sheet:
-    sheet = Sheet("ledger")
+def build_ledger() -> Workbook:
+    workbook = Workbook("ledger")
+    sheet = workbook.add_sheet("Ledger")
     for row in range(1, ROWS + 1):
         sheet.set_value((1, row), float(row % 12))          # A: month
         sheet.set_value((2, row), round(17.5 + row, 2))     # B: amount
     sheet.set_formula("C1", "=B1")
     fill_formula_column(sheet, 3, 2, ROWS, "=C1+B2")        # running balance
     fill_formula_column(sheet, 4, 1, ROWS, "=B1*$B$1")      # indexed amount
-    return sheet
+    summary = workbook.add_sheet("Summary")
+    summary.set_formula("A1", f"=Ledger!C{ROWS}")           # closing balance
+    summary.set_formula("A2", "=Ledger!B250*2")             # one mid-ledger probe
+    return workbook
 
 
 def main() -> None:
-    sheet = build_ledger()
-    graph = build_from_sheet(sheet)
+    workbook = build_ledger()
+    sheet = workbook.sheet("Ledger")
+    engine = RecalcEngine(sheet)
+    engine.recalculate_all()
+    graph = engine.graph
     print(f"ledger: {graph.raw_edge_count()} dependencies in {len(graph)} edges")
 
-    # --- structural edit: insert 5 rows in the middle ---------------------
+    # --- insert 5 rows in the middle, end-to-end --------------------------
     print("\ninserting 5 rows before row 200 ...")
-    graph_structural.insert_rows(graph, 200, 5)
-    sheet_structural.insert_rows(sheet, 200, 5)
+    result = engine.insert_rows(200, 5, workbook=workbook)
+    print(
+        f"moved {result.moved_cells} cells, rewrote {result.rewritten_formulas} "
+        f"formulas ({result.cross_sheet_rewrites} on other sheets), "
+        f"recomputed {result.recomputed} dirty cells"
+    )
+    m = result.maintenance
+    print(
+        f"graph maintenance: {m.shifted} edges shifted, {m.split} split in "
+        f"place, {m.decompressed} decompressed, {m.reinserted} re-inserted"
+    )
+    # The cross-sheet reference followed the shift; the closing balance moved.
+    summary = workbook.sheet("Summary")
+    assert summary.cell_at("A1").formula_text == f"Ledger!C{ROWS + 5}"
 
     rebuilt = TacoGraph.full()
     rebuilt.build(dependencies_column_major(sheet))
@@ -51,18 +71,33 @@ def main() -> None:
 
     # Dependencies below the edit shifted; a query shows the new geometry.
     dependents = graph.find_dependents(Range.from_a1("B300"))
-    print(f"dependents of B300 after the edit: {[r.to_a1() for r in dependents]}")
+    print(f"dependents of B300 after the edit: {sorted(r.to_a1() for r in dependents)}")
+
+    # --- delete the rows back out, striking references --------------------
+    print("\ndeleting rows 200-204 again ...")
+    result = engine.delete_rows(200, 5, workbook=workbook)
+    print(
+        f"removed {result.removed_cells} cells, {result.ref_errors} formulas "
+        f"struck to #REF!, recomputed {result.recomputed}"
+    )
+    assert sheet.get_value("C1") is not None
+
+    # A reference straight into a deleted band collapses to #REF! ...
+    engine.set_formula("F1", f"=B{ROWS}")
+    result = engine.delete_rows(ROWS - 1, 2, workbook=workbook)
+    assert sheet.get_value("F1") is REF_ERROR
+    print(f"F1 after deleting its referenced rows: {sheet.get_value('F1')}")
 
     # --- persistence -------------------------------------------------------
     print("\nserialising the compressed graph ...")
-    payload = dumps_graph(graph)
-    print(f"JSON size: {len(payload):,} bytes for {graph.raw_edge_count()} dependencies")
-    restored = loads_graph(io.StringIO(payload).read())
-    assert len(restored) == len(graph)
-    probe = Range.from_a1("B10")
-    assert [r.to_a1() for r in restored.find_dependents(probe)] == [
-        r.to_a1() for r in graph.find_dependents(probe)
-    ]
+    payload = dumps_graph(engine.graph)
+    print(f"JSON size: {len(payload):,} bytes for {engine.graph.raw_edge_count()} dependencies")
+    restored = loads_graph(payload)
+    assert len(restored) == len(engine.graph)
+    probe_range = Range.from_a1("B10")
+    assert sorted(r.to_a1() for r in restored.find_dependents(probe_range)) == sorted(
+        r.to_a1() for r in engine.graph.find_dependents(probe_range)
+    )
     print("reloaded graph answers queries identically: OK")
 
 

@@ -32,6 +32,7 @@ from .engine import (
     CircularReferenceError,
     RecalcEngine,
     RecalcResult,
+    StructuralEditResult,
 )
 from .formula.errors import ExcelError, FormulaSyntaxError
 from .formula.evaluator import Evaluator
@@ -61,6 +62,7 @@ __all__ = [
     "Dependency",
     "RecalcEngine",
     "RecalcResult",
+    "StructuralEditResult",
     "Evaluator",
     "ExcelError",
     "FormulaGraph",

@@ -5,8 +5,11 @@ Commands operate on real ``.xlsx`` files through the stdlib reader:
 * ``report FILE``              — per-sheet compression report (Tables II-V style)
 * ``trace FILE SHEET!CELL``    — dependents and precedents of a cell
 * ``export FILE [--dot|--json] [--sheet NAME]`` — compressed graph export
-* ``edit FILE [--set A1=5] [--formula B1=A1*2] [--clear C1] [--batch]``
-  — apply edits and recalculate, per-edit or as one batched commit
+* ``edit FILE [--set A1=5] [--formula B1=A1*2] [--clear C1] [--batch]
+  [--insert-rows ROW[:N]] [--delete-rows ROW[:N]]
+  [--insert-cols COL[:N]] [--delete-cols COL[:N]]``
+  — apply edits and recalculate, per-edit or as one batched commit;
+  structural edits run first and rewrite references workbook-wide
 * ``demo PATH``                — write a demonstration workbook to PATH
 
 ``report``, ``trace``, ``export`` and ``edit`` accept ``--index`` to
@@ -111,6 +114,46 @@ def _parse_assignment(spec: str) -> tuple[str, str]:
     return cell, value
 
 
+class _StructuralFlag(argparse.Action):
+    """Collect every structural flag into one list, preserving the order
+    the flags appeared on the command line (each op's index is
+    interpreted in post-previous-op coordinates, so order matters)."""
+
+    _OPS = {
+        "--insert-rows": "insert_rows",
+        "--delete-rows": "delete_rows",
+        "--insert-cols": "insert_columns",
+        "--delete-cols": "delete_columns",
+    }
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        recorded = getattr(namespace, "structural_ops", None)
+        if recorded is None:
+            recorded = []
+            namespace.structural_ops = recorded
+        recorded.append((self._OPS[option_string], values))
+
+
+def _parse_structural(spec: str, column: bool) -> tuple[int, int]:
+    """Parse ``INDEX[:COUNT]``; column indexes also accept letters (``C:2``)."""
+    from .grid.ref import letters_to_col
+
+    head, _, tail = spec.partition(":")
+    try:
+        count = int(tail) if tail else 1
+        try:
+            index = int(head)
+        except ValueError:
+            if not column:
+                raise
+            index = letters_to_col(head)
+    except ValueError:
+        raise SystemExit(f"error: expected INDEX[:COUNT], got {spec!r}")
+    if index < 1 or count < 1:
+        raise SystemExit(f"error: index and count must be positive, got {spec!r}")
+    return index, count
+
+
 def _cmd_edit(args: argparse.Namespace) -> int:
     """Apply a stream of edits and recalculate, per-edit or batched."""
     import time
@@ -125,6 +168,13 @@ def _cmd_edit(args: argparse.Namespace) -> int:
     except CircularReferenceError as err:
         print(f"error: workbook has a pre-existing {err}", file=sys.stderr)
         return 1
+
+    # Structural ops were collected in command-line order (one shared
+    # list): each op's index is interpreted after the previous ones.
+    structural: list[tuple[str, int, int]] = []
+    for op, spec in getattr(args, "structural_ops", None) or ():
+        index, count = _parse_structural(spec, column="columns" in op)
+        structural.append((op, index, count))
 
     ops: list[tuple[str, str, str | None]] = []
     for spec in args.set or ():
@@ -145,8 +195,9 @@ def _cmd_edit(args: argparse.Namespace) -> int:
             col, row = rng.choice(values)
             ops.append(("value", Range.cell(col, row).to_a1(),
                         str(float(rng.randrange(1000)))))
-    if not ops:
-        print("error: no edits given (--set/--formula/--clear/--random)",
+    if not ops and not structural:
+        print("error: no edits given (--set/--formula/--clear/--random/"
+              "--insert-rows/--delete-rows/--insert-cols/--delete-cols)",
               file=sys.stderr)
         return 2
 
@@ -160,7 +211,9 @@ def _cmd_edit(args: argparse.Namespace) -> int:
     recomputed = 0
     try:
         if args.batch:
-            with engine.begin_batch() as batch:
+            with engine.begin_batch(workbook=workbook) as batch:
+                for op, index, count in structural:
+                    getattr(batch, op)(index, count)
                 for kind, cell, payload in ops:
                     if kind == "value":
                         batch.set_value(cell, coerce(payload))
@@ -171,12 +224,23 @@ def _cmd_edit(args: argparse.Namespace) -> int:
             result = batch.result
             recomputed = result.recomputed
             print(
-                f"batched commit: {result.ops} edits -> "
+                f"batched commit: {result.ops} edits "
+                f"({result.structural_ops} structural) -> "
                 f"{len(result.cleared_ranges)} cleared ranges, "
                 f"{result.edges_touched} edges touched, "
                 f"repacked={result.repacked}"
             )
         else:
+            for op, index, count in structural:
+                result = getattr(engine, op)(index, count, workbook=workbook)
+                recomputed += result.recomputed
+                print(
+                    f"{op} {index}:{count} -> {result.moved_cells} cells moved, "
+                    f"{result.rewritten_formulas} formulas rewritten "
+                    f"({result.cross_sheet_rewrites} cross-sheet), "
+                    f"{result.ref_errors} #REF!, "
+                    f"{result.maintenance.edges_touched} edges touched"
+                )
             for kind, cell, payload in ops:
                 if kind == "value":
                     recomputed += engine.set_value(cell, coerce(payload)).recomputed
@@ -189,8 +253,8 @@ def _cmd_edit(args: argparse.Namespace) -> int:
         return 1
     elapsed = time.perf_counter() - start
     mode = "batched" if args.batch else "per-edit"
-    print(f"{mode}: {len(ops)} edits, {recomputed} cells recomputed "
-          f"in {elapsed * 1000:.1f} ms")
+    print(f"{mode}: {len(ops) + len(structural)} edits, "
+          f"{recomputed} cells recomputed in {elapsed * 1000:.1f} ms")
     if args.out:
         write_xlsx(workbook, args.out)
         print(f"wrote {args.out}")
@@ -257,6 +321,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="erase a cell (repeatable)")
     edit.add_argument("--random", type=int, default=0, metavar="N",
                       help="append N random value edits (workload demo)")
+    edit.add_argument("--insert-rows", action=_StructuralFlag, metavar="ROW[:N]",
+                      help="insert N blank rows before ROW (repeatable; "
+                           "structural edits run before cell edits, in the "
+                           "order the flags appear)")
+    edit.add_argument("--delete-rows", action=_StructuralFlag, metavar="ROW[:N]",
+                      help="delete N rows starting at ROW (repeatable)")
+    edit.add_argument("--insert-cols", action=_StructuralFlag, metavar="COL[:N]",
+                      help="insert N blank columns before COL "
+                           "(number or letter; repeatable)")
+    edit.add_argument("--delete-cols", action=_StructuralFlag, metavar="COL[:N]",
+                      help="delete N columns starting at COL (repeatable)")
     edit.add_argument("--seed", type=int, default=7)
     edit.add_argument("--batch", action="store_true",
                       help="commit all edits as one batched session "

@@ -21,7 +21,35 @@ from ..graphs.base import Budget
 if TYPE_CHECKING:  # pragma: no cover
     from .taco_graph import TacoGraph
 
-__all__ = ["find_dependents", "find_dependents_multi", "find_precedents"]
+__all__ = [
+    "dependents_of_seeds",
+    "find_dependents",
+    "find_dependents_multi",
+    "find_precedents",
+]
+
+
+def dependents_of_seeds(graph, seeds: Iterable[Range]) -> list[Range]:
+    """Transitive dependents of ``seeds`` on *any* formula graph.
+
+    Dispatches to the graph's ``find_dependents_multi`` (one shared BFS)
+    when it has one — TACO does — and otherwise falls back to one
+    ``find_dependents`` call per seed, deduplicating overlapping results
+    through a :class:`~repro.grid.rangeset.RangeSet`.  This is the
+    common dirty-set probe of the batch-commit and structural-edit
+    pipelines.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        return []
+    multi = getattr(graph, "find_dependents_multi", None)
+    if multi is not None:
+        return multi(seeds)
+    merged = RangeSet(index=getattr(graph, "index_spec", "rtree"))
+    for seed in seeds:
+        for rng in graph.find_dependents(seed):
+            merged.add_new(rng)
+    return merged.ranges
 
 
 def find_dependents(

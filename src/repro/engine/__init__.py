@@ -11,11 +11,17 @@ Three execution models over the same graph interface:
 * :class:`AsyncRecalcEngine` — DataSpread-style deferred execution:
   updates return at the control-return point, recomputation is pumped
   in steps.
+
+Structural edits (row/column inserts and deletes) run through
+:mod:`repro.engine.structural`: ``engine.insert_rows(...)`` and friends
+rewrite the sheet (workbook-wide with ``workbook=``), maintain the
+compressed graph incrementally, and re-evaluate just the dirty set.
 """
 
 from .async_engine import AsyncRecalcEngine, CellView, UpdateTicket
 from .batch import BatchEditSession, BatchResult
 from .recalc import CircularReferenceError, RecalcEngine, RecalcResult
+from .structural import StructuralEditResult, apply_structural_edit
 
 __all__ = [
     "AsyncRecalcEngine",
@@ -25,5 +31,7 @@ __all__ = [
     "CircularReferenceError",
     "RecalcEngine",
     "RecalcResult",
+    "StructuralEditResult",
     "UpdateTicket",
+    "apply_structural_edit",
 ]

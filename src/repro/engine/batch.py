@@ -54,10 +54,12 @@ import time
 from typing import NamedTuple
 
 from ..core import maintain
+from ..core.query import dependents_of_seeds
 from ..grid.range import Range
-from ..grid.rangeset import RangeSet
+from ..grid.rangeset import merge_ranges
 from ..sheet.sheet import Dependency
 from .recalc import RecalcEngine
+from .structural import apply_structural_edit, shift_dirty_ranges
 
 __all__ = ["BatchEditSession", "BatchResult"]
 
@@ -83,6 +85,7 @@ class BatchResult(NamedTuple):
     total_seconds: float
     windowed_cells: int = 0       # cells evaluated by rolling-window runs
     compiled_cells: int = 0       # cells evaluated by compiled templates
+    structural_ops: int = 0       # row/column inserts/deletes applied first
 
 
 class BatchEditSession:
@@ -107,16 +110,25 @@ class BatchEditSession:
         repack_fraction: float = 0.25,
         repack_min: int = 64,
         recalc: bool = True,
+        workbook=None,
     ):
         self.engine = engine
         self.repack_fraction = repack_fraction
         self.repack_min = repack_min
         self.recalc = recalc
+        #: Optional Workbook: structural ops recorded on this session then
+        #: rewrite references on sibling sheets too (see engine.structural).
+        self.workbook = workbook
         self.result: BatchResult | None = None
         self._ops = 0
         self._pending: dict[tuple[int, int], tuple[str, object]] = {}
         self._range_clears: list[Range] = []
+        self._structural: list[tuple[str, int, int]] = []
         self._closed = False
+        # Register on the *sheet* (any engine over it sees us) so
+        # structural edits refuse to run underneath this session's
+        # buffered addresses.
+        getattr(engine.sheet, "_open_batches", set()).add(self)
 
     # -- recording ---------------------------------------------------------------
 
@@ -150,6 +162,44 @@ class BatchEditSession:
         self._ops += 1
         self._pending[RecalcEngine._position(target)] = op
 
+    # -- structural edits ---------------------------------------------------------
+
+    def insert_rows(self, row: int, count: int = 1) -> None:
+        """Buffer inserting ``count`` blank rows before ``row``.
+
+        Structural ops are applied *first* at commit, before the buffered
+        cell edits — so cell edits recorded after this call use post-edit
+        addresses.  Recording a structural op when cell edits are already
+        buffered raises: their addresses would silently straddle the
+        shift (record structural ops first, or use separate batches).
+        """
+        self._record_structural("insert_rows", row, count)
+
+    def delete_rows(self, row: int, count: int = 1) -> None:
+        """Buffer deleting rows ``[row, row+count)`` (see :meth:`insert_rows`)."""
+        self._record_structural("delete_rows", row, count)
+
+    def insert_columns(self, col: int, count: int = 1) -> None:
+        """Buffer inserting ``count`` blank columns before ``col``."""
+        self._record_structural("insert_columns", col, count)
+
+    def delete_columns(self, col: int, count: int = 1) -> None:
+        """Buffer deleting columns ``[col, col+count)``."""
+        self._record_structural("delete_columns", col, count)
+
+    def _record_structural(self, op: str, index: int, count: int) -> None:
+        self._check_open()
+        if index < 1 or count < 1:
+            raise ValueError("index and count must be positive")
+        if self._pending or self._range_clears:
+            raise RuntimeError(
+                f"cannot record {op} after cell edits in the same batch: the "
+                "buffered addresses would straddle the shift; record "
+                "structural ops first (they commit first), or use a new batch"
+            )
+        self._ops += 1
+        self._structural.append((op, index, count))
+
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("batch session is closed; open a new one")
@@ -177,7 +227,9 @@ class BatchEditSession:
         """Drop every buffered edit; the sheet and graph are untouched."""
         self._pending.clear()
         self._range_clears.clear()
+        self._structural.clear()
         self._closed = True
+        getattr(self.engine.sheet, "_open_batches", set()).discard(self)
 
     def commit(self) -> BatchResult:
         """Apply the buffered edits: sheet, graph, indexes, then recalc.
@@ -191,7 +243,22 @@ class BatchEditSession:
         self._closed = True
         engine = self.engine
         sheet = engine.sheet
+        getattr(sheet, "_open_batches", set()).discard(self)
         start = time.perf_counter()
+
+        # 0. Structural edits (always recorded before cell edits) are
+        # applied first, each end-to-end minus the recalculation; their
+        # dirty sets are carried forward — re-expressed through every
+        # later shift — and re-evaluated together with the cell edits'
+        # dirty set in the single recompute below.
+        structural_dirty: list[Range] = []
+        for op, index, count in self._structural:
+            structural_dirty = shift_dirty_ranges(structural_dirty, op, index, count)
+            structural_result = apply_structural_edit(
+                engine, op, index, count, recalc=False, workbook=self.workbook,
+                repack_fraction=self.repack_fraction, repack_min=self.repack_min,
+            )
+            structural_dirty.extend(structural_result.dirty_ranges)
 
         # 1. Sheet state: range clears first (in order), then the
         # surviving per-cell edits — by construction the per-cell buffer
@@ -228,10 +295,16 @@ class BatchEditSession:
         )
         maintain_seconds = time.perf_counter() - start
 
-        # 3. Dirty set by one BFS over the compressed graph, then a
-        # single topological re-evaluation.
+        # 3. Dirty set by one BFS over the compressed graph, merged with
+        # the structural edits' carried-forward dirty sets, then a single
+        # topological re-evaluation.
         recalc_start = time.perf_counter()
         dirty_ranges = self._find_dirty(cleared)
+        if structural_dirty:
+            dirty_ranges = merge_ranges(
+                (structural_dirty, dirty_ranges),
+                index=getattr(engine.graph, "index_spec", "rtree"),
+            )
         recomputed = 0
         stats = engine.eval_stats
         windowed_before = stats.windowed_cells
@@ -255,18 +328,9 @@ class BatchEditSession:
             total_seconds=time.perf_counter() - start,
             windowed_cells=stats.windowed_cells - windowed_before,
             compiled_cells=stats.compiled_cells - compiled_before,
+            structural_ops=len(self._structural),
         )
         return self.result
 
     def _find_dirty(self, seeds: list[Range]) -> list[Range]:
-        if not seeds:
-            return []
-        graph = self.engine.graph
-        multi = getattr(graph, "find_dependents_multi", None)
-        if multi is not None:
-            return multi(seeds)
-        merged = RangeSet()
-        for seed in seeds:
-            for rng in graph.find_dependents(seed):
-                merged.add_new(rng)
-        return merged.ranges
+        return dependents_of_seeds(self.engine.graph, seeds)

@@ -210,6 +210,40 @@ class RecalcEngine:
 
         return BatchEditSession(self, **kwargs)
 
+    # -- structural edits ---------------------------------------------------------
+
+    def insert_rows(self, row: int, count: int = 1, **kwargs):
+        """Insert ``count`` blank rows before ``row``, end-to-end.
+
+        Sheet rewrite, incremental graph maintenance, and dirty
+        recalculation in one pass — see
+        :func:`repro.engine.structural.apply_structural_edit` (which
+        also documents ``workbook=`` for cross-sheet reference
+        rewriting).  Returns a
+        :class:`~repro.engine.structural.StructuralEditResult`.
+        """
+        from .structural import apply_structural_edit
+
+        return apply_structural_edit(self, "insert_rows", row, count, **kwargs)
+
+    def delete_rows(self, row: int, count: int = 1, **kwargs):
+        """Delete rows ``[row, row+count)``; references into them go ``#REF!``."""
+        from .structural import apply_structural_edit
+
+        return apply_structural_edit(self, "delete_rows", row, count, **kwargs)
+
+    def insert_columns(self, col: int, count: int = 1, **kwargs):
+        """Insert ``count`` blank columns before ``col``, end-to-end."""
+        from .structural import apply_structural_edit
+
+        return apply_structural_edit(self, "insert_columns", col, count, **kwargs)
+
+    def delete_columns(self, col: int, count: int = 1, **kwargs):
+        """Delete columns ``[col, col+count)``; references into them go ``#REF!``."""
+        from .structural import apply_structural_edit
+
+        return apply_structural_edit(self, "delete_columns", col, count, **kwargs)
+
     # -- dirty-set recomputation ---------------------------------------------------
 
     def recompute(self, dirty_ranges: Iterable[Range],

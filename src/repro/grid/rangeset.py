@@ -14,7 +14,22 @@ from typing import Iterator
 from ..spatial.registry import IndexFactory, make_index
 from .range import Range
 
-__all__ = ["RangeSet"]
+__all__ = ["RangeSet", "merge_ranges"]
+
+
+def merge_ranges(groups, index: IndexFactory = "rtree") -> "list[Range]":
+    """Disjoint union of possibly-overlapping range lists.
+
+    Feeds every range of every group through one :class:`RangeSet`, so
+    overlapping inputs contribute each cell once; ``index`` selects the
+    backing spatial index (callers merging graph query results pass the
+    graph's own ``index_spec`` so the whole query path shares a backend).
+    """
+    merged = RangeSet(index=index)
+    for ranges in groups:
+        for rng in ranges:
+            merged.add_new(rng)
+    return merged.ranges
 
 
 class RangeSet:

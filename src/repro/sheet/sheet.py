@@ -9,6 +9,7 @@ cues — exactly the stream that both NoComp and TACO ingest.
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterator
 
 from ..formula.ast_nodes import Node
@@ -62,6 +63,13 @@ class Sheet:
     def __init__(self, name: str = "Sheet1"):
         self.name = name
         self._cells: dict[tuple[int, int], Cell] = {}
+        # Open BatchEditSessions register here (on the sheet, not their
+        # engine, so sessions from throwaway engines over the same sheet
+        # are visible too); structural edits refuse to run while any is
+        # open — buffered cell addresses would straddle the shift.  Weak
+        # references: an abandoned session must not lock the sheet out
+        # of structural edits forever.
+        self._open_batches: weakref.WeakSet = weakref.WeakSet()
 
     def __len__(self) -> int:
         return len(self._cells)

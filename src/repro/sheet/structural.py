@@ -8,9 +8,24 @@ insertion point stretch, and references into deleted rows collapse to
 graph-level structural maintenance in :mod:`repro.core.structural` must
 reproduce, so the sheet-level implementation here doubles as its test
 oracle.
+
+Edits are *sheet-scoped*: a reference only shifts when it points into the
+edited sheet.  A formula on the edited sheet rewrites its unqualified and
+self-qualified references; a ``Sheet2!A1`` inside it is untouched.  The
+converse pass — formulas on *other* sheets whose sheet-qualified
+references point into the edited sheet — is :func:`rewrite_for_edit`,
+which the workbook-level pipeline (:mod:`repro.engine.structural`) runs
+over every sibling sheet.
+
+Every operation returns a :class:`SheetEditReport` so callers (the
+recalculation pipeline in particular) know exactly which cells moved,
+which formulas were rewritten, and which references were struck to
+``#REF!`` — the seeds of the post-edit dirty set.
 """
 
 from __future__ import annotations
+
+from typing import Callable, NamedTuple
 
 from ..formula.ast_nodes import (
     BinaryOp,
@@ -20,6 +35,7 @@ from ..formula.ast_nodes import (
     Node,
     RangeNode,
     UnaryOp,
+    walk,
 )
 from ..formula.errors import REF_ERROR
 from ..grid.range import Range
@@ -27,13 +43,66 @@ from ..grid.ref import CellRef
 from .sheet import Sheet
 
 __all__ = [
+    "SheetEditReport",
     "insert_rows",
     "delete_rows",
     "insert_columns",
     "delete_columns",
+    "edit_transform",
+    "rewrite_for_edit",
+    "rewrite_siblings",
     "shift_range_for_insert",
     "shift_range_for_delete",
+    "STRUCTURAL_OPS",
 ]
+
+#: op name -> (axis, mode); the four structural operations share one
+#: geometry engine parameterised by these two values.
+STRUCTURAL_OPS = {
+    "insert_rows": ("row", "insert"),
+    "delete_rows": ("row", "delete"),
+    "insert_columns": ("col", "insert"),
+    "delete_columns": ("col", "delete"),
+}
+
+
+class SheetEditReport(NamedTuple):
+    """What one structural edit did to one sheet.
+
+    All positions are *post-edit* coordinates.  ``moved``, ``rewritten``
+    and ``resized`` overlap freely: a shifted formula whose straddling
+    range stretched appears in all three.
+    """
+
+    moved: set[tuple[int, int]]        # formula cells whose position changed
+    rewritten: set[tuple[int, int]]    # formula cells whose AST changed
+    resized: set[tuple[int, int]]      # formulas with a stretched/shrunk range
+    volatile: set[tuple[int, int]]     # moved/rewritten formulas using ROW/COLUMN
+    ref_struck: set[tuple[int, int]]   # formulas that gained a #REF! here
+    removed: int                       # cells deleted with the edited band
+
+    @property
+    def dirty_seeds(self) -> set[tuple[int, int]]:
+        """Formula cells whose *value* may have changed.
+
+        A structural edit translates whole bands of the grid: a formula
+        whose references only shifted wholesale (or stayed put) reads
+        exactly the values it read before — every referenced cell moved
+        in lockstep, or not at all — so its value is invariant, moved or
+        not.  Values can only change where a referenced range changed
+        *size* (stretched over inserted blanks, shrunk past a deleted
+        band — size-sensitive functions like ``ROWS`` and any aggregate
+        over deleted values see the difference), where a moved or
+        rewritten formula asks about *position* itself (``ROW``/
+        ``COLUMN`` — the ``volatile`` set), or where a reference
+        collapsed to ``#REF!``.  Their transitive dependents come from
+        the graph, not from this report.
+        """
+        return self.resized | self.volatile | self.ref_struck
+
+    @property
+    def changed_formulas(self) -> int:
+        return len(self.moved | self.rewritten)
 
 
 # ---------------------------------------------------------------------------
@@ -84,34 +153,49 @@ def shift_range_for_delete(
     return Range(new_c1, rng.r1, new_c2, rng.r2)
 
 
+def edit_transform(op: str, index: int, count: int) -> Callable[[Range], Range | None]:
+    """The reference transform of one structural operation by name."""
+    axis, mode = STRUCTURAL_OPS[op]
+    if mode == "insert":
+        return lambda rng: shift_range_for_insert(rng, index, count, axis)
+    return lambda rng: shift_range_for_delete(rng, index, count, axis)
+
+
 # ---------------------------------------------------------------------------
 # AST reference rewriting
 
 
-def _moved_ref(ref: CellRef, delta: int, axis: str) -> CellRef:
-    if axis == "row":
-        return CellRef(ref.col, ref.row + delta, ref.col_fixed, ref.row_fixed)
-    return CellRef(ref.col + delta, ref.row, ref.col_fixed, ref.row_fixed)
-
-
-def _rewrite(node: Node, transform) -> Node:
-    """Rebuild an AST, mapping each reference through ``transform``.
+def _rewrite(node: Node, transform, applies) -> Node:
+    """Rebuild an AST, mapping each in-scope reference through ``transform``.
 
     ``transform(range) -> Range | None`` works on the bare geometry;
-    fixedness flags are carried over unchanged.
+    fixedness flags are carried over unchanged.  ``applies(node) -> bool``
+    decides whether a reference node is in scope for this edit: a
+    reference whose sheet qualifier names a different sheet than the one
+    being edited must never shift.  Subtrees that come back unchanged are
+    returned *by identity*, so callers can detect genuinely rewritten
+    formulas with an ``is`` check (and untouched ASTs allocate nothing).
     """
     if isinstance(node, CellNode):
+        if not applies(node):
+            return node
         moved = transform(node.to_range())
         if moved is None:
             return ErrorLiteral(REF_ERROR.code)
         ref = node.ref
+        if moved.c1 == ref.col and moved.r1 == ref.row:
+            return node
         return CellNode(
             CellRef(moved.c1, moved.r1, ref.col_fixed, ref.row_fixed), node.sheet
         )
     if isinstance(node, RangeNode):
+        if not applies(node):
+            return node
         moved = transform(node.to_range())
         if moved is None:
             return ErrorLiteral(REF_ERROR.code)
+        if moved == node.to_range():
+            return node
         head, tail = node.head, node.tail
         return RangeNode(
             CellRef(moved.c1, moved.r1, head.col_fixed, head.row_fixed),
@@ -119,38 +203,198 @@ def _rewrite(node: Node, transform) -> Node:
             node.sheet,
         )
     if isinstance(node, FunctionCall):
-        return FunctionCall(node.name, [_rewrite(arg, transform) for arg in node.args])
+        args = [_rewrite(arg, transform, applies) for arg in node.args]
+        if all(new is old for new, old in zip(args, node.args)):
+            return node
+        return FunctionCall(node.name, args)
     if isinstance(node, BinaryOp):
-        return BinaryOp(node.op, _rewrite(node.left, transform), _rewrite(node.right, transform))
+        left = _rewrite(node.left, transform, applies)
+        right = _rewrite(node.right, transform, applies)
+        if left is node.left and right is node.right:
+            return node
+        return BinaryOp(node.op, left, right)
     if isinstance(node, UnaryOp):
-        return UnaryOp(node.op, _rewrite(node.operand, transform))
+        operand = _rewrite(node.operand, transform, applies)
+        if operand is node.operand:
+            return node
+        return UnaryOp(node.op, operand)
     return node
+
+
+#: Functions whose value depends on where a reference (or the host
+#: formula) *sits*, not on any referenced value — a wholesale shift
+#: changes their result even though every referenced value is preserved,
+#: so formulas using them cannot be excluded from the dirty seeds.
+_POSITION_SENSITIVE = frozenset({"ROW", "COLUMN"})
+
+
+def _position_sensitive(ast: Node) -> bool:
+    return any(
+        isinstance(node, FunctionCall) and node.name in _POSITION_SENSITIVE
+        for node in walk(ast)
+    )
+
+
+class _TransformWatcher:
+    """Wrap a transform, noting strikes (``#REF!``) and size changes.
+
+    A single-axis structural edit leaves a surviving range either
+    untouched, shifted wholesale (size preserved), or stretched/shrunk
+    across the edit line — so ``size`` is an exact change-of-shape
+    detector, and shape is exactly what decides whether the formula's
+    value can change (see :meth:`SheetEditReport.dirty_seeds`).
+    """
+
+    __slots__ = ("transform", "strikes", "resized")
+
+    def __init__(self, transform):
+        self.transform = transform
+        self.strikes = 0
+        self.resized = 0
+
+    def __call__(self, rng: Range) -> Range | None:
+        moved = self.transform(rng)
+        if moved is None:
+            self.strikes += 1
+        elif moved.size != rng.size:
+            self.resized += 1
+        return moved
 
 
 # ---------------------------------------------------------------------------
 # sheet-level operations
 
 
-def _apply_structural(sheet: Sheet, move_cell, transform_ref) -> None:
+def _apply_structural(sheet: Sheet, move_cell, transform_ref) -> SheetEditReport:
     """Rebuild the cell dict under a structural edit.
 
     ``move_cell(pos) -> pos | None`` relocates each physical cell;
     ``transform_ref(range) -> Range | None`` rewrites formula references.
+    Only references *into this sheet* (unqualified, or qualified with the
+    sheet's own name) are rewritten; sheet-qualified references into
+    other sheets never shift under an edit here.
+
+    Cells that neither move nor change keep their ``Cell`` object — and
+    with it the memoised references and template key; moved or rewritten
+    formulas get a fresh ``Cell`` so every position-dependent cache
+    (``Cell._template_key``, extracted references) is invalidated at
+    once.
     """
+    name = sheet.name
+
+    def applies(node) -> bool:
+        return node.sheet is None or node.sheet == name
+
+    moved: set[tuple[int, int]] = set()
+    rewritten: set[tuple[int, int]] = set()
+    resized: set[tuple[int, int]] = set()
+    volatile: set[tuple[int, int]] = set()
+    struck: set[tuple[int, int]] = set()
+    removed = 0
     old_cells = dict(sheet.items())
     sheet._cells.clear()
     for pos, cell in old_cells.items():
         new_pos = move_cell(pos)
         if new_pos is None:
+            removed += 1
             continue
-        if cell.is_formula:
-            sheet.set_formula_ast(new_pos, _rewrite(cell.formula_ast, transform_ref))
-            sheet.cell_at(new_pos).value = cell.value
-        else:
-            sheet.set_value(new_pos, cell.value)
+        if not cell.is_formula:
+            sheet._cells[new_pos] = cell
+            continue
+        watcher = _TransformWatcher(transform_ref)
+        new_ast = _rewrite(cell.formula_ast, watcher, applies)
+        if new_ast is cell.formula_ast and new_pos == pos:
+            sheet._cells[pos] = cell
+            continue
+        sheet.set_formula_ast(new_pos, new_ast)
+        sheet.cell_at(new_pos).value = cell.value
+        if new_pos != pos:
+            moved.add(new_pos)
+        if new_ast is not cell.formula_ast:
+            rewritten.add(new_pos)
+        if watcher.resized:
+            resized.add(new_pos)
+        if _position_sensitive(new_ast):
+            volatile.add(new_pos)
+        if watcher.strikes:
+            struck.add(new_pos)
+    return SheetEditReport(moved, rewritten, resized, volatile, struck, removed)
 
 
-def insert_rows(sheet: Sheet, row: int, count: int = 1) -> None:
+def rewrite_for_edit(
+    sheet: Sheet, target: str, op: str, index: int, count: int
+) -> SheetEditReport:
+    """Rewrite ``sheet``'s references into ``target`` after a structural
+    edit performed *on the other sheet* ``target``.
+
+    No cell on ``sheet`` moves — only sheet-qualified references that
+    point into the edited sheet shift (or collapse to ``#REF!`` when the
+    referenced band was deleted).  Formulas whose AST changes are
+    replaced wholesale, invalidating their memoised references and
+    template key; cached values are carried over (they are stale until
+    the owner recalculates, exactly like any other dependent).
+    """
+    if sheet.name == target:
+        raise ValueError(
+            "rewrite_for_edit is the cross-sheet pass; "
+            f"use {op} directly on the edited sheet {target!r}"
+        )
+    transform = edit_transform(op, index, count)
+
+    def applies(node) -> bool:
+        return node.sheet == target
+
+    rewritten: set[tuple[int, int]] = set()
+    resized: set[tuple[int, int]] = set()
+    volatile: set[tuple[int, int]] = set()
+    struck: set[tuple[int, int]] = set()
+    for pos, cell in list(sheet.formula_cells()):
+        watcher = _TransformWatcher(transform)
+        new_ast = _rewrite(cell.formula_ast, watcher, applies)
+        if new_ast is cell.formula_ast:
+            continue
+        value = cell.value
+        sheet.set_formula_ast(pos, new_ast)
+        sheet.cell_at(pos).value = value
+        rewritten.add(pos)
+        if watcher.resized:
+            resized.add(pos)
+        if _position_sensitive(new_ast):
+            volatile.add(pos)
+        if watcher.strikes:
+            struck.add(pos)
+    return SheetEditReport(set(), rewritten, resized, volatile, struck, 0)
+
+
+def rewrite_siblings(
+    workbook, target: Sheet, op: str, index: int, count: int
+) -> dict[str, SheetEditReport]:
+    """Run :func:`rewrite_for_edit` over every sheet of ``workbook``
+    except ``target`` (the edited sheet, validated to be a member — by
+    identity, so a same-named stranger sheet is rejected).
+
+    Returns one :class:`SheetEditReport` per *touched* sibling sheet,
+    keyed by sheet name, so callers can enumerate exactly which
+    cross-sheet formulas were rewritten or struck — their cached values
+    are stale until each sheet's own engine recalculates (formula graphs
+    are per-sheet).  Shared by the engine pipeline and
+    :class:`~repro.sheet.workbook.Workbook`'s structural methods.
+    """
+    if not any(sheet is target for sheet in workbook.sheets()):
+        raise ValueError(
+            f"sheet {target.name!r} is not part of workbook {workbook.name!r}"
+        )
+    reports: dict[str, SheetEditReport] = {}
+    for other in workbook.sheets():
+        if other is target:
+            continue
+        report = rewrite_for_edit(other, target.name, op, index, count)
+        if report.rewritten or report.ref_struck:
+            reports[other.name] = report
+    return reports
+
+
+def insert_rows(sheet: Sheet, row: int, count: int = 1) -> SheetEditReport:
     """Insert ``count`` blank rows before ``row``."""
     if count < 1 or row < 1:
         raise ValueError("row and count must be positive")
@@ -159,10 +403,12 @@ def insert_rows(sheet: Sheet, row: int, count: int = 1) -> None:
         col, r = pos
         return (col, r + count) if r >= row else pos
 
-    _apply_structural(sheet, move, lambda rng: shift_range_for_insert(rng, row, count, "row"))
+    return _apply_structural(
+        sheet, move, lambda rng: shift_range_for_insert(rng, row, count, "row")
+    )
 
 
-def delete_rows(sheet: Sheet, row: int, count: int = 1) -> None:
+def delete_rows(sheet: Sheet, row: int, count: int = 1) -> SheetEditReport:
     """Delete rows ``[row, row+count)``; references into them go #REF!."""
     if count < 1 or row < 1:
         raise ValueError("row and count must be positive")
@@ -174,10 +420,12 @@ def delete_rows(sheet: Sheet, row: int, count: int = 1) -> None:
             return None
         return (col, r - count) if r > end else pos
 
-    _apply_structural(sheet, move, lambda rng: shift_range_for_delete(rng, row, count, "row"))
+    return _apply_structural(
+        sheet, move, lambda rng: shift_range_for_delete(rng, row, count, "row")
+    )
 
 
-def insert_columns(sheet: Sheet, col: int, count: int = 1) -> None:
+def insert_columns(sheet: Sheet, col: int, count: int = 1) -> SheetEditReport:
     """Insert ``count`` blank columns before ``col``."""
     if count < 1 or col < 1:
         raise ValueError("col and count must be positive")
@@ -186,10 +434,12 @@ def insert_columns(sheet: Sheet, col: int, count: int = 1) -> None:
         c, row = pos
         return (c + count, row) if c >= col else pos
 
-    _apply_structural(sheet, move, lambda rng: shift_range_for_insert(rng, col, count, "col"))
+    return _apply_structural(
+        sheet, move, lambda rng: shift_range_for_insert(rng, col, count, "col")
+    )
 
 
-def delete_columns(sheet: Sheet, col: int, count: int = 1) -> None:
+def delete_columns(sheet: Sheet, col: int, count: int = 1) -> SheetEditReport:
     """Delete columns ``[col, col+count)``."""
     if count < 1 or col < 1:
         raise ValueError("col and count must be positive")
@@ -201,4 +451,6 @@ def delete_columns(sheet: Sheet, col: int, count: int = 1) -> None:
             return None
         return (c - count, row) if c > end else pos
 
-    _apply_structural(sheet, move, lambda rng: shift_range_for_delete(rng, col, count, "col"))
+    return _apply_structural(
+        sheet, move, lambda rng: shift_range_for_delete(rng, col, count, "col")
+    )

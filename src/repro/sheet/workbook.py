@@ -2,12 +2,23 @@
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, NamedTuple
 
 from ..grid.range import Range
 from .sheet import Sheet
 
-__all__ = ["Workbook", "WorkbookResolver"]
+__all__ = ["Workbook", "WorkbookEditReport", "WorkbookResolver"]
+
+
+class WorkbookEditReport(NamedTuple):
+    """Summary of one workbook-level structural edit (counts only)."""
+
+    sheet: str                 # the edited sheet
+    moved: int                 # formula cells relocated on the edited sheet
+    rewritten: int             # formulas rewritten, across every sheet
+    ref_errors: int            # formulas that gained a #REF!, across every sheet
+    cross_sheet_rewrites: int  # rewritten formulas on *other* sheets
+    removed: int               # cells deleted with the edited band
 
 
 class Workbook:
@@ -62,10 +73,62 @@ class Workbook:
 
         See :meth:`repro.sheet.sheet.Sheet.begin_batch`; formula graphs
         are per-sheet (as in the paper), so a workbook batch targets one
-        sheet's graph.
+        sheet's graph — but structural ops recorded on the session
+        rewrite references on the *other* sheets too (the session
+        inherits this workbook unless ``workbook=`` overrides it).
         """
         target = self.active_sheet if sheet is None else self._sheets[sheet]
+        kwargs.setdefault("workbook", self)
         return target.begin_batch(graph=graph, **kwargs)
+
+    # -- structural edits ---------------------------------------------------------
+
+    def insert_rows(self, sheet: str | Sheet, row: int, count: int = 1) -> WorkbookEditReport:
+        """Insert ``count`` blank rows before ``row`` on ``sheet``.
+
+        Sheet-aware, workbook-wide: cells on the edited sheet move and
+        its own references shift; on every *other* sheet only references
+        qualified with the edited sheet's name are rewritten.  Cached
+        formula values are preserved but stale — recalculation is the
+        engine's job (:meth:`repro.engine.recalc.RecalcEngine.insert_rows`
+        runs this same rewrite *plus* graph maintenance and dirty
+        recalculation).
+        """
+        return self._structural_edit("insert_rows", sheet, row, count)
+
+    def delete_rows(self, sheet: str | Sheet, row: int, count: int = 1) -> WorkbookEditReport:
+        """Delete rows ``[row, row+count)`` on ``sheet``; references into
+        them — from any sheet — collapse to ``#REF!``."""
+        return self._structural_edit("delete_rows", sheet, row, count)
+
+    def insert_columns(self, sheet: str | Sheet, col: int, count: int = 1) -> WorkbookEditReport:
+        """Insert ``count`` blank columns before ``col`` on ``sheet``."""
+        return self._structural_edit("insert_columns", sheet, col, count)
+
+    def delete_columns(self, sheet: str | Sheet, col: int, count: int = 1) -> WorkbookEditReport:
+        """Delete columns ``[col, col+count)`` on ``sheet``."""
+        return self._structural_edit("delete_columns", sheet, col, count)
+
+    def _structural_edit(
+        self, op: str, sheet: str | Sheet, index: int, count: int
+    ) -> WorkbookEditReport:
+        from . import structural
+
+        target = self._sheets[sheet] if isinstance(sheet, str) else sheet
+        if target.name not in self._sheets or self._sheets[target.name] is not target:
+            raise ValueError(f"sheet {target.name!r} is not part of this workbook")
+        report = getattr(structural, op)(target, index, count)
+        siblings = structural.rewrite_siblings(self, target, op, index, count)
+        cross_rewritten = sum(len(r.rewritten) for r in siblings.values())
+        cross_struck = sum(len(r.ref_struck) for r in siblings.values())
+        return WorkbookEditReport(
+            sheet=target.name,
+            moved=len(report.moved),
+            rewritten=len(report.rewritten) + cross_rewritten,
+            ref_errors=len(report.ref_struck) + cross_struck,
+            cross_sheet_rewrites=cross_rewritten,
+            removed=report.removed,
+        )
 
     def resolver(self) -> "WorkbookResolver":
         return WorkbookResolver(self)

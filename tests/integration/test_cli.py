@@ -145,6 +145,68 @@ class TestEdit:
         assert "circular reference" in err
 
 
+class TestEditStructural:
+    def test_insert_rows_per_edit(self, demo_file, tmp_path):
+        out_path = str(tmp_path / "shifted.xlsx")
+        code, out, _ = run_cli([
+            "edit", demo_file, "--insert-rows", "3:2", "--out", out_path,
+        ])
+        assert code == 0
+        assert "insert_rows 3:2" in out
+        assert "cells moved" in out
+
+    def test_delete_cols_accepts_letters(self, demo_file):
+        code, out, _ = run_cli(["edit", demo_file, "--delete-cols", "M"])
+        assert code == 0
+        assert "delete_columns 13:1" in out
+
+    def test_structural_in_batch_mode(self, demo_file):
+        code, out, _ = run_cli([
+            "edit", demo_file, "--batch", "--insert-rows", "4", "--set", "M9=7",
+        ])
+        assert code == 0
+        assert "(1 structural)" in out
+
+    def test_structural_matches_between_modes(self, demo_file):
+        from repro.io import read_xlsx
+
+        results = {}
+        for mode in ("plain", "batch"):
+            argv = ["edit", demo_file, "--insert-rows", "5:2", "--delete-cols", "A"]
+            if mode == "batch":
+                argv.append("--batch")
+            code, _, _ = run_cli(argv + ["--out", demo_file + f".{mode}.xlsx"])
+            assert code == 0
+            sheet = read_xlsx(demo_file + f".{mode}.xlsx").active_sheet
+            results[mode] = {pos: cell.value for pos, cell in sheet.items()}
+        assert results["batch"] == results["plain"]
+
+    def test_bad_spec_errors(self, demo_file):
+        with pytest.raises(SystemExit):
+            run_cli(["edit", demo_file, "--insert-rows", "x"])
+
+    def test_mixed_flags_apply_in_command_line_order(self, demo_file):
+        # --delete-rows typed before --insert-rows must run first: the
+        # insert index is then interpreted post-delete.
+        code, out, _ = run_cli([
+            "edit", demo_file, "--delete-rows", "2", "--insert-rows", "10",
+        ])
+        assert code == 0
+        assert out.index("delete_rows 2:1") < out.index("insert_rows 10:1")
+
+
+class TestHelp:
+    def test_edit_help_lists_structural_flags(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["edit", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--insert-rows", "--delete-rows", "--insert-cols",
+                     "--delete-cols", "--batch", "--set", "--formula",
+                     "--clear", "--index"):
+            assert flag in out
+
+
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["bogus"])

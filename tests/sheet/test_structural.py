@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.formula.errors import REF_ERROR
 from repro.grid.range import Range
 from repro.sheet.sheet import Sheet
 from repro.sheet.structural import (
@@ -9,9 +10,11 @@ from repro.sheet.structural import (
     delete_rows,
     insert_columns,
     insert_rows,
+    rewrite_for_edit,
     shift_range_for_delete,
     shift_range_for_insert,
 )
+from repro.sheet.workbook import Workbook
 
 
 class TestRangeArithmetic:
@@ -67,7 +70,8 @@ class TestSheetInsertRows:
     def test_references_rewritten(self):
         sheet = self.make()
         insert_rows(sheet, 3, 2)
-        assert sheet.cell_at("B2").formula_text == "(A2*2)"        # above edit
+        # Above the edit: untouched — the cell (and its source text) survive.
+        assert sheet.cell_at("B2").formula_text == "A2*2"
         assert sheet.cell_at("B8").formula_text == "SUM(A1:A8)"   # stretched
         # Absolute references also move under structural edits.
         assert sheet.cell_at("C1").formula_text == "SUM($A$2:$A$6)"
@@ -107,6 +111,118 @@ class TestSheetDeleteRows:
         delete_rows(sheet, 3, 2)
         assert sheet.cell_at("D4") is None
         assert all(pos != (4, 4) for pos, _ in sheet.items())
+
+
+class TestCrossSheetReferences:
+    """Regression tests: edits are sheet-scoped in both directions."""
+
+    def test_other_sheet_reference_never_shifts(self):
+        # A formula on the edited sheet referencing Sheet2 must not move
+        # its Sheet2 reference when Sheet1 rows shift.
+        sheet = Sheet("Sheet1")
+        sheet.set_value("A5", 1.0)
+        sheet.set_formula("B5", "=Sheet2!A5+A5")
+        insert_rows(sheet, 3, 2)
+        assert sheet.cell_at("B7").formula_text == "(Sheet2!A5+A7)"
+
+    def test_self_qualified_reference_shifts(self):
+        sheet = Sheet("Sheet1")
+        sheet.set_formula("B1", "=Sheet1!A5")
+        insert_rows(sheet, 3, 2)
+        assert sheet.cell_at("B1").formula_text == "Sheet1!A7"
+
+    def test_other_sheet_reference_survives_delete(self):
+        sheet = Sheet("Sheet1")
+        sheet.set_formula("B1", "=SUM(Sheet2!A3:A4)")
+        delete_rows(sheet, 3, 2)
+        assert sheet.cell_at("B1").formula_text == "SUM(Sheet2!A3:A4)"
+
+    def test_rewrite_for_edit_shifts_inbound_references(self):
+        # A formula on Sheet2 referencing the edited Sheet1 must shift.
+        other = Sheet("Sheet2")
+        other.set_formula("B1", "=Sheet1!A5*2")
+        other.set_formula("B2", "=Sheet2!C1+A9")   # own-sheet refs untouched
+        report = rewrite_for_edit(other, "Sheet1", "insert_rows", 3, 2)
+        assert other.cell_at("B1").formula_text == "(Sheet1!A7*2)"
+        assert other.cell_at("B2").formula_text == "Sheet2!C1+A9"  # untouched
+        assert report.rewritten == {(2, 1)}
+        assert not report.moved and not report.ref_struck
+
+    def test_rewrite_for_edit_strikes_deleted_band(self):
+        other = Sheet("Sheet2")
+        other.set_formula("B1", "=Sheet1!A5")
+        report = rewrite_for_edit(other, "Sheet1", "delete_rows", 5, 1)
+        assert other.cell_at("B1").formula_text == REF_ERROR.code
+        assert report.ref_struck == {(2, 1)}
+
+    def test_rewrite_for_edit_rejects_the_edited_sheet(self):
+        sheet = Sheet("Sheet1")
+        with pytest.raises(ValueError):
+            rewrite_for_edit(sheet, "Sheet1", "insert_rows", 1, 1)
+
+
+class TestWorkbookEdits:
+    def make(self) -> Workbook:
+        workbook = Workbook("w")
+        ledger = workbook.add_sheet("Ledger")
+        for r in range(1, 9):
+            ledger.set_value((1, r), float(r))
+        ledger.set_formula("B8", "=SUM(A1:A8)")
+        summary = workbook.add_sheet("Summary")
+        summary.set_formula("A1", "=Ledger!A6")
+        summary.set_formula("A2", "=Summary!A1")
+        return workbook
+
+    def test_insert_rewrites_both_sheets(self):
+        workbook = self.make()
+        report = workbook.insert_rows("Ledger", 3, 2)
+        assert workbook.sheet("Ledger").cell_at("B10").formula_text == "SUM(A1:A10)"
+        assert workbook.sheet("Summary").cell_at("A1").formula_text == "Ledger!A8"
+        assert workbook.sheet("Summary").cell_at("A2").formula_text == "Summary!A1"
+        assert report.cross_sheet_rewrites == 1
+        assert report.moved == 1      # B8 -> B10
+        assert report.sheet == "Ledger"
+
+    def test_delete_strikes_inbound_reference(self):
+        workbook = self.make()
+        report = workbook.delete_rows("Ledger", 6, 1)
+        assert workbook.sheet("Summary").cell_at("A1").formula_text == REF_ERROR.code
+        assert report.ref_errors == 1
+        assert report.removed == 1    # the A6 value cell
+
+    def test_detached_sheet_rejected(self):
+        workbook = self.make()
+        with pytest.raises(ValueError):
+            workbook.insert_rows(Sheet("Ledger"), 1, 1)
+
+
+class TestEditReports:
+    def test_insert_report_sets(self):
+        sheet = Sheet("s")
+        sheet.set_value("A1", 1.0)
+        sheet.set_value("A5", 5.0)
+        sheet.set_formula("B1", "=A1")       # untouched
+        sheet.set_formula("B5", "=A5")       # moves and rewrites
+        sheet.set_formula("C1", "=SUM(A1:A5)")  # stretches in place
+        report = insert_rows(sheet, 3, 2)
+        assert report.moved == {(2, 7)}
+        assert report.rewritten == {(2, 7), (3, 1)}
+        assert report.resized == {(3, 1)}   # only the straddling SUM stretched
+        assert report.ref_struck == set() and report.removed == 0
+        # B5 translated in lockstep with A5 — its value cannot change; the
+        # stretched SUM is the only dirty seed.
+        assert report.dirty_seeds == {(3, 1)}
+        # The untouched formula keeps its very Cell object (memos intact).
+        assert sheet.cell_at("B1").formula_text == "A1"
+
+    def test_delete_report_counts_removed_and_struck(self):
+        sheet = Sheet("s")
+        for r in range(1, 7):
+            sheet.set_value((1, r), float(r))
+        sheet.set_formula("B1", "=A4")
+        report = delete_rows(sheet, 3, 2)
+        assert report.removed == 2
+        assert report.ref_struck == {(2, 1)}
 
 
 class TestColumns:
