@@ -7,9 +7,16 @@ Commands operate on real ``.xlsx`` files through the stdlib reader:
 * ``export FILE [--dot|--json] [--sheet NAME]`` — compressed graph export
 * ``edit FILE [--set A1=5] [--formula B1=A1*2] [--clear C1] [--batch]
   [--insert-rows ROW[:N]] [--delete-rows ROW[:N]]
-  [--insert-cols COL[:N]] [--delete-cols COL[:N]]``
+  [--insert-cols COL[:N]] [--delete-cols COL[:N]] [--journal WAL]``
   — apply edits and recalculate, per-edit or as one batched commit;
-  structural edits run first and rewrite references workbook-wide
+  structural edits run first and rewrite references workbook-wide;
+  ``--journal`` appends every committed edit to a write-ahead journal
+* ``snapshot FILE OUT [--journal WAL]`` — persist values, formula
+  source, and the compressed per-sheet graphs; ``--journal`` starts a
+  fresh paired journal
+* ``restore SNAPSHOT [--journal WAL] [--out FILE]`` — reopen from a
+  snapshot, replay the journal's complete-record prefix, recompute only
+  the dirtied cells
 * ``demo PATH``                — write a demonstration workbook to PATH
 
 ``report``, ``trace``, ``export`` and ``edit`` accept ``--index`` to
@@ -207,6 +214,35 @@ def _cmd_edit(args: argparse.Namespace) -> int:
         except ValueError:
             return value
 
+    # Attach the journal only now, after every no-op/validation early
+    # return: from here each committed edit appends one durable record.
+    journal = None
+    if args.journal:
+        from .engine.journal import Journal, JournalFormatError
+
+        try:
+            journal = Journal(args.journal)
+        except JournalFormatError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        if any(
+            rec.get("kind") == "structural" or rec.get("structural")
+            for rec in journal.preexisting_records
+        ):
+            # Structural records shift the grid: edits recorded now
+            # against the *base* file would be replayed in post-shift
+            # coordinates and land on the wrong cells.
+            journal.close()
+            print(
+                f"error: {args.journal} already holds structural edits; "
+                "appending edits against the base file would replay at "
+                "shifted coordinates. Run `restore` and take a fresh "
+                "snapshot (with a fresh journal) first.",
+                file=sys.stderr,
+            )
+            return 2
+        engine.journal = journal
+
     start = time.perf_counter()
     recomputed = 0
     try:
@@ -250,11 +286,70 @@ def _cmd_edit(args: argparse.Namespace) -> int:
                     recomputed += engine.clear_cell(cell).recomputed
     except CircularReferenceError as err:
         print(f"error: {err}", file=sys.stderr)
+        if journal is not None:
+            journal.close()
         return 1
     elapsed = time.perf_counter() - start
     mode = "batched" if args.batch else "per-edit"
     print(f"{mode}: {len(ops) + len(structural)} edits, "
           f"{recomputed} cells recomputed in {elapsed * 1000:.1f} ms")
+    if journal is not None:
+        journal.close()
+        print(f"journaled {journal.records_written} records to {args.journal}")
+    if args.out:
+        write_xlsx(workbook, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    """Persist a workbook snapshot (values + compressed per-sheet graphs)."""
+    from .engine.recalc import CircularReferenceError, RecalcEngine
+
+    workbook = read_xlsx(args.file)
+    graphs = {}
+    for sheet in workbook.sheets():
+        graph = _build_graph(sheet, args.index)
+        try:
+            RecalcEngine(sheet, graph).recalculate_all()
+        except CircularReferenceError as err:
+            print(f"warning: {sheet.name}: {err} (cells marked #CYCLE!)",
+                  file=sys.stderr)
+        graphs[sheet.name] = graph
+    stats = workbook.snapshot(args.snapshot, graphs)
+    print(f"wrote {args.snapshot}: {stats.sheets} sheets, {stats.cells} cells, "
+          f"{stats.edges} compressed edges, {stats.bytes_written:,} bytes")
+    if args.journal:
+        from .engine.journal import Journal
+
+        Journal(args.journal, truncate=True,
+                snapshot_id=stats.snapshot_id).close()
+        print(f"started fresh journal {args.journal} "
+              f"(paired with snapshot {stats.snapshot_id[:12]})")
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    """Reopen a workbook from a snapshot plus its write-ahead journal."""
+    from .engine.journal import JournalFormatError
+    from .io.snapshot import SnapshotFormatError
+    from .sheet.workbook import Workbook
+
+    try:
+        result = Workbook.restore(args.snapshot, args.journal)
+    except (SnapshotFormatError, JournalFormatError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    workbook = result.workbook
+    print(f"restored {workbook.name!r}: {len(workbook)} sheets "
+          f"({', '.join(workbook.sheet_names)})")
+    if args.journal:
+        tail = " (torn tail cut)" if result.torn_tail else ""
+        print(f"replayed {result.records_applied} journal records{tail}; "
+              f"{result.dirty_count} dirty cells, "
+              f"{result.recomputed} recomputed")
+    for name, err in result.cycle_errors.items():
+        print(f"warning: {name}: {err} (cells marked #CYCLE!)", file=sys.stderr)
     if args.out:
         write_xlsx(workbook, args.out)
         print(f"wrote {args.out}")
@@ -336,9 +431,35 @@ def build_parser() -> argparse.ArgumentParser:
     edit.add_argument("--batch", action="store_true",
                       help="commit all edits as one batched session "
                            "(coalesced maintenance + single recalc)")
+    edit.add_argument("--journal", default=None, metavar="WAL",
+                      help="append every committed edit to this "
+                           "write-ahead journal (fsync'd per commit)")
     edit.add_argument("--out", default=None, help="write the result to OUT")
     add_index_option(edit)
     edit.set_defaults(fn=_cmd_edit)
+
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="persist values + compressed graphs for rebuild-free reopening",
+    )
+    snapshot.add_argument("file", help="source .xlsx workbook")
+    snapshot.add_argument("snapshot", help="snapshot file to write")
+    snapshot.add_argument("--journal", default=None, metavar="WAL",
+                          help="also start a fresh write-ahead journal "
+                               "paired with the snapshot")
+    add_index_option(snapshot)
+    snapshot.set_defaults(fn=_cmd_snapshot)
+
+    restore = sub.add_parser(
+        "restore",
+        help="reopen from a snapshot, replaying a write-ahead journal",
+    )
+    restore.add_argument("snapshot", help="snapshot file to read")
+    restore.add_argument("--journal", default=None, metavar="WAL",
+                         help="replay this journal's complete-record prefix")
+    restore.add_argument("--out", default=None,
+                         help="write the restored workbook to OUT (.xlsx)")
+    restore.set_defaults(fn=_cmd_restore)
 
     demo = sub.add_parser("demo", help="write a demonstration workbook")
     demo.add_argument("path")

@@ -6,6 +6,14 @@ graph alongside the file.  The format is plain JSON: one record per
 compressed edge with its pattern name and meta, so it is diff-able and
 stable across versions.  Loading validates every record and rebuilds the
 vertex indexes; a round-trip is the identity on the edge set.
+
+Format version 2 additionally records the graph's *construction
+parameters* — the spatial-index backend, the pattern registry (in
+priority order), and the compression heuristics — so a load reconstructs
+a graph that compresses future insertions exactly like the one that was
+saved.  Version-1 payloads still load (with the default TACO-Full
+registry); payloads written by a *newer* format version are rejected
+with an error naming both versions.
 """
 
 from __future__ import annotations
@@ -16,11 +24,21 @@ from typing import IO
 from ..grid.range import Range
 from .patterns.base import CompressedEdge
 from .patterns.registry import ALL_PATTERNS
+from .patterns.single import SINGLE
 from .taco_graph import TacoGraph
 
-__all__ = ["dump_graph", "dumps_graph", "load_graph", "loads_graph", "GraphFormatError"]
+__all__ = [
+    "dump_graph",
+    "dumps_graph",
+    "graph_from_payload",
+    "graph_payload",
+    "load_graph",
+    "loads_graph",
+    "GraphFormatError",
+    "FORMAT_VERSION",
+]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 
 class GraphFormatError(ValueError):
@@ -48,12 +66,24 @@ def _meta_from_json(value):
     return value
 
 
-def dumps_graph(graph: TacoGraph) -> str:
-    """Serialize a graph to a JSON string."""
+def graph_payload(graph: TacoGraph) -> dict:
+    """The serialization payload for ``graph`` as a JSON-ready dict.
+
+    Besides the edge records, the payload carries the construction
+    parameters (index backend, pattern registry, heuristics) so a
+    restore rebuilds an equivalent graph without re-compression.  A
+    non-string index factory (a custom callable) cannot be named in a
+    file and is recorded as ``None`` (the default backend on load).
+    """
     edges = sorted(graph.edges(), key=lambda e: (e.prec.as_tuple(), e.dep.as_tuple()))
-    payload = {
+    index_spec = getattr(graph, "index_spec", None)
+    return {
         "format": "taco-graph",
         "version": FORMAT_VERSION,
+        "index": index_spec if isinstance(index_spec, str) else None,
+        "patterns": [pattern.name for pattern in graph.patterns],
+        "use_cues": graph.use_cues,
+        "prefer_column": graph.prefer_column,
         "edge_count": len(edges),
         "raw_dependency_count": graph.raw_edge_count(),
         "edges": [
@@ -66,6 +96,13 @@ def dumps_graph(graph: TacoGraph) -> str:
             for edge in edges
         ],
     }
+
+
+def dumps_graph(graph: TacoGraph, *, compact: bool = False) -> str:
+    """Serialize a graph to a JSON string (``compact`` drops whitespace)."""
+    payload = graph_payload(graph)
+    if compact:
+        return json.dumps(payload, separators=(",", ":"))
     return json.dumps(payload, indent=1)
 
 
@@ -78,37 +115,98 @@ def dump_graph(graph: TacoGraph, target: "str | IO[str]") -> None:
         target.write(text)
 
 
-def loads_graph(text: str) -> TacoGraph:
-    """Deserialize a graph from a JSON string."""
-    try:
-        payload = json.loads(text)
-    except json.JSONDecodeError as exc:
-        raise GraphFormatError(f"not valid JSON: {exc}") from exc
+def graph_from_payload(payload, *, validate: bool = True) -> TacoGraph:
+    """Rebuild a graph from a payload dict (see :func:`graph_payload`).
+
+    Version-2 payloads reconstruct the recorded registry and index
+    backend; every edge's pattern name is validated against the registry
+    actually in use — the recorded one (plus the implicit ``Single``
+    fallback), not the union of everything this build knows about.
+    ``validate=False`` skips the per-edge member reconstruction check;
+    callers whose container already checksums the payload (the snapshot
+    format) use it to keep restore cost proportional to *compressed*
+    edges rather than raw dependencies.
+    """
     if not isinstance(payload, dict) or payload.get("format") != "taco-graph":
         raise GraphFormatError("missing taco-graph header")
-    if payload.get("version") != FORMAT_VERSION:
-        raise GraphFormatError(f"unsupported version {payload.get('version')!r}")
-    graph = TacoGraph.full()
+    version = payload.get("version")
+    if not isinstance(version, int) or version < 1:
+        raise GraphFormatError(f"bad format version {version!r}")
+    if version > FORMAT_VERSION:
+        raise GraphFormatError(
+            f"graph was written by format version {version}, but this build "
+            f"reads versions 1..{FORMAT_VERSION}; upgrade to load it"
+        )
+
+    if version >= 2:
+        names = payload.get("patterns")
+        if not isinstance(names, list) or not all(isinstance(n, str) for n in names):
+            raise GraphFormatError("patterns must be a list of pattern names")
+        unknown = [name for name in names if name not in ALL_PATTERNS]
+        if unknown:
+            raise GraphFormatError(
+                f"unknown patterns {unknown} in registry; known: {sorted(ALL_PATTERNS)}"
+            )
+        index = payload.get("index")
+        if index is not None and not isinstance(index, str):
+            raise GraphFormatError(f"index must be a backend name, got {index!r}")
+        try:
+            graph = TacoGraph(
+                patterns=[ALL_PATTERNS[name] for name in names],
+                use_cues=bool(payload.get("use_cues", True)),
+                prefer_column=bool(payload.get("prefer_column", True)),
+                index=index if index is not None else "rtree",
+            )
+        except ValueError as exc:  # unknown spatial-index backend
+            raise GraphFormatError(str(exc)) from exc
+        # The registry in use: the recorded priority list plus Single,
+        # which every variant falls back to for uncompressible edges.
+        allowed = set(names) | {SINGLE.name}
+    else:
+        graph = TacoGraph.full()
+        allowed = set(ALL_PATTERNS)
+
     records = payload.get("edges")
     if not isinstance(records, list):
         raise GraphFormatError("edges must be a list")
     for i, record in enumerate(records):
         try:
-            pattern = ALL_PATTERNS[record["pattern"]]
+            name = record["pattern"]
             prec = Range.from_a1(record["prec"])
             dep = Range.from_a1(record["dep"])
             meta = _meta_from_json(record.get("meta"))
         except (KeyError, ValueError, TypeError) as exc:
             raise GraphFormatError(f"bad edge record {i}: {exc}") from exc
-        edge = CompressedEdge(prec, dep, pattern, meta)
-        _validate_edge(edge, i)
-        graph.add_edge_raw(edge)
+        if name not in allowed:
+            raise GraphFormatError(
+                f"edge {i} uses pattern {name!r}, which is not in the "
+                f"registry in use ({sorted(allowed)})"
+            )
+        edge = CompressedEdge(prec, dep, ALL_PATTERNS[name], meta)
+        if validate:
+            _validate_edge(edge, i)
+        # Straight into the edge set: the vertex indexes are bulk-loaded
+        # once below, so per-edge incremental inserts would be pure waste
+        # on the load path.
+        graph._edges.add(edge)
     declared = payload.get("edge_count")
     if declared is not None and declared != len(graph):
         raise GraphFormatError(
             f"edge_count mismatch: declared {declared}, decoded {len(graph)}"
         )
+    # One bulk load per index (STR packing on the R-Tree) restores the
+    # packed layout the saved graph had.
+    graph.rebuild_indexes()
     return graph
+
+
+def loads_graph(text: str, *, validate: bool = True) -> TacoGraph:
+    """Deserialize a graph from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphFormatError(f"not valid JSON: {exc}") from exc
+    return graph_from_payload(payload, validate=validate)
 
 
 def _validate_edge(edge: CompressedEdge, index: int) -> None:
@@ -121,8 +219,8 @@ def _validate_edge(edge: CompressedEdge, index: int) -> None:
         raise GraphFormatError(f"edge {index} reconstructs no dependencies")
 
 
-def load_graph(source: "str | IO[str]") -> TacoGraph:
+def load_graph(source: "str | IO[str]", *, validate: bool = True) -> TacoGraph:
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as handle:
-            return loads_graph(handle.read())
-    return loads_graph(source.read())
+            return loads_graph(handle.read(), validate=validate)
+    return loads_graph(source.read(), validate=validate)

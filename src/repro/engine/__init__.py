@@ -16,10 +16,22 @@ Structural edits (row/column inserts and deletes) run through
 :mod:`repro.engine.structural`: ``engine.insert_rows(...)`` and friends
 rewrite the sheet (workbook-wide with ``workbook=``), maintain the
 compressed graph incrementally, and re-evaluate just the dirty set.
+
+Durability runs through :mod:`repro.engine.journal`: hand a
+:class:`Journal` to an engine and every committed edit is appended to an
+fsync'd write-ahead log; :func:`recover` (surfaced as
+``Workbook.restore``) replays it onto a snapshot after a crash.
 """
 
 from .async_engine import AsyncRecalcEngine, CellView, UpdateTicket
 from .batch import BatchEditSession, BatchResult
+from .journal import (
+    Journal,
+    JournalFormatError,
+    RecoveryResult,
+    read_journal,
+    recover,
+)
 from .recalc import CircularReferenceError, RecalcEngine, RecalcResult
 from .structural import StructuralEditResult, apply_structural_edit
 
@@ -29,9 +41,14 @@ __all__ = [
     "BatchResult",
     "CellView",
     "CircularReferenceError",
+    "Journal",
+    "JournalFormatError",
     "RecalcEngine",
     "RecalcResult",
+    "RecoveryResult",
     "StructuralEditResult",
     "UpdateTicket",
     "apply_structural_edit",
+    "read_journal",
+    "recover",
 ]

@@ -244,6 +244,22 @@ class BatchEditSession:
         engine = self.engine
         sheet = engine.sheet
         getattr(sheet, "_open_batches", set()).discard(self)
+        if getattr(engine, "journal", None) is not None:
+            # Journaled commits must be fully representable and
+            # replayable; validate every buffered value and formula
+            # *before* applying anything, so a mid-commit failure cannot
+            # leave live state the journal never recorded.  (Parses are
+            # memoised, so the apply step below pays nothing extra.)
+            from ..formula.parser import parse_formula
+            from ..io.snapshot import encode_value
+
+            for _, (kind, payload) in self._pending.items():
+                if kind == _VALUE:
+                    encode_value(payload)
+                elif kind == _FORMULA:
+                    parse_formula(
+                        payload[1:] if payload.startswith("=") else payload
+                    )
         start = time.perf_counter()
 
         # 0. Structural edits (always recorded before cell edits) are
@@ -255,7 +271,8 @@ class BatchEditSession:
         for op, index, count in self._structural:
             structural_dirty = shift_dirty_ranges(structural_dirty, op, index, count)
             structural_result = apply_structural_edit(
-                engine, op, index, count, recalc=False, workbook=self.workbook,
+                engine, op, index, count, recalc=False, journal=False,
+                workbook=self.workbook,
                 repack_fraction=self.repack_fraction, repack_min=self.repack_min,
             )
             structural_dirty.extend(structural_result.dirty_ranges)
@@ -294,6 +311,21 @@ class BatchEditSession:
             repack_fraction=self.repack_fraction, repack_min=self.repack_min,
         )
         maintain_seconds = time.perf_counter() - start
+
+        # The batch is now committed (sheet + graph); make it durable
+        # before recomputing dependents.  One record carries the whole
+        # commit: structural ops, range clears, and the surviving
+        # coalesced cell edits, in commit order.
+        journal = getattr(engine, "journal", None)
+        if journal is not None:
+            journal.record_batch(
+                sheet.name,
+                self._structural,
+                self._range_clears,
+                [(pos, kind, payload)
+                 for pos, (kind, payload) in self._pending.items()],
+                cross_sheet=self.workbook is not None,
+            )
 
         # 3. Dirty set by one BFS over the compressed graph, merged with
         # the structural edits' carried-forward dirty sets, then a single

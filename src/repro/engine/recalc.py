@@ -112,10 +112,15 @@ class RecalcEngine:
         *,
         evaluation: str = "auto",
         registry: TemplateRegistry | None = None,
+        journal=None,
     ):
         if evaluation not in ("auto", "interpreter"):
             raise ValueError(f"unknown evaluation mode {evaluation!r}")
         self.sheet = sheet
+        #: Optional :class:`~repro.engine.journal.Journal`: every committed
+        #: mutation (cell edit, batch commit, structural op) appends one
+        #: durable record before dependents are recomputed.
+        self.journal = journal
         if graph is None:
             graph = TacoGraph.full()
             graph.build(dependencies_column_major(sheet))
@@ -146,11 +151,17 @@ class RecalcEngine:
         """
         start = time.perf_counter()
         pos = self._position(target)
+        if self.journal is not None:
+            # Journaled values must be representable in the record format;
+            # validating *before* any mutation keeps the sheet and the
+            # journal from diverging when they are not.
+            from ..io.snapshot import encode_value
+
+            encode_value(value)
         cell_range = Range.cell(*pos)
-        previous = self.sheet.cell_at(pos)
-        if previous is not None and previous.is_formula:
-            self.graph.clear_cells(cell_range)
-        self.sheet.set_value(pos, value)
+        self.apply_cell_mutation(pos, "value", value)
+        if self.journal is not None:
+            self.journal.record_cell(self.sheet.name, "value", pos, value)
         dirty_ranges = self.graph.find_dependents(cell_range)
         control_return = time.perf_counter() - start
         recomputed = self.recompute(dirty_ranges)
@@ -164,14 +175,19 @@ class RecalcEngine:
         """Change a formula: maintain the graph, then refresh dependents."""
         start = time.perf_counter()
         pos = self._position(target)
+        if self.journal is not None:
+            # Parse *before* any mutation (memoised, so the later parse is
+            # free): an unparseable formula would otherwise fail mid-edit
+            # after the graph was already cleared, with no journal record
+            # — leaving live state the journal cannot reproduce.
+            from ..formula.parser import parse_formula
+
+            parse_formula(text[1:] if text.startswith("=") else text)
         cell_range = Range.cell(*pos)
-        self.graph.clear_cells(cell_range)
-        self.sheet.set_formula(pos, text)
-        cell = self.sheet.cell_at(pos)
-        for ref in cell.references:
-            if ref.sheet is not None and ref.sheet != self.sheet.name:
-                continue
-            self.graph.add_dependency(Dependency(ref.range, cell_range, ref.cue))
+        self.apply_cell_mutation(pos, "formula", text)
+        if self.journal is not None:
+            cell = self.sheet.cell_at(pos)
+            self.journal.record_cell(self.sheet.name, "formula", pos, cell.formula_text)
         dirty_ranges = self.graph.find_dependents(cell_range)
         control_return = time.perf_counter() - start
         recomputed = self.recompute(dirty_ranges, extra={pos})
@@ -186,8 +202,9 @@ class RecalcEngine:
         start = time.perf_counter()
         pos = self._position(target)
         cell_range = Range.cell(*pos)
-        self.graph.clear_cells(cell_range)
-        self.sheet.clear_cell(pos)
+        self.apply_cell_mutation(pos, "clear", None)
+        if self.journal is not None:
+            self.journal.record_cell(self.sheet.name, "clear", pos)
         dirty_ranges = self.graph.find_dependents(cell_range)
         control_return = time.perf_counter() - start
         recomputed = self.recompute(dirty_ranges)
@@ -196,6 +213,41 @@ class RecalcEngine:
             dirty_ranges, sum(r.size for r in dirty_ranges), recomputed,
             control_return, total,
         )
+
+    # -- shared mutation core ------------------------------------------------------
+
+    def apply_cell_mutation(self, pos: tuple[int, int], op: str, payload) -> None:
+        """Sheet write + graph maintenance for one cell edit — no journal
+        record, no recomputation.
+
+        The shared core of :meth:`set_value` / :meth:`set_formula` /
+        :meth:`clear_cell` *and* of journal replay
+        (:mod:`repro.engine.journal`), so a recovered graph is maintained
+        by definition exactly like the live one was.  ``op`` is
+        ``"value"`` / ``"formula"`` / ``"clear"``; ``payload`` is the
+        value or formula text (ignored for clears).
+        """
+        cell_range = Range.cell(*pos)
+        if op == "value":
+            previous = self.sheet.cell_at(pos)
+            if previous is not None and previous.is_formula:
+                # Stale edges would keep reporting dependents of a
+                # formula that no longer exists.
+                self.graph.clear_cells(cell_range)
+            self.sheet.set_value(pos, payload)
+        elif op == "formula":
+            self.graph.clear_cells(cell_range)
+            self.sheet.set_formula(pos, payload)
+            cell = self.sheet.cell_at(pos)
+            for ref in cell.references:
+                if ref.sheet is not None and ref.sheet != self.sheet.name:
+                    continue
+                self.graph.add_dependency(Dependency(ref.range, cell_range, ref.cue))
+        elif op == "clear":
+            self.graph.clear_cells(cell_range)
+            self.sheet.clear_cell(pos)
+        else:
+            raise ValueError(f"unknown cell op {op!r}")
 
     # -- batched editing ---------------------------------------------------------
 

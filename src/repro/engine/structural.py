@@ -79,8 +79,11 @@ class StructuralEditResult(NamedTuple):
     total_seconds: float
     #: Per-sibling-sheet rewrite reports (sheet name -> SheetEditReport),
     #: so callers can enumerate cross-sheet formulas whose cached values
-    #: are stale until those sheets' own engines recalculate.
-    sibling_reports: dict = {}
+    #: are stale until those sheets' own engines recalculate.  ``None``
+    #: only when constructed without one (a class-level ``{}`` default
+    #: would be one shared mutable dict across instances); the pipeline
+    #: always fills it in.
+    sibling_reports: "dict | None" = None
 
 
 def _maintain_graph(
@@ -128,6 +131,7 @@ def apply_structural_edit(
     repack_fraction: float = 0.25,
     repack_min: int = 64,
     recalc: bool = True,
+    journal: bool = True,
 ) -> StructuralEditResult:
     """Perform one structural edit end-to-end on ``engine``'s sheet.
 
@@ -136,7 +140,8 @@ def apply_structural_edit(
     recalculation stay per-sheet, matching the paper's per-sheet formula
     graphs.  ``recalc=False`` skips the re-evaluation and leaves
     ``dirty_ranges`` for a caller that batches several edits before one
-    recompute.
+    recompute.  ``journal=False`` suppresses the write-ahead journal
+    record (used by batch commits, whose own record covers the op).
 
     Raises ``RuntimeError`` when a batch session is open on the engine
     or the graph is inside a deferred-maintenance window — buffered cell
@@ -180,6 +185,14 @@ def apply_structural_edit(
         engine, op, index, count, repack_fraction, repack_min
     )
     maintain_seconds = time.perf_counter() - start
+
+    # Committed (sheet rewritten, graph maintained): make the op durable
+    # before the recalculation tail.
+    engine_journal = getattr(engine, "journal", None)
+    if journal and engine_journal is not None:
+        engine_journal.record_structural(
+            sheet.name, op, index, count, cross_sheet=workbook is not None
+        )
 
     recalc_start = time.perf_counter()
     seeds = report.dirty_seeds

@@ -1,0 +1,349 @@
+"""Whole-workbook snapshots: values, formula source, compressed graphs.
+
+The paper's one-off compression cost (Fig. 11) is worth paying once per
+*workbook*, not once per process.  A snapshot persists everything a
+service needs to reopen a workbook without re-parsing, re-building, or
+re-computing anything:
+
+* every cell — pure values, and formula cells as *source text plus the
+  cached evaluated value* (restored formulas re-parse lazily, and only
+  if something actually touches them);
+* every sheet's **compressed** formula graph, via
+  :mod:`repro.core.serialize` — including the spatial-index backend and
+  the pattern registry, so the restored graph compresses future edits
+  exactly like the saved one.
+
+Wire format (version 1), little-endian::
+
+    header   MAGIC(8) = b"TACOSNP1"   version u32
+    section  tag(4)   crc32 u32   length u64   payload[length]
+    ...
+    end      tag b"END."  crc32(b"") u32  length=0 u64
+
+Sections in a version-1 snapshot: ``META`` (workbook name + sheet
+order), then one ``CELL`` and one ``GRPH`` per sheet (JSON payloads,
+UTF-8).  Readers skip sections with unknown tags, so future versions can
+add sections without breaking old readers; every payload is protected by
+its CRC32, and a missing ``END.`` section means the snapshot is
+truncated.  Snapshots are written atomically (temp file + ``fsync`` +
+rename), so unlike the edit journal a torn snapshot is an *error*, not
+an expected state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import uuid
+import zlib
+from typing import IO, Mapping, NamedTuple
+
+from ..core.serialize import GraphFormatError, graph_from_payload, graph_payload
+from ..core.taco_graph import build_from_sheet
+from ..formula.errors import ExcelError
+from ..sheet.sheet import Sheet
+from ..sheet.workbook import Workbook
+
+__all__ = [
+    "Snapshot",
+    "SnapshotFormatError",
+    "SnapshotStats",
+    "decode_value",
+    "encode_value",
+    "load_snapshot",
+    "save_snapshot",
+]
+
+MAGIC = b"TACOSNP1"
+FORMAT_VERSION = 1
+
+_TAG_META = b"META"
+_TAG_CELLS = b"CELL"
+_TAG_GRAPH = b"GRPH"
+_TAG_END = b"END."
+
+_SECTION_HEADER = struct.Struct("<4sIQ")
+
+
+class SnapshotFormatError(ValueError):
+    """Raised when a snapshot cannot be decoded (corrupt, truncated,
+    or written by an unsupported format version)."""
+
+
+class Snapshot(NamedTuple):
+    """A loaded snapshot: the workbook, its per-sheet graphs, and meta."""
+
+    workbook: Workbook
+    graphs: dict            # sheet name -> restored formula graph
+    meta: dict              # the META section payload
+
+
+class SnapshotStats(NamedTuple):
+    """What one :func:`save_snapshot` call wrote."""
+
+    sheets: int
+    cells: int              # cell records across every sheet
+    edges: int              # compressed edges across every sheet
+    bytes_written: int
+    #: Unique id stamped into META; hand it to
+    #: :class:`~repro.engine.journal.Journal` so recovery can reject a
+    #: journal that belongs to a different (e.g. stale) snapshot.
+    snapshot_id: str = ""
+
+
+# -- value encoding ---------------------------------------------------------------
+
+def encode_value(value):
+    """JSON-encode one cell value (scalars pass through, errors are tagged)."""
+    if value is None or isinstance(value, (float, int, str, bool)):
+        return value
+    if isinstance(value, ExcelError):
+        return {"$err": value.code}
+    raise SnapshotFormatError(
+        f"cannot persist cell value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def decode_value(value):
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, dict):
+        code = value.get("$err")
+        if not isinstance(code, str):
+            raise SnapshotFormatError(f"bad encoded value {value!r}")
+        return ExcelError(code)
+    return value
+
+
+# -- section plumbing -------------------------------------------------------------
+
+def _write_section(out: IO[bytes], tag: bytes, payload: bytes) -> int:
+    out.write(_SECTION_HEADER.pack(tag, zlib.crc32(payload) & 0xFFFFFFFF, len(payload)))
+    out.write(payload)
+    return _SECTION_HEADER.size + len(payload)
+
+
+def fsync_directory(path: str) -> None:
+    """fsync the directory containing ``path`` so a freshly created or
+    renamed file survives power loss (no-op where unsupported)."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform without dir-fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def _read_exact(handle: IO[bytes], size: int, what: str) -> bytes:
+    data = handle.read(size)
+    if len(data) != size:
+        raise SnapshotFormatError(f"truncated snapshot: incomplete {what}")
+    return data
+
+
+def _read_section(handle: IO[bytes]) -> tuple[bytes, bytes]:
+    header = _read_exact(handle, _SECTION_HEADER.size, "section header")
+    tag, crc, length = _SECTION_HEADER.unpack(header)
+    payload = _read_exact(handle, length, f"{tag!r} section payload")
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise SnapshotFormatError(f"checksum mismatch in {tag!r} section")
+    return tag, payload
+
+
+def _json_payload(obj) -> bytes:
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8")
+
+
+def _cells_record(sheet: Sheet) -> list:
+    records = []
+    for (col, row), cell in sorted(sheet.items()):
+        formula = cell.formula_text if cell.is_formula else None
+        records.append([col, row, formula, encode_value(cell.value)])
+    return records
+
+
+# -- public API -------------------------------------------------------------------
+
+def save_snapshot(
+    workbook: Workbook,
+    target: "str | IO[bytes]",
+    graphs: "Mapping[str, object] | None" = None,
+) -> SnapshotStats:
+    """Write a snapshot of ``workbook`` (and its graphs) to ``target``.
+
+    ``graphs`` maps sheet names to the formula graphs to persist —
+    typically each sheet's live ``engine.graph``, so no compression work
+    happens here at all.  Sheets without an entry get a graph built on
+    the spot (:func:`~repro.core.taco_graph.build_from_sheet`).  Cached
+    cell values are persisted as-is; callers that want the snapshot to
+    hold *fresh* values should recalculate before saving.
+
+    A string ``target`` is written atomically: the bytes go to a
+    temporary sibling file which is fsync'd and renamed over the
+    destination, so a crash mid-save never leaves a torn snapshot behind.
+    """
+    graphs = dict(graphs) if graphs is not None else {}
+    stats_cells = 0
+    stats_edges = 0
+    snapshot_id = uuid.uuid4().hex
+    meta = {
+        "format": "taco-snapshot",
+        "version": FORMAT_VERSION,
+        "workbook": workbook.name,
+        "sheets": workbook.sheet_names,
+        "snapshot_id": snapshot_id,
+    }
+
+    def write_to(out: IO[bytes]) -> int:
+        # Sections are built and written one at a time, so peak memory
+        # is one section's payload, not the whole snapshot.
+        nonlocal stats_cells, stats_edges
+        written = len(MAGIC) + 4
+        out.write(MAGIC)
+        out.write(struct.pack("<I", FORMAT_VERSION))
+        written += _write_section(out, _TAG_META, _json_payload(meta))
+        for sheet in workbook.sheets():
+            graph = graphs.get(sheet.name)
+            if graph is None:
+                graph = build_from_sheet(sheet)
+            cells = _cells_record(sheet)
+            stats_cells += len(cells)
+            written += _write_section(
+                out, _TAG_CELLS,
+                _json_payload({"sheet": sheet.name, "cells": cells}),
+            )
+            payload = graph_payload(graph)
+            stats_edges += payload["edge_count"]
+            written += _write_section(
+                out, _TAG_GRAPH,
+                _json_payload({"sheet": sheet.name, "graph": payload}),
+            )
+        written += _write_section(out, _TAG_END, b"")
+        return written
+
+    if isinstance(target, str):
+        # A unique sibling temp file per call: concurrent saves of the
+        # same path must not interleave into one stream (last complete
+        # rename wins instead), and a failing save only removes its own
+        # temp file.
+        import tempfile
+
+        directory = os.path.dirname(os.path.abspath(target)) or "."
+        fd, tmp = tempfile.mkstemp(
+            prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                written = write_to(handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, target)
+            # The rename itself must survive power loss too.
+            fsync_directory(target)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+            raise
+    else:
+        written = write_to(target)
+    return SnapshotStats(
+        sheets=len(workbook), cells=stats_cells, edges=stats_edges,
+        bytes_written=written, snapshot_id=snapshot_id,
+    )
+
+
+def load_snapshot(source: "str | IO[bytes]") -> Snapshot:
+    """Read a snapshot back into a :class:`Snapshot`.
+
+    Raises :class:`SnapshotFormatError` on a bad magic, a format version
+    newer than this build supports (the error names both versions), a
+    checksum mismatch, or a truncated stream.  Graph payloads are loaded
+    without per-edge member validation — the section checksum already
+    vouches for their integrity — so restore cost is proportional to
+    *compressed* edges, not raw dependencies.
+    """
+    if isinstance(source, str):
+        with open(source, "rb") as handle:
+            return _load_stream(handle)
+    return _load_stream(source)
+
+
+def _load_stream(handle: IO[bytes]) -> Snapshot:
+    magic = _read_exact(handle, len(MAGIC), "magic")
+    if magic != MAGIC:
+        raise SnapshotFormatError(f"not a taco snapshot (magic {magic!r})")
+    (version,) = struct.unpack("<I", _read_exact(handle, 4, "version"))
+    if version > FORMAT_VERSION:
+        raise SnapshotFormatError(
+            f"snapshot was written by format version {version}, but this "
+            f"build reads versions 1..{FORMAT_VERSION}; upgrade to load it"
+        )
+    meta: dict | None = None
+    workbook: Workbook | None = None
+    graphs: dict = {}
+    while True:
+        tag, payload = _read_section(handle)
+        if tag == _TAG_END:
+            break
+        if tag == _TAG_META:
+            meta = _decode_json(payload, "META")
+            workbook = Workbook(str(meta.get("workbook", "workbook")))
+            for name in meta.get("sheets", []):
+                workbook.add_sheet(str(name))
+        elif tag == _TAG_CELLS:
+            record = _decode_json(payload, "CELL")
+            sheet = _sheet_for(workbook, record)
+            _restore_cells(sheet, record.get("cells", []))
+        elif tag == _TAG_GRAPH:
+            record = _decode_json(payload, "GRPH")
+            sheet = _sheet_for(workbook, record)
+            try:
+                graphs[sheet.name] = graph_from_payload(
+                    record.get("graph"), validate=False
+                )
+            except GraphFormatError as exc:
+                raise SnapshotFormatError(
+                    f"bad graph section for sheet {sheet.name!r}: {exc}"
+                ) from exc
+        # Unknown tags are skipped: their checksum was still verified.
+    if workbook is None or meta is None:
+        raise SnapshotFormatError("snapshot has no META section")
+    return Snapshot(workbook=workbook, graphs=graphs, meta=meta)
+
+
+def _decode_json(payload: bytes, tag: str) -> dict:
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotFormatError(f"bad {tag} section: {exc}") from exc
+    if not isinstance(record, dict):
+        raise SnapshotFormatError(f"bad {tag} section: expected an object")
+    return record
+
+
+def _sheet_for(workbook: Workbook | None, record: dict) -> Sheet:
+    if workbook is None:
+        raise SnapshotFormatError("sheet section before META")
+    name = record.get("sheet")
+    if not isinstance(name, str) or name not in workbook:
+        raise SnapshotFormatError(f"section names unknown sheet {name!r}")
+    return workbook[name]
+
+
+def _restore_cells(sheet: Sheet, records) -> None:
+    for record in records:
+        try:
+            col, row, formula, value = record
+            pos = (int(col), int(row))
+        except (TypeError, ValueError) as exc:
+            raise SnapshotFormatError(f"bad cell record {record!r}") from exc
+        if formula is not None:
+            sheet.set_formula(pos, str(formula))
+            sheet.cell_at(pos).value = decode_value(value)
+        else:
+            sheet.set_value(pos, decode_value(value))

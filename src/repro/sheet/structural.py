@@ -25,6 +25,7 @@ which formulas were rewritten, and which references were struck to
 
 from __future__ import annotations
 
+import re
 from typing import Callable, NamedTuple
 
 from ..formula.ast_nodes import (
@@ -39,7 +40,8 @@ from ..formula.ast_nodes import (
 )
 from ..formula.errors import REF_ERROR
 from ..grid.range import Range
-from ..grid.ref import CellRef
+from ..grid.ref import CellRef, letters_to_col
+from .cell import Cell
 from .sheet import Sheet
 
 __all__ = [
@@ -162,6 +164,49 @@ def edit_transform(op: str, index: int, count: int) -> Callable[[Range], Range |
 
 
 # ---------------------------------------------------------------------------
+# textual prescreen: skip parsing formulas an edit provably cannot touch
+
+#: Anything that scans like an A1 reference (``B12``, ``$AB$3``, also a
+#: qualified ``Sheet1!C4`` — the qualifier is irrelevant here).  The
+#: lookbehind keeps suffixes of longer identifiers from matching, the
+#: lookaheads keep the digits whole and exclude function calls like
+#: ``LOG10(`` (a reference is never followed by ``(``); quoted strings
+#: are *not* excluded, which only ever forces the slow path.
+_A1_TOKEN = re.compile(r"(?<![A-Za-z0-9_$])\$?([A-Za-z]{1,3})\$?(\d+)(?!\d)(?!\s*\()")
+
+#: ROW/COLUMN make a formula's value depend on where things *sit*, so a
+#: formula mentioning them can never be prescreened away.
+_POSITION_TOKEN = re.compile(r"(?i)(?<![A-Za-z0-9_])(?:ROW|COLUMN)(?![A-Za-z0-9_])")
+
+
+def _may_touch(text: str, axis: str, index: int) -> bool:
+    """Conservative textual test: could a structural edit at ``index``
+    along ``axis`` affect a formula with this source text?
+
+    ``False`` is a proof: every token that could possibly be a reference
+    sits strictly before the edit line (references never shift, ranges
+    never stretch or strike) and no position-sensitive function appears —
+    so the rewritten AST would come back identical.  ``True`` just means
+    "parse and look"; string literals and references qualified into other
+    sheets produce harmless ``True``s.  This is what keeps replaying a
+    structural edit onto a freshly restored (lazily parsed) sheet from
+    re-parsing every formula in the workbook: ``O(len(text))`` per cell
+    instead of a full tokenize+parse.
+    """
+    if _POSITION_TOKEN.search(text):
+        return True
+    if axis == "row":
+        for match in _A1_TOKEN.finditer(text):
+            if int(match.group(2)) >= index:
+                return True
+        return False
+    for match in _A1_TOKEN.finditer(text):
+        if letters_to_col(match.group(1).upper()) >= index:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
 # AST reference rewriting
 
 
@@ -265,7 +310,9 @@ class _TransformWatcher:
 # sheet-level operations
 
 
-def _apply_structural(sheet: Sheet, move_cell, transform_ref) -> SheetEditReport:
+def _apply_structural(
+    sheet: Sheet, move_cell, transform_ref, prescreen=None
+) -> SheetEditReport:
     """Rebuild the cell dict under a structural edit.
 
     ``move_cell(pos) -> pos | None`` relocates each physical cell;
@@ -279,6 +326,14 @@ def _apply_structural(sheet: Sheet, move_cell, transform_ref) -> SheetEditReport
     formulas get a fresh ``Cell`` so every position-dependent cache
     (``Cell._template_key``, extracted references) is invalidated at
     once.
+
+    ``prescreen(text) -> bool`` (optional) is the conservative textual
+    test of :func:`_may_touch`: a formula whose source text provably
+    cannot be affected skips AST materialisation entirely — it keeps its
+    ``Cell`` in place, or moves as a fresh text-only ``Cell`` whose
+    position-dependent caches start cold.  This is what makes an edit on
+    a lazily parsed sheet (a fresh xlsx read, a snapshot restore) cost
+    ``O(cells)`` text scans instead of ``O(cells)`` formula parses.
     """
     name = sheet.name
 
@@ -300,6 +355,20 @@ def _apply_structural(sheet: Sheet, move_cell, transform_ref) -> SheetEditReport
             continue
         if not cell.is_formula:
             sheet._cells[new_pos] = cell
+            continue
+        text = cell._formula_text
+        if prescreen is not None and text is not None and not prescreen(text):
+            # Provably untouched: same AST either way.  In place, the
+            # Cell (and its memoised caches) survives; moved, the source
+            # text is still verbatim-valid at the new position but the
+            # position-dependent caches must not travel.
+            if new_pos == pos:
+                sheet._cells[pos] = cell
+            else:
+                fresh = Cell(formula_text=text)
+                fresh.value = cell.value
+                sheet._cells[new_pos] = fresh
+                moved.add(new_pos)
             continue
         watcher = _TransformWatcher(transform_ref)
         new_ast = _rewrite(cell.formula_ast, watcher, applies)
@@ -340,6 +409,10 @@ def rewrite_for_edit(
             f"use {op} directly on the edited sheet {target!r}"
         )
     transform = edit_transform(op, index, count)
+    # In formula source a quoted sheet name doubles its apostrophes
+    # ('It''s'!A1): a name containing one never appears verbatim, so the
+    # textual shortcut below must look for the escaped spelling too.
+    quoted_target = target.replace("'", "''")
 
     def applies(node) -> bool:
         return node.sheet == target
@@ -349,6 +422,14 @@ def rewrite_for_edit(
     volatile: set[tuple[int, int]] = set()
     struck: set[tuple[int, int]] = set()
     for pos, cell in list(sheet.formula_cells()):
+        text = cell._formula_text
+        if text is not None and target not in text and quoted_target not in text:
+            # A reference into ``target`` must spell its name (possibly
+            # apostrophe-escaped); a formula whose text never mentions it
+            # cannot be affected.  (A name that happens to appear in a
+            # string literal just forces the slow path — conservative,
+            # never wrong.)
+            continue
         watcher = _TransformWatcher(transform)
         new_ast = _rewrite(cell.formula_ast, watcher, applies)
         if new_ast is cell.formula_ast:
@@ -404,7 +485,8 @@ def insert_rows(sheet: Sheet, row: int, count: int = 1) -> SheetEditReport:
         return (col, r + count) if r >= row else pos
 
     return _apply_structural(
-        sheet, move, lambda rng: shift_range_for_insert(rng, row, count, "row")
+        sheet, move, lambda rng: shift_range_for_insert(rng, row, count, "row"),
+        prescreen=lambda text: _may_touch(text, "row", row),
     )
 
 
@@ -421,7 +503,8 @@ def delete_rows(sheet: Sheet, row: int, count: int = 1) -> SheetEditReport:
         return (col, r - count) if r > end else pos
 
     return _apply_structural(
-        sheet, move, lambda rng: shift_range_for_delete(rng, row, count, "row")
+        sheet, move, lambda rng: shift_range_for_delete(rng, row, count, "row"),
+        prescreen=lambda text: _may_touch(text, "row", row),
     )
 
 
@@ -435,7 +518,8 @@ def insert_columns(sheet: Sheet, col: int, count: int = 1) -> SheetEditReport:
         return (c + count, row) if c >= col else pos
 
     return _apply_structural(
-        sheet, move, lambda rng: shift_range_for_insert(rng, col, count, "col")
+        sheet, move, lambda rng: shift_range_for_insert(rng, col, count, "col"),
+        prescreen=lambda text: _may_touch(text, "col", col),
     )
 
 
@@ -452,5 +536,6 @@ def delete_columns(sheet: Sheet, col: int, count: int = 1) -> SheetEditReport:
         return (c - count, row) if c > end else pos
 
     return _apply_structural(
-        sheet, move, lambda rng: shift_range_for_delete(rng, col, count, "col")
+        sheet, move, lambda rng: shift_range_for_delete(rng, col, count, "col"),
+        prescreen=lambda text: _may_touch(text, "col", col),
     )

@@ -59,6 +59,49 @@ class TestRoundTrip:
         assert dependency_set(load_graph(buffer)) == dependency_set(taco)
 
 
+class TestConstructionParameters:
+    """Version 2 records how the graph was built, and a load honours it."""
+
+    def test_index_and_registry_round_trip(self):
+        from repro.core.patterns.registry import extended_patterns
+        from repro.core.taco_graph import TacoGraph, dependencies_column_major
+
+        sheet = build_mixed_sheet(seed=40)
+        graph = TacoGraph(patterns=extended_patterns(), index="gridbucket")
+        graph.build(dependencies_column_major(sheet))
+        payload = json.loads(dumps_graph(graph))
+        assert payload["version"] == 2
+        assert payload["index"] == "gridbucket"
+        assert payload["patterns"] == [p.name for p in graph.patterns]
+        restored = loads_graph(dumps_graph(graph))
+        assert restored.index_spec == "gridbucket"
+        assert [p.name for p in restored.patterns] == [p.name for p in graph.patterns]
+        assert restored.use_cues == graph.use_cues
+        assert restored.prefer_column == graph.prefer_column
+
+    def test_compact_dump_round_trips(self):
+        taco, _ = build_graph_pair(build_mixed_sheet(seed=41))
+        text = dumps_graph(taco, compact=True)
+        assert "\n" not in text
+        assert dependency_set(loads_graph(text)) == dependency_set(taco)
+
+    def test_version1_payload_still_loads(self):
+        payload = {
+            "format": "taco-graph", "version": 1, "edge_count": 1,
+            "edges": [{"prec": "A1", "dep": "B1", "pattern": "Single", "meta": None}],
+        }
+        graph = loads_graph(json.dumps(payload))
+        assert len(graph) == 1
+
+    def test_unknown_index_backend_rejected(self):
+        payload = {
+            "format": "taco-graph", "version": 2, "index": "quadtree",
+            "patterns": ["RR"], "edges": [],
+        }
+        with pytest.raises(GraphFormatError, match="quadtree"):
+            loads_graph(json.dumps(payload))
+
+
 class TestValidation:
     def test_not_json(self):
         with pytest.raises(GraphFormatError):
@@ -71,6 +114,52 @@ class TestValidation:
     def test_wrong_version(self):
         with pytest.raises(GraphFormatError):
             loads_graph(json.dumps({"format": "taco-graph", "version": 99, "edges": []}))
+
+    def test_future_version_error_names_both_versions(self):
+        from repro.core.serialize import FORMAT_VERSION
+
+        with pytest.raises(GraphFormatError) as err:
+            loads_graph(json.dumps(
+                {"format": "taco-graph", "version": 99, "edges": []}
+            ))
+        message = str(err.value)
+        assert "99" in message and str(FORMAT_VERSION) in message
+
+    def test_non_integer_version_rejected(self):
+        with pytest.raises(GraphFormatError, match="version"):
+            loads_graph(json.dumps(
+                {"format": "taco-graph", "version": "two", "edges": []}
+            ))
+
+    def test_pattern_outside_recorded_registry_rejected(self):
+        # RR-GapOne is a real pattern, but not in the recorded registry:
+        # the payload's own registry is what validates, not ALL_PATTERNS.
+        payload = {
+            "format": "taco-graph", "version": 2, "index": "rtree",
+            "patterns": ["RR-Chain", "RR", "RF", "FR", "FF"],
+            "edges": [{
+                "prec": "A1:A2", "dep": "B1:B2",
+                "pattern": "RR-GapOne", "meta": [0, 0, 1],
+            }],
+        }
+        with pytest.raises(GraphFormatError, match="registry in use"):
+            loads_graph(json.dumps(payload))
+
+    def test_single_always_allowed(self):
+        payload = {
+            "format": "taco-graph", "version": 2, "index": "rtree",
+            "patterns": ["RR"],
+            "edges": [{"prec": "A1", "dep": "B1", "pattern": "Single", "meta": None}],
+        }
+        assert len(loads_graph(json.dumps(payload))) == 1
+
+    def test_unknown_registry_pattern_rejected(self):
+        payload = {
+            "format": "taco-graph", "version": 2, "index": "rtree",
+            "patterns": ["Bogus"], "edges": [],
+        }
+        with pytest.raises(GraphFormatError, match="Bogus"):
+            loads_graph(json.dumps(payload))
 
     def test_unknown_pattern(self):
         payload = {

@@ -1,0 +1,419 @@
+"""Crash-point fuzz: recovery from every possible torn journal.
+
+A crash can cut the journal anywhere: exactly between records, inside a
+record's frame header, mid-payload, or by corrupting bytes in place.
+Whatever the cut, recovery must restore *exactly the prefix of committed
+operations before it* — values, graphs, and queries identical to a live
+workbook that stopped after the same operations — and must never raise
+on the torn tail.
+
+The scripted scenario covers every record kind (cell value/formula/
+clear, one batch with structural + range clear + cell ops, standalone
+structural inserts and deletes), and the truncation sweep hits every
+record boundary plus offsets inside every record (all offsets when
+``REPRO_JOURNAL_FUZZ=exhaustive``, a deterministic sample otherwise —
+the CI smoke job runs the exhaustive sweep).
+"""
+
+import io
+import os
+import random
+
+import pytest
+
+from repro.core.taco_graph import build_from_sheet
+from repro.engine.journal import (
+    Journal,
+    JournalFormatError,
+    read_journal,
+    recover,
+)
+from repro.engine.recalc import RecalcEngine
+from repro.grid.range import Range
+from repro.io.snapshot import save_snapshot
+from repro.sheet.autofill import fill_formula_column
+from repro.sheet.workbook import Workbook
+
+EXHAUSTIVE = os.environ.get("REPRO_JOURNAL_FUZZ", "") == "exhaustive"
+
+
+def build_workbook() -> tuple[Workbook, RecalcEngine]:
+    workbook = Workbook("crash")
+    sheet = workbook.add_sheet("Main")
+    for r in range(1, 13):
+        sheet.set_value((1, r), float(r))
+        sheet.set_value((2, r), float(r % 4))
+    fill_formula_column(sheet, 3, 1, 12, "=SUM($A$1:A1)")   # FR running total
+    fill_formula_column(sheet, 4, 1, 12, "=A1+B1")          # RR pair
+    sheet.set_formula("E1", "=SUM(C1:C12)")
+    engine = RecalcEngine(sheet, build_from_sheet(sheet))
+    engine.recalculate_all()
+    return workbook, engine
+
+
+#: (description, callable(engine, workbook)) — one journal record each.
+SCRIPT = [
+    ("value edit", lambda e, w: e.set_value("A3", 99.0)),
+    ("formula edit", lambda e, w: e.set_formula("F1", "=C12*2")),
+    ("clear cell", lambda e, w: e.clear_cell("B2")),
+    ("batch commit", lambda e, w: _commit_batch(e, w)),
+    ("structural insert", lambda e, w: e.insert_rows(5, 2, workbook=w)),
+    ("value after insert", lambda e, w: e.set_value("A5", -7.0)),
+    ("structural delete", lambda e, w: e.delete_rows(9, 1, workbook=w)),
+    ("value string", lambda e, w: e.set_value("G1", "note")),
+]
+
+
+def _commit_batch(engine, workbook):
+    with engine.begin_batch(workbook=workbook) as batch:
+        batch.insert_rows(3, 1)
+        batch.clear_range(Range.from_a1("B5:B6"))
+        batch.set_value("A2", 41.0)
+        batch.set_formula("F2", "=A2+1")
+        batch.clear_cell("D4")
+    return batch.result
+
+
+def sheet_values(workbook: Workbook) -> dict:
+    sheet = workbook.active_sheet
+    return {pos: cell.value for pos, cell in sheet.items()}
+
+
+def dependency_set(graph) -> set:
+    return {(d.prec.as_tuple(), d.dep.as_tuple()) for d in graph.decompress()}
+
+
+@pytest.fixture(scope="module")
+def scenario(tmp_path_factory):
+    """Snapshot + journal + the expected state after every prefix."""
+    workdir = tmp_path_factory.mktemp("crash")
+    snapshot_path = str(workdir / "crash.snap")
+    journal_path = str(workdir / "crash.wal")
+
+    workbook, engine = build_workbook()
+    save_snapshot(workbook, snapshot_path, {"Main": engine.graph})
+    engine.journal = Journal(journal_path, truncate=True)
+
+    boundaries = [os.path.getsize(journal_path)]
+    states = [sheet_values(workbook)]       # state after i records
+    graphs = [dependency_set(engine.graph)]
+    for _, step in SCRIPT:
+        step(engine, workbook)
+        boundaries.append(os.path.getsize(journal_path))
+        states.append(sheet_values(workbook))
+        graphs.append(dependency_set(engine.graph))
+    engine.journal.close()
+    data = open(journal_path, "rb").read()
+    return {
+        "snapshot": snapshot_path,
+        "journal": journal_path,
+        "data": data,
+        "boundaries": boundaries,
+        "states": states,
+        "graphs": graphs,
+        "workdir": str(workdir),
+    }
+
+
+def recover_truncated(scenario, cut: int, tag: str):
+    path = os.path.join(scenario["workdir"], f"cut-{tag}.wal")
+    with open(path, "wb") as handle:
+        handle.write(scenario["data"][:cut])
+    return recover(scenario["snapshot"], path)
+
+
+def prefix_index(scenario, cut: int) -> int:
+    """How many complete records survive a cut at byte ``cut``."""
+    return sum(1 for b in scenario["boundaries"][1:] if b <= cut)
+
+
+def test_journal_has_one_record_per_step(scenario):
+    read = read_journal(scenario["journal"])
+    assert len(read.records) == len(SCRIPT)
+    assert not read.torn
+
+
+def test_full_replay_matches_live(scenario):
+    result = recover(scenario["snapshot"], scenario["journal"])
+    assert result.records_applied == len(SCRIPT)
+    assert not result.torn_tail
+    assert sheet_values(result.workbook) == scenario["states"][-1]
+    assert dependency_set(result.graphs["Main"]) == scenario["graphs"][-1]
+
+
+def test_truncation_at_every_record_boundary(scenario):
+    for i, cut in enumerate(scenario["boundaries"]):
+        result = recover_truncated(scenario, cut, f"bound{i}")
+        assert result.records_applied == i, SCRIPT[i - 1]
+        assert not result.torn_tail
+        assert sheet_values(result.workbook) == scenario["states"][i], \
+            f"after {i} records ({cut} bytes)"
+        assert dependency_set(result.graphs.get("Main")
+                              or result.engines["Main"].graph) \
+            == scenario["graphs"][i]
+
+
+def test_truncation_mid_record_recovers_previous_prefix(scenario):
+    boundaries = scenario["boundaries"]
+    offsets = []
+    for lo, hi in zip(boundaries, boundaries[1:]):
+        if EXHAUSTIVE:
+            offsets.extend(range(lo + 1, hi))
+        else:
+            rng = random.Random(lo)
+            inner = range(lo + 1, hi)
+            offsets.extend(sorted(rng.sample(inner, min(7, len(inner)))))
+    for cut in offsets:
+        result = recover_truncated(scenario, cut, f"mid{cut}")
+        i = prefix_index(scenario, cut)
+        assert result.torn_tail, f"cut at {cut} should read as torn"
+        assert result.records_applied == i
+        assert sheet_values(result.workbook) == scenario["states"][i], \
+            f"mid-record cut at byte {cut}"
+
+
+def test_corrupt_byte_cuts_at_last_complete_record(scenario):
+    data = bytearray(scenario["data"])
+    boundaries = scenario["boundaries"]
+    # Corrupt a byte inside the 4th record's payload.
+    target = (boundaries[3] + boundaries[4]) // 2
+    data[target] ^= 0xFF
+    path = os.path.join(scenario["workdir"], "corrupt.wal")
+    with open(path, "wb") as handle:
+        handle.write(bytes(data))
+    result = recover(scenario["snapshot"], path)
+    assert result.torn_tail
+    assert result.records_applied == 3
+    assert sheet_values(result.workbook) == scenario["states"][3]
+
+
+def test_empty_and_missing_journal(scenario, tmp_path):
+    empty = str(tmp_path / "empty.wal")
+    Journal(empty).close()
+    result = recover(scenario["snapshot"], empty)
+    assert result.records_applied == 0 and not result.torn_tail
+    assert sheet_values(result.workbook) == scenario["states"][0]
+
+    result = recover(scenario["snapshot"], str(tmp_path / "missing.wal"))
+    assert result.records_applied == 0
+    # No journal at all is also fine.
+    result = recover(scenario["snapshot"])
+    assert result.records_applied == 0
+    assert sheet_values(result.workbook) == scenario["states"][0]
+
+
+def test_torn_header_reads_as_empty(scenario, tmp_path):
+    path = str(tmp_path / "torn-header.wal")
+    with open(path, "wb") as handle:
+        handle.write(scenario["data"][:5])       # inside the magic
+    read = read_journal(path)
+    assert read.records == [] and read.torn
+
+
+def test_unparseable_formula_rejected_before_any_mutation(scenario, tmp_path):
+    """A journaled engine must fail *before* mutating when a formula
+    cannot parse — a mid-edit failure would leave live state the journal
+    never recorded."""
+    from repro.formula.errors import FormulaSyntaxError
+
+    result = recover(scenario["snapshot"], scenario["journal"])
+    engine = result.engines["Main"]
+    engine.journal = Journal(str(tmp_path / "badformula.wal"), truncate=True)
+    before = sheet_values(result.workbook)
+    with pytest.raises(FormulaSyntaxError):
+        engine.set_formula("F5", "=SUM(")
+    with pytest.raises(FormulaSyntaxError):
+        with engine.begin_batch() as batch:
+            batch.set_value("A1", 7.0)
+            batch.set_formula("F6", "=1+")
+    assert sheet_values(result.workbook) == before
+    assert read_journal(engine.journal.path).records == []
+    engine.journal.close()
+
+
+def test_bogus_structural_op_in_record_rejected(scenario, tmp_path):
+    """Op names come from file bytes; a CRC-valid record naming a
+    non-structural method must raise JournalFormatError, not dispatch."""
+    for bad in (
+        {"kind": "structural", "sheet": "Main", "op": "commit",
+         "index": 1, "count": 1, "cross_sheet": False},
+        {"kind": "batch", "sheet": "Main", "cross_sheet": False,
+         "structural": [["discard", 1, 1]], "clears": [], "ops": []},
+    ):
+        path = str(tmp_path / f"bogus-{bad['kind']}.wal")
+        journal = Journal(path, truncate=True)
+        journal.append(bad)
+        journal.close()
+        with pytest.raises(JournalFormatError, match="structural op"):
+            recover(scenario["snapshot"], path)
+
+
+def test_mismatched_snapshot_journal_pair_rejected(scenario, tmp_path):
+    """A journal opened for snapshot A must not replay onto snapshot B."""
+    workbook, engine = build_workbook()
+    other_snap = str(tmp_path / "other.snap")
+    stats = save_snapshot(workbook, other_snap, {"Main": engine.graph})
+    wal = str(tmp_path / "paired.wal")
+    journal = Journal(wal, truncate=True, snapshot_id=stats.snapshot_id)
+    engine.journal = journal
+    engine.set_value("A1", 1.0)
+    journal.close()
+
+    # Right pair: replays (the `open` stamp is not counted as applied).
+    result = recover(other_snap, wal)
+    assert result.records_applied == 1
+    # Wrong pair: the scenario snapshot has a different id.
+    with pytest.raises(JournalFormatError, match="does not match"):
+        recover(scenario["snapshot"], wal)
+
+
+def test_reopen_with_different_snapshot_id_refused(scenario, tmp_path):
+    """Reopening an existing journal under a new snapshot stamp must be
+    refused up front — not discovered at restore time, after acked edits
+    were appended behind the wrong pairing record."""
+    wal = str(tmp_path / "stamped.wal")
+    Journal(wal, truncate=True, snapshot_id="aaaa").close()
+    with pytest.raises(JournalFormatError, match="truncate=True"):
+        Journal(wal, snapshot_id="bbbb")
+    # Same stamp, or no stamp, reopens fine.
+    Journal(wal, snapshot_id="aaaa").close()
+    Journal(wal).close()
+
+
+def test_malformed_but_crc_valid_record_raises_cleanly(scenario, tmp_path):
+    """A CRC-valid record missing required fields must surface as
+    JournalFormatError, not a raw KeyError from half-way through replay."""
+    for bad in (
+        {"kind": "cell", "sheet": "Main", "op": "value"},        # no "cell"
+        {"kind": "structural", "sheet": "Main", "op": "insert_rows"},
+        {"kind": "batch", "sheet": "Main", "structural": [["insert_rows", 1]]},
+        {"kind": "structural", "sheet": "Main", "op": "insert_rows",
+         "index": 0, "count": 1},                                # invalid index
+    ):
+        path = str(tmp_path / "malformed.wal")
+        journal = Journal(path, truncate=True)
+        journal.append(bad)
+        journal.close()
+        with pytest.raises(JournalFormatError):
+            recover(scenario["snapshot"], path)
+
+
+def test_journal_exposes_preexisting_records(scenario, tmp_path):
+    path = str(tmp_path / "pre.wal")
+    journal = Journal(path, truncate=True)
+    journal.append({"kind": "cell", "sheet": "Main", "op": "clear",
+                    "cell": [1, 1]})
+    journal.close()
+    reopened = Journal(path)
+    assert [r["kind"] for r in reopened.preexisting_records] == ["cell"]
+    reopened.close()
+
+
+def test_short_non_journal_file_is_not_clobbered(tmp_path):
+    """A sub-header file that is not a header prefix is someone else's
+    file: reading raises, and opening for append must not erase it."""
+    path = str(tmp_path / "notes.txt")
+    with open(path, "wb") as handle:
+        handle.write(b"hi!")
+    with pytest.raises(JournalFormatError):
+        read_journal(path)
+    with pytest.raises(JournalFormatError):
+        Journal(path)
+    assert open(path, "rb").read() == b"hi!"
+
+
+def test_wrong_magic_and_future_version_raise(tmp_path):
+    bad = str(tmp_path / "bad.wal")
+    with open(bad, "wb") as handle:
+        handle.write(b"NOTAJRNL" + (1).to_bytes(4, "little"))
+    with pytest.raises(JournalFormatError, match="magic"):
+        read_journal(bad)
+
+    future = str(tmp_path / "future.wal")
+    with open(future, "wb") as handle:
+        handle.write(b"TACOJRN1" + (9).to_bytes(4, "little"))
+    with pytest.raises(JournalFormatError) as err:
+        read_journal(future)
+    assert "9" in str(err.value) and "1" in str(err.value)
+    # Appending to a future-version journal is refused the same way.
+    with pytest.raises(JournalFormatError):
+        Journal(future)
+
+
+def test_reopen_after_torn_tail_cuts_then_appends(scenario, tmp_path):
+    """Restart after a crash: opening the journal for appending must cut
+    the torn tail first, or every post-restart record would sit behind
+    garbage and be lost at the next recovery."""
+    boundaries = scenario["boundaries"]
+    path = str(tmp_path / "restart.wal")
+    cut = (boundaries[2] + boundaries[3]) // 2      # tear record 3 mid-frame
+    with open(path, "wb") as handle:
+        handle.write(scenario["data"][:cut])
+
+    # The restarted process recovers (2 complete records) and continues
+    # editing against the recovered state, appending to the same journal.
+    result = recover(scenario["snapshot"], path)
+    assert result.records_applied == 2 and result.torn_tail
+    engine = result.engines["Main"]
+    engine.journal = Journal(path)                   # cuts the torn tail
+    engine.set_value("A1", 555.0)
+    engine.set_value("G9", 7.0)
+    engine.journal.close()
+
+    read = read_journal(path)
+    assert not read.torn
+    assert len(read.records) == 4                    # 2 old + 2 new
+    final = recover(scenario["snapshot"], path)
+    assert final.records_applied == 4
+    assert final.workbook["Main"].get_value("A1") == 555.0
+    assert final.workbook["Main"].get_value("G9") == 7.0
+
+
+def test_reopen_after_torn_header_starts_fresh(scenario, tmp_path):
+    path = str(tmp_path / "torn-header.wal")
+    with open(path, "wb") as handle:
+        handle.write(scenario["data"][:7])           # mid-magic
+    journal = Journal(path)
+    journal.append({"kind": "cell", "sheet": "Main", "op": "clear",
+                    "cell": [9, 9]})
+    journal.close()
+    read = read_journal(path)
+    assert not read.torn and len(read.records) == 1
+
+
+def test_unrepresentable_value_rejected_before_any_mutation(scenario, tmp_path):
+    """A journaled engine must refuse values the record format cannot
+    carry *before* touching the sheet — otherwise memory and WAL diverge."""
+    from repro.io.snapshot import SnapshotFormatError
+
+    result = recover(scenario["snapshot"], scenario["journal"])
+    engine = result.engines["Main"]
+    engine.journal = Journal(str(tmp_path / "reject.wal"), truncate=True)
+    before = sheet_values(result.workbook)
+    with pytest.raises(SnapshotFormatError):
+        engine.set_value("A1", object())
+    with pytest.raises(SnapshotFormatError):
+        with engine.begin_batch() as batch:
+            batch.set_value("A1", 1.0)
+            batch.set_value("A2", {"not": "a scalar"})
+    assert sheet_values(result.workbook) == before
+    assert read_journal(engine.journal.path).records == []
+    engine.journal.close()
+
+
+def test_journal_append_reopens(tmp_path):
+    """Closing and reopening a journal appends, not truncates."""
+    workbook, engine = build_workbook()
+    snapshot = io.BytesIO()
+    save_snapshot(workbook, snapshot, {"Main": engine.graph})
+    path = str(tmp_path / "reopen.wal")
+    engine.journal = Journal(path, truncate=True)
+    engine.set_value("A1", 5.0)
+    engine.journal.close()
+    engine.journal = Journal(path)
+    engine.set_value("A2", 6.0)
+    engine.journal.close()
+    snapshot.seek(0)
+    result = recover(snapshot, path)
+    assert result.records_applied == 2
+    assert sheet_values(result.workbook) == sheet_values(workbook)

@@ -195,6 +195,89 @@ class TestEditStructural:
         assert out.index("delete_rows 2:1") < out.index("insert_rows 10:1")
 
 
+class TestSnapshotRestore:
+    def test_snapshot_then_restore_round_trips(self, demo_file, tmp_path):
+        snap = str(tmp_path / "demo.snap")
+        code, out, _ = run_cli(["snapshot", demo_file, snap])
+        assert code == 0
+        assert "compressed edges" in out
+
+        out_path = str(tmp_path / "restored.xlsx")
+        code, out, _ = run_cli(["restore", snap, "--out", out_path])
+        assert code == 0
+        assert "restored" in out
+
+        from repro.io import read_xlsx
+
+        source = read_xlsx(demo_file).active_sheet
+        engine_values = {}
+        from repro.engine.recalc import RecalcEngine
+
+        RecalcEngine(source).recalculate_all()
+        for pos, cell in source.items():
+            engine_values[pos] = cell.value
+        restored = read_xlsx(out_path).active_sheet
+        assert {pos: c.value for pos, c in restored.items()} == engine_values
+
+    def test_journaled_edits_replay_on_restore(self, demo_file, tmp_path):
+        snap = str(tmp_path / "demo.snap")
+        wal = str(tmp_path / "demo.wal")
+        code, _, _ = run_cli(["snapshot", demo_file, snap, "--journal", wal])
+        assert code == 0
+
+        code, out, _ = run_cli([
+            "edit", demo_file, "--set", "A5=123", "--formula", "K1=A5*2",
+            "--insert-rows", "40:2", "--journal", wal,
+        ])
+        assert code == 0
+        assert "journaled 3 records" in out
+
+        code, out, _ = run_cli(["restore", snap, "--journal", wal])
+        assert code == 0
+        assert "replayed 3 journal records" in out
+
+    def test_restore_reports_torn_tail(self, demo_file, tmp_path):
+        snap = str(tmp_path / "demo.snap")
+        wal = str(tmp_path / "demo.wal")
+        run_cli(["snapshot", demo_file, snap, "--journal", wal])
+        run_cli(["edit", demo_file, "--set", "A5=123", "--set", "A6=5",
+                 "--journal", wal])
+        data = open(wal, "rb").read()
+        with open(wal, "wb") as handle:
+            handle.write(data[:-3])
+        code, out, _ = run_cli(["restore", snap, "--journal", wal])
+        assert code == 0
+        assert "replayed 1 journal records (torn tail cut)" in out
+
+    def test_edit_refuses_journal_with_structural_history(self, demo_file, tmp_path):
+        # Appending base-file edits after journaled structural ops would
+        # replay them at shifted coordinates; the CLI must refuse.
+        snap = str(tmp_path / "demo.snap")
+        wal = str(tmp_path / "demo.wal")
+        run_cli(["snapshot", demo_file, snap, "--journal", wal])
+        code, _, _ = run_cli(["edit", demo_file, "--insert-rows", "5",
+                              "--journal", wal])
+        assert code == 0
+        code, _, err = run_cli(["edit", demo_file, "--set", "A10=1",
+                                "--journal", wal])
+        assert code == 2
+        assert "structural" in err
+        # Value-only history is coordinate-stable and may be appended to.
+        wal2 = str(tmp_path / "values.wal")
+        run_cli(["edit", demo_file, "--set", "M3=1", "--journal", wal2])
+        code, _, _ = run_cli(["edit", demo_file, "--set", "M4=2",
+                              "--journal", wal2])
+        assert code == 0
+
+    def test_restore_rejects_corrupt_snapshot(self, tmp_path):
+        bad = str(tmp_path / "bad.snap")
+        with open(bad, "wb") as handle:
+            handle.write(b"definitely not a snapshot")
+        code, _, err = run_cli(["restore", bad])
+        assert code == 1
+        assert "error" in err
+
+
 class TestHelp:
     def test_edit_help_lists_structural_flags(self, capsys):
         with pytest.raises(SystemExit) as exc:
@@ -203,8 +286,15 @@ class TestHelp:
         out = capsys.readouterr().out
         for flag in ("--insert-rows", "--delete-rows", "--insert-cols",
                      "--delete-cols", "--batch", "--set", "--formula",
-                     "--clear", "--index"):
+                     "--clear", "--index", "--journal"):
             assert flag in out
+
+    def test_snapshot_and_restore_are_listed(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "snapshot" in out and "restore" in out
 
 
 def test_unknown_command_exits():

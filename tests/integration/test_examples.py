@@ -16,6 +16,7 @@ EXAMPLES = [
     "sales_recalc.py",
     "structural_edits.py",
     "batch_editing.py",
+    "snapshot_recovery.py",
 ]
 
 

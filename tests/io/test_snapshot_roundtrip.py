@@ -1,0 +1,290 @@
+"""Property suite: workbook -> snapshot -> restore is the identity.
+
+A restored workbook must be indistinguishable from the one that was
+saved: every cell value (including error values), every formula's
+source, every graph's decompressed dependency set, every formula's R1C1
+template key, and every dependents query answer — for every registered
+spatial-index backend and every pattern registry, including the
+RR-GapOne extension.
+"""
+
+import io
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from helpers import build_fig2_sheet, build_mixed_sheet
+
+from repro.core.patterns.registry import (
+    default_patterns,
+    extended_patterns,
+    inrow_patterns,
+)
+from repro.core.taco_graph import TacoGraph, dependencies_column_major
+from repro.engine.recalc import RecalcEngine
+from repro.formula.errors import DIV0, NA_ERROR
+from repro.graphs.base import expand_cells
+from repro.grid.range import Range
+from repro.io.snapshot import (
+    SnapshotFormatError,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.sheet.sheet import Sheet
+from repro.sheet.workbook import Workbook
+from repro.spatial.registry import available_indexes
+
+BACKENDS = available_indexes()
+REGISTRIES = {
+    "full": default_patterns,
+    "extended": extended_patterns,   # includes RR-GapOne
+    "inrow": inrow_patterns,
+}
+
+
+def roundtrip(workbook: Workbook, graphs=None):
+    buffer = io.BytesIO()
+    save_snapshot(workbook, buffer, graphs)
+    buffer.seek(0)
+    return load_snapshot(buffer)
+
+
+def build_graph(sheet: Sheet, backend: str, registry: str) -> TacoGraph:
+    graph = TacoGraph(patterns=REGISTRIES[registry](), index=backend)
+    graph.build(dependencies_column_major(sheet))
+    graph.rebuild_indexes()
+    return graph
+
+
+def cell_state(sheet: Sheet) -> dict:
+    return {
+        pos: (cell.formula_text, cell.value)
+        for pos, cell in sheet.items()
+    }
+
+
+def dependency_set(graph) -> set:
+    return {(d.prec.as_tuple(), d.dep.as_tuple()) for d in graph.decompress()}
+
+
+def template_keys(sheet: Sheet) -> dict:
+    return {
+        pos: cell.template_key(*pos)
+        for pos, cell in sheet.formula_cells()
+    }
+
+
+# -- generated workbooks -------------------------------------------------------
+
+DATA_COLS = (1, 2)
+FORMULA_POOL = (
+    "=A{r}+B{r}",
+    "=SUM(A1:A{r})",
+    "=SUM($A$1:B{r})",
+    "=SUM(A{r}:B{rr})",
+    "=A{r}*$B$1",
+    "=IF(A{r}>B{r},A{r},B{r})",
+    "=A{r}/B{r}",          # can produce #DIV/0!
+)
+
+
+@st.composite
+def workbooks(draw):
+    rows = draw(st.integers(4, 12))
+    workbook = Workbook("gen")
+    sheet = workbook.add_sheet("Gen")
+    for r in range(1, rows + 1):
+        sheet.set_value((1, r), float(draw(st.integers(-9, 9))))
+        sheet.set_value((2, r), float(draw(st.integers(0, 4))))
+    n_formulas = draw(st.integers(1, 3))
+    for col in range(3, 3 + n_formulas):
+        template = draw(st.sampled_from(FORMULA_POOL))
+        for r in range(1, rows + 1):
+            sheet.set_formula(
+                (col, r), template.format(r=r, rr=min(rows, r + 2))
+            )
+    if draw(st.booleans()):
+        sheet.set_value((5, rows + 2), "label")
+        sheet.set_value((6, rows + 2), True)
+    return workbook
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("registry", sorted(REGISTRIES))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_roundtrip_pins_everything(backend, registry, data):
+    workbook = data.draw(workbooks())
+    sheet = workbook.active_sheet
+    graph = build_graph(sheet, backend, registry)
+    RecalcEngine(sheet, graph).recalculate_all()
+
+    restored = roundtrip(workbook, {sheet.name: graph})
+    rsheet = restored.workbook[sheet.name]
+    rgraph = restored.graphs[sheet.name]
+
+    assert cell_state(rsheet) == cell_state(sheet)
+    assert dependency_set(rgraph) == dependency_set(graph)
+    assert template_keys(rsheet) == template_keys(sheet)
+    # The construction parameters survive too.
+    assert rgraph.index_spec == backend
+    assert [p.name for p in rgraph.patterns] == [p.name for p in graph.patterns]
+
+    for probe in (Range.from_a1("A1"), Range.from_a1("B2"),
+                  Range.from_a1("A1:B4")):
+        assert expand_cells(rgraph.find_dependents(probe)) == \
+            expand_cells(graph.find_dependents(probe))
+        assert expand_cells(rgraph.find_precedents(probe)) == \
+            expand_cells(graph.find_precedents(probe))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_roundtrip_preserves_error_values(backend):
+    workbook = Workbook("err")
+    sheet = workbook.add_sheet("Err")
+    sheet.set_value("A1", 1.0)
+    sheet.set_value("A2", 0.0)
+    sheet.set_formula("B1", "=A1/A2")
+    graph = build_graph(sheet, backend, "full")
+    RecalcEngine(sheet, graph).recalculate_all()
+    assert sheet.get_value("B1") is DIV0
+    sheet.set_value("C1", NA_ERROR)
+
+    restored = roundtrip(workbook, {sheet.name: graph})
+    rsheet = restored.workbook[sheet.name]
+    assert rsheet.get_value("B1") is DIV0
+    assert rsheet.get_value("C1") is NA_ERROR
+
+
+def test_roundtrip_restored_graph_stays_maintainable():
+    """A restored graph is live: edits through an engine keep the
+    coupling invariant (decompressed deps == sheet references)."""
+    workbook = Workbook("live")
+    sheet = workbook.add_sheet("Mixed")
+    source = build_mixed_sheet(seed=11, rows=12)
+    for pos, cell in source.items():
+        sheet._cells[pos] = cell
+    graph = build_graph(sheet, "rtree", "extended")
+    RecalcEngine(sheet, graph).recalculate_all()
+
+    restored = roundtrip(workbook, {sheet.name: graph})
+    rsheet = restored.workbook[sheet.name]
+    engine = RecalcEngine(rsheet, restored.graphs[sheet.name])
+    engine.set_formula("H1", "=SUM(A1:A5)")
+    engine.set_value("A1", 99.0)
+    truth = {
+        (d.prec.as_tuple(), d.dep.as_tuple())
+        for d in dependencies_column_major(rsheet)
+    }
+    assert dependency_set(engine.graph) == truth
+
+
+def test_multisheet_roundtrip_builds_missing_graphs():
+    workbook = Workbook("multi")
+    one = workbook.add_sheet("One")
+    two = workbook.add_sheet("Two")
+    for r in range(1, 6):
+        one.set_value((1, r), float(r))
+        two.set_value((1, r), float(r * 10))
+    one.set_formula("B1", "=SUM(A1:A5)")
+    two.set_formula("B1", "=One!B1+A1")    # cross-sheet reference
+    RecalcEngine(one).recalculate_all()
+    RecalcEngine(two).recalculate_all()
+
+    restored = roundtrip(workbook)          # graphs built by the writer
+    assert restored.workbook.sheet_names == ["One", "Two"]
+    assert cell_state(restored.workbook["One"]) == cell_state(one)
+    assert cell_state(restored.workbook["Two"]) == cell_state(two)
+    # Cross-sheet references contribute no edge to the per-sheet graph.
+    assert dependency_set(restored.graphs["Two"]) == {
+        (Range.from_a1("A1").as_tuple(), Range.from_a1("B1").as_tuple())
+    }
+
+
+def test_fig2_roundtrip_via_path(tmp_path):
+    workbook = Workbook("fig2wb")
+    workbook.attach_sheet(build_fig2_sheet(rows=30))
+    sheet = workbook.active_sheet
+    graph = build_graph(sheet, "gridbucket", "full")
+    RecalcEngine(sheet, graph).recalculate_all()
+    path = str(tmp_path / "fig2.snap")
+    stats = save_snapshot(workbook, path, {sheet.name: graph})
+    assert stats.sheets == 1 and stats.bytes_written > 0
+    restored = load_snapshot(path)
+    assert cell_state(restored.workbook[sheet.name]) == cell_state(sheet)
+    assert dependency_set(restored.graphs[sheet.name]) == dependency_set(graph)
+
+
+# -- format validation ---------------------------------------------------------
+
+class TestFormatValidation:
+    def make_bytes(self) -> bytearray:
+        workbook = Workbook("v")
+        sheet = workbook.add_sheet("S")
+        sheet.set_value("A1", 1.0)
+        sheet.set_formula("B1", "=A1*2")
+        buffer = io.BytesIO()
+        save_snapshot(workbook, buffer)
+        return bytearray(buffer.getvalue())
+
+    def test_bad_magic(self):
+        data = self.make_bytes()
+        data[0:4] = b"NOPE"
+        with pytest.raises(SnapshotFormatError, match="magic"):
+            load_snapshot(io.BytesIO(bytes(data)))
+
+    def test_future_version_names_both(self):
+        data = self.make_bytes()
+        data[8:12] = (99).to_bytes(4, "little")
+        with pytest.raises(SnapshotFormatError) as err:
+            load_snapshot(io.BytesIO(bytes(data)))
+        assert "99" in str(err.value) and "1" in str(err.value)
+
+    def test_truncation_detected(self):
+        data = self.make_bytes()
+        with pytest.raises(SnapshotFormatError, match="truncated"):
+            load_snapshot(io.BytesIO(bytes(data[:-7])))
+
+    def test_checksum_mismatch_detected(self):
+        data = self.make_bytes()
+        # Flip one byte somewhere inside the section payloads.
+        data[len(data) // 2] ^= 0xFF
+        with pytest.raises(SnapshotFormatError):
+            load_snapshot(io.BytesIO(bytes(data)))
+
+    def test_failed_save_leaves_no_temp_files(self, tmp_path):
+        workbook = Workbook("t")
+        sheet = workbook.add_sheet("S")
+        sheet.set_value("A1", object())       # unrepresentable
+        target = str(tmp_path / "book.snap")
+        with pytest.raises(SnapshotFormatError):
+            save_snapshot(workbook, target)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_save_is_atomic_over_existing_snapshot(self, tmp_path):
+        workbook = Workbook("t")
+        sheet = workbook.add_sheet("S")
+        sheet.set_value("A1", 1.0)
+        target = str(tmp_path / "book.snap")
+        save_snapshot(workbook, target)
+        sheet.set_value("A1", 2.0)
+        save_snapshot(workbook, target)       # overwrite via rename
+        assert load_snapshot(target).workbook["S"].get_value("A1") == 2.0
+        assert [p.name for p in tmp_path.iterdir()] == ["book.snap"]
+
+    def test_unknown_sections_are_skipped(self):
+        import struct
+        import zlib
+
+        data = self.make_bytes()
+        # Splice a checksummed section with an unknown tag before END.
+        payload = b"from-the-future"
+        extra = struct.pack(
+            "<4sIQ", b"XTRA", zlib.crc32(payload) & 0xFFFFFFFF, len(payload)
+        ) + payload
+        end_size = struct.calcsize("<4sIQ")
+        spliced = bytes(data[:-end_size]) + extra + bytes(data[-end_size:])
+        restored = load_snapshot(io.BytesIO(spliced))
+        assert restored.workbook["S"].get_value("A1") == 1.0
