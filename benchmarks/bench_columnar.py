@@ -1,0 +1,207 @@
+"""Columnar value store vs dict-of-Cells: memory and recalc throughput.
+
+The compressed formula graph is O(patterns), but the seed's sheet model
+spent a boxed ``Cell`` (plus a dict entry and a boxed float) on every
+cell — on dense corpora that per-cell object overhead dominated both
+resident memory and recalculation time.  This benchmark quantifies what
+the typed columnar store (:mod:`repro.sheet.columnar`) buys, two ways:
+
+* **memory**: build the same dense value population on both stores and
+  measure the allocation delta with ``tracemalloc``, cross-checked by a
+  deterministic ``sys.getsizeof`` walk over each store's internals.
+  Gate: the object store allocates **>= 5x** the columnar store's bytes
+  per value cell.
+* **throughput**: a broadcast-input edit (``$F$1``) dirties an entire
+  ``=A1*$F$1+B1`` column; the columnar engine re-evaluates it as one
+  numpy array sweep, the object store falls back to the compiled
+  per-cell closure, the interpreter walks the tree per cell.  All three
+  arms must end bit-identical; the sweep speedups are reported (and the
+  sweep must actually dispatch when numpy is available).
+
+Besides the ASCII artifact, the run writes machine-readable JSON to
+``benchmarks/results/columnar_store.json`` (per-arm bytes, bytes/cell,
+ratio, per-arm edit timings, speedups), like ``bench_snapshot_load.py``.
+"""
+
+import gc
+import json
+import os
+import sys
+import time
+import tracemalloc
+
+from _common import RESULTS_DIR, emit
+
+from repro.bench.reporting import ascii_table, banner, format_ms
+from repro.engine import vectorized
+from repro.engine.recalc import RecalcEngine
+from repro.sheet.autofill import fill_formula_column
+from repro.sheet.columnar import ColumnarStore
+from repro.sheet.sheet import Sheet
+
+ROWS = int(os.environ.get("REPRO_COLUMNAR_ROWS", "20000"))
+VALUE_COLS = 4
+EDIT_ROUNDS = 5
+
+MEMORY_GATE = 5.0
+
+
+# -- memory arm ----------------------------------------------------------------
+
+def fill_values(sheet: Sheet, rows: int) -> int:
+    for col in range(1, VALUE_COLS + 1):
+        for r in range(1, rows + 1):
+            sheet.set_value((col, r), float((r * 31 + col) % 1013) / 7.0)
+    return VALUE_COLS * rows
+
+
+def traced_build(store: str, rows: int) -> tuple[Sheet, int]:
+    """Build the population and return (sheet, allocated bytes)."""
+    gc.collect()
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    sheet = Sheet("M", store=store)
+    fill_values(sheet, rows)
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return sheet, after - before
+
+
+def sized_store_bytes(sheet: Sheet) -> int:
+    """Deterministic ``getsizeof`` walk over the store's own structures
+    (cross-check for the tracemalloc delta; excludes interpreter
+    overheads like small-int caches either way)."""
+    cells = sheet._cells
+    if isinstance(cells, ColumnarStore):
+        total = sys.getsizeof(cells._columns)
+        for column in cells._columns.values():
+            total += (sys.getsizeof(column) + sys.getsizeof(column.values)
+                      + sys.getsizeof(column.tags) + sys.getsizeof(column.side))
+        return total
+    total = sys.getsizeof(cells)
+    for pos, cell in cells.items():
+        total += sys.getsizeof(pos) + sys.getsizeof(cell)
+        total += sys.getsizeof(cell.value)
+    return total
+
+
+# -- throughput arm ------------------------------------------------------------
+
+def build_formula_sheet(store: str, rows: int) -> Sheet:
+    sheet = Sheet("T", store=store)
+    for r in range(1, rows + 1):
+        sheet.set_value((1, r), float((r * 37) % 101) / 3.0)
+        sheet.set_value((2, r), float(r % 13) - 6.5)
+    sheet.set_value((6, 1), 1.0)                       # $F$1 broadcast input
+    fill_formula_column(sheet, 3, 1, rows, "=A1*$F$1+B1")
+    return sheet
+
+
+def time_broadcast_edits(engine: RecalcEngine) -> float:
+    start = time.perf_counter()
+    for i in range(EDIT_ROUNDS):
+        engine.set_value((6, 1), 1.0 + float(i + 1) / 8.0)
+    return time.perf_counter() - start
+
+
+def test_columnar_store_memory_and_throughput(benchmark):
+    def run():
+        # Memory: same dense population, both stores.
+        columnar_sheet, columnar_bytes = traced_build("columnar", ROWS)
+        object_sheet, object_bytes = traced_build("object", ROWS)
+        cells = VALUE_COLS * ROWS
+        sized_columnar = sized_store_bytes(columnar_sheet)
+        sized_object = sized_store_bytes(object_sheet)
+        del columnar_sheet, object_sheet
+
+        # Throughput: broadcast edit over an elementwise column.
+        engines = {}
+        for arm, (store, mode) in {
+            "columnar-sweep": ("columnar", "auto"),
+            "object-compiled": ("object", "auto"),
+            "interpreter": ("columnar", "interpreter"),
+        }.items():
+            engine = RecalcEngine(build_formula_sheet(store, ROWS),
+                                  evaluation=mode)
+            engine.recalculate_all()
+            engines[arm] = engine
+        timings = {arm: time_broadcast_edits(engine)
+                   for arm, engine in engines.items()}
+        reference = engines["interpreter"].sheet
+        for arm in ("columnar-sweep", "object-compiled"):
+            subject = engines[arm].sheet
+            for r in range(1, ROWS + 1):
+                got, want = subject.get_value((3, r)), reference.get_value((3, r))
+                assert got == want, (arm, r, got, want)
+        swept = engines["columnar-sweep"].eval_stats.elementwise_cells
+        if vectorized._np is not None:
+            assert swept > 0, "sweep never dispatched despite numpy"
+
+        return {
+            "rows": ROWS,
+            "value_cells": cells,
+            "columnar_bytes": columnar_bytes,
+            "object_bytes": object_bytes,
+            "columnar_bytes_per_cell": columnar_bytes / cells,
+            "object_bytes_per_cell": object_bytes / cells,
+            "memory_ratio": object_bytes / columnar_bytes,
+            "sized_columnar_bytes": sized_columnar,
+            "sized_object_bytes": sized_object,
+            "sized_ratio": sized_object / sized_columnar,
+            "memory_gate": MEMORY_GATE,
+            "edit_rounds": EDIT_ROUNDS,
+            "numpy": vectorized._np is not None,
+            "elementwise_cells": swept,
+            "seconds": timings,
+            "sweep_speedup_vs_compiled":
+                timings["object-compiled"] / timings["columnar-sweep"],
+            "sweep_speedup_vs_interpreter":
+                timings["interpreter"] / timings["columnar-sweep"],
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [banner(
+        "Columnar value store vs dict-of-Cells",
+        f"rows={ROWS} x {VALUE_COLS} value columns; "
+        f"{EDIT_ROUNDS} broadcast edits over =A1*$F$1+B1",
+    )]
+    lines.append(ascii_table(
+        ["store", "alloc bytes", "bytes/cell", "getsizeof bytes"],
+        [
+            ["columnar", f"{results['columnar_bytes']:,}",
+             f"{results['columnar_bytes_per_cell']:.1f}",
+             f"{results['sized_columnar_bytes']:,}"],
+            ["object", f"{results['object_bytes']:,}",
+             f"{results['object_bytes_per_cell']:.1f}",
+             f"{results['sized_object_bytes']:,}"],
+        ],
+    ))
+    lines.append(ascii_table(
+        ["arm", "edit time", "speedup vs sweep"],
+        [
+            ["columnar-sweep", format_ms(results["seconds"]["columnar-sweep"]),
+             "1.0x"],
+            ["object-compiled", format_ms(results["seconds"]["object-compiled"]),
+             f"{results['sweep_speedup_vs_compiled']:.1f}x"],
+            ["interpreter", format_ms(results["seconds"]["interpreter"]),
+             f"{results['sweep_speedup_vs_interpreter']:.1f}x"],
+        ],
+    ))
+    passed = results["memory_ratio"] >= results["memory_gate"]
+    verdict = (
+        f"{'OK' if passed else 'REGRESSION'}: object store allocates "
+        f"{results['memory_ratio']:.1f}x the columnar store's bytes "
+        f"(gate {results['memory_gate']:.1f}x); elementwise sweep "
+        f"{results['sweep_speedup_vs_compiled']:.1f}x vs compiled per-cell, "
+        f"{results['sweep_speedup_vs_interpreter']:.1f}x vs interpreter"
+    )
+    lines.append("\n" + verdict)
+    emit("columnar_store", "\n".join(lines))
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    json_path = os.path.join(RESULTS_DIR, "columnar_store.json")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+
+    assert passed, verdict

@@ -86,6 +86,7 @@ class BatchResult(NamedTuple):
     windowed_cells: int = 0       # cells evaluated by rolling-window runs
     compiled_cells: int = 0       # cells evaluated by compiled templates
     structural_ops: int = 0       # row/column inserts/deletes applied first
+    elementwise_cells: int = 0    # cells evaluated by numpy array sweeps
 
 
 class BatchEditSession:
@@ -341,6 +342,7 @@ class BatchEditSession:
         stats = engine.eval_stats
         windowed_before = stats.windowed_cells
         compiled_before = stats.compiled_cells
+        elementwise_before = stats.elementwise_cells
         if self.recalc:
             recomputed = engine.recompute(dirty_ranges, extra=formula_positions)
         recalc_seconds = time.perf_counter() - recalc_start
@@ -361,6 +363,7 @@ class BatchEditSession:
             windowed_cells=stats.windowed_cells - windowed_before,
             compiled_cells=stats.compiled_cells - compiled_before,
             structural_ops=len(self._structural),
+            elementwise_cells=stats.elementwise_cells - elementwise_before,
         )
         return self.result
 

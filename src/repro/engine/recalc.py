@@ -85,6 +85,33 @@ class _TemplateRun:
         )
 
 
+class _ElementwiseRun:
+    """One dispatchable elementwise run: a column stretch of cells whose
+    shared template is pure float arithmetic over cell refs, evaluated
+    as a single numpy array sweep.  Unlike windowed runs, no reference
+    may resolve into the run itself (the sweep reads all inputs before
+    writing any output), so construction rejects any recurrence; dirty
+    cells the lanes read from *outside* the run are ``blockers``,
+    ordering the run after them exactly like a windowed run.
+    """
+
+    __slots__ = ("template", "col", "rows", "member_set", "blockers")
+
+    def __init__(self, template, col: int, rows: list[int],
+                 member_set: set[tuple[int, int]], blockers: set[tuple[int, int]]):
+        self.template = template
+        self.col = col
+        self.rows = rows                # ascending, consecutive
+        self.member_set = member_set
+        self.blockers = blockers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"_ElementwiseRun({self.template.key!r} col={self.col} "
+            f"rows={self.rows[0]}..{self.rows[-1]}, {len(self.blockers)} blockers)"
+        )
+
+
 class RecalcResult(NamedTuple):
     """Outcome of one update."""
 
@@ -310,15 +337,13 @@ class RecalcEngine:
         :class:`CircularReferenceError` if the dirty subgraph contains a
         dependency cycle.
         """
+        formula_at = self.sheet.formula_at
         dirty = {
-            pos
-            for pos in expand_cells(dirty_ranges)
-            if (cell := self.sheet.cell_at(pos)) is not None and cell.is_formula
+            pos for pos in expand_cells(dirty_ranges) if formula_at(pos) is not None
         }
         if extra:
             for pos in extra:
-                cell = self.sheet.cell_at(pos)
-                if cell is not None and cell.is_formula:
+                if formula_at(pos) is not None:
                     dirty.add(pos)
         return self._evaluate_in_order(dirty)
 
@@ -378,7 +403,7 @@ class RecalcEngine:
         for pos in dirty:
             if pos in member_map:
                 continue
-            cell = self.sheet.cell_at(pos)
+            cell = self.sheet.formula_at(pos)
             count = 0
             seen: set[object] = set()
             for ref in cell.references:
@@ -444,6 +469,20 @@ class RecalcEngine:
                 count += 1
                 continue
             rows = list(node.rows)
+            if type(node) is _ElementwiseRun:
+                swept = vectorized.evaluate_elementwise_run(
+                    self.sheet, node.template, node.col, rows, self._evaluate_cell
+                )
+                if swept is None:
+                    # No numpy / non-columnar store / unsweepable scalar:
+                    # per-cell in any order (no in-run references).
+                    for row in rows:
+                        self._evaluate_cell((node.col, row))
+                elif swept:
+                    stats.elementwise_cells += swept
+                    stats.elementwise_runs += 1
+                count += len(rows)
+                continue
             rolled = vectorized.evaluate_run(
                 self.sheet, node.spec, node.col, rows, self._evaluate_cell
             )
@@ -509,12 +548,19 @@ class RecalcEngine:
     ) -> None:
         stretch: list[int] = []
         stretch_key: str | None = None
-        stretch_spec = None
+        stretch_template = None
 
         def flush() -> None:
-            if stretch_spec is None or len(stretch) < vectorized.MIN_RUN:
+            if stretch_template is None or len(stretch) < vectorized.MIN_RUN:
                 return
-            run = self._make_run(stretch_spec, col, list(stretch), by_col)
+            if stretch_template.window is not None:
+                run = self._make_run(
+                    stretch_template.window, col, list(stretch), by_col
+                )
+            else:
+                run = self._make_elementwise_run(
+                    stretch_template, col, list(stretch), by_col
+                )
             if run is not None:
                 claimed.update(run.member_set)
                 out.append(run)
@@ -523,16 +569,19 @@ class RecalcEngine:
             pos = (col, row)
             if pos in claimed:              # already part of an earlier span's run
                 flush()
-                stretch, stretch_key, stretch_spec = [], None, None
+                stretch, stretch_key, stretch_template = [], None, None
                 continue
-            cell = self.sheet.cell_at(pos)
+            cell = self.sheet.formula_at(pos)
             template = self.cell_evaluator.template_for_cell(cell, col, row)
-            key = template.key if template is not None and template.window else None
+            runnable = template is not None and (
+                template.window is not None or template.elementwise is not None
+            )
+            key = template.key if runnable else None
             if key is None or key != stretch_key or (stretch and row != stretch[-1] + 1):
                 flush()
                 stretch = []
                 stretch_key = key
-                stretch_spec = template.window if key is not None else None
+                stretch_template = template if key is not None else None
             if key is not None:
                 stretch.append(row)
         flush()
@@ -587,6 +636,50 @@ class RecalcEngine:
                     blockers.add(pos)
         return _TemplateRun(spec, col, run_rows, run_set, blockers)
 
+    def _make_elementwise_run(
+        self,
+        template,
+        col: int,
+        run_rows: list[int],
+        by_col: dict[int, list[int]],
+    ) -> "_ElementwiseRun | None":
+        """Build an elementwise run if no reference resolves into it.
+
+        The array sweep reads every input lane before writing any output,
+        so a reference into the run's own stretch (a recurrence like
+        ``=C1+A2`` filled down C, or a fixed ref at a member) would read
+        stale values — such stretches evaluate per cell instead.  Dirty
+        cells the lanes read outside the run become blockers.
+        """
+        first, last = run_rows[0], run_rows[-1]
+        blockers: set[tuple[int, int]] = set()
+        for col_axis, row_axis in template.elementwise.refs:
+            c = col_axis.at(col)
+            if c < 1:
+                return None             # #REF! on every member: per-cell owns it
+            if row_axis.fixed:
+                r = row_axis.value
+                if r < 1:
+                    return None
+                if c == col and first <= r <= last:
+                    return None         # broadcast input is a run member
+                dirty_rows = by_col.get(c)
+                if dirty_rows:
+                    i = bisect_left(dirty_rows, r)
+                    if i < len(dirty_rows) and dirty_rows[i] == r:
+                        blockers.add((c, r))
+                continue
+            if c == col:
+                return None             # in-run recurrence
+            dirty_rows = by_col.get(c)
+            if dirty_rows:
+                lo = bisect_left(dirty_rows, first + row_axis.value)
+                hi = bisect_right(dirty_rows, last + row_axis.value)
+                for r in dirty_rows[lo:hi]:
+                    blockers.add((c, r))
+        member_set = {(col, r) for r in run_rows}
+        return _ElementwiseRun(template, col, run_rows, member_set, blockers)
+
     def _topological_order(
         self, dirty: set[tuple[int, int]]
     ) -> tuple[
@@ -607,7 +700,7 @@ class RecalcEngine:
         succs: dict[tuple[int, int], list[tuple[int, int]]] = {}
         dirty_list = list(dirty)
         for pos in dirty_list:
-            cell = self.sheet.cell_at(pos)
+            cell = self.sheet.formula_at(pos)
             count = 0
             for ref in cell.references:
                 if ref.sheet is not None and ref.sheet != self.sheet.name:
@@ -665,7 +758,7 @@ class RecalcEngine:
         return cycle + [cycle[0]]
 
     def _evaluate_cell(self, pos: tuple[int, int]) -> None:
-        cell = self.sheet.cell_at(pos)
+        cell = self.sheet.formula_at(pos)
         if self.evaluation == "auto":
             value = self.cell_evaluator.evaluate_cell(
                 cell, self.sheet.name, pos[0], pos[1]

@@ -40,12 +40,29 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
-from ..formula.compile import WindowSpec
+try:  # numpy is optional: without it elementwise sweeps just decline.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+from ..formula.compile import CompiledTemplate, WindowSpec
 from ..formula.errors import DIV0, ExcelError
 from ..formula.numeric import ExactSum
+from ..sheet.columnar import (
+    TAG_BOOL,
+    TAG_EMPTY,
+    TAG_NUMBER,
+    ColumnarStore,
+)
 from ..sheet.sheet import Sheet
 
-__all__ = ["MIN_RUN", "evaluate_run", "window_rows_at", "window_cols"]
+__all__ = [
+    "MIN_RUN",
+    "evaluate_elementwise_run",
+    "evaluate_run",
+    "window_rows_at",
+    "window_cols",
+]
 
 #: Shortest run worth dispatching to the rolling evaluator; shorter runs
 #: go through the compiled per-cell closure, whose constant factor wins.
@@ -253,6 +270,137 @@ def _run_growing(sheet, spec, col, ordered, fallback, cols) -> int:
         added_hi = hi if added_hi is None else max(added_hi, hi)
         rolled += _emit(sheet, col, row, state, fallback)
     return rolled
+
+
+# ---------------------------------------------------------------------------
+# elementwise array sweeps
+
+
+def _sweep(node, operands, mask):
+    """Evaluate one :class:`~repro.formula.compile.ElementwiseIR` node
+    over numpy lanes, mirroring the compiled closure operation for
+    operation (same IEEE-754 ops, same order) so unmasked lanes are
+    bit-identical to per-cell evaluation — the IR subset is restricted to
+    the four correctly-rounded basic operations for exactly this reason.
+    ``mask`` accumulates lanes that must be delegated: ``/0`` lanes (the
+    closure returns #DIV/0! where the array division would emit inf).
+    """
+    op = node[0]
+    if op == "const":
+        return node[1]
+    if op == "ref":
+        return operands[node[1]]
+    if op == "neg":
+        return -_sweep(node[1], operands, mask)
+    if op == "pct":
+        return _sweep(node[1], operands, mask) / 100.0
+    left = _sweep(node[1], operands, mask)
+    right = _sweep(node[2], operands, mask)
+    if op == "add":
+        return left + right
+    if op == "sub":
+        return left - right
+    if op == "mul":
+        return left * right
+    mask |= (right == 0.0)          # div: the only remaining operator
+    return left / right
+
+
+def evaluate_elementwise_run(
+    sheet: Sheet,
+    template: CompiledTemplate,
+    col: int,
+    rows: list[int],
+    fallback: Callable[[tuple[int, int]], None],
+) -> int | None:
+    """Evaluate a consecutive same-template run as one numpy array sweep.
+
+    ``rows`` must be ascending and consecutive, and ``template.elementwise``
+    non-None.  Reads go straight to the columnar store's buffers
+    (zero-copy ``frombuffer`` views); results land in the run column's
+    arrays as one masked write.  Lanes whose inputs are not
+    empty/number/bool (string coercion, error propagation), whose
+    denominators are zero, or whose
+    relative reference falls off the sheet top are delegated to
+    ``fallback`` — exactly the cases where per-cell semantics are not
+    plain float arithmetic.  The caller is responsible for run *safety*
+    (no reference may resolve into the run itself; see
+    ``RecalcEngine._make_elementwise_run``).
+
+    Returns the number of cells the sweep wrote, or ``None`` when the
+    sweep cannot run at all (no numpy, non-columnar store, a scalar
+    input that is a string/error, a reference off the sheet's left edge)
+    — the caller then evaluates every cell through the fallback.
+    """
+    if _np is None:
+        return None
+    store = sheet._cells
+    if type(store) is not ColumnarStore:
+        return None
+    first, last = rows[0], rows[-1]
+    n = last - first + 1
+    mask = _np.zeros(n, dtype=bool)
+    operands: list[object] = []
+    for col_axis, row_axis in template.elementwise.refs:
+        c = col_axis.at(col)
+        if c < 1:
+            return None                  # #REF! on every lane
+        if row_axis.fixed:
+            if row_axis.value < 1:
+                return None              # #REF! on every lane
+            value = store.read_value(c, row_axis.value)
+            if value is None:
+                operands.append(0.0)
+            elif value is True or value is False:
+                operands.append(1.0 if value else 0.0)
+            elif isinstance(value, (int, float)):
+                operands.append(float(value))
+            else:
+                return None              # string/error broadcast: slow path
+            continue
+        lo = first + row_axis.value      # source row of the first lane
+        values = _np.zeros(n, dtype=_np.float64)
+        tags = _np.zeros(n, dtype=_np.uint8)
+        if lo < 1:
+            mask[: min(1 - lo, n)] = True    # sub-row-1 lanes #REF!
+        buffers = store.column_buffers(c)
+        if buffers is not None:
+            src_values = _np.frombuffer(buffers[0], dtype=_np.float64)
+            src_tags = _np.frombuffer(buffers[1], dtype=_np.uint8)
+            i0 = lo - 1
+            s0 = max(i0, 0)
+            s1 = min(i0 + n, len(src_tags))
+            if s1 > s0:
+                d0 = s0 - i0
+                values[d0:d0 + (s1 - s0)] = src_values[s0:s1]
+                tags[d0:d0 + (s1 - s0)] = src_tags[s0:s1]
+        # EMPTY lanes are already 0.0 (= to_number(None)) and BOOL lanes
+        # already 1.0/0.0 (= to_number(bool)) in the value plane; any
+        # other non-number tag needs per-cell semantics.
+        mask |= (tags != TAG_EMPTY) & (tags != TAG_NUMBER) & (tags != TAG_BOOL)
+        operands.append(values)
+    with _np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        result = _sweep(template.elementwise.root, operands, mask)
+    if not isinstance(result, _np.ndarray):  # pragma: no cover - all-scalar tree
+        result = _np.full(n, float(result))
+    ok = ~mask
+    column = store.ensure_column(col, last)
+    band = slice(first - 1, last)
+    if column.side:
+        # Direct tag writes bypass the store's side-table upkeep: evict
+        # stale string/error payloads the sweep is about to overwrite.
+        for i in [i for i in column.side if first - 1 <= i < last]:
+            if ok[i - (first - 1)]:
+                del column.side[i]
+    out_values = _np.frombuffer(column.values, dtype=_np.float64)[band]
+    out_tags = _np.frombuffer(column.tags, dtype=_np.uint8)[band]
+    _np.copyto(out_values, result, where=ok)
+    _np.copyto(out_tags, _np.uint8(TAG_NUMBER), where=ok)
+    swept = int(ok.sum())
+    if swept != n:
+        for lane in _np.nonzero(mask)[0]:
+            fallback((col, first + int(lane)))
+    return swept
 
 
 def _run_sliding(sheet, spec, col, rows, fallback, cols) -> int:

@@ -67,11 +67,13 @@ __all__ = [
     "AxisRef",
     "CompiledTemplate",
     "CompilingEvaluator",
+    "ElementwiseIR",
     "EvalStats",
     "TemplateRegistry",
     "WindowSpec",
     "compile_template",
     "default_registry",
+    "elementwise_ir",
 ]
 
 # A compiled sub-expression: (resolver, sheet, col, row) -> runtime value.
@@ -129,6 +131,84 @@ _WINDOW_FUNCS = {
     "MIN": "MIN",
     "MAX": "MAX",
 }
+
+
+class ElementwiseIR(NamedTuple):
+    """A template body that is pure float64 arithmetic over cell refs.
+
+    ``root`` is a tuple tree — ``("const", x)``, ``("ref", i)`` (an index
+    into ``refs``), ``("neg", a)``, ``("pct", a)``, and ``("add" | "sub"
+    | "mul" | "div", a, b)`` — mirroring the compiled closure tree node
+    for node, so an array evaluation of it performs exactly the same
+    IEEE-754 operations in exactly the same order as the per-cell
+    closure.  ``refs`` are the distinct cell references as ``(col_axis,
+    row_axis)`` :class:`AxisRef` pairs.
+
+    The subset is chosen so a whole same-template run can evaluate as
+    one numpy sweep (:func:`repro.engine.vectorized.evaluate_elementwise_run`)
+    with bit-identical results on lanes whose inputs are empty/number/
+    bool — any other lane (strings that might coerce, errors that must
+    propagate, ``/0`` lanes, off-sheet rows) is masked out and delegated
+    to the per-cell path.  ``^`` is deliberately *out* of the subset:
+    the four basic operations are single correctly-rounded IEEE-754
+    instructions everywhere, but ``pow`` is a libm call whose vectorised
+    numpy implementation may differ from the scalar one in the last ULP.
+    """
+
+    root: object
+    refs: tuple[tuple[AxisRef, AxisRef], ...]
+
+
+def _elementwise_node(node: Node, host_col: int, host_row: int,
+                      refs: list[tuple[AxisRef, AxisRef]]):
+    if isinstance(node, Number):
+        return ("const", float(node.value))
+    if isinstance(node, Boolean):
+        return ("const", 1.0 if node.value else 0.0)
+    if isinstance(node, CellNode):
+        if node.sheet is not None:
+            raise _Unsupported("elementwise: sheet-qualified reference")
+        pair = _axis_refs(node.ref, host_col, host_row)
+        try:
+            index = refs.index(pair)
+        except ValueError:
+            index = len(refs)
+            refs.append(pair)
+        return ("ref", index)
+    if isinstance(node, UnaryOp):
+        operand = _elementwise_node(node.operand, host_col, host_row, refs)
+        if node.op == "-":
+            return ("neg", operand)
+        if node.op == "%":
+            return ("pct", operand)
+        return operand                   # unary + is to_number, masked numeric
+    if isinstance(node, BinaryOp) and node.op in ("+", "-", "*", "/"):
+        left = _elementwise_node(node.left, host_col, host_row, refs)
+        right = _elementwise_node(node.right, host_col, host_row, refs)
+        op = {"+": "add", "-": "sub", "*": "mul", "/": "div"}[node.op]
+        return (op, left, right)
+    raise _Unsupported(f"elementwise: {type(node).__name__}")
+
+
+def elementwise_ir(ast: Node, host_col: int, host_row: int) -> ElementwiseIR | None:
+    """The template's :class:`ElementwiseIR`, or None if out of subset.
+
+    Bare roots are excluded even when representable: ``=A1`` yields the
+    referenced value itself (None for a blank), not its numeric
+    coercion, so it has no array equivalent; templates with no
+    row-relative reference produce a constant column, which the per-cell
+    closure already evaluates in O(1) each.
+    """
+    refs: list[tuple[AxisRef, AxisRef]] = []
+    try:
+        root = _elementwise_node(ast, host_col, host_row, refs)
+    except _Unsupported:
+        return None
+    if root[0] in ("const", "ref"):
+        return None
+    if not any(not row_axis.fixed for _, row_axis in refs):
+        return None
+    return ElementwiseIR(root, tuple(refs))
 
 
 def window_spec(ast: Node, host_col: int, host_row: int) -> WindowSpec | None:
@@ -426,14 +506,22 @@ def _compile(node: Node, host_col: int, host_row: int) -> _Closure:
 
 
 class CompiledTemplate:
-    """One compiled formula template: closure + optional window shape."""
+    """One compiled formula template: closure + optional fast shapes.
 
-    __slots__ = ("key", "fn", "window")
+    ``window`` marks a pure windowed aggregate (rolling evaluation);
+    ``elementwise`` marks pure float arithmetic over cell refs (numpy
+    array sweep).  Mutually exclusive by construction — a window root is
+    a function call, which the elementwise subset rejects.
+    """
 
-    def __init__(self, key: str, fn: _Closure, window: WindowSpec | None):
+    __slots__ = ("key", "fn", "window", "elementwise")
+
+    def __init__(self, key: str, fn: _Closure, window: WindowSpec | None,
+                 elementwise: ElementwiseIR | None = None):
         self.key = key
         self.fn = fn
         self.window = window
+        self.elementwise = elementwise
 
     def run(self, resolver: CellResolver, sheet: str | None, col: int, row: int):
         """Evaluate at a host cell; same top-level contract as
@@ -470,7 +558,11 @@ def compile_template(ast: Node, host_col: int, host_row: int,
         fn = _compile(ast, host_col, host_row)
     except _Unsupported:
         return None
-    return CompiledTemplate(key, fn, window_spec(ast, host_col, host_row))
+    return CompiledTemplate(
+        key, fn,
+        window_spec(ast, host_col, host_row),
+        elementwise_ir(ast, host_col, host_row),
+    )
 
 
 class TemplateRegistry:
@@ -519,23 +611,28 @@ def default_registry() -> TemplateRegistry:
 class EvalStats:
     """Counters for how formula cells were evaluated (one engine's view)."""
 
-    __slots__ = ("compiled_cells", "interpreted_cells", "windowed_cells", "windowed_runs")
+    __slots__ = ("compiled_cells", "interpreted_cells", "windowed_cells",
+                 "windowed_runs", "elementwise_cells", "elementwise_runs")
 
     def __init__(self) -> None:
         self.compiled_cells = 0
         self.interpreted_cells = 0
         self.windowed_cells = 0
         self.windowed_runs = 0
+        self.elementwise_cells = 0
+        self.elementwise_runs = 0
 
     @property
     def total_cells(self) -> int:
-        return self.compiled_cells + self.interpreted_cells + self.windowed_cells
+        return (self.compiled_cells + self.interpreted_cells
+                + self.windowed_cells + self.elementwise_cells)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"EvalStats(compiled={self.compiled_cells}, "
             f"interpreted={self.interpreted_cells}, "
-            f"windowed={self.windowed_cells} in {self.windowed_runs} runs)"
+            f"windowed={self.windowed_cells} in {self.windowed_runs} runs, "
+            f"elementwise={self.elementwise_cells} in {self.elementwise_runs} runs)"
         )
 
 

@@ -13,17 +13,28 @@ re-computing anything:
   the pattern registry, so the restored graph compresses future edits
   exactly like the saved one.
 
-Wire format (version 1), little-endian::
+Wire format (version 2), little-endian::
 
     header   MAGIC(8) = b"TACOSNP1"   version u32
     section  tag(4)   crc32 u32   length u64   payload[length]
     ...
     end      tag b"END."  crc32(b"") u32  length=0 u64
 
-Sections in a version-1 snapshot: ``META`` (workbook name + sheet
-order), then one ``CELL`` and one ``GRPH`` per sheet (JSON payloads,
-UTF-8).  Readers skip sections with unknown tags, so future versions can
-add sections without breaking old readers; every payload is protected by
+Sections: ``META`` (workbook name + sheet order + per-sheet store
+kinds), then per sheet a ``CELL`` section (JSON cell records, UTF-8),
+zero or more ``VCOL`` sections, and a ``GRPH`` section.  For sheets on
+the columnar store the pure-value population is persisted as ``VCOL``
+sections — one per column, carrying the raw tag bytes and float64 value
+bytes plus a JSON side table for strings/errors — and the ``CELL``
+section holds only formula cells; object-store sheets write every cell
+as a ``CELL`` record exactly as format version 1 did.  Version-1
+streams load unchanged (they simply contain no ``VCOL`` sections), and
+restored sheets always use the *restoring* session's store default, so
+an object-store snapshot restores into columnar-backed sheets and vice
+versa.
+
+Readers skip sections with unknown tags, so future versions can add
+sections without breaking old readers; every payload is protected by
 its CRC32, and a missing ``END.`` section means the snapshot is
 truncated.  Snapshots are written atomically (temp file + ``fsync`` +
 rename), so unlike the edit journal a torn snapshot is an *error*, not
@@ -35,13 +46,16 @@ from __future__ import annotations
 import json
 import os
 import struct
+import sys
 import uuid
 import zlib
-from typing import IO, Mapping, NamedTuple
+from array import array
+from typing import IO, Iterator, Mapping, NamedTuple
 
 from ..core.serialize import GraphFormatError, graph_from_payload, graph_payload
 from ..core.taco_graph import build_from_sheet
 from ..formula.errors import ExcelError
+from ..sheet.columnar import TAG_BOOL, TAG_EMPTY, TAG_NUMBER, ColumnarStore
 from ..sheet.sheet import Sheet
 from ..sheet.workbook import Workbook
 
@@ -56,14 +70,19 @@ __all__ = [
 ]
 
 MAGIC = b"TACOSNP1"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 _TAG_META = b"META"
 _TAG_CELLS = b"CELL"
+_TAG_VALUE_COLUMN = b"VCOL"
 _TAG_GRAPH = b"GRPH"
 _TAG_END = b"END."
 
 _SECTION_HEADER = struct.Struct("<4sIQ")
+
+#: VCOL payload: name_len u16, name bytes, then this, then tag bytes,
+#: float64 value bytes, side_len u32, side JSON bytes.
+_VCOL_HEADER = struct.Struct("<III")  # col, start_row, count
 
 
 class SnapshotFormatError(ValueError):
@@ -160,11 +179,84 @@ def _json_payload(obj) -> bytes:
 
 
 def _cells_record(sheet: Sheet) -> list:
+    """JSON cell records: every cell for object-store sheets, formula
+    cells only for columnar sheets (pure values travel as VCOL)."""
+    if isinstance(sheet._cells, ColumnarStore):
+        items = sheet.formula_cells()
+    else:
+        items = sheet.items()
     records = []
-    for (col, row), cell in sorted(sheet.items()):
+    for (col, row), cell in sorted(items):
         formula = cell.formula_text if cell.is_formula else None
         records.append([col, row, formula, encode_value(cell.value)])
     return records
+
+
+def _value_column_payloads(sheet: Sheet) -> "Iterator[tuple[bytes, int]]":
+    """``(payload, cell_count)`` per VCOL section of a columnar sheet.
+
+    Tags and float64 values are written as raw little-endian bytes; the
+    sparse side table (strings, errors) rides along as JSON keyed by
+    0-based offset within the run.
+    """
+    name_bytes = sheet.name.encode("utf-8")
+    prefix = struct.pack("<H", len(name_bytes)) + name_bytes
+    for col, start_row, tags, values, side in sheet._cells.export_value_columns():
+        if sys.byteorder == "big":  # pragma: no cover - LE platforms
+            values = array("d", values)
+            values.byteswap()
+        side_json = _json_payload({str(i): encode_value(v) for i, v in side.items()})
+        payload = b"".join((
+            prefix,
+            _VCOL_HEADER.pack(col, start_row, len(tags)),
+            tags,
+            values.tobytes(),
+            struct.pack("<I", len(side_json)),
+            side_json,
+        ))
+        yield payload, len(tags) - tags.count(TAG_EMPTY)
+
+
+def _restore_value_column(workbook: "Workbook | None", payload: bytes) -> None:
+    try:
+        (name_len,) = struct.unpack_from("<H", payload, 0)
+        offset = 2 + name_len
+        name = payload[2:offset].decode("utf-8")
+        col, start_row, count = _VCOL_HEADER.unpack_from(payload, offset)
+        offset += _VCOL_HEADER.size
+        tags = payload[offset:offset + count]
+        offset += count
+        values = array("d")
+        values.frombytes(payload[offset:offset + 8 * count])
+        offset += 8 * count
+        (side_len,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        side_record = json.loads(payload[offset:offset + side_len].decode("utf-8"))
+        if len(tags) != count or len(values) != count:
+            raise ValueError("short tag/value runs")
+    except (struct.error, ValueError, UnicodeDecodeError,
+            json.JSONDecodeError) as exc:
+        raise SnapshotFormatError(f"bad VCOL section: {exc}") from exc
+    if sys.byteorder == "big":  # pragma: no cover - LE platforms
+        values.byteswap()
+    sheet = _sheet_for(workbook, {"sheet": name})
+    side = {int(i): decode_value(v) for i, v in side_record.items()}
+    cells = sheet._cells
+    if isinstance(cells, ColumnarStore):
+        cells.import_column(col, start_row, bytes(tags), values, side)
+        return
+    # Restoring into an object-store sheet: expand the run per cell.
+    for i in range(count):
+        tag = tags[i]
+        if tag == TAG_EMPTY:
+            continue
+        if tag == TAG_NUMBER:
+            value = values[i]
+        elif tag == TAG_BOOL:
+            value = values[i] != 0.0
+        else:
+            value = side[i]
+        sheet.set_value((col, start_row + i), value)
 
 
 # -- public API -------------------------------------------------------------------
@@ -197,6 +289,12 @@ def save_snapshot(
         "workbook": workbook.name,
         "sheets": workbook.sheet_names,
         "snapshot_id": snapshot_id,
+        # Provenance only: restored sheets use the restoring session's
+        # store default, whatever the saving session ran on.
+        "stores": {
+            sheet.name: getattr(sheet, "store_kind", "object")
+            for sheet in workbook.sheets()
+        },
     }
 
     def write_to(out: IO[bytes]) -> int:
@@ -217,6 +315,10 @@ def save_snapshot(
                 out, _TAG_CELLS,
                 _json_payload({"sheet": sheet.name, "cells": cells}),
             )
+            if isinstance(sheet._cells, ColumnarStore):
+                for payload, value_cells in _value_column_payloads(sheet):
+                    stats_cells += value_cells
+                    written += _write_section(out, _TAG_VALUE_COLUMN, payload)
             payload = graph_payload(graph)
             stats_edges += payload["edge_count"]
             written += _write_section(
@@ -299,6 +401,8 @@ def _load_stream(handle: IO[bytes]) -> Snapshot:
             record = _decode_json(payload, "CELL")
             sheet = _sheet_for(workbook, record)
             _restore_cells(sheet, record.get("cells", []))
+        elif tag == _TAG_VALUE_COLUMN:
+            _restore_value_column(workbook, payload)
         elif tag == _TAG_GRAPH:
             record = _decode_json(payload, "GRPH")
             sheet = _sheet_for(workbook, record)

@@ -1,0 +1,615 @@
+"""Typed columnar value store: O(cells) values without O(cells) objects.
+
+The compressed formula graph is O(patterns), but a dict-of-``Cell``
+sheet still spends a boxed Python object (plus a boxed float and a dict
+entry) on every cell — on dense corpora that per-cell object overhead,
+not graph work, dominates both memory and recalculation time.  This
+module stores cell *values* column-wise in typed arrays instead:
+
+======  ==========  ====================================================
+tag     name        payload
+======  ==========  ====================================================
+0       EMPTY       (none — the position is unoccupied / value is None)
+1       NUMBER      ``values[i]`` (IEEE-754 float64)
+2       STRING      ``side[i]`` (the Python str)
+3       BOOL        ``values[i]`` (0.0 / 1.0)
+4       ERROR       ``side[i]`` (the :class:`ExcelError`)
+5       OBJECT      ``side[i]`` (escape hatch for exotic values)
+======  ==========  ====================================================
+
+Each column is one ``array('d')`` of values plus one ``bytearray`` of
+tags (9 bytes per cell before growth headroom) and a sparse ``side``
+dict for the rare non-numeric payloads.  The store is pure stdlib — no
+numpy required — but its buffers expose the buffer protocol, so the
+vectorized evaluator (:mod:`repro.engine.vectorized`) wraps them
+zero-copy with ``numpy.frombuffer`` when numpy is available.
+
+Formula cells keep a real cell object (the AST, memoised references and
+template key need per-cell identity), but as a :class:`ColumnarCell`
+whose ``value`` attribute is a *write-through property* over the arrays:
+``cell.value = x`` lands in the column arrays, never in a shadow slot,
+so bulk array reads can never observe a stale value.  Pure-value
+positions materialise a ``ColumnarCell`` view lazily — and only when
+someone actually asks for the object via ``Sheet.cell_at``.
+
+:class:`ColumnarStore` also speaks the small mapping dialect the sheet
+layer uses (``items``/``get``/``pop``/``__setitem__``/...), so
+``Sheet`` code written against the dict-of-Cells store runs against it
+unchanged.  Numbers are canonicalised to float64 on write (``42`` comes
+back as ``42.0``), exactly as a host spreadsheet stores them.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator
+
+from ..formula.ast_nodes import Node
+from ..formula.errors import ExcelError
+from .cell import Cell
+
+__all__ = [
+    "TAG_BOOL",
+    "TAG_EMPTY",
+    "TAG_ERROR",
+    "TAG_NUMBER",
+    "TAG_OBJECT",
+    "TAG_STRING",
+    "ColumnarCell",
+    "ColumnarStore",
+]
+
+TAG_EMPTY = 0
+TAG_NUMBER = 1
+TAG_STRING = 2
+TAG_BOOL = 3
+TAG_ERROR = 4
+TAG_OBJECT = 5
+
+#: Tags whose payload lives in the ``side`` dict, not the value array.
+_SIDE_TAGS = (TAG_STRING, TAG_ERROR, TAG_OBJECT)
+
+_D_ZERO = array("d", (0.0,))
+
+
+class _Column:
+    """One column's arrays: float64 values, tag bytes, sparse side table.
+
+    Rows are 0-based indexes (``row - 1``); the arrays grow geometrically
+    to the highest touched row.  Invariant: ``values[i]`` is 0.0 whenever
+    ``tags[i]`` is not NUMBER/BOOL, so a raw value-buffer read of an
+    empty lane is already the ``to_number(None)`` coercion.
+    """
+
+    __slots__ = ("values", "tags", "side")
+
+    def __init__(self, capacity: int = 0):
+        self.values = array("d", bytes(8 * capacity))
+        self.tags = bytearray(capacity)
+        self.side: dict[int, object] = {}
+
+    def __len__(self) -> int:
+        return len(self.tags)
+
+    def grow_to(self, size: int) -> None:
+        have = len(self.tags)
+        if size <= have:
+            return
+        # Geometric headroom so repeated appends stay amortised O(1).
+        target = max(size, have + (have >> 1), 16)
+        self.values.extend(_D_ZERO * (target - have))
+        self.tags.extend(bytes(target - have))
+
+    def occupied(self) -> int:
+        return len(self.tags) - self.tags.count(0)
+
+
+def _classify(value) -> tuple[int, float, object]:
+    """``value -> (tag, array payload, side payload)``."""
+    if value is None:
+        return TAG_EMPTY, 0.0, None
+    if value is True or value is False:
+        return TAG_BOOL, 1.0 if value else 0.0, None
+    if isinstance(value, (int, float)):
+        return TAG_NUMBER, float(value), None
+    if isinstance(value, str):
+        return TAG_STRING, 0.0, value
+    if isinstance(value, ExcelError):
+        return TAG_ERROR, 0.0, value
+    return TAG_OBJECT, 0.0, value
+
+
+class ColumnarCell(Cell):
+    """A cell whose ``value`` is a write-through view over the store.
+
+    Used both for registered formula cells (which need a long-lived
+    object carrying the AST and memoised caches) and for the lazy views
+    ``Sheet.cell_at`` hands out for pure-value positions.  Either way,
+    reading ``.value`` consults the column arrays and assigning it
+    forwards there — direct writes can never leave the arrays stale.
+    """
+
+    __slots__ = ("_store", "_col", "_row")
+
+    def __init__(
+        self,
+        store: "ColumnarStore",
+        col: int,
+        row: int,
+        formula_text: str | None = None,
+        formula_ast: Node | None = None,
+    ):
+        self._store = store
+        self._col = col
+        self._row = row
+        self._formula_text = formula_text
+        self._formula_ast = formula_ast
+        self._references = None
+        self._template_key = None
+
+    @property
+    def value(self):
+        return self._store.read_value(self._col, self._row)
+
+    @value.setter
+    def value(self, new_value) -> None:
+        self._store.write_through(self._col, self._row, new_value)
+
+    @property
+    def position(self) -> tuple[int, int]:
+        """The (col, row) this view is bound to."""
+        return (self._col, self._row)
+
+    def invalidate_position_caches(self) -> None:
+        """Drop memoised state that depends on where the cell sits.
+
+        The R1C1 template key renders relative references against the
+        host position; after a structural move the same AST keys
+        differently.  Extracted references are absolute — they only
+        change when the AST itself is rewritten — so they survive.
+        """
+        self._template_key = None
+
+
+class ColumnarStore:
+    """Per-sheet columnar backing store with a dict-of-Cells facade."""
+
+    __slots__ = ("_columns", "_formulas", "_count")
+
+    def __init__(self) -> None:
+        self._columns: dict[int, _Column] = {}
+        #: Registered formula cells; their cached values live in the
+        #: arrays (write-through), only AST state lives on the object.
+        self._formulas: dict[tuple[int, int], ColumnarCell] = {}
+        #: Occupied positions: non-EMPTY tags plus formula cells whose
+        #: cached value is None (their tag is EMPTY but they exist).
+        self._count = 0
+
+    # -- value plane -----------------------------------------------------------
+
+    def read_value(self, col: int, row: int):
+        """Value at (col, row) — the hot-loop read (None when blank)."""
+        column = self._columns.get(col)
+        if column is None:
+            return None
+        i = row - 1
+        if i >= len(column.tags):
+            return None
+        tag = column.tags[i]
+        if tag == TAG_EMPTY:
+            return None
+        if tag == TAG_NUMBER:
+            return column.values[i]
+        if tag == TAG_BOOL:
+            return column.values[i] != 0.0
+        return column.side[i]
+
+    def _column_for(self, col: int, row: int) -> _Column:
+        column = self._columns.get(col)
+        if column is None:
+            column = self._columns[col] = _Column()
+        column.grow_to(row)
+        return column
+
+    def _write_raw(self, column: _Column, i: int, value) -> int:
+        """Write one value into the arrays; returns the *old* tag."""
+        tag, payload, side = _classify(value)
+        old = column.tags[i]
+        if old in _SIDE_TAGS:
+            column.side.pop(i, None)
+        column.tags[i] = tag
+        column.values[i] = payload
+        if side is not None:
+            column.side[i] = side
+        return old
+
+    def write_pure(self, col: int, row: int, value) -> None:
+        """``Sheet.set_value`` semantics: a value write replaces whatever
+        occupied the position (formula included); None erases it."""
+        pos = (col, row)
+        formula = self._formulas.pop(pos, None)
+        if value is None:
+            column = self._columns.get(col)
+            if column is None or row - 1 >= len(column.tags):
+                if formula is not None:
+                    self._count -= 1
+                return
+            old = self._write_raw(column, row - 1, None)
+            if old != TAG_EMPTY or formula is not None:
+                self._count -= 1
+            return
+        column = self._column_for(col, row)
+        old = self._write_raw(column, row - 1, value)
+        if old == TAG_EMPTY and formula is None:
+            self._count += 1
+
+    def write_through(self, col: int, row: int, value) -> None:
+        """The view write path (``cell.value = x``).
+
+        On a formula cell this updates the cached value; occupancy is
+        keyed by the formula registration, so only the arrays change.
+        On a pure-value view it behaves like ``Sheet.set_value`` —
+        including ``None`` erasing the cell.
+        """
+        if (col, row) in self._formulas:
+            self._write_raw(self._column_for(col, row), row - 1, value)
+        else:
+            self.write_pure(col, row, value)
+
+    # -- formula plane ---------------------------------------------------------
+
+    def put_formula(
+        self,
+        pos: tuple[int, int],
+        formula_text: str | None = None,
+        formula_ast: Node | None = None,
+        value=None,
+    ) -> ColumnarCell:
+        """Install a formula cell at ``pos`` (cached value reset to
+        ``value``, None by default — matching a fresh ``Cell``)."""
+        col, row = pos
+        column = self._column_for(col, row)
+        old = column.tags[row - 1]
+        was_occupied = old != TAG_EMPTY or pos in self._formulas
+        cell = ColumnarCell(self, col, row, formula_text, formula_ast)
+        self._formulas[pos] = cell
+        self._write_raw(column, row - 1, value)
+        if not was_occupied:
+            self._count += 1
+        return cell
+
+    def formula_at(self, pos: tuple[int, int]) -> ColumnarCell | None:
+        return self._formulas.get(pos)
+
+    def formula_items(self):
+        return self._formulas.items()
+
+    @property
+    def formula_count(self) -> int:
+        return len(self._formulas)
+
+    # -- mapping facade (the dialect Sheet code speaks) ------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def _occupied(self, pos: tuple[int, int]) -> bool:
+        if pos in self._formulas:
+            return True
+        column = self._columns.get(pos[0])
+        if column is None:
+            return False
+        i = pos[1] - 1
+        return i < len(column.tags) and column.tags[i] != TAG_EMPTY
+
+    def __contains__(self, pos) -> bool:
+        return self._occupied(pos)
+
+    def get(self, pos, default=None):
+        cell = self._formulas.get(pos)
+        if cell is not None:
+            return cell
+        if self._occupied(pos):
+            return ColumnarCell(self, pos[0], pos[1])
+        return default
+
+    def __getitem__(self, pos):
+        cell = self.get(pos)
+        if cell is None:
+            raise KeyError(pos)
+        return cell
+
+    def __setitem__(self, pos, cell) -> None:
+        """Adopt a ``Cell`` (or view): formulas register, values inline.
+
+        The cell's current value is read *before* any store mutation, so
+        adopting a view of this very store is safe.
+        """
+        value = cell.value
+        if cell.is_formula:
+            self.put_formula(
+                pos,
+                formula_text=cell._formula_text,
+                formula_ast=cell._formula_ast,
+                value=value,
+            )
+        else:
+            self.write_pure(pos[0], pos[1], value)
+
+    def pop(self, pos, default=None):
+        cell = self.get(pos)
+        if cell is None:
+            return default
+        self.write_pure(pos[0], pos[1], None)
+        return cell
+
+    def __delitem__(self, pos) -> None:
+        if not self._occupied(pos):
+            raise KeyError(pos)
+        self.write_pure(pos[0], pos[1], None)
+
+    def clear(self) -> None:
+        self._columns.clear()
+        self._formulas.clear()
+        self._count = 0
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        for col, column in self._columns.items():
+            tags = column.tags
+            for i in range(len(tags)):
+                if tags[i]:
+                    yield (col, i + 1)
+        for pos in self._formulas:
+            column = self._columns.get(pos[0])
+            if column is None or column.tags[pos[1] - 1] == TAG_EMPTY:
+                yield pos
+
+    def items(self) -> Iterator[tuple[tuple[int, int], Cell]]:
+        formulas = self._formulas
+        for pos in self:
+            cell = formulas.get(pos)
+            yield pos, (cell if cell is not None else ColumnarCell(self, *pos))
+
+    # -- range iteration -------------------------------------------------------
+
+    def iter_range(self, rng) -> Iterator[tuple[int, int, object]]:
+        """Non-blank cells of ``rng`` as (col, row, value), row-major —
+        the same geometric order the object store's resolver uses, so
+        iteration-order-dependent choices (which error an aggregate
+        propagates) are store-independent."""
+        columns = []
+        for col in range(rng.c1, rng.c2 + 1):
+            column = self._columns.get(col)
+            if column is not None:
+                columns.append((col, column.tags, column.values, column.side))
+        if not columns:
+            return
+        for row in range(rng.r1, rng.r2 + 1):
+            i = row - 1
+            for col, tags, values, side in columns:
+                if i >= len(tags):
+                    continue
+                tag = tags[i]
+                if tag == TAG_EMPTY:
+                    continue
+                if tag == TAG_NUMBER:
+                    yield col, row, values[i]
+                elif tag == TAG_BOOL:
+                    yield col, row, values[i] != 0.0
+                else:
+                    yield col, row, side[i]
+
+    def bounds(self) -> tuple[int, int, int, int] | None:
+        """Bounding box of occupied positions, or None when empty."""
+        min_col = min_row = max_col = max_row = None
+        for col, row in self:
+            if min_col is None:
+                min_col = max_col = col
+                min_row = max_row = row
+                continue
+            if col < min_col:
+                min_col = col
+            elif col > max_col:
+                max_col = col
+            if row < min_row:
+                min_row = row
+            elif row > max_row:
+                max_row = row
+        if min_col is None:
+            return None
+        return (min_col, min_row, max_col, max_row)
+
+    # -- raw buffer access (the vectorized evaluator's window) -----------------
+
+    def column_buffers(self, col: int) -> tuple[array, bytearray] | None:
+        """The raw (values, tags) buffers of a column, or None."""
+        column = self._columns.get(col)
+        if column is None:
+            return None
+        return column.values, column.tags
+
+    def ensure_column(self, col: int, row: int) -> _Column:
+        """Grow ``col`` to cover ``row`` and return its :class:`_Column`."""
+        return self._column_for(col, row)
+
+    # -- structural edits ------------------------------------------------------
+
+    def structural_edit(self, axis: str, mode: str, index: int, count: int) -> int:
+        """Apply a row/column insert/delete to the arrays wholesale.
+
+        Values move as array splices (O(column length) memmoves instead
+        of O(cells) dict rebuilds), side tables and the formula registry
+        are rekeyed, and registered views are rebound to their post-edit
+        coordinates.  Returns the number of occupied positions removed
+        with the deleted band (0 for inserts).
+        """
+        if axis == "row":
+            if mode == "insert":
+                self._insert_rows(index, count)
+                return 0
+            return self._delete_rows(index, count)
+        if mode == "insert":
+            self._insert_columns(index, count)
+            return 0
+        return self._delete_columns(index, count)
+
+    def _insert_rows(self, row: int, count: int) -> None:
+        i0 = row - 1
+        for column in self._columns.values():
+            if len(column.tags) <= i0:
+                continue
+            column.values[i0:i0] = _D_ZERO * count
+            column.tags[i0:i0] = bytes(count)
+            if column.side:
+                column.side = {
+                    (i + count if i >= i0 else i): v for i, v in column.side.items()
+                }
+        self._rekey_formulas(
+            lambda pos: (pos[0], pos[1] + count) if pos[1] >= row else pos
+        )
+
+    def _delete_rows(self, row: int, count: int) -> int:
+        i0, i1 = row - 1, row - 1 + count
+        removed = 0
+        for pos in self._formulas:
+            # Formula cells with a None cached value occupy no tag slot;
+            # count them here, the tag scan below covers the rest.
+            if row <= pos[1] < row + count:
+                column = self._columns.get(pos[0])
+                i = pos[1] - 1
+                if column is None or i >= len(column.tags) or not column.tags[i]:
+                    removed += 1
+        for column in self._columns.values():
+            n = len(column.tags)
+            if n <= i0:
+                continue
+            band = column.tags[i0:i1]
+            removed += len(band) - band.count(0)
+            del column.values[i0:i1]
+            del column.tags[i0:i1]
+            if column.side:
+                side: dict[int, object] = {}
+                for i, v in column.side.items():
+                    if i < i0:
+                        side[i] = v
+                    elif i >= i1:
+                        side[i - count] = v
+                column.side = side
+        end = row + count - 1
+
+        def move(pos):
+            col, r = pos
+            if row <= r <= end:
+                return None
+            return (col, r - count) if r > end else pos
+
+        self._rekey_formulas(move)
+        self._count -= removed
+        return removed
+
+    def _insert_columns(self, col: int, count: int) -> None:
+        self._columns = {
+            (c + count if c >= col else c): column
+            for c, column in self._columns.items()
+        }
+        self._rekey_formulas(
+            lambda pos: (pos[0] + count, pos[1]) if pos[0] >= col else pos
+        )
+
+    def _delete_columns(self, col: int, count: int) -> int:
+        end = col + count - 1
+        removed = 0
+        for pos in self._formulas:
+            if col <= pos[0] <= end:
+                column = self._columns.get(pos[0])
+                i = pos[1] - 1
+                if column is None or i >= len(column.tags) or not column.tags[i]:
+                    removed += 1
+        columns: dict[int, _Column] = {}
+        for c, column in self._columns.items():
+            if col <= c <= end:
+                removed += column.occupied()
+            elif c > end:
+                columns[c - count] = column
+            else:
+                columns[c] = column
+        self._columns = columns
+
+        def move(pos):
+            c, row = pos
+            if col <= c <= end:
+                return None
+            return (c - count, row) if c > end else pos
+
+        self._rekey_formulas(move)
+        self._count -= removed
+        return removed
+
+    def _rekey_formulas(self, move) -> None:
+        formulas: dict[tuple[int, int], ColumnarCell] = {}
+        for pos, cell in self._formulas.items():
+            new_pos = move(pos)
+            if new_pos is None:
+                continue
+            cell._col, cell._row = new_pos
+            formulas[new_pos] = cell
+        self._formulas = formulas
+
+    # -- bulk persistence ------------------------------------------------------
+
+    def export_value_columns(self):
+        """Yield ``(col, start_row, tags, values, side)`` per column for
+        the *pure-value* positions (formula cached values are persisted
+        with their formula records).
+
+        ``tags`` is a trimmed bytes run starting at ``start_row``;
+        ``values`` the matching float64 bytes; ``side`` maps 0-based
+        offsets within the run to their payloads.  Columns with no pure
+        values are skipped.
+        """
+        formula_rows: dict[int, set[int]] = {}
+        for (col, row) in self._formulas:
+            formula_rows.setdefault(col, set()).add(row - 1)
+        for col in sorted(self._columns):
+            column = self._columns[col]
+            tags = bytearray(column.tags)
+            for i in formula_rows.get(col, ()):
+                if i < len(tags):
+                    tags[i] = TAG_EMPTY
+            first = next((i for i, t in enumerate(tags) if t), None)
+            if first is None:
+                continue
+            last = len(tags) - 1
+            while tags[last] == TAG_EMPTY:
+                last -= 1
+            run_tags = bytes(tags[first:last + 1])
+            run_values = column.values[first:last + 1]
+            side = {
+                i - first: v
+                for i, v in column.side.items()
+                if first <= i <= last and tags[i] in _SIDE_TAGS
+            }
+            yield col, first + 1, run_tags, run_values, side
+
+    def import_column(self, col: int, start_row: int, tags: bytes,
+                      values: array, side: dict[int, object]) -> None:
+        """Bulk-install one exported column run (inverse of
+        :meth:`export_value_columns`); positions must not be occupied."""
+        if len(tags) != len(values):
+            raise ValueError("columnar run: tags/values length mismatch")
+        column = self._column_for(col, start_row + len(tags) - 1)
+        i0 = start_row - 1
+        column.tags[i0:i0 + len(tags)] = tags
+        column.values[i0:i0 + len(values)] = values
+        for i, v in side.items():
+            column.side[i0 + i] = v
+        self._count += len(tags) - tags.count(TAG_EMPTY)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnarStore({self._count} cells, {len(self._columns)} columns, "
+            f"{len(self._formulas)} formulas)"
+        )

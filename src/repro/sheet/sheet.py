@@ -1,7 +1,10 @@
 """The sheet: a sparse grid of cells plus dependency enumeration.
 
-A :class:`Sheet` stores cells sparsely in a dict keyed by ``(col, row)``.
-Besides the value/formula accessors it provides
+A :class:`Sheet` stores cells sparsely — by default in the typed
+columnar store (:mod:`repro.sheet.columnar`), optionally in a plain
+dict keyed by ``(col, row)`` (``store="object"``).  Both stores speak
+the same mapping dialect, so everything above the accessors is
+store-agnostic.  Besides the value/formula accessors the sheet provides
 :meth:`Sheet.iter_dependencies`, which enumerates the raw formula-graph
 edges (referenced range -> formula cell) together with their dollar-sign
 cues — exactly the stream that both NoComp and TACO ingest.
@@ -9,6 +12,7 @@ cues — exactly the stream that both NoComp and TACO ingest.
 
 from __future__ import annotations
 
+import os
 import weakref
 from typing import Iterator
 
@@ -17,8 +21,15 @@ from ..formula.references import ReferencedRange
 from ..grid.range import Range
 from ..grid.ref import parse_cell
 from .cell import Cell
+from .columnar import ColumnarStore
 
-__all__ = ["Sheet", "Dependency"]
+__all__ = ["Sheet", "Dependency", "DEFAULT_STORE", "STORE_KINDS"]
+
+#: Valid ``Sheet(store=...)`` kinds.
+STORE_KINDS = ("columnar", "object")
+
+#: The store used when ``Sheet(store=None)``; overridable for A/B runs.
+DEFAULT_STORE = os.environ.get("REPRO_SHEET_STORE", "columnar")
 
 
 class Dependency:
@@ -60,9 +71,22 @@ def _coerce_pos(target) -> tuple[int, int]:
 class Sheet:
     """A sparse spreadsheet grid."""
 
-    def __init__(self, name: str = "Sheet1"):
+    def __init__(self, name: str = "Sheet1", store: str | None = None):
         self.name = name
-        self._cells: dict[tuple[int, int], Cell] = {}
+        kind = DEFAULT_STORE if store is None else store
+        if kind == "columnar":
+            self._cells = ColumnarStore()
+            # Bind the hot-loop accessor straight to the store: instance
+            # attributes win over plain methods, so the per-call branch
+            # below disappears for columnar sheets.
+            self.raw_value = self._cells.read_value
+        elif kind == "object":
+            self._cells: dict[tuple[int, int], Cell] = {}
+        else:
+            raise ValueError(
+                f"unknown store kind {kind!r}; expected one of {STORE_KINDS}"
+            )
+        self.store_kind = kind
         # Open BatchEditSessions register here (on the sheet, not their
         # engine, so sessions from throwaway engines over the same sheet
         # are visible too); structural edits refuse to run while any is
@@ -79,46 +103,83 @@ class Sheet:
     def cell_at(self, target) -> Cell | None:
         return self._cells.get(_coerce_pos(target))
 
+    def formula_at(self, target) -> Cell | None:
+        """The formula cell at ``target``, or None for blank/pure-value
+        positions — without materialising a view on columnar sheets."""
+        pos = _coerce_pos(target)
+        cells = self._cells
+        if type(cells) is dict:
+            cell = cells.get(pos)
+            return cell if cell is not None and cell.is_formula else None
+        return cells.formula_at(pos)
+
     def get_value(self, target):
-        cell = self._cells.get(_coerce_pos(target))
-        return None if cell is None else cell.value
+        pos = _coerce_pos(target)
+        cells = self._cells
+        if type(cells) is dict:
+            cell = cells.get(pos)
+            return None if cell is None else cell.value
+        return cells.read_value(pos[0], pos[1])
 
     def raw_value(self, col: int, row: int):
         """Value at bare integer coordinates — the hot-loop accessor.
 
         Skips target coercion; the windowed evaluation runs call this
-        once per (cell, window-entry) pair.
+        once per (cell, window-entry) pair.  On columnar sheets an
+        instance attribute rebinds this name to ``store.read_value``.
         """
         cell = self._cells.get((col, row))
         return None if cell is None else cell.value
 
     def set_value(self, target, value) -> None:
         pos = _coerce_pos(target)
-        if value is None:
-            self._cells.pop(pos, None)
-            return
-        self._cells[pos] = Cell(value=value)
+        cells = self._cells
+        if type(cells) is dict:
+            if value is None:
+                cells.pop(pos, None)
+            else:
+                cells[pos] = Cell(value=value)
+        else:
+            cells.write_pure(pos[0], pos[1], value)
 
     def set_formula(self, target, text: str) -> None:
         """Set a formula from text (leading ``=`` optional)."""
         pos = _coerce_pos(target)
         body = text[1:] if text.startswith("=") else text
-        self._cells[pos] = Cell(formula_text=body)
+        cells = self._cells
+        if type(cells) is dict:
+            cells[pos] = Cell(formula_text=body)
+        else:
+            cells.put_formula(pos, formula_text=body)
 
     def set_formula_ast(self, target, ast: Node) -> None:
         """Set a formula from a pre-built AST (the autofill fast path)."""
-        self._cells[_coerce_pos(target)] = Cell(formula_ast=ast)
+        pos = _coerce_pos(target)
+        cells = self._cells
+        if type(cells) is dict:
+            cells[pos] = Cell(formula_ast=ast)
+        else:
+            cells.put_formula(pos, formula_ast=ast)
 
     def clear_cell(self, target) -> None:
-        self._cells.pop(_coerce_pos(target), None)
+        pos = _coerce_pos(target)
+        cells = self._cells
+        if type(cells) is dict:
+            cells.pop(pos, None)
+        else:
+            cells.write_pure(pos[0], pos[1], None)
 
     def clear_range(self, rng: Range) -> None:
-        if rng.size < len(self._cells):
+        cells = self._cells
+        if type(cells) is not dict:
+            for pos in [p for p in cells if rng.contains_cell(*p)]:
+                cells.write_pure(pos[0], pos[1], None)
+        elif rng.size < len(cells):
             for pos in list(rng.cells()):
-                self._cells.pop(pos, None)
+                cells.pop(pos, None)
         else:
-            for pos in [p for p in self._cells if rng.contains_cell(*p)]:
-                del self._cells[pos]
+            for pos in [p for p in cells if rng.contains_cell(*p)]:
+                del cells[pos]
 
     # -- iteration ------------------------------------------------------------
 
@@ -129,20 +190,30 @@ class Sheet:
         return iter(self._cells.items())
 
     def formula_cells(self) -> Iterator[tuple[tuple[int, int], Cell]]:
-        for pos, cell in self._cells.items():
-            if cell.is_formula:
-                yield pos, cell
+        cells = self._cells
+        if type(cells) is dict:
+            for pos, cell in cells.items():
+                if cell.is_formula:
+                    yield pos, cell
+        else:
+            yield from cells.formula_items()
 
     @property
     def formula_count(self) -> int:
-        return sum(1 for _, cell in self.formula_cells())
+        cells = self._cells
+        if type(cells) is dict:
+            return sum(1 for _, cell in self.formula_cells())
+        return cells.formula_count
 
     def used_range(self) -> Range | None:
         """Bounding box of all occupied cells, or None for an empty sheet."""
-        if not self._cells:
+        cells = self._cells
+        if not cells:
             return None
-        cols = [pos[0] for pos in self._cells]
-        rows = [pos[1] for pos in self._cells]
+        if type(cells) is not dict:
+            return Range(*cells.bounds())
+        cols = [pos[0] for pos in cells]
+        rows = [pos[1] for pos in cells]
         return Range(min(cols), min(rows), max(cols), max(rows))
 
     # -- batched editing ---------------------------------------------------------
@@ -171,9 +242,7 @@ class Sheet:
         are per-sheet, and a reference into another sheet contributes no
         edge to this sheet's graph.
         """
-        for (col, row), cell in self._cells.items():
-            if not cell.is_formula:
-                continue
+        for (col, row), cell in self.formula_cells():
             dep = Range.cell(col, row)
             for ref in cell.references:
                 if ref.sheet is not None and ref.sheet != self.name:
@@ -188,21 +257,34 @@ class Sheet:
     def resolver_get_value(self, sheet: str | None, col: int, row: int):
         if sheet is not None and sheet != self.name:
             return None
-        cell = self._cells.get((col, row))
-        return None if cell is None else cell.value
+        return self.raw_value(col, row)
 
     def resolver_iter_cells(self, sheet: str | None, rng: Range):
+        """Non-blank cells of ``rng`` in row-major geometric order.
+
+        The order is part of the contract: aggregate evaluation picks
+        the *first* error a range yields, so both stores must enumerate
+        identically for evaluation to be store-independent.
+        """
         if sheet is not None and sheet != self.name:
             return
-        if rng.size <= len(self._cells):
+        cells = self._cells
+        if type(cells) is not dict:
+            yield from cells.iter_range(rng)
+        elif rng.size <= len(cells):
             for pos in rng.cells():
-                cell = self._cells.get(pos)
+                cell = cells.get(pos)
                 if cell is not None and cell.value is not None:
                     yield pos[0], pos[1], cell.value
         else:
-            for (col, row), cell in self._cells.items():
-                if rng.contains_cell(col, row) and cell.value is not None:
-                    yield col, row, cell.value
+            found = [
+                (row, col, cell.value)
+                for (col, row), cell in cells.items()
+                if rng.contains_cell(col, row) and cell.value is not None
+            ]
+            found.sort(key=lambda item: (item[0], item[1]))
+            for row, col, value in found:
+                yield col, row, value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Sheet({self.name!r}, {len(self._cells)} cells)"

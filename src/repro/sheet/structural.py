@@ -310,8 +310,71 @@ class _TransformWatcher:
 # sheet-level operations
 
 
+def _apply_structural_columnar(
+    sheet: Sheet, transform_ref, prescreen, geometry
+) -> SheetEditReport:
+    """The columnar-store twin of :func:`_apply_structural`.
+
+    Values move wholesale inside the column arrays
+    (:meth:`~repro.sheet.columnar.ColumnarStore.structural_edit` splices
+    them in O(column length) memmoves and rekeys the formula registry),
+    so only the *formula* population — typically a tiny fraction of the
+    sheet — is walked here for reference rewriting.  Must never run
+    interleaved with the object path: registered views are rebound by
+    the splice, and a view captured before it would read post-edit
+    coordinates.
+    """
+    store = sheet._cells
+    name = sheet.name
+
+    def applies(node) -> bool:
+        return node.sheet is None or node.sheet == name
+
+    axis, mode, index, count = geometry
+    pre_positions = {id(cell): pos for pos, cell in store.formula_items()}
+    removed = store.structural_edit(axis, mode, index, count)
+    moved: set[tuple[int, int]] = set()
+    rewritten: set[tuple[int, int]] = set()
+    resized: set[tuple[int, int]] = set()
+    volatile: set[tuple[int, int]] = set()
+    struck: set[tuple[int, int]] = set()
+    for new_pos, cell in list(store.formula_items()):
+        did_move = new_pos != pre_positions[id(cell)]
+        text = cell._formula_text
+        if prescreen is not None and text is not None and not prescreen(text):
+            # Provably untouched AST (see the object path's rationale);
+            # a re-registration restarts the position-dependent caches
+            # cold, exactly like the object path's fresh text-only Cell.
+            if did_move:
+                store.put_formula(
+                    new_pos, formula_text=text, value=store.read_value(*new_pos)
+                )
+                moved.add(new_pos)
+            continue
+        watcher = _TransformWatcher(transform_ref)
+        new_ast = _rewrite(cell.formula_ast, watcher, applies)
+        if new_ast is cell.formula_ast and not did_move:
+            continue
+        # The cached value already sits at new_pos (the splice moved it);
+        # read it out before put_formula resets the slot.
+        store.put_formula(
+            new_pos, formula_ast=new_ast, value=store.read_value(*new_pos)
+        )
+        if did_move:
+            moved.add(new_pos)
+        if new_ast is not cell.formula_ast:
+            rewritten.add(new_pos)
+        if watcher.resized:
+            resized.add(new_pos)
+        if _position_sensitive(new_ast):
+            volatile.add(new_pos)
+        if watcher.strikes:
+            struck.add(new_pos)
+    return SheetEditReport(moved, rewritten, resized, volatile, struck, removed)
+
+
 def _apply_structural(
-    sheet: Sheet, move_cell, transform_ref, prescreen=None
+    sheet: Sheet, move_cell, transform_ref, prescreen=None, geometry=None
 ) -> SheetEditReport:
     """Rebuild the cell dict under a structural edit.
 
@@ -335,6 +398,9 @@ def _apply_structural(
     a lazily parsed sheet (a fresh xlsx read, a snapshot restore) cost
     ``O(cells)`` text scans instead of ``O(cells)`` formula parses.
     """
+    if geometry is not None and type(sheet._cells) is not dict:
+        return _apply_structural_columnar(sheet, transform_ref, prescreen, geometry)
+
     name = sheet.name
 
     def applies(node) -> bool:
@@ -487,6 +553,7 @@ def insert_rows(sheet: Sheet, row: int, count: int = 1) -> SheetEditReport:
     return _apply_structural(
         sheet, move, lambda rng: shift_range_for_insert(rng, row, count, "row"),
         prescreen=lambda text: _may_touch(text, "row", row),
+        geometry=("row", "insert", row, count),
     )
 
 
@@ -505,6 +572,7 @@ def delete_rows(sheet: Sheet, row: int, count: int = 1) -> SheetEditReport:
     return _apply_structural(
         sheet, move, lambda rng: shift_range_for_delete(rng, row, count, "row"),
         prescreen=lambda text: _may_touch(text, "row", row),
+        geometry=("row", "delete", row, count),
     )
 
 
@@ -520,6 +588,7 @@ def insert_columns(sheet: Sheet, col: int, count: int = 1) -> SheetEditReport:
     return _apply_structural(
         sheet, move, lambda rng: shift_range_for_insert(rng, col, count, "col"),
         prescreen=lambda text: _may_touch(text, "col", col),
+        geometry=("col", "insert", col, count),
     )
 
 
@@ -538,4 +607,5 @@ def delete_columns(sheet: Sheet, col: int, count: int = 1) -> SheetEditReport:
     return _apply_structural(
         sheet, move, lambda rng: shift_range_for_delete(rng, col, count, "col"),
         prescreen=lambda text: _may_touch(text, "col", col),
+        geometry=("col", "delete", col, count),
     )

@@ -1,0 +1,265 @@
+"""The elementwise array-sweep fast path, shape by shape.
+
+Same discipline as ``test_vectorized.py``: build the sheet twice,
+recalculate once with ``evaluation="auto"`` (asserting via ``eval_stats``
+that the sweep actually dispatched) and once with the tree-walking
+interpreter, then compare every cell bitwise.  The sweep mirrors the
+compiled closure operation for operation in IEEE-754 float64, so no
+tolerance is needed — equality is exact or the path is broken.
+"""
+
+import pytest
+
+from repro.engine import vectorized
+from repro.engine.recalc import RecalcEngine
+from repro.formula.compile import compile_template, elementwise_ir
+from repro.formula.errors import ExcelError
+from repro.formula.parser import parse_formula
+from repro.sheet.autofill import fill_formula_column
+from repro.sheet.sheet import Sheet
+
+sweeps_available = pytest.mark.skipif(
+    vectorized._np is None, reason="elementwise sweeps require numpy"
+)
+
+ROWS = 80
+
+
+def data_sheet(rows=ROWS, noise=True):
+    s = Sheet("S", store="columnar")
+    for r in range(1, rows + 1):
+        s.set_value((1, r), float((r * 37) % 101) / 3.0)
+        s.set_value((2, r), float(r % 13) - 6.0)
+    if noise:
+        s.set_value((1, 7), "text")
+        s.set_value((1, 13), True)
+        s.set_value((1, 21), None)           # hole
+        s.set_value((2, 30), "x")
+    s.set_value((6, 1), 1.5)                 # $F$1 broadcast scalar
+    return s
+
+
+def compare(build, *, expect_swept=None):
+    sa, sb = build(), build()
+    ea = RecalcEngine(sa, evaluation="interpreter")
+    eb = RecalcEngine(sb)
+    ea.recalculate_all()
+    eb.recalculate_all()
+    for pos, cell in sa.items():
+        got = sb.get_value(pos)
+        want = cell.value
+        if isinstance(want, ExcelError):
+            assert isinstance(got, ExcelError) and got.code == want.code, pos
+        else:
+            assert type(got) is type(want) and got == want, pos
+    if expect_swept is not None:
+        assert eb.eval_stats.elementwise_cells == expect_swept, eb.eval_stats
+    return eb
+
+
+TEMPLATES = {
+    "double": "=A1*2",
+    "affine-broadcast": "=A1*$F$1+B1",
+    "ratio": "=A1/B1",
+    "negate-percent": "=-A1*10%",
+    "chained": "=(A1+B1)*(A1-B1)/2",
+}
+
+
+@sweeps_available
+@pytest.mark.parametrize("name", sorted(TEMPLATES))
+def test_template_shapes_match_interpreter(name):
+    formula = TEMPLATES[name]
+
+    def build():
+        s = data_sheet()
+        fill_formula_column(s, 3, 1, ROWS, formula)
+        return s
+
+    engine = compare(build)
+    stats = engine.eval_stats
+    assert stats.elementwise_runs >= 1
+    # The clean lanes swept; the noisy lanes (string inputs, div-by-zero)
+    # fell back — together they cover the run.
+    assert stats.elementwise_cells > 0
+    assert stats.elementwise_cells + stats.compiled_cells \
+        + stats.interpreted_cells == ROWS
+
+
+@sweeps_available
+def test_masked_lanes_carry_interpreter_errors():
+    def build():
+        s = data_sheet()
+        fill_formula_column(s, 3, 1, ROWS, "=A1/B1")
+        return s
+
+    engine = compare(build)
+    # B6, B19, ... hold 0.0 (r % 13 == 6): those lanes must be #DIV/0!.
+    assert engine.sheet.get_value((3, 19)).code == "#DIV/0!"
+    # A7 holds a string: VALUE error from numeric coercion.
+    assert engine.sheet.get_value((3, 7)).code == "#VALUE!"
+    assert engine.eval_stats.elementwise_cells < ROWS
+
+
+@sweeps_available
+def test_error_inputs_delegate_lanes():
+    def build():
+        s = data_sheet(noise=False)
+        s.set_formula((1, 11), "=1/0")       # error value in the data
+        fill_formula_column(s, 3, 1, ROWS, "=A1*2+B1")
+        return s
+
+    engine = compare(build)
+    assert engine.sheet.get_value((3, 11)).code == "#DIV/0!"
+    assert engine.eval_stats.elementwise_cells == ROWS - 1
+
+
+@sweeps_available
+def test_pow_stays_off_the_sweep():
+    """``^`` is out of the IR subset (numpy's vectorised pow is not
+    ULP-identical to libm's scalar pow): the run must decline the sweep
+    and still match bitwise through the per-cell paths."""
+    def build():
+        s = data_sheet(noise=False)
+        s.set_value((1, 5), -2.0)
+        s.set_value((2, 5), 0.5)             # (-2)^0.5 -> #NUM!
+        s.set_value((1, 9), 1e200)
+        s.set_value((2, 9), 3.0)             # overflow -> #NUM!
+        fill_formula_column(s, 3, 1, ROWS, "=A1^B1")
+        return s
+
+    engine = compare(build, expect_swept=0)
+    assert engine.sheet.get_value((3, 5)).code == "#NUM!"
+    assert engine.sheet.get_value((3, 9)).code == "#NUM!"
+
+
+@sweeps_available
+def test_empty_and_bool_lanes_sweep_without_fallback():
+    """EMPTY coerces to 0.0 and BOOL to 0/1 directly in the value plane,
+    so holes and booleans stay on the fast path."""
+    def build():
+        s = Sheet("S", store="columnar")
+        for r in range(1, 41):
+            s.set_value((1, r), float(r))
+        s.set_value((1, 10), None)
+        s.set_value((1, 20), True)
+        s.set_value((1, 30), False)
+        fill_formula_column(s, 2, 1, 40, "=A1*3+1")
+        return s
+
+    compare(build, expect_swept=40)
+
+
+@sweeps_available
+def test_string_broadcast_scalar_declines_whole_run():
+    def build():
+        s = data_sheet(noise=False)
+        s.set_value((6, 1), "not a number")
+        fill_formula_column(s, 3, 1, ROWS, "=A1*$F$1")
+        return s
+
+    engine = compare(build, expect_swept=0)
+    # The run declined wholesale and landed on the compiled closure.
+    assert engine.eval_stats.compiled_cells == ROWS
+
+
+@sweeps_available
+def test_in_run_recurrence_is_rejected():
+    """``=C1+A2`` filled down C reads the cell above — a recurrence the
+    sweep cannot vectorise; run detection must refuse it."""
+    def build():
+        s = data_sheet(noise=False)
+        s.set_formula((3, 1), "=A1")
+        fill_formula_column(s, 3, 2, ROWS, "=C1+A2")
+        return s
+
+    engine = compare(build, expect_swept=0)
+    assert engine.eval_stats.elementwise_runs == 0
+
+
+@sweeps_available
+def test_dependent_sweeps_order_topologically():
+    """A sweep column feeding another sweep column: the doubles must be
+    written before the quadruples read them."""
+    def build():
+        s = data_sheet(noise=False)
+        fill_formula_column(s, 3, 1, ROWS, "=A1*2")
+        fill_formula_column(s, 4, 1, ROWS, "=C1*2")
+        return s
+
+    compare(build, expect_swept=2 * ROWS)
+
+
+@sweeps_available
+def test_incremental_broadcast_edit_resweeps():
+    s = data_sheet(noise=False)
+    fill_formula_column(s, 3, 1, ROWS, "=A1*$F$1+B1")
+    engine = RecalcEngine(s)
+    engine.recalculate_all()
+    before = engine.eval_stats.elementwise_runs
+    result = engine.set_value((6, 1), 7.25)
+    assert result.recomputed == ROWS
+    assert engine.eval_stats.elementwise_runs > before
+    fresh = data_sheet(noise=False)
+    fresh.set_value((6, 1), 7.25)
+    fill_formula_column(fresh, 3, 1, ROWS, "=A1*$F$1+B1")
+    RecalcEngine(fresh, evaluation="interpreter").recalculate_all()
+    for r in range(1, ROWS + 1):
+        assert s.get_value((3, r)) == fresh.get_value((3, r)), r
+
+
+def test_object_store_declines_but_matches():
+    def build():
+        s = Sheet("S", store="object")
+        for r in range(1, 41):
+            s.set_value((1, r), float(r) / 7.0)
+        fill_formula_column(s, 2, 1, 40, "=A1*2")
+        return s
+
+    engine = compare(build, expect_swept=0)
+    assert engine.eval_stats.compiled_cells == 40
+
+
+def test_interpreter_mode_never_sweeps():
+    s = data_sheet(noise=False)
+    fill_formula_column(s, 3, 1, ROWS, "=A1*2")
+    engine = RecalcEngine(s, evaluation="interpreter")
+    engine.recalculate_all()
+    assert engine.eval_stats.elementwise_cells == 0
+    assert engine.eval_stats.interpreted_cells == ROWS
+
+
+class TestElementwiseIR:
+    def ir(self, text, col=3, row=1):
+        return elementwise_ir(parse_formula(text), col, row)
+
+    def test_arithmetic_templates_lower(self):
+        for text in ("A1*2", "A1*$F$1+B1", "-A1*10%", "(A1+B1)/(A1-B1)"):
+            assert self.ir(text) is not None, text
+
+    def test_bare_leaves_rejected(self):
+        # A lone reference or constant is not worth a sweep — and a bare
+        # ``=A1`` copies strings/bools verbatim, which the float plane
+        # cannot represent.
+        assert self.ir("A1") is None
+        assert self.ir("42") is None
+
+    def test_without_row_relative_ref_rejected(self):
+        # All-fixed references make every cell identical; the compiled
+        # closure handles that fine without array machinery.
+        assert self.ir("$A$1*2") is None
+
+    def test_unsupported_constructs_rejected(self):
+        for text in ("SUM(A1:A3)", "IF(A1>0,A1,B1)", 'A1&"x"',
+                     "Other!A1*2", "A1=B1", "A1^2-B1"):
+            assert self.ir(text) is None, text
+
+    def test_reference_dedup(self):
+        ir = self.ir("A1*A1+A1")
+        assert ir is not None and len(ir.refs) == 1
+
+    def test_compile_template_attaches_ir(self):
+        template = compile_template(parse_formula("A1*2"), 3, 1)
+        assert template.elementwise is not None
+        windowed = compile_template(parse_formula("SUM($A$1:A1)"), 3, 1)
+        assert windowed.elementwise is None and windowed.window is not None

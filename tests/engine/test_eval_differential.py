@@ -17,6 +17,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.taco_graph import TacoGraph, dependencies_column_major
+from repro.engine import vectorized
 from repro.engine.recalc import CircularReferenceError, RecalcEngine
 from repro.formula.errors import ExcelError
 from repro.sheet.autofill import fill_formula_column
@@ -167,14 +168,15 @@ def test_full_corpus_recalculate_all_every_backend():
 
 
 def test_fallback_is_exercised_alongside_fast_paths():
-    """One sheet drives all three paths at once, identically."""
+    """One sheet drives all four paths at once, identically."""
     def build():
         sheet = Sheet("S")
         for r in range(1, 31):
             sheet.set_value((1, r), float(r))
         fill_formula_column(sheet, 2, 1, 30, "=SUM($A$1:A1)")   # windowed
-        fill_formula_column(sheet, 3, 1, 30, "=B1*2")           # compiled
+        fill_formula_column(sheet, 3, 1, 30, "=B1*2")           # elementwise
         fill_formula_column(sheet, 4, 1, 30, "=XOR(A1>9,B1>9)")  # interpreter
+        fill_formula_column(sheet, 5, 1, 30, "=IF(A1>9,B1,A1)")  # compiled
         return sheet
 
     subject, reference = build(), build()
@@ -184,8 +186,13 @@ def test_fallback_is_exercised_alongside_fast_paths():
     assert_same_values(subject, reference)
     stats = engine.eval_stats
     assert stats.windowed_cells == 30
-    assert stats.compiled_cells == 30
     assert stats.interpreted_cells == 30
+    # The elementwise column sweeps on columnar-backed sheets; without
+    # the typed arrays (or numpy) it lands on the compiled path instead.
+    assert stats.elementwise_cells + stats.compiled_cells == 60
+    if subject.store_kind == "columnar" and vectorized._np is not None:
+        assert stats.elementwise_cells == 30
+        assert stats.compiled_cells == 30
 
 
 def test_batched_commit_uses_fast_paths():

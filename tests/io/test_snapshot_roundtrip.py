@@ -288,3 +288,81 @@ class TestFormatValidation:
         spliced = bytes(data[:-end_size]) + extra + bytes(data[-end_size:])
         restored = load_snapshot(io.BytesIO(spliced))
         assert restored.workbook["S"].get_value("A1") == 1.0
+
+
+# -- format version 2: columnar value sections ---------------------------------
+
+class TestColumnarSections:
+    """The v2 ``VCOL`` wire sections and store-independent restore."""
+
+    def build_workbook(self, store: str) -> Workbook:
+        workbook = Workbook("v2")
+        sheet = workbook.add_sheet("S", store=store)
+        for r in range(1, 31):
+            sheet.set_value((1, r), float(r) / 7.0)
+        sheet.set_value((1, 5), "five")
+        sheet.set_value((1, 9), True)
+        sheet.set_value((1, 11), None)          # hole
+        sheet.set_value((3, 2), NA_ERROR)
+        for r in range(1, 31):
+            sheet.set_formula((2, r), f"=A{r}*2")
+        RecalcEngine(sheet).recalculate_all()
+        return workbook
+
+    def snapshot_bytes(self, store: str) -> bytes:
+        buffer = io.BytesIO()
+        save_snapshot(self.build_workbook(store), buffer)
+        return buffer.getvalue()
+
+    def restore_into(self, payload: bytes, store: str):
+        import repro.sheet.sheet as sheet_module
+
+        original = sheet_module.DEFAULT_STORE
+        sheet_module.DEFAULT_STORE = store
+        try:
+            return load_snapshot(io.BytesIO(payload))
+        finally:
+            sheet_module.DEFAULT_STORE = original
+
+    @pytest.mark.parametrize("src", ["columnar", "object"])
+    @pytest.mark.parametrize("dst", ["columnar", "object"])
+    def test_cross_store_restore(self, src, dst):
+        """Either store's snapshot restores into either store — in
+        particular an object-store snapshot into a columnar-backed
+        workbook (the store swap is invisible to the format)."""
+        source = self.build_workbook(src)["S"]
+        restored = self.restore_into(self.snapshot_bytes(src), dst)
+        rsheet = restored.workbook["S"]
+        assert rsheet.store_kind == dst
+        assert restored.meta["stores"] == {"S": src}
+        assert cell_state(rsheet) == cell_state(source)
+
+    def test_columnar_snapshots_carry_vcol_sections(self):
+        assert b"VCOL" in self.snapshot_bytes("columnar")
+        assert b"VCOL" not in self.snapshot_bytes("object")
+
+    def test_version1_streams_still_load(self):
+        """A v1 stream is a v2 stream with no VCOL sections; the reader
+        must keep accepting the old version number."""
+        data = bytearray(self.snapshot_bytes("object"))
+        assert data[8:12] == (2).to_bytes(4, "little")
+        data[8:12] = (1).to_bytes(4, "little")
+        restored = load_snapshot(io.BytesIO(bytes(data)))
+        source = self.build_workbook("object")["S"]
+        assert cell_state(restored.workbook["S"]) == cell_state(source)
+
+    def test_crash_point_truncation_fuzz(self):
+        """A columnar snapshot cut at *any* byte offset is a clean
+        :class:`SnapshotFormatError` — never a partial workbook, never a
+        stray exception type."""
+        data = self.snapshot_bytes("columnar")
+        for cut in range(len(data)):
+            with pytest.raises(SnapshotFormatError):
+                load_snapshot(io.BytesIO(data[:cut]))
+
+    def test_vcol_payload_corruption_detected(self):
+        data = bytearray(self.snapshot_bytes("columnar"))
+        at = data.index(b"VCOL") + 20       # inside the section payload
+        data[at] ^= 0xFF
+        with pytest.raises(SnapshotFormatError):
+            load_snapshot(io.BytesIO(bytes(data)))

@@ -1,0 +1,276 @@
+"""Unit tests for the typed columnar value store.
+
+The store promises two things: dict-of-Cells drop-in behaviour (the
+Sheet accessor surface behaves identically on either store) and
+*write-through* views — a ``ColumnarCell`` can never go stale relative
+to the arrays, because it has no shadow storage of its own.
+"""
+
+import pytest
+
+from repro.formula.errors import ExcelError
+from repro.grid.range import Range
+from repro.sheet.columnar import (
+    TAG_BOOL,
+    TAG_EMPTY,
+    TAG_ERROR,
+    TAG_NUMBER,
+    TAG_STRING,
+    ColumnarCell,
+    ColumnarStore,
+)
+from repro.sheet.sheet import Sheet
+
+
+def columnar_sheet(name="S"):
+    sheet = Sheet(name, store="columnar")
+    assert sheet.store_kind == "columnar"
+    return sheet
+
+
+class TestTagPlane:
+    def test_value_kinds_round_trip(self):
+        store = ColumnarStore()
+        samples = {
+            (1, 1): 3.5,
+            (1, 2): "text",
+            (1, 3): True,
+            (1, 4): False,
+            (1, 5): ExcelError("#DIV/0!"),
+        }
+        for (col, row), value in samples.items():
+            store.write_pure(col, row, value)
+        for (col, row), want in samples.items():
+            got = store.read_value(col, row)
+            if isinstance(want, ExcelError):
+                assert isinstance(got, ExcelError) and got.code == want.code
+            else:
+                assert type(got) is type(want) and got == want
+
+    def test_integers_canonicalise_to_float64(self):
+        store = ColumnarStore()
+        store.write_pure(1, 1, 42)
+        got = store.read_value(1, 1)
+        assert type(got) is float and got == 42.0
+
+    def test_non_number_slots_keep_zero_values(self):
+        """Invariant the vectorized sweep relies on: the raw float lane
+        under a STRING/ERROR/EMPTY tag is exactly 0.0, and BOOL is 0/1."""
+        store = ColumnarStore()
+        store.write_pure(1, 1, "txt")
+        store.write_pure(1, 2, ExcelError("#VALUE!"))
+        store.write_pure(1, 3, True)
+        store.write_pure(1, 5, 9.0)
+        store.write_pure(1, 5, None)          # erase after occupying
+        values, tags = store.column_buffers(1)
+        assert list(tags[:5]) == [TAG_STRING, TAG_ERROR, TAG_BOOL,
+                                  TAG_EMPTY, TAG_EMPTY]
+        assert list(values[:5]) == [0.0, 0.0, 1.0, 0.0, 0.0]
+
+    def test_side_table_evicted_on_overwrite(self):
+        store = ColumnarStore()
+        store.write_pure(2, 1, "old-string")
+        store.write_pure(2, 1, 7.0)
+        column = store.ensure_column(2, 1)
+        assert column.side == {}
+        assert store.read_value(2, 1) == 7.0
+
+    def test_out_of_band_reads_are_none(self):
+        store = ColumnarStore()
+        store.write_pure(1, 1, 1.0)
+        assert store.read_value(1, 999) is None
+        assert store.read_value(999, 1) is None
+
+
+class TestWriteThroughViews:
+    def test_view_write_is_visible_to_bulk_reads(self):
+        """Satellite regression: assigning ``cell.value`` on a
+        materialised view must update the arrays, not a shadow slot."""
+        sheet = columnar_sheet()
+        sheet.set_value("A1", 10.0)
+        view = sheet.cell_at("A1")
+        view.value = 99.0
+        # Every read path sees the write: scalar, raw, range iteration.
+        assert sheet.get_value("A1") == 99.0
+        assert sheet.raw_value(1, 1) == 99.0
+        assert list(sheet.resolver_iter_cells(None, Range.cell(1, 1))) == [
+            (1, 1, 99.0)
+        ]
+        # ...and a second, independently-materialised view agrees.
+        assert sheet.cell_at("A1").value == 99.0
+
+    def test_store_write_is_visible_to_old_views(self):
+        sheet = columnar_sheet()
+        sheet.set_value("A1", 1.0)
+        view = sheet.cell_at("A1")
+        sheet.set_value("A1", 2.0)
+        assert view.value == 2.0
+
+    def test_formula_cell_value_writes_through(self):
+        sheet = columnar_sheet()
+        sheet.set_formula("B1", "=A1+1")
+        cell = sheet.cell_at("B1")
+        assert cell.is_formula and cell.value is None
+        cell.value = 5.0                       # what the engine does
+        assert sheet.get_value("B1") == 5.0
+        assert sheet.raw_value(2, 1) == 5.0
+        # Still a formula: occupancy and registration survive the write.
+        assert sheet.formula_at("B1") is cell
+
+    def test_view_none_write_erases_pure_cell(self):
+        sheet = columnar_sheet()
+        sheet.set_value("A1", 1.0)
+        sheet.cell_at("A1").value = None
+        assert sheet.cell_at("A1") is None
+        assert len(sheet) == 0
+
+    def test_view_position_rebinds_after_structural_edit(self):
+        sheet = columnar_sheet()
+        sheet.set_formula("A5", "=1+1")
+        cell = sheet.formula_at("A5")
+        sheet._cells.structural_edit("row", "insert", 2, 3)
+        assert cell.position == (1, 8)
+        assert sheet.formula_at((1, 8)) is cell
+
+
+class TestMappingFacade:
+    def test_len_counts_formulas_with_none_value(self):
+        store = ColumnarStore()
+        store.put_formula((1, 1), formula_text="A2+1")
+        assert len(store) == 1 and (1, 1) in store
+        store.write_pure(1, 2, 5.0)
+        assert len(store) == 2
+        # Overwriting the formula with a pure value keeps the count.
+        store.write_pure(1, 1, 9.0)
+        assert len(store) == 2 and store.formula_count == 0
+
+    def test_iteration_covers_both_planes(self):
+        store = ColumnarStore()
+        store.write_pure(1, 3, 1.0)
+        store.put_formula((2, 1), formula_text="A3*2")
+        assert set(store) == {(1, 3), (2, 1)}
+        items = dict(store.items())
+        assert items[(1, 3)].value == 1.0
+        assert items[(2, 1)].is_formula
+
+    def test_pop_and_delitem(self):
+        store = ColumnarStore()
+        store.write_pure(1, 1, 1.0)
+        popped = store.pop((1, 1))
+        assert popped.value is None            # view reads post-erase store
+        assert store.pop((1, 1), "sentinel") == "sentinel"
+        with pytest.raises(KeyError):
+            del store[(1, 1)]
+
+    def test_setitem_adopts_foreign_cell(self):
+        from repro.sheet.cell import Cell
+
+        store = ColumnarStore()
+        store[(1, 1)] = Cell(value=3.0)
+        store[(1, 2)] = Cell(formula_text="A1*2")
+        assert store.read_value(1, 1) == 3.0
+        assert store.formula_at((1, 2)).formula_text == "A1*2"
+
+    def test_setitem_self_view_is_safe(self):
+        store = ColumnarStore()
+        store.write_pure(1, 1, 4.0)
+        view = store[(1, 1)]
+        store[(2, 9)] = view                   # adopt a view of this store
+        assert store.read_value(2, 9) == 4.0
+        assert isinstance(view, ColumnarCell)
+
+
+class TestStructuralEdits:
+    def test_row_delete_splices_and_counts(self):
+        store = ColumnarStore()
+        for r in range(1, 11):
+            store.write_pure(1, r, float(r))
+        store.write_pure(1, 5, "five")
+        removed = store.structural_edit("row", "delete", 4, 3)
+        assert removed == 3
+        assert len(store) == 7
+        # Row 7 (was row 10) slid up; the side entry for "five" is gone.
+        assert store.read_value(1, 7) == 10.0
+        assert store.ensure_column(1, 1).side == {}
+
+    def test_column_insert_rekeys(self):
+        store = ColumnarStore()
+        store.write_pure(2, 1, 1.0)
+        store.put_formula((3, 1), formula_text="B1*2", value=2.0)
+        store.structural_edit("col", "insert", 2, 2)
+        assert store.read_value(4, 1) == 1.0
+        cell = store.formula_at((5, 1))
+        assert cell is not None and cell.value == 2.0
+        assert store.read_value(2, 1) is None
+
+    def test_formula_with_none_value_counts_in_delete(self):
+        store = ColumnarStore()
+        store.put_formula((1, 2), formula_text="1+1")   # cached value None
+        store.write_pure(1, 3, 1.0)
+        removed = store.structural_edit("row", "delete", 1, 3)
+        assert removed == 2
+        assert len(store) == 0 and store.formula_count == 0
+
+
+class TestExportImport:
+    def test_round_trip_skips_formula_rows(self):
+        store = ColumnarStore()
+        store.write_pure(1, 2, 1.5)
+        store.write_pure(1, 4, "txt")
+        store.put_formula((1, 3), formula_text="A2*2", value=3.0)
+        (col, start_row, tags, values, side), = store.export_value_columns()
+        assert (col, start_row) == (1, 2)
+        assert list(tags) == [TAG_NUMBER, TAG_EMPTY, TAG_STRING]
+        assert side == {2: "txt"}
+        fresh = ColumnarStore()
+        fresh.import_column(col, start_row, tags, values, side)
+        assert fresh.read_value(1, 2) == 1.5
+        assert fresh.read_value(1, 3) is None   # formula row not exported
+        assert fresh.read_value(1, 4) == "txt"
+        assert len(fresh) == 2
+
+    def test_import_rejects_length_mismatch(self):
+        from array import array
+
+        store = ColumnarStore()
+        with pytest.raises(ValueError):
+            store.import_column(1, 1, b"\x01\x01", array("d", [1.0]), {})
+
+
+class TestSheetParity:
+    """The Sheet accessor surface behaves identically on either store."""
+
+    OPS = (
+        ("A1", 1.0), ("A2", "x"), ("B1", True), ("C7", -2.5),
+        ("A1", None), ("B1", 8.0),
+    )
+
+    def build(self, kind):
+        sheet = Sheet("P", store=kind)
+        for target, value in self.OPS:
+            sheet.set_value(target, value)
+        sheet.set_formula("D1", "=B1*2")
+        return sheet
+
+    def test_accessor_parity(self):
+        a, b = self.build("columnar"), self.build("object")
+        assert set(a.positions()) == set(b.positions())
+        assert len(a) == len(b)
+        assert a.used_range() == b.used_range()
+        assert a.formula_count == b.formula_count
+        for pos in a.positions():
+            assert a.get_value(pos) == b.get_value(pos), pos
+        deps_a = {(d.prec, d.dep) for d in a.iter_dependencies()}
+        deps_b = {(d.prec, d.dep) for d in b.iter_dependencies()}
+        assert deps_a == deps_b
+
+    def test_resolver_iteration_order_matches(self):
+        a, b = self.build("columnar"), self.build("object")
+        rng = Range(1, 1, 4, 8)
+        assert list(a.resolver_iter_cells(None, rng)) == list(
+            b.resolver_iter_cells(None, rng)
+        )
+
+    def test_unknown_store_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Sheet("S", store="arrow")
