@@ -169,7 +169,8 @@ def _cmd_edit(args: argparse.Namespace) -> int:
 
     workbook = read_xlsx(args.file)
     sheet = workbook.sheet(args.sheet) if args.sheet else workbook.active_sheet
-    engine = RecalcEngine(sheet, _build_graph(sheet, args.index))
+    engine = RecalcEngine(sheet, _build_graph(sheet, args.index),
+                          workers=args.workers)
     try:
         engine.recalculate_all()
     except CircularReferenceError as err:
@@ -336,7 +337,8 @@ def _cmd_restore(args: argparse.Namespace) -> int:
     from .sheet.workbook import Workbook
 
     try:
-        result = Workbook.restore(args.snapshot, args.journal)
+        result = Workbook.restore(args.snapshot, args.journal,
+                                  workers=args.workers)
     except (SnapshotFormatError, JournalFormatError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 1
@@ -428,6 +430,9 @@ def build_parser() -> argparse.ArgumentParser:
     edit.add_argument("--delete-cols", action=_StructuralFlag, metavar="COL[:N]",
                       help="delete N columns starting at COL (repeatable)")
     edit.add_argument("--seed", type=int, default=7)
+    edit.add_argument("--workers", type=int, default=None, metavar="N",
+                      help="recalculate independent dirty regions on N "
+                           "workers (default: REPRO_RECALC_WORKERS)")
     edit.add_argument("--batch", action="store_true",
                       help="commit all edits as one batched session "
                            "(coalesced maintenance + single recalc)")
@@ -457,6 +462,9 @@ def build_parser() -> argparse.ArgumentParser:
     restore.add_argument("snapshot", help="snapshot file to read")
     restore.add_argument("--journal", default=None, metavar="WAL",
                          help="replay this journal's complete-record prefix")
+    restore.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="replay recalculation on N workers "
+                              "(default: REPRO_RECALC_WORKERS)")
     restore.add_argument("--out", default=None,
                          help="write the restored workbook to OUT (.xlsx)")
     restore.set_defaults(fn=_cmd_restore)

@@ -87,6 +87,7 @@ class BatchResult(NamedTuple):
     compiled_cells: int = 0       # cells evaluated by compiled templates
     structural_ops: int = 0       # row/column inserts/deletes applied first
     elementwise_cells: int = 0    # cells evaluated by numpy array sweeps
+    parallel_regions: int = 0     # independent regions the recalc partitioned into
 
 
 class BatchEditSession:
@@ -343,6 +344,7 @@ class BatchEditSession:
         windowed_before = stats.windowed_cells
         compiled_before = stats.compiled_cells
         elementwise_before = stats.elementwise_cells
+        regions_before = stats.parallel_regions
         if self.recalc:
             recomputed = engine.recompute(dirty_ranges, extra=formula_positions)
         recalc_seconds = time.perf_counter() - recalc_start
@@ -364,6 +366,7 @@ class BatchEditSession:
             compiled_cells=stats.compiled_cells - compiled_before,
             structural_ops=len(self._structural),
             elementwise_cells=stats.elementwise_cells - elementwise_before,
+            parallel_regions=stats.parallel_regions - regions_before,
         )
         return self.result
 

@@ -331,6 +331,8 @@ def recover(
     journal: str | None = None,
     *,
     evaluation: str = "auto",
+    workers: int | None = None,
+    worker_mode: str | None = None,
 ) -> RecoveryResult:
     """Restore a workbook from ``snapshot`` plus the ``journal`` prefix.
 
@@ -354,7 +356,13 @@ def recover(
         engine = engines.get(name)
         if engine is None:
             sheet = workbook[name]
-            engine = RecalcEngine(sheet, graphs.get(name), evaluation=evaluation)
+            # Replay rides the same partitioned recompute path as live
+            # edits when workers are configured (the engine resolves
+            # REPRO_RECALC_WORKERS itself when workers is None).
+            engine = RecalcEngine(
+                sheet, graphs.get(name), evaluation=evaluation,
+                workers=workers, worker_mode=worker_mode,
+            )
             graphs[name] = engine.graph
             engines[name] = engine
             seeds[name] = []

@@ -23,6 +23,7 @@ so the sheet is left explicit about what could not be computed.
 
 from __future__ import annotations
 
+import os
 import time
 from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING, Iterable, NamedTuple
@@ -112,6 +113,13 @@ class _ElementwiseRun:
         )
 
 
+def _plan_node_key(node) -> tuple[int, int]:
+    """(col, first row) of a plan node — singles and runs alike."""
+    if type(node) is tuple:
+        return node
+    return (node.col, node.rows[0])
+
+
 class RecalcResult(NamedTuple):
     """Outcome of one update."""
 
@@ -140,6 +148,9 @@ class RecalcEngine:
         evaluation: str = "auto",
         registry: TemplateRegistry | None = None,
         journal=None,
+        workers: int | None = None,
+        worker_mode: str | None = None,
+        parallel_min_dirty: int | None = None,
     ):
         if evaluation not in ("auto", "interpreter"):
             raise ValueError(f"unknown evaluation mode {evaluation!r}")
@@ -159,6 +170,46 @@ class RecalcEngine:
         self.cell_evaluator = CompilingEvaluator(SheetResolver(sheet), registry=registry)
         self.eval_stats = self.cell_evaluator.stats
         self.evaluator = self.cell_evaluator.interpreter
+        if workers is None:
+            workers = int(os.environ.get("REPRO_RECALC_WORKERS", "0") or 0)
+        self.workers = int(workers)
+        #: Region scheduler (``repro.engine.parallel``) — present only in
+        #: auto mode with ``workers > 1``; interpreter engines stay serial
+        #: so the differential oracle is never itself partitioned.
+        if self.evaluation == "auto" and self.workers > 1:
+            from .parallel import ParallelRecalc
+
+            self.parallel = ParallelRecalc(
+                self.workers, mode=worker_mode, min_dirty=parallel_min_dirty
+            )
+        else:
+            self.parallel = None
+
+    @classmethod
+    def plan_executor(cls, sheet: Sheet, *, evaluation: str = "auto",
+                      registry: TemplateRegistry | None = None) -> "RecalcEngine":
+        """A graph-less shadow engine that can only run pre-built plans.
+
+        Parallel region execution (:mod:`repro.engine.parallel`) needs
+        the evaluation tiers — compiled templates, windowed rolls,
+        elementwise sweeps, interpreter fallback — without graph
+        maintenance, journaling, or further partitioning.  The shadow
+        shares the parent's template registry (pass ``registry=``) so
+        compilation work is not repeated per region, but owns a fresh
+        :class:`~repro.formula.compile.EvalStats` whose counters the
+        parent merges in deterministically after the region completes.
+        """
+        engine = cls.__new__(cls)
+        engine.sheet = sheet
+        engine.journal = None
+        engine.graph = None
+        engine.evaluation = evaluation
+        engine.cell_evaluator = CompilingEvaluator(SheetResolver(sheet), registry=registry)
+        engine.eval_stats = engine.cell_evaluator.stats
+        engine.evaluator = engine.cell_evaluator.interpreter
+        engine.workers = 0
+        engine.parallel = None
+        return engine
 
     # -- full recomputation ----------------------------------------------------
 
@@ -356,12 +407,30 @@ class RecalcEngine:
         return _coerce_pos(target)
 
     def _evaluate_in_order(self, dirty: set[tuple[int, int]]) -> int:
-        if self.evaluation == "auto" and len(dirty) >= vectorized.MIN_RUN:
+        parallel = self.parallel
+        if parallel is not None and not parallel.eligible(len(dirty)):
+            parallel = None
+        if self.evaluation == "auto" and (
+            parallel is not None or len(dirty) >= vectorized.MIN_RUN
+        ):
             runs, by_col, member_map = self._detect_runs(dirty)
-            if runs:
-                plan = self._order_with_runs(dirty, runs, by_col, member_map)
+            # Parallel execution partitions the *plan* (super-nodes plus
+            # singles), so it needs one even when no runs were detected;
+            # for an acyclic dirty set the empty-runs plan is exactly the
+            # generic topological order.
+            if runs or parallel is not None:
+                plan, succs = self._order_with_runs(dirty, runs, by_col, member_map)
                 if plan is not None:
+                    if parallel is not None:
+                        done = parallel.execute(self, plan, succs)
+                        if done is not None:
+                            return done
                     return self._execute_plan(plan)
+                if parallel is not None:
+                    # Cycles are ordered (and marked #CYCLE!) by the
+                    # generic serial path; report the bail-out.
+                    self.eval_stats.serial_fallbacks += 1
+                    self.eval_stats.fallback_reason = "cycle"
                 # A cycle (or a self-reference) is in play somewhere: the
                 # generic cell-level ordering below owns that semantics.
         order, cyclic, preds = self._topological_order(dirty)
@@ -392,10 +461,13 @@ class RecalcEngine:
         number of dirty cells and coalesced edges.  In-run prefix
         references need no edges: the rolling direction orders them.
 
-        Returns the execution plan — a list of ``(col, row)`` singles and
-        :class:`_TemplateRun` nodes — or ``None`` when a self-reference
-        or cycle is detected, in which case the caller must use the
-        generic ordering (which owns ``#CYCLE!`` semantics).
+        Returns ``(plan, succs)``: the execution plan — a list of
+        ``(col, row)`` singles and :class:`_TemplateRun` /
+        :class:`_ElementwiseRun` nodes — plus the successor adjacency
+        over plan nodes that ordered it (the parallel partitioner's
+        region graph).  ``plan`` is ``None`` when a self-reference or
+        cycle is detected, in which case the caller must use the generic
+        ordering (which owns ``#CYCLE!`` semantics).
         """
         preds: dict[object, int] = {}
         succs: dict[object, list[object]] = {}
@@ -411,7 +483,12 @@ class RecalcEngine:
                     continue
                 rng = ref.range
                 if rng.contains_cell(*pos):
-                    return None         # self-reference: a one-cell cycle
+                    return None, succs  # self-reference: a one-cell cycle
+                if rng.c1 == rng.c2 and rng.c1 not in by_col:
+                    # Single-column ref into a clean column — the
+                    # overwhelmingly common shape (formulas over value
+                    # inputs); skip the generator machinery entirely.
+                    continue
                 for prec in self._dirty_in_range(rng, by_col):
                     if prec == pos:
                         continue
@@ -434,6 +511,13 @@ class RecalcEngine:
                 succs.setdefault(node, []).append(run)
             preds[run] = count
         ready = [node for node, count in preds.items() if count == 0]
+        # Column-major order for the initially-ready nodes (the whole
+        # plan, for dependency-free dirty sets): deterministic instead of
+        # set-iteration order, sequential column writes, and — the real
+        # payoff — spatially coherent parallel regions, so a process
+        # worker's freight ships a few planes instead of a scatter of
+        # every column.
+        ready.sort(key=_plan_node_key, reverse=True)
         plan: list[object] = []
         while ready:
             node = ready.pop()
@@ -443,16 +527,36 @@ class RecalcEngine:
                 if preds[succ] == 0:
                     ready.append(succ)
         if len(plan) != len(preds):
-            return None                 # cycle among dirty cells/runs
-        return plan
+            return None, succs          # cycle among dirty cells/runs
+        return plan, succs
 
     @staticmethod
     def _dirty_in_range(rng: Range, by_col: dict[int, list[int]]):
-        """Dirty positions inside ``rng``, via per-column sorted rows."""
+        """Dirty positions inside ``rng``, via per-column sorted rows.
+
+        Iterates whichever is narrower — the reference's column span
+        (single-column refs are the overwhelming case) or the dirty
+        column set — so a wide dirty set doesn't pay a full-dict scan
+        for every one-column reference.
+        """
         r1, r2 = rng.r1, rng.r2
         c1, c2 = rng.c1, rng.c2
-        for col, rows in by_col.items():
-            if col < c1 or col > c2:
+        if c1 == c2:
+            rows = by_col.get(c1)
+            if rows:
+                lo = bisect_left(rows, r1)
+                hi = bisect_right(rows, r2)
+                for row in rows[lo:hi]:
+                    yield (c1, row)
+            return
+        if c2 - c1 < len(by_col):
+            cols = [(col, by_col.get(col)) for col in range(c1, c2 + 1)]
+        else:
+            cols = [
+                (col, rows) for col, rows in by_col.items() if c1 <= col <= c2
+            ]
+        for col, rows in cols:
+            if not rows:
                 continue
             lo = bisect_left(rows, r1)
             hi = bisect_right(rows, r2)

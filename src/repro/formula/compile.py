@@ -612,7 +612,15 @@ class EvalStats:
     """Counters for how formula cells were evaluated (one engine's view)."""
 
     __slots__ = ("compiled_cells", "interpreted_cells", "windowed_cells",
-                 "windowed_runs", "elementwise_cells", "elementwise_runs")
+                 "windowed_runs", "elementwise_cells", "elementwise_runs",
+                 "parallel_regions", "parallel_dispatches",
+                 "serial_fallbacks", "fallback_reason")
+
+    #: The per-cell counters every engine accumulates.  Parallel region
+    #: execution merges exactly these from worker stats (summation is
+    #: commutative, so merge order cannot change the totals).
+    CELL_COUNTERS = ("compiled_cells", "interpreted_cells", "windowed_cells",
+                     "windowed_runs", "elementwise_cells", "elementwise_runs")
 
     def __init__(self) -> None:
         self.compiled_cells = 0
@@ -621,18 +629,37 @@ class EvalStats:
         self.windowed_runs = 0
         self.elementwise_cells = 0
         self.elementwise_runs = 0
+        # Parallel-recalc bookkeeping (repro.engine.parallel): regions the
+        # partitioner produced, regions actually dispatched to workers, and
+        # regions that fell back to serial re-execution (with the *last*
+        # fallback's reason, or None when everything ran as planned).
+        self.parallel_regions = 0
+        self.parallel_dispatches = 0
+        self.serial_fallbacks = 0
+        self.fallback_reason = None
 
     @property
     def total_cells(self) -> int:
         return (self.compiled_cells + self.interpreted_cells
                 + self.windowed_cells + self.elementwise_cells)
 
+    def counter_snapshot(self) -> tuple:
+        """The six cell/run counters, in ``CELL_COUNTERS`` order."""
+        return tuple(getattr(self, name) for name in self.CELL_COUNTERS)
+
+    def absorb_counters(self, counters) -> None:
+        """Merge another engine's counters (``CELL_COUNTERS`` order) in."""
+        for name, delta in zip(self.CELL_COUNTERS, counters):
+            setattr(self, name, getattr(self, name) + delta)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"EvalStats(compiled={self.compiled_cells}, "
             f"interpreted={self.interpreted_cells}, "
             f"windowed={self.windowed_cells} in {self.windowed_runs} runs, "
-            f"elementwise={self.elementwise_cells} in {self.elementwise_runs} runs)"
+            f"elementwise={self.elementwise_cells} in {self.elementwise_runs} runs, "
+            f"parallel={self.parallel_dispatches}/{self.parallel_regions} regions, "
+            f"fallbacks={self.serial_fallbacks})"
         )
 
 

@@ -64,6 +64,12 @@ class ExcelError:
     def __hash__(self) -> int:
         return hash(self.code)
 
+    def __reduce__(self):
+        # Slotted + custom __new__ breaks default pickling; reconstructing
+        # through the constructor re-interns, so errors crossing process
+        # boundaries (parallel recalc result columns) stay singletons.
+        return (ExcelError, (self.code,))
+
 
 DIV0 = ExcelError("#DIV/0!")
 VALUE_ERROR = ExcelError("#VALUE!")

@@ -594,6 +594,95 @@ class ColumnarStore:
             }
             yield col, first + 1, run_tags, run_values, side
 
+    # -- whole-plane shipping (the parallel process-worker payload) ------------
+
+    def export_planes(
+        self, cols: "set[int] | None" = None
+    ) -> dict[int, tuple[bytes, bytes, dict[int, object]]]:
+        """Column raw arrays — formula cached values *included* — as
+        picklable bytes: ``{col: (tags, float64_values, side)}``.
+
+        Unlike :meth:`export_value_columns` (snapshot persistence, which
+        blanks formula rows), this is the full read surface a parallel
+        process worker needs to evaluate a region: clean formula cells'
+        cached values must be readable without shipping their formulas.
+        ``cols`` restricts the export to the columns a region actually
+        reads (its freight optimisation); None exports everything.
+        Inverse: :meth:`install_planes`.
+        """
+        return {
+            col: (bytes(column.tags), column.values.tobytes(), dict(column.side))
+            for col, column in self._columns.items()
+            if cols is None or col in cols
+        }
+
+    def install_planes(
+        self, planes: dict[int, tuple[bytes, bytes, dict[int, object]]]
+    ) -> None:
+        """Install :meth:`export_planes` output into this *fresh* store."""
+        for col, (tags, value_bytes, side) in planes.items():
+            column = _Column()
+            column.tags = bytearray(tags)
+            values = array("d")
+            values.frombytes(value_bytes)
+            column.values = values
+            column.side = dict(side)
+            self._columns[col] = column
+            self._count += len(tags) - tags.count(TAG_EMPTY)
+
+    # -- typed result columns (the parallel worker → parent merge path) --------
+
+    def pack_result_columns(self, positions):
+        """Pack the cached values of formula ``positions`` into typed
+        column runs: ``[(col, rows, tags, float64_values, side_pairs)]``
+        with ``side_pairs`` as ``(index_into_rows, payload)`` tuples.
+
+        The worker-side half of the parallel result protocol — shipping
+        tag+plane bytes instead of per-cell Python objects keeps the
+        return payload ~9 bytes per number.  Inverse:
+        :meth:`merge_result_columns`.
+        """
+        by_col: dict[int, list[int]] = {}
+        for col, row in positions:
+            by_col.setdefault(col, []).append(row)
+        packed = []
+        for col in sorted(by_col):
+            rows = sorted(by_col[col])
+            column = self._columns[col]
+            tags = bytearray(len(rows))
+            values = array("d", bytes(8 * len(rows)))
+            side = []
+            for k, row in enumerate(rows):
+                i = row - 1
+                tag = column.tags[i]
+                tags[k] = tag
+                values[k] = column.values[i]
+                if tag in _SIDE_TAGS:
+                    side.append((k, column.side[i]))
+            packed.append((col, rows, bytes(tags), values.tobytes(), side))
+        return packed
+
+    def merge_result_columns(self, packed) -> None:
+        """Install :meth:`pack_result_columns` output from a worker.
+
+        Only *formula* positions are merged (occupancy is keyed by the
+        formula registration, so ``_count`` is untouched) — this is the
+        cached-value write of ``cell.value = x`` done as array stores.
+        """
+        for col, rows, tags, value_bytes, side in packed:
+            values = array("d")
+            values.frombytes(value_bytes)
+            column = self._column_for(col, rows[-1])
+            ctags, cvalues, cside = column.tags, column.values, column.side
+            for k in range(len(rows)):
+                i = rows[k] - 1
+                if ctags[i] in _SIDE_TAGS:
+                    cside.pop(i, None)
+                ctags[i] = tags[k]
+                cvalues[i] = values[k]
+            for k, payload in side:
+                cside[rows[k] - 1] = payload
+
     def import_column(self, col: int, start_row: int, tags: bytes,
                       values: array, side: dict[int, object]) -> None:
         """Bulk-install one exported column run (inverse of

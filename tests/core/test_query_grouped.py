@@ -1,0 +1,117 @@
+"""Unit tests for grouped multi-seed dependent queries.
+
+``find_dependents_multi_grouped`` is the read-only region *preview*
+behind ``repro.engine.parallel``: seeds whose dependent frontiers never
+touch are provably independent.  Pinned here: group membership, the
+disjoint-cover contract against ``find_dependents_multi``, and the
+conservative-merge behaviour on shared range pieces.
+"""
+
+from repro.core.query import find_dependents_multi, find_dependents_multi_grouped
+from repro.core.taco_graph import TacoGraph
+from repro.engine.parallel import preview_regions
+from repro.graphs.base import expand_cells
+from repro.grid.range import Range
+from repro.sheet.sheet import Dependency
+
+from helpers import engine_for, realize_program
+
+
+def dep(prec: str, dep_cell: str) -> Dependency:
+    return Dependency(Range.from_a1(prec), Range.from_a1(dep_cell))
+
+
+def build_two_island_graph() -> TacoGraph:
+    """A1→B1→C1 on one island, F1→G1 on another, X9 isolated."""
+    graph = TacoGraph.full()
+    graph.add_dependency(dep("A1", "B1"))
+    graph.add_dependency(dep("B1", "C1"))
+    graph.add_dependency(dep("F1", "G1"))
+    return graph
+
+
+def test_independent_seeds_stay_separate():
+    graph = build_two_island_graph()
+    seeds = [Range.from_a1("A1"), Range.from_a1("F1")]
+    groups = find_dependents_multi_grouped(graph, seeds)
+    assert [group.seeds for group in groups] == [[0], [1]]
+    assert expand_cells(groups[0].ranges) == {(2, 1), (3, 1)}   # B1, C1
+    assert expand_cells(groups[1].ranges) == {(7, 1)}           # G1
+
+
+def test_touching_frontiers_merge():
+    """Two seeds whose BFS lands on shared territory join one group."""
+    graph = build_two_island_graph()
+    graph.add_dependency(dep("C1", "H1"))
+    graph.add_dependency(dep("G1", "H1"))
+    seeds = [Range.from_a1("A1"), Range.from_a1("F1")]
+    groups = find_dependents_multi_grouped(graph, seeds)
+    assert len(groups) == 1
+    assert groups[0].seeds == [0, 1]
+    assert expand_cells(groups[0].ranges) == {
+        (2, 1), (3, 1), (7, 1), (8, 1),
+    }
+
+
+def test_seed_without_dependents_keeps_empty_group():
+    graph = build_two_island_graph()
+    seeds = [Range.from_a1("A1"), Range.from_a1("X9")]
+    groups = find_dependents_multi_grouped(graph, seeds)
+    assert [group.seeds for group in groups] == [[0], [1]]
+    assert groups[1].ranges == []
+
+
+def test_shared_range_piece_merges_conservatively():
+    """B1 and B2 feed disjoint cells of one stored range edge; the
+    preview may not split a stored piece, so the seeds merge."""
+    graph = TacoGraph.full()
+    for r in (1, 2):
+        graph.add_dependency(dep(f"B{r}", f"C{r}"))
+    seeds = [Range.from_a1("B1"), Range.from_a1("B2")]
+    groups = find_dependents_multi_grouped(graph, seeds)
+    union = set()
+    for group in groups:
+        cells = expand_cells(group.ranges)
+        assert not (union & cells)                    # disjoint
+        union |= cells
+    assert union == expand_cells(find_dependents_multi(graph, seeds))
+
+
+def test_groups_cover_multi_seed_bfs_exactly():
+    """Disjoint-cover contract on a compressed mixed-pattern graph."""
+    program = (
+        [((1, r), float(r)) for r in range(1, 21)]
+        + [((2, r), float(r % 5)) for r in range(1, 21)],
+        [(3, 1, 20, "=SUM($A$1:A1)"), (5, 1, 20, "=B1*2")],
+    )
+    sheet = realize_program(program)
+    engine = engine_for(sheet)
+    seeds = [Range(1, 1, 1, 4), Range(2, 7, 2, 9), Range(1, 15, 2, 15)]
+    groups = find_dependents_multi_grouped(engine.graph, seeds)
+    assert [group.seeds for group in groups] == sorted(
+        (group.seeds for group in groups), key=lambda s: s[0]
+    )
+    union = set()
+    for group in groups:
+        cells = expand_cells(group.ranges)
+        assert not (union & cells)
+        union |= cells
+    assert union == expand_cells(find_dependents_multi(engine.graph, seeds))
+
+
+def test_preview_regions_matches_grouped_query():
+    program = (
+        [((1, r), float(r)) for r in range(1, 11)]
+        + [((2, r), float(r)) for r in range(1, 11)],
+        [(3, 1, 10, "=A1*2"), (4, 1, 10, "=B1+1")],
+    )
+    sheet = realize_program(program)
+    engine = engine_for(sheet)
+    seeds = [Range(1, 1, 1, 10), Range(2, 1, 2, 10)]
+    preview = preview_regions(engine, seeds)
+    assert len(preview) == 2                         # C-block vs D-block
+    direct = find_dependents_multi_grouped(engine.graph, seeds)
+    assert [g.seeds for g in preview] == [g.seeds for g in direct]
+    assert [expand_cells(g.ranges) for g in preview] == [
+        expand_cells(g.ranges) for g in direct
+    ]

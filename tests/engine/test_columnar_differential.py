@@ -15,86 +15,24 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 import repro.sheet.sheet as sheet_module
-from repro.core.taco_graph import TacoGraph, dependencies_column_major
 from repro.engine.recalc import RecalcEngine
-from repro.formula.errors import ExcelError
 from repro.io.snapshot import load_snapshot, save_snapshot
-from repro.sheet.autofill import fill_formula_column
 from repro.sheet.sheet import Sheet
 from repro.sheet.workbook import Workbook
 from repro.spatial.registry import available_indexes
+
+from helpers import (
+    assert_same_values,
+    engine_for,
+    realize_program as realize,
+    sheet_programs as programs,
+)
 
 BACKENDS = available_indexes()
 MODES = ("auto", "interpreter")
 OPS = ("insert_rows", "delete_rows", "insert_columns", "delete_columns")
 
-# Deliberately spans every evaluation tier: windowed aggregates,
-# elementwise arithmetic (with /0 lanes), compiled branches, interpreter
-# fallbacks, string concatenation, and error producers.
-TEMPLATES = (
-    "=SUM($A$1:A1)",
-    "=SUM(A1:A4)",
-    "=AVERAGE($A$1:B1)",
-    "=MAX(A1:A6)",
-    "=A1*2+B1",
-    "=A1/B1",
-    "=-A1*10%",
-    "=IF(A1>B1,A1-B1,B1+1)",
-    "=IFERROR(A1/B1,-1)",
-    "=XOR(A1>5,B1>5)",
-    "=A1&\"|\"&B1",
-    "=ROW(A1)*10+B1",
-)
-
 ROWS = 20
-
-
-@st.composite
-def programs(draw):
-    """One sheet program: cell values plus formula-column fills."""
-    values = []
-    for r in range(1, ROWS + 1):
-        kind = draw(st.integers(0, 9))
-        if kind == 0:
-            values.append(((1, r), "txt"))
-        elif kind == 1:
-            values.append(((1, r), True))
-        elif kind != 2:                      # kind == 2 leaves a hole
-            values.append(((1, r), float(draw(st.integers(-40, 40)))))
-        values.append(((2, r), float(draw(st.integers(-4, 4)))))
-    fills = []
-    for i in range(draw(st.integers(1, 3))):
-        fills.append((3 + i, draw(st.integers(1, 3)),
-                      draw(st.integers(ROWS - 3, ROWS)),
-                      draw(st.sampled_from(TEMPLATES))))
-    return values, fills
-
-
-def realize(program, store: str) -> Sheet:
-    values, fills = program
-    sheet = Sheet("S", store=store)
-    for pos, value in values:
-        sheet.set_value(pos, value)
-    for col, first, last, template in fills:
-        fill_formula_column(sheet, col, first, last, template)
-    return sheet
-
-
-def engine_for(sheet: Sheet, mode: str, index: str) -> RecalcEngine:
-    graph = TacoGraph.full(index=index)
-    graph.build(dependencies_column_major(sheet))
-    return RecalcEngine(sheet, graph, evaluation=mode)
-
-
-def assert_same_values(got_sheet: Sheet, want_sheet: Sheet) -> None:
-    positions = set(got_sheet.positions()) | set(want_sheet.positions())
-    for pos in positions:
-        got = got_sheet.get_value(pos)
-        want = want_sheet.get_value(pos)
-        if isinstance(want, ExcelError):
-            assert isinstance(got, ExcelError) and got.code == want.code, pos
-        else:
-            assert type(got) is type(want) and got == want, pos
 
 
 @pytest.mark.parametrize("index", BACKENDS)

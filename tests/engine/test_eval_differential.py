@@ -16,98 +16,30 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.taco_graph import TacoGraph, dependencies_column_major
 from repro.engine import vectorized
 from repro.engine.recalc import CircularReferenceError, RecalcEngine
-from repro.formula.errors import ExcelError
 from repro.sheet.autofill import fill_formula_column
 from repro.sheet.sheet import Sheet
 from repro.spatial.registry import available_indexes
 
-from helpers import build_mixed_sheet
+from helpers import (
+    assert_same_values,
+    build_mixed_sheet,
+    engine_for,
+    realize_program,
+    sheet_programs,
+)
 
 BACKENDS = available_indexes()
-
-# Column templates an autofill can stamp down a column.  The pool mixes
-# windowed aggregates (all four shapes), compiled arithmetic, lazy
-# builtins, error producers, and interpreter-fallback constructs (XOR,
-# ROWS are deliberately not covered by the compiler).
-TEMPLATES = (
-    "=SUM($A$1:A1)",
-    "=SUM(A1:A4)",
-    "=SUM(A1:$A$24)",
-    "=AVERAGE($A$1:B1)",
-    "=MIN(A1:A6)",
-    "=MAX($B$1:B1)",
-    "=COUNT(A1:B3)",
-    "=A1*2+B1",
-    "=IF(A1>B1,A1-B1,B1/A1)",
-    "=IFERROR(A1/B1,-1)",
-    "=XOR(A1>5,B1>5)",
-    "=ROWS($A$1:A1)",
-    "=A1&\"|\"&B1",
-    "=SUM($A$1:A1)*0.5",
-)
 
 ROWS = 24
 
 
-@st.composite
-def sheets(draw):
-    sheet = Sheet("S")
-    for r in range(1, ROWS + 1):
-        kind = draw(st.integers(0, 9))
-        if kind == 0:
-            value = "txt"
-        elif kind == 1:
-            value = True
-        elif kind == 2:
-            value = None
-        else:
-            value = float(draw(st.integers(-40, 40)))
-        if value is not None:
-            sheet.set_value((1, r), value)
-        sheet.set_value((2, r), float(draw(st.integers(-9, 9))))
-    n_cols = draw(st.integers(1, 4))
-    for i in range(n_cols):
-        template = draw(st.sampled_from(TEMPLATES))
-        first = draw(st.integers(1, 4))
-        last = draw(st.integers(ROWS - 4, ROWS))
-        fill_formula_column(sheet, 3 + i, first, last, template)
-    return sheet
-
-
-def clone(sheet: Sheet) -> Sheet:
-    copy = Sheet(sheet.name)
-    for pos, cell in sheet.items():
-        if cell.is_formula:
-            copy.set_formula(pos, cell.formula_text)
-        else:
-            copy.set_value(pos, cell.value)
-    return copy
-
-
-def assert_same_values(auto: Sheet, interp: Sheet) -> None:
-    positions = set(auto.positions()) | set(interp.positions())
-    for pos in positions:
-        got = auto.get_value(pos)
-        want = interp.get_value(pos)
-        if isinstance(want, ExcelError):
-            assert isinstance(got, ExcelError) and got.code == want.code, pos
-        else:
-            assert type(got) is type(want) and got == want, pos
-
-
-def run_both(sheet: Sheet, index: str):
-    sa, sb = clone(sheet), clone(sheet)
-
-    def engine(s, mode):
-        graph = TacoGraph.full(index=index)
-        graph.build(dependencies_column_major(s))
-        return RecalcEngine(s, graph, evaluation=mode)
-
-    ea = engine(sa, "auto")
-    eb = engine(sb, "interpreter")
+def run_both(program, index: str):
+    sa = realize_program(program)
+    sb = realize_program(program)
+    ea = engine_for(sa, "auto", index)
+    eb = engine_for(sb, "interpreter", index)
     raised_a = raised_b = False
     try:
         ea.recalculate_all()
@@ -127,8 +59,8 @@ def run_both(sheet: Sheet, index: str):
           suppress_health_check=[HealthCheck.too_slow])
 @given(data=st.data())
 def test_full_recalc_identical(index, data):
-    sheet = data.draw(sheets())
-    run_both(sheet, index)
+    program = data.draw(sheet_programs(rows=ROWS, max_fills=4))
+    run_both(program, index)
 
 
 @pytest.mark.parametrize("index", BACKENDS)
@@ -136,8 +68,8 @@ def test_full_recalc_identical(index, data):
           suppress_health_check=[HealthCheck.too_slow])
 @given(data=st.data())
 def test_edits_identical(index, data):
-    sheet = data.draw(sheets())
-    ea, eb, raised = run_both(sheet, index)
+    program = data.draw(sheet_programs(rows=ROWS, max_fills=4))
+    ea, eb, raised = run_both(program, index)
     if raised:
         return
     for _ in range(data.draw(st.integers(1, 3))):
@@ -154,14 +86,10 @@ def test_full_corpus_recalculate_all_every_backend():
     """The repo's mixed corpus sheet, every backend, both modes."""
     for index in BACKENDS:
         reference = build_mixed_sheet(seed=3, rows=40)
-        graph = TacoGraph.full(index=index)
-        graph.build(dependencies_column_major(reference))
-        RecalcEngine(reference, graph, evaluation="interpreter").recalculate_all()
+        engine_for(reference, "interpreter", index).recalculate_all()
 
         subject = build_mixed_sheet(seed=3, rows=40)
-        graph = TacoGraph.full(index=index)
-        graph.build(dependencies_column_major(subject))
-        engine = RecalcEngine(subject, graph)
+        engine = engine_for(subject, "auto", index)
         engine.recalculate_all()
         assert_same_values(subject, reference)
         assert engine.eval_stats.windowed_cells > 0, index

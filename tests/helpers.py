@@ -1,10 +1,23 @@
-"""Shared sheet builders and assertion helpers."""
+"""Shared sheet builders and assertion helpers.
+
+Besides the corpus builders, this module owns the differential-test
+toolkit the ``tests/engine/test_*_differential.py`` suites share: a
+hypothesis strategy for store-agnostic *sheet programs*, factories that
+realize a program into either backing store and wrap it in an engine
+parameterized by evaluation mode / index backend / worker pool, and the
+bitwise value comparator.  One definition here keeps every suite
+differential against the same oracle semantics.
+"""
 
 from __future__ import annotations
 
 import random
 
+from hypothesis import strategies as st
+
 from repro.core.taco_graph import TacoGraph, dependencies_column_major
+from repro.engine.recalc import RecalcEngine
+from repro.formula.errors import ExcelError
 from repro.graphs.base import expand_cells
 from repro.graphs.nocomp import NoCompGraph
 from repro.grid.range import Range
@@ -67,5 +80,112 @@ def assert_same_precedents(taco, nocomp, probe: Range) -> None:
         f"precedents of {probe.to_a1()} differ: "
         f"taco-only={sorted(got - want)[:5]} nocomp-only={sorted(want - got)[:5]}"
     )
+
+
+# -- differential-test toolkit -------------------------------------------------
+
+#: Autofill templates spanning every evaluation tier: windowed aggregates
+#: (all four compression shapes), elementwise arithmetic (with /0 lanes),
+#: compiled branches, interpreter fallbacks (XOR / ROWS / ROW are
+#: deliberately outside the compiler), string concatenation, and error
+#: producers.
+DIFFERENTIAL_TEMPLATES = (
+    "=SUM($A$1:A1)",
+    "=SUM(A1:A4)",
+    "=SUM(A1:$A$24)",
+    "=AVERAGE($A$1:B1)",
+    "=MIN(A1:A6)",
+    "=MAX($B$1:B1)",
+    "=COUNT(A1:B3)",
+    "=A1*2+B1",
+    "=A1/B1",
+    "=-A1*10%",
+    "=IF(A1>B1,A1-B1,B1/A1)",
+    "=IFERROR(A1/B1,-1)",
+    "=XOR(A1>5,B1>5)",
+    "=ROWS($A$1:A1)",
+    '=A1&"|"&B1',
+    "=ROW(A1)*10+B1",
+)
+
+
+@st.composite
+def sheet_programs(draw, rows: int = 20,
+                   templates: tuple = DIFFERENTIAL_TEMPLATES,
+                   max_fills: int = 3):
+    """One store-agnostic sheet program: ``(values, fills)``.
+
+    Column A mixes floats, text, booleans and holes; column B is always
+    numeric; ``fills`` stamps 1..max_fills formula columns (3, 4, ...)
+    with autofilled templates.  Realize with :func:`realize_program`.
+    """
+    values = []
+    for r in range(1, rows + 1):
+        kind = draw(st.integers(0, 9))
+        if kind == 0:
+            values.append(((1, r), "txt"))
+        elif kind == 1:
+            values.append(((1, r), True))
+        elif kind != 2:                      # kind == 2 leaves a hole
+            values.append(((1, r), float(draw(st.integers(-40, 40)))))
+        values.append(((2, r), float(draw(st.integers(-4, 4)))))
+    fills = []
+    for i in range(draw(st.integers(1, max_fills))):
+        fills.append((3 + i, draw(st.integers(1, 3)),
+                      draw(st.integers(rows - 3, rows)),
+                      draw(st.sampled_from(templates))))
+    return values, fills
+
+
+def realize_program(program, store: str = "object",
+                    name: str = "S") -> Sheet:
+    """Build a fresh sheet from a :func:`sheet_programs` draw."""
+    values, fills = program
+    sheet = Sheet(name, store=store)
+    for pos, value in values:
+        sheet.set_value(pos, value)
+    for col, first, last, template in fills:
+        fill_formula_column(sheet, col, first, last, template)
+    return sheet
+
+
+def clone_sheet(sheet: Sheet, store: str | None = None) -> Sheet:
+    """An independent copy (optionally into the other backing store)."""
+    copy = Sheet(sheet.name, store=store or sheet.store_kind)
+    for pos, cell in sheet.items():
+        if cell.is_formula:
+            copy.set_formula(pos, cell.formula_text)
+        else:
+            copy.set_value(pos, cell.value)
+    return copy
+
+
+def engine_for(sheet: Sheet, mode: str = "auto", index: str = "rtree",
+               *, workers: int = 0, worker_mode: str | None = None,
+               parallel_min_dirty: int | None = None) -> RecalcEngine:
+    """An engine over a fresh compressed graph for ``sheet``.
+
+    ``workers``/``worker_mode``/``parallel_min_dirty`` configure the
+    partitioned parallel scheduler (``parallel_min_dirty=1`` forces the
+    parallel path even for tiny differential corpora).
+    """
+    graph = TacoGraph.full(index=index)
+    graph.build(dependencies_column_major(sheet))
+    return RecalcEngine(
+        sheet, graph, evaluation=mode, workers=workers,
+        worker_mode=worker_mode, parallel_min_dirty=parallel_min_dirty,
+    )
+
+
+def assert_same_values(got_sheet: Sheet, want_sheet: Sheet) -> None:
+    """Bitwise value identity, with error-code identity for ExcelErrors."""
+    positions = set(got_sheet.positions()) | set(want_sheet.positions())
+    for pos in positions:
+        got = got_sheet.get_value(pos)
+        want = want_sheet.get_value(pos)
+        if isinstance(want, ExcelError):
+            assert isinstance(got, ExcelError) and got.code == want.code, pos
+        else:
+            assert type(got) is type(want) and got == want, pos
 
 
