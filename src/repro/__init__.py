@@ -32,6 +32,7 @@ from .engine import (
     CircularReferenceError,
     RecalcEngine,
     RecalcResult,
+    ScenarioEngine,
     StructuralEditResult,
 )
 from .formula.errors import ExcelError, FormulaSyntaxError
@@ -62,6 +63,7 @@ __all__ = [
     "Dependency",
     "RecalcEngine",
     "RecalcResult",
+    "ScenarioEngine",
     "StructuralEditResult",
     "Evaluator",
     "ExcelError",

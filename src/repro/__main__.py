@@ -17,10 +17,13 @@ Commands operate on real ``.xlsx`` files through the stdlib reader:
 * ``restore SNAPSHOT [--journal WAL] [--out FILE]`` — reopen from a
   snapshot, replay the journal's complete-record prefix, recompute only
   the dirtied cells
+* ``whatif FILE --scenario B1=1.03,B2=0.7 --output I1 [--workers N]``
+  — evaluate what-if scenarios on one shared recalculation plan
+  (:class:`repro.engine.ScenarioEngine`); the file is never modified
 * ``demo PATH``                — write a demonstration workbook to PATH
 
-``report``, ``trace``, ``export`` and ``edit`` accept ``--index`` to
-select the spatial-index backend backing the graphs (see
+``report``, ``trace``, ``export``, ``edit`` and ``whatif`` accept
+``--index`` to select the spatial-index backend backing the graphs (see
 :mod:`repro.spatial`).
 """
 
@@ -358,6 +361,56 @@ def _cmd_restore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    """Evaluate what-if scenarios on one shared recalculation plan."""
+    from .engine.recalc import CircularReferenceError, RecalcEngine
+    from .engine.scenario import ScenarioEngine
+
+    workbook = read_xlsx(args.file)
+    sheet = workbook.sheet(args.sheet) if args.sheet else workbook.active_sheet
+    engine = RecalcEngine(sheet, _build_graph(sheet, args.index))
+    try:
+        engine.recalculate_all()
+    except CircularReferenceError as err:
+        print(f"error: workbook has a pre-existing {err}", file=sys.stderr)
+        return 1
+
+    def coerce(value: str):
+        try:
+            return float(value)
+        except ValueError:
+            return value
+
+    scenarios: list[dict[str, object]] = []
+    seeds: list[str] = []
+    for spec in args.scenario:
+        overrides: dict[str, object] = {}
+        for part in spec.split(","):
+            cell, value = _parse_assignment(part)
+            overrides[cell] = coerce(value)
+            if cell not in seeds:
+                seeds.append(cell)
+        scenarios.append(overrides)
+
+    try:
+        whatif = ScenarioEngine(engine, seeds)
+        results = whatif.run(scenarios, args.output, workers=args.workers)
+    except (ValueError, RuntimeError, CircularReferenceError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    print(f"{len(scenarios)} scenarios over {len(seeds)} seeds, "
+          f"shared plan of {whatif.plan_size} cells")
+    baseline = {out: sheet.get_value(out) for out in args.output}
+    print(ascii_table(
+        ["scenario"] + list(args.output),
+        [["base"] + [baseline[out] for out in args.output]] + [
+            [spec] + [result[out] for out in args.output]
+            for spec, result in zip(args.scenario, results)
+        ],
+    ))
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from .datasets.regions import build_region
 
@@ -468,6 +521,25 @@ def build_parser() -> argparse.ArgumentParser:
     restore.add_argument("--out", default=None,
                          help="write the restored workbook to OUT (.xlsx)")
     restore.set_defaults(fn=_cmd_restore)
+
+    whatif = sub.add_parser(
+        "whatif",
+        help="evaluate what-if scenarios on one shared recalculation plan",
+    )
+    whatif.add_argument("file")
+    whatif.add_argument("--sheet", default=None)
+    whatif.add_argument("--scenario", action="append", required=True,
+                        metavar="CELL=VALUE[,CELL=VALUE...]",
+                        help="one scenario's seed overrides (repeatable); "
+                             "cells a scenario omits keep their base values")
+    whatif.add_argument("--output", action="append", required=True,
+                        metavar="CELL", help="cell to report per scenario "
+                        "(repeatable)")
+    whatif.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="replay scenarios on N process workers "
+                             "(default: REPRO_RECALC_WORKERS)")
+    add_index_option(whatif)
+    whatif.set_defaults(fn=_cmd_whatif)
 
     demo = sub.add_parser("demo", help="write a demonstration workbook")
     demo.add_argument("path")

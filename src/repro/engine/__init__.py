@@ -33,6 +33,7 @@ from .journal import (
     recover,
 )
 from .recalc import CircularReferenceError, RecalcEngine, RecalcResult
+from .scenario import ScenarioEngine
 from .structural import StructuralEditResult, apply_structural_edit
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "RecalcEngine",
     "RecalcResult",
     "RecoveryResult",
+    "ScenarioEngine",
     "StructuralEditResult",
     "UpdateTicket",
     "apply_structural_edit",

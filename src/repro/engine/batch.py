@@ -88,6 +88,9 @@ class BatchResult(NamedTuple):
     structural_ops: int = 0       # row/column inserts/deletes applied first
     elementwise_cells: int = 0    # cells evaluated by numpy array sweeps
     parallel_regions: int = 0     # independent regions the recalc partitioned into
+    lookup_index_hits: int = 0    # lookups served by lookaside indexes
+    lookup_index_builds: int = 0  # lookaside indexes (re)built by the recalc
+    scenario_plan_reuses: int = 0 # scenario replays that reused a shared plan
 
 
 class BatchEditSession:
@@ -345,6 +348,9 @@ class BatchEditSession:
         compiled_before = stats.compiled_cells
         elementwise_before = stats.elementwise_cells
         regions_before = stats.parallel_regions
+        hits_before = stats.lookup_index_hits
+        builds_before = stats.lookup_index_builds
+        reuses_before = stats.scenario_plan_reuses
         if self.recalc:
             recomputed = engine.recompute(dirty_ranges, extra=formula_positions)
         recalc_seconds = time.perf_counter() - recalc_start
@@ -367,6 +373,9 @@ class BatchEditSession:
             structural_ops=len(self._structural),
             elementwise_cells=stats.elementwise_cells - elementwise_before,
             parallel_regions=stats.parallel_regions - regions_before,
+            lookup_index_hits=stats.lookup_index_hits - hits_before,
+            lookup_index_builds=stats.lookup_index_builds - builds_before,
+            scenario_plan_reuses=stats.scenario_plan_reuses - reuses_before,
         )
         return self.result
 

@@ -512,24 +512,19 @@ def _declarative_region(sheet, region):
     return (list(families.values()), loose), spec, read_cols
 
 
-def _region_worker(payload: bytes) -> bytes:
-    """Evaluate one shipped region in a worker process.
+def _rebuild_worker_sheet(store_kind, name, cargo, families, loose):
+    """Reconstruct a shipped sheet inside a worker process.
 
-    Rebuilds a same-name, same-store-kind sheet from the shipped value
-    planes, installs the member formulas (pre-parsed ASTs), re-creates
-    the run super-nodes, executes the plan through a graph-less shadow
-    engine, and returns ``((kind, packed_results), stats_counters,
-    count)`` as bytes.  The same store kind and sheet name guarantee the
-    worker's tier dispatch — and therefore its values *and* stats — match
-    what the parent would have computed serially.
+    Installs the value planes (columnar) or cell list (object) and the
+    member formulas: family members re-derive their ASTs by shifting the
+    exemplar — equal template keys *mean* the shifted exemplar is the
+    member's formula — and the key seeds each cell's memo so the worker
+    never re-renders R1C1 text.  Returns ``(sheet, positions)`` with the
+    member positions in enrolment order.  Shared by the region worker
+    here and the scenario worker (:mod:`repro.engine.scenario`).
     """
-    fault = os.environ.get(FAULT_ENV)
-    if fault == "die":
-        os._exit(11)
     from ..sheet.sheet import Sheet
-    from .recalc import RecalcEngine, _ElementwiseRun, _TemplateRun
 
-    store_kind, name, cargo, (families, loose), spec = pickle.loads(payload)
     sheet = Sheet(name, store=store_kind)
     if store_kind == "columnar":
         sheet._cells.install_planes(cargo)
@@ -555,7 +550,20 @@ def _region_worker(payload: bytes) -> bytes:
     for pos, ast in loose:
         set_formula_ast(pos, ast)
         positions.append(pos)
-    engine = RecalcEngine.plan_executor(sheet)
+    return sheet, positions
+
+
+def _plan_from_spec(engine, sheet, spec):
+    """Materialise a declarative plan spec back into executable nodes.
+
+    ``("c", col, row)`` singles become position tuples; ``("w", ...)`` /
+    ``("e", ...)`` stretches recompile their template from the first
+    member (the registry memoises, so this is one lookup per run) and
+    become run super-nodes with empty blocker sets — ordering was
+    resolved by the parent, the spec's sequence *is* the plan order.
+    """
+    from .recalc import _ElementwiseRun, _TemplateRun
+
     plan: list[object] = []
     for node in spec:
         if node[0] == "c":
@@ -571,6 +579,29 @@ def _region_worker(payload: bytes) -> bytes:
             plan.append(_TemplateRun(template.window, col, rows, set(), set()))
         else:
             plan.append(_ElementwiseRun(template, col, rows, set(), set()))
+    return plan
+
+
+def _region_worker(payload: bytes) -> bytes:
+    """Evaluate one shipped region in a worker process.
+
+    Rebuilds a same-name, same-store-kind sheet from the shipped value
+    planes, installs the member formulas (pre-parsed ASTs), re-creates
+    the run super-nodes, executes the plan through a graph-less shadow
+    engine, and returns ``((kind, packed_results), stats_counters,
+    count)`` as bytes.  The same store kind and sheet name guarantee the
+    worker's tier dispatch — and therefore its values *and* stats — match
+    what the parent would have computed serially.
+    """
+    fault = os.environ.get(FAULT_ENV)
+    if fault == "die":
+        os._exit(11)
+    from .recalc import RecalcEngine
+
+    store_kind, name, cargo, (families, loose), spec = pickle.loads(payload)
+    sheet, positions = _rebuild_worker_sheet(store_kind, name, cargo, families, loose)
+    engine = RecalcEngine.plan_executor(sheet)
+    plan = _plan_from_spec(engine, sheet, spec)
     count = engine._execute_plan(plan)
     if fault == "garbage":
         return b"\x00 injected unpicklable worker result"

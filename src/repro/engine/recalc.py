@@ -34,7 +34,7 @@ from ..formula.errors import CYCLE_ERROR
 from ..graphs.base import FormulaGraph, expand_cells
 from ..grid.range import Range
 from ..sheet.sheet import Dependency, Sheet, SheetResolver
-from . import vectorized
+from . import lookup, vectorized
 
 if TYPE_CHECKING:  # pragma: no cover
     from .batch import BatchEditSession
@@ -151,6 +151,7 @@ class RecalcEngine:
         workers: int | None = None,
         worker_mode: str | None = None,
         parallel_min_dirty: int | None = None,
+        lookup_indexes: bool | None = None,
     ):
         if evaluation not in ("auto", "interpreter"):
             raise ValueError(f"unknown evaluation mode {evaluation!r}")
@@ -170,6 +171,11 @@ class RecalcEngine:
         self.cell_evaluator = CompilingEvaluator(SheetResolver(sheet), registry=registry)
         self.eval_stats = self.cell_evaluator.stats
         self.evaluator = self.cell_evaluator.interpreter
+        #: Lookaside lookup indexes (``repro.engine.lookup``) — auto mode
+        #: only, so ``evaluation="interpreter"`` remains a scan-only
+        #: differential oracle.
+        if self.evaluation == "auto" and lookup.indexes_enabled(lookup_indexes):
+            lookup.attach_probe(self.cell_evaluator, sheet)
         if workers is None:
             workers = int(os.environ.get("REPRO_RECALC_WORKERS", "0") or 0)
         self.workers = int(workers)
@@ -207,6 +213,8 @@ class RecalcEngine:
         engine.cell_evaluator = CompilingEvaluator(SheetResolver(sheet), registry=registry)
         engine.eval_stats = engine.cell_evaluator.stats
         engine.evaluator = engine.cell_evaluator.interpreter
+        if evaluation == "auto" and lookup.indexes_enabled():
+            lookup.attach_probe(engine.cell_evaluator, sheet)
         engine.workers = 0
         engine.parallel = None
         return engine

@@ -1,0 +1,471 @@
+"""Bulk what-if evaluation: K scenarios, one shared recalculation plan.
+
+A *scenario* is a set of trial values for a few non-formula seed cells —
+"what if growth were 3% and churn 0.7?".  Answering K of them through
+the per-edit path costs K x (dependents BFS + topological sort +
+re-evaluation), yet every scenario perturbs the *same* seeds: the dirty
+frontier and its evaluation order are properties of the formula graph,
+not of the trial values.  :class:`ScenarioEngine` exploits that:
+
+1. **Plan once** — at construction it runs one multi-seed dependents BFS
+   over the compressed graph and orders the dirty set exactly like the
+   serial engine (super-node runs plus singles via
+   :meth:`RecalcEngine._order_with_runs`, generic Kahn order for
+   interpreter engines).  Cycles raise
+   :class:`~repro.engine.recalc.CircularReferenceError` up front.
+2. **Replay per scenario** — :meth:`run` writes each scenario's seed
+   values and re-executes the frozen plan through the engine's normal
+   tier dispatch (compiled templates, windowed rolls, elementwise
+   sweeps, interpreter fallback).  Replays after the first count one
+   ``EvalStats.scenario_plan_reuses`` each.
+3. **Restore** — the base seed values and every dirty cell's cached
+   value are snapshotted before the first replay (typed column packs on
+   columnar sheets) and restored afterwards, so a sweep leaves the sheet
+   bit-identical to how it found it, even on error.
+
+``workers=N`` fans the scenario list across the shared process pool
+(:mod:`repro.engine.parallel`): the plan ships once per worker as
+declarative freight (value planes + template families + plan spec, the
+same protocol region workers use), each worker rebuilds the sheet and
+replays its contiguous chunk of scenarios, and only the requested output
+values travel back.  Scenarios are independent by construction — they
+share no writes — so fan-out changes wall-clock, never values, and the
+absorbed worker counter snapshots keep the PR 7 counter identity.
+Fallbacks (unpicklable payloads, cross-sheet formulas, worker death)
+re-run the affected chunk serially in the parent and are reported in
+``EvalStats.serial_fallbacks``.
+
+Scenario replays are transient: they bypass the journal and graph
+maintenance entirely (seeds are value cells — their edits move no
+edges).  The plan is valid until the sheet's formulas change; structural
+edits are detected via the columnar store epoch and raise, formula edits
+require building a fresh engine.
+
+:meth:`sample` (Monte Carlo over a seeded RNG) and :meth:`solve`
+(bisection goal-seek) are thin layers over :meth:`run`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING, Mapping
+
+from ..core.query import dependents_of_seeds
+from ..formula.errors import ExcelError
+from ..graphs.base import expand_cells
+from ..grid.range import Range
+from .recalc import CircularReferenceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .recalc import RecalcEngine
+
+__all__ = ["ScenarioEngine"]
+
+#: Placeholder for "this scenario does not override this seed": the
+#: replay writes the base value instead.  Resolved to concrete values
+#: before any payload is shipped, so workers never see it.
+_KEEP = object()
+
+
+class ScenarioEngine:
+    """K what-if scenarios over fixed seed cells, one shared plan.
+
+    ``seeds`` are the cells scenarios may vary — A1 text, ``Range`` or
+    ``(col, row)`` — and must hold values, not formulas (a formula seed
+    would need graph surgery per scenario, defeating the shared plan;
+    ``ValueError``).  The dirty frontier, its topological order, and its
+    run super-nodes are computed here, once, against ``engine``'s graph.
+    """
+
+    def __init__(self, engine: "RecalcEngine", seeds):
+        if engine.graph is None:
+            raise ValueError(
+                "scenario planning needs the engine's formula graph; "
+                "plan-executor shadows cannot host a ScenarioEngine"
+            )
+        self.engine = engine
+        self.sheet = engine.sheet
+        self.seeds: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for target in seeds:
+            pos = engine._position(target)
+            if pos in seen:
+                continue
+            if self.sheet.formula_at(pos) is not None:
+                raise ValueError(
+                    f"seed {Range.cell(*pos).to_a1()} is a formula cell; "
+                    "scenario seeds must be pure values"
+                )
+            seen.add(pos)
+            self.seeds.append(pos)
+        if not self.seeds:
+            raise ValueError("at least one seed cell is required")
+        self._seed_set = seen
+
+        seed_ranges = [Range.cell(*pos) for pos in self.seeds]
+        dirty_ranges = dependents_of_seeds(engine.graph, seed_ranges)
+        formula_at = self.sheet.formula_at
+        dirty = {
+            pos for pos in expand_cells(dirty_ranges)
+            if formula_at(pos) is not None
+        }
+        #: The dirty frontier (sorted, deterministic): every formula cell
+        #: any replay can change.  Exactly these cells are snapshotted
+        #: and restored around a sweep.
+        self.dirty: list[tuple[int, int]] = sorted(dirty)
+        self.plan = self._build_plan(dirty)
+        self._replays = 0
+        store = self.sheet._cells
+        self._epoch = store.epoch if hasattr(store, "epoch") else None
+
+    def _build_plan(self, dirty: set[tuple[int, int]]):
+        engine = self.engine
+        if engine.evaluation == "auto" and dirty:
+            runs, by_col, member_map = engine._detect_runs(dirty)
+            plan, _succs = engine._order_with_runs(dirty, runs, by_col, member_map)
+            if plan is not None:
+                return plan
+            # Self-reference or cycle suspected: the generic ordering
+            # owns that diagnosis.
+        order, cyclic, preds = engine._topological_order(dirty)
+        if cyclic:
+            raise CircularReferenceError(engine._trace_cycle(cyclic, preds))
+        return order
+
+    @property
+    def plan_size(self) -> int:
+        """Formula cells one replay re-evaluates."""
+        return len(self.dirty)
+
+    # -- the sweep -------------------------------------------------------------
+
+    def run(self, scenarios, outputs=(), *, workers: "int | None" = None):
+        """Evaluate ``scenarios`` and return one output dict per scenario.
+
+        Each scenario is a mapping ``{seed: value}`` (unlisted seeds keep
+        their base values) or a sequence of values aligned with the
+        constructor's seed order.  ``outputs`` are the cells to read
+        after each replay; results are dicts keyed by the output spec as
+        given (A1 strings stay strings, everything else keys by its
+        ``(col, row)``).  ``workers=None`` inherits the engine's
+        configured worker count; ``0``/``1`` forces serial replay.
+
+        Values and per-cell eval counters are identical across serial
+        and fan-out execution; the sheet is restored to its base state
+        before this returns, success or failure.
+        """
+        self._check_fresh()
+        rows = [self._normalize(scenario) for scenario in scenarios]
+        out_specs = list(outputs)
+        out_pos = [self.engine._position(spec) for spec in out_specs]
+        if not rows:
+            return []
+        if workers is None:
+            workers = self.engine.workers
+        values = None
+        if (
+            int(workers) > 1
+            and len(rows) > 1
+            and self.engine.evaluation == "auto"
+            and getattr(self.sheet, "store_kind", "object") == "columnar"
+        ):
+            values = self._run_process(rows, out_pos, int(workers))
+        if values is None:
+            values = self._run_serial(rows, out_pos)
+        self._account_replays(len(rows))
+        keys = [
+            spec if isinstance(spec, str) else pos
+            for spec, pos in zip(out_specs, out_pos)
+        ]
+        return [dict(zip(keys, row_values)) for row_values in values]
+
+    def sample(self, n: int, draw, *, outputs=(), seed: int = 0,
+               workers: "int | None" = None):
+        """Monte Carlo: ``n`` scenarios drawn by ``draw(rng)``.
+
+        ``draw`` receives a :class:`random.Random` seeded with ``seed``
+        and returns one scenario (mapping or sequence); the draw order is
+        fixed, so equal seeds give bit-identical sweeps regardless of
+        ``workers``.
+        """
+        rng = random.Random(seed)
+        scenarios = [draw(rng) for _ in range(n)]
+        return self.run(scenarios, outputs, workers=workers)
+
+    def solve(self, seed, output, target: float, lo: float, hi: float, *,
+              tol: float = 1e-9, max_iter: int = 100) -> float:
+        """Goal-seek: the ``seed`` value in ``[lo, hi]`` driving
+        ``output`` to ``target``, by bisection on the shared plan.
+
+        Requires ``output`` to evaluate numeric at both brackets and the
+        residual to change sign between them (``ValueError`` otherwise —
+        bisection needs a bracketed root).  Bisection is monotone-safe on
+        the non-smooth functions spreadsheets produce (IF ladders,
+        lookups); tolerance is on the seed interval width.
+        """
+        pos = self.engine._position(seed)
+        if pos not in self._seed_set:
+            raise ValueError(
+                f"solve seed {Range.cell(*pos).to_a1()} is not one of "
+                "this engine's scenario seeds"
+            )
+
+        def residual(x: float) -> float:
+            value = self.run([{pos: x}], [output])[0].popitem()[1]
+            if isinstance(value, ExcelError) or not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                raise ValueError(
+                    f"goal-seek output is not numeric at seed={x!r}: {value!r}"
+                )
+            return float(value) - float(target)
+
+        f_lo = residual(lo)
+        if f_lo == 0.0:
+            return float(lo)
+        f_hi = residual(hi)
+        if f_hi == 0.0:
+            return float(hi)
+        if (f_lo < 0.0) == (f_hi < 0.0):
+            raise ValueError(
+                f"goal-seek bracket [{lo}, {hi}] does not straddle "
+                f"target {target} (residuals {f_lo:+g}, {f_hi:+g})"
+            )
+        lo, hi = float(lo), float(hi)
+        mid = (lo + hi) / 2.0
+        for _ in range(max_iter):
+            mid = (lo + hi) / 2.0
+            f_mid = residual(mid)
+            if f_mid == 0.0 or (hi - lo) / 2.0 <= tol:
+                break
+            if (f_mid < 0.0) == (f_lo < 0.0):
+                lo, f_lo = mid, f_mid
+            else:
+                hi = mid
+        return mid
+
+    # -- internals -------------------------------------------------------------
+
+    def _check_fresh(self) -> None:
+        if getattr(self.sheet, "_open_batches", None):
+            raise RuntimeError(
+                "scenario replay with an open batch session on this sheet: "
+                "buffered edits would interleave with replays; commit or "
+                "discard the batch first"
+            )
+        if self._epoch is not None and self.sheet._cells.epoch != self._epoch:
+            raise RuntimeError(
+                "scenario plan is stale: the sheet changed shape after the "
+                "plan was built; construct a new ScenarioEngine"
+            )
+
+    def _normalize(self, scenario) -> tuple:
+        if isinstance(scenario, Mapping):
+            overrides: dict = {}
+            for target, value in scenario.items():
+                pos = self.engine._position(target)
+                if pos not in self._seed_set:
+                    raise ValueError(
+                        f"scenario sets {Range.cell(*pos).to_a1()}, which is "
+                        "not one of this engine's seed cells"
+                    )
+                overrides[pos] = value
+            return tuple(overrides.get(pos, _KEEP) for pos in self.seeds)
+        values = tuple(scenario)
+        if len(values) != len(self.seeds):
+            raise ValueError(
+                f"scenario has {len(values)} values for {len(self.seeds)} seeds"
+            )
+        return values
+
+    def _account_replays(self, count: int) -> None:
+        """Every replay after this engine's first is a plan reuse —
+        stable across serial and fan-out execution by construction."""
+        first = 1 if self._replays == 0 else 0
+        self.engine.eval_stats.scenario_plan_reuses += count - first
+        self._replays += count
+
+    def _snapshot(self):
+        sheet = self.sheet
+        seeds = [(pos, sheet.get_value(pos)) for pos in self.seeds]
+        if getattr(sheet, "store_kind", "object") == "columnar":
+            store = sheet._cells
+            peaks: dict[int, int] = {}
+            for col, row in self.dirty:
+                if row > peaks.get(col, 0):
+                    peaks[col] = row
+            for col, row in peaks.items():
+                # A dirty formula that has never been evaluated may live
+                # in a column with no value plane yet; grow it so the
+                # pack below (and replay writes) never reallocate.
+                store.ensure_column(col, row)
+            packed = store.pack_result_columns(self.dirty) if self.dirty else []
+            return seeds, ("columnar", packed)
+        formula_at = sheet.formula_at
+        return seeds, (
+            "object", [(pos, formula_at(pos).value) for pos in self.dirty]
+        )
+
+    def _restore(self, seeds, dirty_snapshot) -> None:
+        sheet = self.sheet
+        for pos, value in seeds:
+            sheet.set_value(pos, value)
+        kind, payload = dirty_snapshot
+        if kind == "columnar":
+            if payload:
+                sheet._cells.merge_result_columns(payload)
+        else:
+            formula_at = sheet.formula_at
+            for pos, value in payload:
+                formula_at(pos).value = value
+
+    def _resolve(self, rows, seeds_base):
+        base = dict(seeds_base)
+        return [
+            tuple(
+                base[pos] if value is _KEEP else value
+                for pos, value in zip(self.seeds, row)
+            )
+            for row in rows
+        ]
+
+    def _run_serial(self, rows, out_pos):
+        engine = self.engine
+        sheet = self.sheet
+        seeds_base, dirty_base = self._snapshot()
+        resolved = self._resolve(rows, seeds_base)
+        out = []
+        try:
+            for row in resolved:
+                for pos, value in zip(self.seeds, row):
+                    sheet.set_value(pos, value)
+                engine._execute_plan(self.plan)
+                out.append([sheet.get_value(pos) for pos in out_pos])
+        finally:
+            self._restore(seeds_base, dirty_base)
+        return out
+
+    def _run_process(self, rows, out_pos, workers: int):
+        """Fan contiguous scenario chunks across the process pool.
+
+        Returns the per-scenario output rows, or None when the whole
+        sweep must stay serial (cross-sheet formulas, unpicklable
+        freight).  Chunks whose worker dies are replayed serially in the
+        parent — scenarios own disjoint result rows, so the merge is
+        trivially idempotent.
+        """
+        from .parallel import (
+            _CrossSheetRegion,
+            _declarative_region,
+            _discard_pool,
+            _pool,
+        )
+
+        engine = self.engine
+        sheet = self.sheet
+        stats = engine.eval_stats
+        try:
+            formulas, spec, read_cols = _declarative_region(sheet, self.plan)
+        except _CrossSheetRegion:
+            stats.serial_fallbacks += 1
+            stats.fallback_reason = "cross-sheet"
+            return None
+        cols = read_cols
+        if cols is not None:
+            cols = set(cols)
+            cols.update(pos[0] for pos in self.seeds)
+            cols.update(pos[0] for pos in out_pos)
+        cargo = sheet._cells.export_planes(cols)
+        seeds_base = [(pos, sheet.get_value(pos)) for pos in self.seeds]
+        resolved = self._resolve(rows, seeds_base)
+
+        workers = min(workers, len(resolved))
+        bounds = [
+            (len(resolved) * i // workers, len(resolved) * (i + 1) // workers)
+            for i in range(workers)
+        ]
+        chunks = [resolved[lo:hi] for lo, hi in bounds if hi > lo]
+        payloads = []
+        for chunk in chunks:
+            try:
+                payloads.append(pickle.dumps(
+                    (sheet.name, cargo, formulas, spec, self.seeds, chunk,
+                     out_pos),
+                    pickle.HIGHEST_PROTOCOL,
+                ))
+            except Exception:
+                stats.serial_fallbacks += 1
+                stats.fallback_reason = "payload-pickle-failed"
+                return None
+
+        pool = _pool("process", workers)
+        pending = []
+        for payload in payloads:
+            try:
+                future = pool.submit(_scenario_worker, payload)
+            except BrokenProcessPool:
+                _discard_pool("process", workers)
+                pool = _pool("process", workers)
+                future = pool.submit(_scenario_worker, payload)
+            pending.append(future)
+
+        out = []
+        for chunk, future in zip(chunks, pending):
+            reason = None
+            try:
+                raw = future.result()
+            except BrokenProcessPool:
+                _discard_pool("process", workers)
+                reason = "worker-died"
+            except BaseException:
+                reason = "worker-died"
+            if reason is None:
+                try:
+                    chunk_values, counters = pickle.loads(raw)
+                except Exception:
+                    reason = "unpickle-failed"
+            if reason is not None:
+                stats.serial_fallbacks += 1
+                stats.fallback_reason = reason
+                out.extend(self._run_serial(chunk, out_pos))
+                continue
+            stats.absorb_counters(counters)
+            stats.parallel_dispatches += 1
+            out.extend(chunk_values)
+        return out
+
+
+def _scenario_worker(payload: bytes) -> bytes:
+    """Replay one chunk of scenarios in a worker process.
+
+    Rebuilds the sheet from the shipped planes + template families once,
+    re-materialises the shared plan, then per scenario writes the seed
+    values and re-executes the plan — no snapshot/restore: every replay
+    deterministically overwrites the whole dirty frontier, and the
+    worker's sheet dies with the task.  Returns the requested output
+    values plus the worker's deterministic counter snapshot.
+    """
+    from .parallel import _plan_from_spec, _rebuild_worker_sheet
+    from .recalc import RecalcEngine
+
+    name, cargo, (families, loose), spec, seeds, chunk, out_pos = (
+        pickle.loads(payload)
+    )
+    sheet, _positions = _rebuild_worker_sheet(
+        "columnar", name, cargo, families, loose
+    )
+    engine = RecalcEngine.plan_executor(sheet)
+    plan = _plan_from_spec(engine, sheet, spec)
+    set_value = sheet.set_value
+    get_value = sheet.get_value
+    results = []
+    for row in chunk:
+        for pos, value in zip(seeds, row):
+            set_value(pos, value)
+        engine._execute_plan(plan)
+        results.append([get_value(pos) for pos in out_pos])
+    return pickle.dumps(
+        (results, engine.eval_stats.counter_snapshot()),
+        pickle.HIGHEST_PROTOCOL,
+    )

@@ -184,6 +184,15 @@ def apply_structural_edit(
     cross_rewrites = sum(len(r.rewritten) for r in sibling_reports.values())
     cross_struck = sum(len(r.ref_struck) for r in sibling_reports.values())
 
+    # Structural edits reshape every vector a lookaside index was built
+    # over; drop the sheet's whole index cache rather than splicing.
+    # (Correctness never depends on this — the columnar store's epoch
+    # bump already invalidates the entries — but dropping frees them
+    # eagerly instead of leaving dead indexes behind the next probes.)
+    lookup_cache = getattr(sheet, "_lookup_cache", None)
+    if lookup_cache is not None:
+        lookup_cache.drop_all()
+
     stats, repacked = _maintain_graph(
         engine, op, index, count, repack_fraction, repack_min
     )

@@ -613,14 +613,21 @@ class EvalStats:
 
     __slots__ = ("compiled_cells", "interpreted_cells", "windowed_cells",
                  "windowed_runs", "elementwise_cells", "elementwise_runs",
+                 "lookup_index_hits", "lookup_index_builds",
+                 "scenario_plan_reuses",
                  "parallel_regions", "parallel_dispatches",
                  "serial_fallbacks", "fallback_reason")
 
     #: The per-cell counters every engine accumulates.  Parallel region
     #: execution merges exactly these from worker stats (summation is
     #: commutative, so merge order cannot change the totals).
+    #: ``lookup_index_hits`` belongs here because probe eligibility is a
+    #: pure function of vector geometry — identical wherever the cell
+    #: evaluates; builds are environment-dependent (each process worker
+    #: builds privately) and stay outside, like ``serial_fallbacks``.
     CELL_COUNTERS = ("compiled_cells", "interpreted_cells", "windowed_cells",
-                     "windowed_runs", "elementwise_cells", "elementwise_runs")
+                     "windowed_runs", "elementwise_cells", "elementwise_runs",
+                     "lookup_index_hits")
 
     def __init__(self) -> None:
         self.compiled_cells = 0
@@ -629,6 +636,11 @@ class EvalStats:
         self.windowed_runs = 0
         self.elementwise_cells = 0
         self.elementwise_runs = 0
+        # Lookaside-index bookkeeping (repro.engine.lookup) and the
+        # scenario engine's shared-plan replays (repro.engine.scenario).
+        self.lookup_index_hits = 0
+        self.lookup_index_builds = 0
+        self.scenario_plan_reuses = 0
         # Parallel-recalc bookkeeping (repro.engine.parallel): regions the
         # partitioner produced, regions actually dispatched to workers, and
         # regions that fell back to serial re-execution (with the *last*
@@ -644,7 +656,7 @@ class EvalStats:
                 + self.windowed_cells + self.elementwise_cells)
 
     def counter_snapshot(self) -> tuple:
-        """The six cell/run counters, in ``CELL_COUNTERS`` order."""
+        """The deterministic counters, in ``CELL_COUNTERS`` order."""
         return tuple(getattr(self, name) for name in self.CELL_COUNTERS)
 
     def absorb_counters(self, counters) -> None:

@@ -16,7 +16,8 @@ import fnmatch
 import math
 from typing import Callable, NamedTuple
 
-from .errors import NA_ERROR, NUM_ERROR, VALUE_ERROR, ExcelError
+from ..grid.range import Range
+from .errors import NA_ERROR, NUM_ERROR, REF_ERROR, VALUE_ERROR, ExcelError
 from .numeric import fsum_count
 from .values import (
     ErrorSignal,
@@ -796,6 +797,131 @@ def _text(ctx, value, fmt=None):
 
 # ---------------------------------------------------------------------------
 # lookup and reference
+#
+# The linear scans below are the semantics-defining reference for every
+# lookup builtin.  The engine may attach a lookaside-index probe to the
+# resolver (``repro.engine.lookup``); when a vector qualifies, the probe
+# answers the same (side, tie) query from a hash map or sorted index and
+# MUST be bit-identical to the scan on arbitrary — unsorted, mixed-type,
+# holey — data.  That is only possible because matching is class-filtered:
+# an entry can match only a needle of its own type class, so approximate
+# mode is "best entry of the needle's class under <=/>=", never a global
+# ordering over mixed types (which Excel does not use either).
+
+#: Lookup type classes: entries match needles of the same class only.
+_CLS_NUM, _CLS_TEXT, _CLS_BOOL = 0, 1, 2
+
+
+def lookup_entry_key(value):
+    """``value -> (cls, norm)`` for an indexable vector entry.
+
+    None means the entry can never match: blanks, errors, NaN and exotic
+    objects are transparent to every lookup mode.  Text normalises to
+    casefolded-by-``lower`` form (Excel compares case-insensitively).
+    """
+    if value is None or isinstance(value, ExcelError):
+        return None
+    if value is True or value is False:
+        return (_CLS_BOOL, value)
+    if isinstance(value, (int, float)):
+        value = float(value)
+        return None if value != value else (_CLS_NUM, value)
+    if isinstance(value, str):
+        return (_CLS_TEXT, value.lower())
+    return None
+
+
+def lookup_needle_key(needle):
+    """Like :func:`lookup_entry_key` for the sought value.
+
+    A blank needle coerces to numeric zero (Excel's behaviour for an
+    empty lookup_value); a 1x1 range collapses by implicit intersection;
+    a multi-cell range or error needle can never match (the callers'
+    legacy #N/A behaviour).
+    """
+    if isinstance(needle, RangeValue):
+        if needle.width == 1 and needle.height == 1:
+            needle = needle.get(0, 0)
+        else:
+            return None
+    if needle is None:
+        return (_CLS_NUM, 0.0)
+    return lookup_entry_key(needle)
+
+
+def _scan_vector(values, key, *, side: str, tie: str) -> int | None:
+    """Reference linear scan: offset of the winning entry, or None.
+
+    ``side`` selects the candidate set among same-class entries —
+    ``"eq"`` equal to the needle, ``"le"`` the largest entry <= needle,
+    ``"ge"`` the smallest entry >= needle.  ``tie`` picks which offset
+    wins among equal candidate *values* ("first"/"last").  Index probes
+    implement exactly this contract (see ``repro.engine.lookup``).
+    """
+    cls, norm = key
+    best = None
+    best_norm = None
+    for i, value in enumerate(values):
+        entry = lookup_entry_key(value)
+        if entry is None or entry[0] != cls:
+            continue
+        e = entry[1]
+        if side == "eq":
+            if e == norm:
+                if tie == "first":
+                    return i
+                best = i
+        elif side == "le":
+            if e <= norm and (
+                best is None or e > best_norm or (e == best_norm and tie == "last")
+            ):
+                best, best_norm = i, e
+        else:  # "ge"
+            if e >= norm and (
+                best is None or e < best_norm or (e == best_norm and tie == "last")
+            ):
+                best, best_norm = i, e
+    return best
+
+
+def _lookup_scan(values, needle, approximate: bool) -> int | None:
+    """Legacy entry point kept as the compact reference: VLOOKUP-style
+    exact (first equal entry) or approximate (largest entry <= needle,
+    last occurrence on ties) matching."""
+    key = lookup_needle_key(needle)
+    if key is None:
+        return None
+    if approximate:
+        return _scan_vector(values, key, side="le", tie="last")
+    return _scan_vector(values, key, side="eq", tie="first")
+
+
+def _lookup_offset(rv, bounds, values_factory, needle, *, side, tie):
+    """Resolve one (side, tie) lookup over a 1-D vector of ``rv``.
+
+    Consults the engine's lookaside probe when the resolver carries one
+    (``bounds`` is the vector's (c1, r1, c2, r2)); otherwise runs the
+    reference scan over ``values_factory()``.
+    """
+    key = lookup_needle_key(needle)
+    if key is None:
+        return None
+    probe = getattr(rv._resolver, "lookup_probe", None)
+    if probe is not None:
+        index = probe(rv.sheet, *bounds)
+        if index is not None:
+            return index.find(key, side, tie)
+    return _scan_vector(values_factory(), key, side=side, tie=tie)
+
+
+def _first_column(rv):
+    r = rv.range
+    return (r.c1, r.r1, r.c1, r.r2), lambda: rv.column_values(0)
+
+
+def _first_row(rv):
+    r = rv.range
+    return (r.c1, r.r1, r.c2, r.r1), lambda: rv.row_values(0)
 
 
 @_register("VLOOKUP", min_args=3, max_args=4)
@@ -806,7 +932,11 @@ def _vlookup(ctx, needle, table, col_index, approximate=True):
     if col < 1 or col > table.width:
         raise ErrorSignal(VALUE_ERROR)
     approx = to_bool(approximate) if not isinstance(approximate, bool) else approximate
-    match_row = _lookup_scan(list(table.column_values(0)), needle, approx)
+    bounds, factory = _first_column(table)
+    match_row = _lookup_offset(
+        table, bounds, factory, needle,
+        side="le" if approx else "eq", tie="last" if approx else "first",
+    )
     if match_row is None:
         raise ErrorSignal(NA_ERROR)
     return table.get(match_row, col - 1)
@@ -820,41 +950,14 @@ def _hlookup(ctx, needle, table, row_index, approximate=True):
     if row < 1 or row > table.height:
         raise ErrorSignal(VALUE_ERROR)
     approx = to_bool(approximate) if not isinstance(approximate, bool) else approximate
-    match_col = _lookup_scan(list(table.row_values(0)), needle, approx)
+    bounds, factory = _first_row(table)
+    match_col = _lookup_offset(
+        table, bounds, factory, needle,
+        side="le" if approx else "eq", tie="last" if approx else "first",
+    )
     if match_col is None:
         raise ErrorSignal(NA_ERROR)
     return table.get(row - 1, match_col)
-
-
-def _lookup_scan(values: list, needle, approximate: bool) -> int | None:
-    """Index of the matching entry, or None.
-
-    Exact mode scans linearly; approximate mode returns the last entry
-    ``<= needle`` assuming ascending order, Excel-style.
-    """
-    if approximate:
-        best = None
-        for i, value in enumerate(values):
-            if value is None:
-                continue
-            try:
-                cmp = compare_values(value, needle)
-            except ErrorSignal:
-                continue
-            if cmp <= 0:
-                best = i
-            else:
-                break
-        return best
-    for i, value in enumerate(values):
-        if value is None:
-            continue
-        try:
-            if compare_values(value, needle) == 0:
-                return i
-        except ErrorSignal:
-            continue
-    return None
 
 
 @_register("MATCH", min_args=2, max_args=3)
@@ -863,28 +966,85 @@ def _match(ctx, needle, rng, match_type=1.0):
         raise ErrorSignal(VALUE_ERROR)
     if rng.width != 1 and rng.height != 1:
         raise ErrorSignal(NA_ERROR)
-    values = list(rng.column_values(0)) if rng.width == 1 else list(rng.row_values(0))
     mode = int(to_number(match_type))
     if mode == 0:
-        index = _lookup_scan(values, needle, approximate=False)
+        side, tie = "eq", "first"
     elif mode > 0:
-        index = _lookup_scan(values, needle, approximate=True)
-    else:  # descending order: last entry >= needle
-        index = None
-        for i, value in enumerate(values):
-            if value is None:
-                continue
-            try:
-                cmp = compare_values(value, needle)
-            except ErrorSignal:
-                continue
-            if cmp >= 0:
-                index = i
-            else:
-                break
+        side, tie = "le", "last"
+    else:  # descending order: smallest entry >= needle, last occurrence
+        side, tie = "ge", "last"
+    bounds, factory = _first_column(rng) if rng.width == 1 else _first_row(rng)
+    index = _lookup_offset(rng, bounds, factory, needle, side=side, tie=tie)
     if index is None:
         raise ErrorSignal(NA_ERROR)
     return float(index + 1)
+
+
+def _excel_pattern(text: str) -> str:
+    """Translate an Excel wildcard pattern to :mod:`fnmatch` syntax:
+    ``~*``/``~?``/``~~`` are literals, ``[`` has no special meaning."""
+    out = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "~" and i + 1 < len(text) and text[i + 1] in "*?~":
+            out.append("[" + text[i + 1] + "]")
+            i += 2
+            continue
+        out.append("[[]" if ch == "[" else ch)
+        i += 1
+    return "".join(out)
+
+
+def _wildcard_scan(values, needle, tie: str) -> int | None:
+    """XLOOKUP match_mode 2: wildcard match over text entries only."""
+    if not isinstance(needle, str):
+        key = lookup_needle_key(needle)
+        if key is None:
+            return None
+        return _scan_vector(values, key, side="eq", tie=tie)
+    pattern = _excel_pattern(needle.lower())
+    best = None
+    for i, value in enumerate(values):
+        if isinstance(value, str) and fnmatch.fnmatchcase(value.lower(), pattern):
+            if tie == "first":
+                return i
+            best = i
+    return best
+
+
+@_register("XLOOKUP", min_args=3, max_args=6)
+def _xlookup(ctx, needle, lookup_rng, return_rng, if_not_found=None,
+             match_mode=0.0, search_mode=1.0):
+    if not isinstance(lookup_rng, RangeValue) or not isinstance(return_rng, RangeValue):
+        raise ErrorSignal(VALUE_ERROR)
+    if lookup_rng.width != 1 and lookup_rng.height != 1:
+        raise ErrorSignal(VALUE_ERROR)
+    vertical = lookup_rng.width == 1
+    length = lookup_rng.height if vertical else lookup_rng.width
+    if vertical:
+        if return_rng.height != length or return_rng.width != 1:
+            raise ErrorSignal(VALUE_ERROR)
+    elif return_rng.width != length or return_rng.height != 1:
+        raise ErrorSignal(VALUE_ERROR)
+    mode = int(to_number(match_mode))
+    order = int(to_number(search_mode))
+    if mode not in (-1, 0, 1, 2) or order not in (-2, -1, 1, 2):
+        raise ErrorSignal(VALUE_ERROR)
+    # Binary search modes (2/-2) assume pre-sorted data; the index makes
+    # them free, so they share the linear modes' exact semantics here.
+    tie = "last" if order < 0 else "first"
+    bounds, factory = _first_column(lookup_rng) if vertical else _first_row(lookup_rng)
+    if mode == 2:
+        offset = _wildcard_scan(factory(), needle, tie)
+    else:
+        side = "eq" if mode == 0 else ("le" if mode < 0 else "ge")
+        offset = _lookup_offset(lookup_rng, bounds, factory, needle, side=side, tie=tie)
+    if offset is None:
+        if if_not_found is not None:
+            return if_not_found
+        raise ErrorSignal(NA_ERROR)
+    return return_rng.get(offset, 0) if vertical else return_rng.get(0, offset)
 
 
 @_register("INDEX", min_args=2, max_args=3)
@@ -892,13 +1052,32 @@ def _index(ctx, rng, row, col=None):
     if not isinstance(rng, RangeValue):
         raise ErrorSignal(VALUE_ERROR)
     row_i = int(to_number(row))
+    if row_i < 0:
+        raise ErrorSignal(VALUE_ERROR)
     if col is None:
+        if rng.width != 1 and rng.height != 1:
+            raise ErrorSignal(VALUE_ERROR)
+        if row_i == 0:
+            return rng
         if rng.width == 1:
             return rng.get(row_i - 1, 0)
-        if rng.height == 1:
-            return rng.get(0, row_i - 1)
-        raise ErrorSignal(VALUE_ERROR)
+        return rng.get(0, row_i - 1)
     col_i = int(to_number(col))
+    if col_i < 0:
+        raise ErrorSignal(VALUE_ERROR)
+    if row_i == 0 or col_i == 0:
+        if row_i > rng.height or col_i > rng.width:
+            raise ErrorSignal(REF_ERROR)
+        r = rng.range
+        if row_i == 0 and col_i == 0:
+            return rng
+        if row_i == 0:
+            c = r.c1 + col_i - 1
+            sub = Range(c, r.r1, c, r.r2)
+        else:
+            rr = r.r1 + row_i - 1
+            sub = Range(r.c1, rr, r.c2, rr)
+        return RangeValue(sub, rng.sheet, rng._resolver)
     return rng.get(row_i - 1, col_i - 1)
 
 

@@ -79,14 +79,20 @@ class _Column:
     to the highest touched row.  Invariant: ``values[i]`` is 0.0 whenever
     ``tags[i]`` is not NUMBER/BOOL, so a raw value-buffer read of an
     empty lane is already the ``to_number(None)`` coercion.
+
+    ``version`` counts content writes (growth excluded — appended lanes
+    are EMPTY, which reads identically to out-of-bounds); lookaside
+    structures (:mod:`repro.engine.lookup`) stamp it at build time and
+    rebuild lazily when it moves.
     """
 
-    __slots__ = ("values", "tags", "side")
+    __slots__ = ("values", "tags", "side", "version")
 
     def __init__(self, capacity: int = 0):
         self.values = array("d", bytes(8 * capacity))
         self.tags = bytearray(capacity)
         self.side: dict[int, object] = {}
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self.tags)
@@ -174,7 +180,7 @@ class ColumnarCell(Cell):
 class ColumnarStore:
     """Per-sheet columnar backing store with a dict-of-Cells facade."""
 
-    __slots__ = ("_columns", "_formulas", "_count")
+    __slots__ = ("_columns", "_formulas", "_count", "epoch")
 
     def __init__(self) -> None:
         self._columns: dict[int, _Column] = {}
@@ -184,6 +190,10 @@ class ColumnarStore:
         #: Occupied positions: non-EMPTY tags plus formula cells whose
         #: cached value is None (their tag is EMPTY but they exist).
         self._count = 0
+        #: Store generation: bumped by whole-store reshapes (structural
+        #: edits, clear, plane installs) that move values *between*
+        #: columns, which per-column versions cannot express.
+        self.epoch = 0
 
     # -- value plane -----------------------------------------------------------
 
@@ -214,6 +224,7 @@ class ColumnarStore:
     def _write_raw(self, column: _Column, i: int, value) -> int:
         """Write one value into the arrays; returns the *old* tag."""
         tag, payload, side = _classify(value)
+        column.version += 1
         old = column.tags[i]
         if old in _SIDE_TAGS:
             column.side.pop(i, None)
@@ -355,6 +366,13 @@ class ColumnarStore:
         self._columns.clear()
         self._formulas.clear()
         self._count = 0
+        self.epoch += 1
+
+    def column_version(self, col: int) -> int:
+        """Content-write counter of ``col`` (-1 when the column does not
+        exist — distinct from any live version, which starts at 0)."""
+        column = self._columns.get(col)
+        return -1 if column is None else column.version
 
     def __iter__(self) -> Iterator[tuple[int, int]]:
         for col, column in self._columns.items():
@@ -446,6 +464,7 @@ class ColumnarStore:
         coordinates.  Returns the number of occupied positions removed
         with the deleted band (0 for inserts).
         """
+        self.epoch += 1
         if axis == "row":
             if mode == "insert":
                 self._insert_rows(index, count)
@@ -620,6 +639,7 @@ class ColumnarStore:
         self, planes: dict[int, tuple[bytes, bytes, dict[int, object]]]
     ) -> None:
         """Install :meth:`export_planes` output into this *fresh* store."""
+        self.epoch += 1
         for col, (tags, value_bytes, side) in planes.items():
             column = _Column()
             column.tags = bytearray(tags)
@@ -673,6 +693,7 @@ class ColumnarStore:
             values = array("d")
             values.frombytes(value_bytes)
             column = self._column_for(col, rows[-1])
+            column.version += 1
             ctags, cvalues, cside = column.tags, column.values, column.side
             for k in range(len(rows)):
                 i = rows[k] - 1
@@ -690,6 +711,7 @@ class ColumnarStore:
         if len(tags) != len(values):
             raise ValueError("columnar run: tags/values length mismatch")
         column = self._column_for(col, start_row + len(tags) - 1)
+        column.version += 1
         i0 = start_row - 1
         column.tags[i0:i0 + len(tags)] = tags
         column.values[i0:i0 + len(values)] = values

@@ -291,12 +291,19 @@ class Sheet:
 
 
 class SheetResolver:
-    """Adapter presenting a single Sheet as a CellResolver."""
+    """Adapter presenting a single Sheet as a CellResolver.
 
-    __slots__ = ("_sheet",)
+    ``lookup_probe`` is the engine's optional lookaside-index hook
+    (:mod:`repro.engine.lookup`): lookup builtins duck-type for it on
+    the resolver behind a ``RangeValue``, so the formula layer stays
+    engine-agnostic.  None means "always linear-scan".
+    """
+
+    __slots__ = ("_sheet", "lookup_probe")
 
     def __init__(self, sheet: Sheet):
         self._sheet = sheet
+        self.lookup_probe = None
 
     def get_value(self, sheet: str | None, col: int, row: int):
         return self._sheet.resolver_get_value(sheet, col, row)

@@ -1,0 +1,140 @@
+"""Differential suite: indexed lookups ≡ reference scans ≡ interpreter.
+
+The lookaside indexes (:mod:`repro.engine.lookup`) promise bit-identical
+results to the linear reference scans they replace, on arbitrary
+unsorted mixed-type data, through every mutation path that can
+invalidate them.  Four engines evaluate every program:
+
+* columnar / auto / indexes on  — hash + binary-search probes;
+* columnar / auto / indexes off — same tiers, reference scans;
+* object   / auto               — no probe attaches (no write counters);
+* object   / interpreter        — the tree-walking oracle.
+
+The index floor is pinned to 1 so even these 20-row vectors take the
+indexed path, and each suite asserts the probes actually fired —
+a silently scan-only "differential" test would prove nothing.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import lookup
+from repro.spatial.registry import available_indexes
+
+from helpers import (
+    LOOKUP_TEMPLATES,
+    assert_same_values,
+    engine_for,
+    realize_program,
+    sheet_programs,
+)
+
+BACKENDS = available_indexes()
+
+ROWS = 20  # LOOKUP_TEMPLATES hard-code their table bounds to 20 rows
+
+
+@pytest.fixture(autouse=True, scope="module")
+def tiny_index_floor():
+    floor = lookup.MIN_INDEX_SIZE
+    lookup.MIN_INDEX_SIZE = 1
+    yield
+    lookup.MIN_INDEX_SIZE = floor
+
+
+def engines_for(program, index: str):
+    """(engine, sheet) per lane: indexed, scan, object-auto, oracle."""
+    lanes = []
+    for store, mode, indexes in (
+        ("columnar", "auto", True),
+        ("columnar", "auto", False),
+        ("object", "auto", None),
+        ("object", "interpreter", None),
+    ):
+        sheet = realize_program(program, store=store)
+        lanes.append(engine_for(sheet, mode, index, lookup_indexes=indexes))
+    return lanes
+
+
+def assert_lanes_identical(lanes):
+    reference = lanes[-1].sheet
+    for engine in lanes[:-1]:
+        assert_same_values(engine.sheet, reference)
+    assert lanes[0].eval_stats.lookup_index_hits > 0, "probes never fired"
+    assert lanes[1].eval_stats.lookup_index_hits == 0, "scan lane was indexed"
+
+
+@pytest.mark.parametrize("index", BACKENDS)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_full_recalc_identical(index, data):
+    program = data.draw(sheet_programs(rows=ROWS, templates=LOOKUP_TEMPLATES))
+    lanes = engines_for(program, index)
+    for engine in lanes:
+        engine.recalculate_all()
+    assert_lanes_identical(lanes)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_point_edits_identical(data):
+    program = data.draw(sheet_programs(rows=ROWS, templates=LOOKUP_TEMPLATES))
+    lanes = engines_for(program, "rtree")
+    for engine in lanes:
+        engine.recalculate_all()
+    for _ in range(data.draw(st.integers(1, 4))):
+        row = data.draw(st.integers(1, ROWS))
+        col = data.draw(st.integers(1, 2))
+        value = data.draw(st.one_of(
+            st.integers(-40, 40).map(float),
+            st.sampled_from(["txt", "zzz", True, None]),
+        ))
+        for engine in lanes:
+            engine.set_value((col, row), value)
+        assert_lanes_identical(lanes)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_batched_edits_identical(data):
+    program = data.draw(sheet_programs(rows=ROWS, templates=LOOKUP_TEMPLATES))
+    lanes = engines_for(program, "rtree")
+    for engine in lanes:
+        engine.recalculate_all()
+    edits = [
+        (data.draw(st.integers(1, 2)), data.draw(st.integers(1, ROWS)),
+         float(data.draw(st.integers(-40, 40))))
+        for _ in range(data.draw(st.integers(2, 6)))
+    ]
+    for engine in lanes:
+        with engine.begin_batch() as batch:
+            for col, row, value in edits:
+                batch.set_value((col, row), value)
+    assert_lanes_identical(lanes)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_structural_edits_identical(data):
+    program = data.draw(sheet_programs(rows=ROWS, templates=LOOKUP_TEMPLATES))
+    lanes = engines_for(program, "rtree")
+    for engine in lanes:
+        engine.recalculate_all()
+    op = data.draw(st.sampled_from(["insert_rows", "delete_rows"]))
+    row = data.draw(st.integers(2, ROWS - 1))
+    for engine in lanes:
+        getattr(engine, op)(row)
+    reference = lanes[-1].sheet
+    for engine in lanes[:-1]:
+        assert_same_values(engine.sheet, reference)
+    # Rewritten tables may shrink below usefulness, but a follow-up edit
+    # must still be identical through the rebuilt (or dropped) indexes.
+    for engine in lanes:
+        engine.set_value((2, 1), -7.0)
+    for engine in lanes[:-1]:
+        assert_same_values(engine.sheet, reference)

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.formula.errors import DIV0, NA_ERROR, NUM_ERROR, VALUE_ERROR
+from repro.formula.errors import DIV0, NA_ERROR, NUM_ERROR, REF_ERROR, VALUE_ERROR
 from repro.formula.evaluator import Evaluator
 from repro.sheet.sheet import Sheet, SheetResolver
 
@@ -219,6 +219,134 @@ class TestLookup:
         assert ev("=COLUMN(D4)") == 4.0
         assert ev("=ROWS(A1:A4)") == 4.0
         assert ev("=COLUMNS(D1:E4)") == 2.0
+
+
+@pytest.fixture
+def lv():
+    """Evaluator over deliberately unsorted, mixed-type lookup vectors."""
+    s = Sheet("S")
+    # A1:B6 — unsorted numeric keys with a text and a bool interloper.
+    rows = [(10.0, "ten"), (40.0, "forty"), ("kiwi", "fruit"),
+            (20.0, "twenty"), (True, "yes"), (30.0, "thirty")]
+    for i, (key, val) in enumerate(rows, start=1):
+        s.set_value((1, i), key)
+        s.set_value((2, i), val)
+    # D1:D5 — text keys with duplicates, mixed case.
+    for i, key in enumerate(["pear", "Apple", "plum", "apple", "fig"], start=1):
+        s.set_value((4, i), key)
+        s.set_value((5, i), float(i))              # E1:E5 payloads
+    evaluator = Evaluator(SheetResolver(s))
+
+    def run(text):
+        return evaluator.evaluate_formula(text, sheet="S", col=9, row=9)
+
+    return run
+
+
+class TestApproximateMatchEdges:
+    """The fixed approximate-match contract: largest entry <= needle by
+    value (not scan position), same-type-class entries only, NA below
+    every candidate — identical on sorted and unsorted vectors."""
+
+    def test_unsorted_picks_largest_below(self, lv):
+        # Linear first-match-wins would stop at 10; the contract says 20.
+        assert lv("=VLOOKUP(25,A1:B6,2)") == "twenty"
+
+    def test_unsorted_exact_value_present(self, lv):
+        assert lv("=VLOOKUP(30,A1:B6,2)") == "thirty"
+
+    def test_below_first_entry_is_na(self, lv):
+        assert lv("=VLOOKUP(5,A1:B6,2)") == NA_ERROR
+
+    def test_text_entries_invisible_to_numeric_needle(self, lv):
+        # "kiwi" sits between 40 and 20 but never matches a number.
+        assert lv("=VLOOKUP(1e9,A1:B6,2)") == "forty"
+
+    def test_bool_entries_invisible_to_numeric_needle(self, lv):
+        # TRUE is not 1.0: the numeric needle skips the bool row.
+        assert lv("=VLOOKUP(1,A1:B6,2)") == NA_ERROR
+
+    def test_bool_needle_matches_bool_class(self, lv):
+        assert lv("=VLOOKUP(TRUE,A1:B6,2,FALSE)") == "yes"
+
+    def test_text_needle_case_insensitive_dupes_first(self, lv):
+        # Exact text match is case-insensitive; ties keep the first hit.
+        assert lv('=VLOOKUP("APPLE",D1:E5,2,FALSE)') == 2.0
+
+    def test_text_approximate(self, lv):
+        # Largest text <= "grape" (case-folded): "fig".
+        assert lv('=VLOOKUP("grape",D1:E5,2)') == 5.0
+
+    def test_blank_needle_is_numeric_zero(self, lv):
+        assert lv("=MATCH(Z9,A1:A6,0)") == NA_ERROR
+
+    def test_match_descending_mode(self, lv):
+        # mode -1: smallest entry >= needle, last occurrence by offset.
+        assert lv("=MATCH(25,A1:A6,-1)") == 6.0    # 30 at row 6
+        assert lv("=MATCH(50,A1:A6,-1)") == NA_ERROR
+
+    def test_match_ascending_mode_unsorted(self, lv):
+        assert lv("=MATCH(25,A1:A6,1)") == 4.0     # 20 at row 4
+
+
+class TestXlookup:
+    def test_exact_default(self, lv):
+        assert lv("=XLOOKUP(20,A1:A6,B1:B6)") == "twenty"
+
+    def test_exact_miss_is_na(self, lv):
+        assert lv("=XLOOKUP(25,A1:A6,B1:B6)") == NA_ERROR
+
+    def test_if_not_found(self, lv):
+        assert lv('=XLOOKUP(25,A1:A6,B1:B6,"none")') == "none"
+
+    def test_next_smaller(self, lv):
+        assert lv('=XLOOKUP(25,A1:A6,B1:B6,"none",-1)') == "twenty"
+
+    def test_next_larger(self, lv):
+        assert lv('=XLOOKUP(25,A1:A6,B1:B6,"none",1)') == "thirty"
+
+    def test_wildcard_mode(self, lv):
+        assert lv('=XLOOKUP("pl*",D1:D5,E1:E5,"none",2)') == 3.0
+        assert lv('=XLOOKUP("?ig",D1:D5,E1:E5,"none",2)') == 5.0
+
+    def test_reverse_search_takes_last(self, lv):
+        # "Apple" (row 2) and "apple" (row 4) tie case-insensitively.
+        assert lv('=XLOOKUP("apple",D1:D5,E1:E5,"none",0,1)') == 2.0
+        assert lv('=XLOOKUP("apple",D1:D5,E1:E5,"none",0,-1)') == 4.0
+
+    def test_horizontal_vectors(self, lv):
+        assert lv("=XLOOKUP(2,E1:E5,D1:D5)") == "Apple"
+
+    def test_mismatched_lengths(self, lv):
+        assert lv("=XLOOKUP(20,A1:A6,B1:B5)") == VALUE_ERROR
+
+    def test_two_dimensional_lookup_vector(self, lv):
+        assert lv("=XLOOKUP(20,A1:B6,B1:B6)") == VALUE_ERROR
+
+    def test_bad_modes(self, lv):
+        assert lv('=XLOOKUP(20,A1:A6,B1:B6,"none",7)') == VALUE_ERROR
+        assert lv('=XLOOKUP(20,A1:A6,B1:B6,"none",0,3)') == VALUE_ERROR
+
+
+class TestIndexExtended:
+    def test_whole_row_and_column_slices(self, lv):
+        assert lv("=SUM(INDEX(A1:B6,0,1))") == 100.0      # numeric keys only
+        assert lv("=SUM(INDEX(D1:E5,2,0))") == 2.0        # row 2 payload
+        assert lv("=SUM(INDEX(E1:E5,0))") == 15.0         # whole vector
+
+    def test_out_of_bounds_slice_is_ref(self, lv):
+        assert lv("=INDEX(D1:E5,9,0)") == REF_ERROR
+        assert lv("=INDEX(D1:E5,0,9)") == REF_ERROR
+
+    def test_out_of_bounds_cell_is_ref(self, lv):
+        assert lv("=INDEX(D1:E5,9,1)") == REF_ERROR
+
+    def test_negative_is_value_error(self, lv):
+        assert lv("=INDEX(D1:E5,-1,1)") == VALUE_ERROR
+        assert lv("=INDEX(D1:E5,1,-1)") == VALUE_ERROR
+
+    def test_two_dimensional_needs_column(self, lv):
+        assert lv("=INDEX(D1:E5,2)") == VALUE_ERROR
 
 
 class TestConditionalAggregates:

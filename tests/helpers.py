@@ -109,6 +109,27 @@ DIFFERENTIAL_TEMPLATES = (
 )
 
 
+#: Lookup-heavy templates for the index differential suites: every
+#: (side, tie) probe shape VLOOKUP/HLOOKUP/MATCH/XLOOKUP can issue, over
+#: the deliberately unsorted, mixed-type A/B columns of
+#: :func:`sheet_programs` (table bounds fixed to the default 20 rows).
+#: Kept separate from DIFFERENTIAL_TEMPLATES so adding probes never
+#: perturbs the established suites' example corpora.
+LOOKUP_TEMPLATES = (
+    "=VLOOKUP(B1,$A$1:$B$20,2,FALSE)",
+    "=VLOOKUP(B1,$A$1:$B$20,2)",
+    "=VLOOKUP(A1,$B$1:$B$20,1)",
+    "=MATCH(B1,$A$1:$A$20,0)",
+    "=MATCH(B1,$A$1:$A$20,1)",
+    "=MATCH(B1,$A$1:$A$20,-1)",
+    "=MATCH(A1,$B$1:$B$20,1)",
+    '=XLOOKUP(B1,$A$1:$A$20,$B$1:$B$20,"miss")',
+    "=XLOOKUP(B1,$A$1:$A$20,$B$1:$B$20,-99,-1)",
+    "=XLOOKUP(B1,$A$1:$A$20,$B$1:$B$20,-99,1,-1)",
+    "=IFERROR(INDEX($B$1:$B$20,MATCH(B1,$A$1:$A$20,1)),-1)",
+)
+
+
 @st.composite
 def sheet_programs(draw, rows: int = 20,
                    templates: tuple = DIFFERENTIAL_TEMPLATES,
@@ -162,18 +183,22 @@ def clone_sheet(sheet: Sheet, store: str | None = None) -> Sheet:
 
 def engine_for(sheet: Sheet, mode: str = "auto", index: str = "rtree",
                *, workers: int = 0, worker_mode: str | None = None,
-               parallel_min_dirty: int | None = None) -> RecalcEngine:
+               parallel_min_dirty: int | None = None,
+               lookup_indexes: bool | None = None) -> RecalcEngine:
     """An engine over a fresh compressed graph for ``sheet``.
 
     ``workers``/``worker_mode``/``parallel_min_dirty`` configure the
     partitioned parallel scheduler (``parallel_min_dirty=1`` forces the
-    parallel path even for tiny differential corpora).
+    parallel path even for tiny differential corpora);
+    ``lookup_indexes=False`` pins the engine to the reference linear
+    scans regardless of the environment toggle.
     """
     graph = TacoGraph.full(index=index)
     graph.build(dependencies_column_major(sheet))
     return RecalcEngine(
         sheet, graph, evaluation=mode, workers=workers,
         worker_mode=worker_mode, parallel_min_dirty=parallel_min_dirty,
+        lookup_indexes=lookup_indexes,
     )
 
 
