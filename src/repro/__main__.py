@@ -361,10 +361,29 @@ def _cmd_restore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_uniform(spec: str) -> "tuple[str, float, float]":
+    """``CELL=LO:HI`` -> (cell, lo, hi) for a Monte Carlo uniform draw."""
+    cell, bounds = _parse_assignment(spec)
+    lo, sep, hi = bounds.partition(":")
+    if not sep:
+        raise ValueError(f"expected CELL=LO:HI, got {spec!r}")
+    return cell, float(lo), float(hi)
+
+
 def _cmd_whatif(args: argparse.Namespace) -> int:
     """Evaluate what-if scenarios on one shared recalculation plan."""
     from .engine.recalc import CircularReferenceError, RecalcEngine
     from .engine.scenario import ScenarioEngine
+
+    if args.sample:
+        if not args.uniform:
+            print("error: --sample requires at least one --uniform CELL=LO:HI",
+                  file=sys.stderr)
+            return 2
+    elif not args.scenario:
+        print("error: give --scenario overrides, or --sample N with "
+              "--uniform draws", file=sys.stderr)
+        return 2
 
     workbook = read_xlsx(args.file)
     sheet = workbook.sheet(args.sheet) if args.sheet else workbook.active_sheet
@@ -383,21 +402,54 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
 
     scenarios: list[dict[str, object]] = []
     seeds: list[str] = []
-    for spec in args.scenario:
-        overrides: dict[str, object] = {}
-        for part in spec.split(","):
-            cell, value = _parse_assignment(part)
-            overrides[cell] = coerce(value)
-            if cell not in seeds:
-                seeds.append(cell)
-        scenarios.append(overrides)
+    uniforms: list[tuple[str, float, float]] = []
+    if args.sample:
+        try:
+            uniforms = [_parse_uniform(spec) for spec in args.uniform]
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        seeds = [cell for cell, _, _ in uniforms]
+    else:
+        for spec in args.scenario:
+            overrides: dict[str, object] = {}
+            for part in spec.split(","):
+                cell, value = _parse_assignment(part)
+                overrides[cell] = coerce(value)
+                if cell not in seeds:
+                    seeds.append(cell)
+            scenarios.append(overrides)
 
     try:
         whatif = ScenarioEngine(engine, seeds)
-        results = whatif.run(scenarios, args.output, workers=args.workers)
+        if args.sample:
+            def draw(rng: random.Random) -> dict:
+                return {cell: rng.uniform(lo, hi)
+                        for cell, lo, hi in uniforms}
+
+            results = whatif.sample(args.sample, draw, outputs=args.output,
+                                    seed=args.seed, workers=args.workers)
+        else:
+            results = whatif.run(scenarios, args.output, workers=args.workers)
     except (ValueError, RuntimeError, CircularReferenceError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
+    if args.sample:
+        print(f"{args.sample} samples over {len(seeds)} seeds "
+              f"(seed={args.seed}), shared plan of {whatif.plan_size} cells")
+        rows = []
+        for out in args.output:
+            numeric = [r[out] for r in results
+                       if isinstance(r[out], (int, float))
+                       and not isinstance(r[out], bool)]
+            if numeric:
+                rows.append([out, len(numeric),
+                             sum(numeric) / len(numeric),
+                             min(numeric), max(numeric)])
+            else:
+                rows.append([out, 0, "-", "-", "-"])
+        print(ascii_table(["output", "n", "mean", "min", "max"], rows))
+        return 0
     print(f"{len(scenarios)} scenarios over {len(seeds)} seeds, "
           f"shared plan of {whatif.plan_size} cells")
     baseline = {out: sheet.get_value(out) for out in args.output}
@@ -528,13 +580,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     whatif.add_argument("file")
     whatif.add_argument("--sheet", default=None)
-    whatif.add_argument("--scenario", action="append", required=True,
+    whatif.add_argument("--scenario", action="append", default=[],
                         metavar="CELL=VALUE[,CELL=VALUE...]",
                         help="one scenario's seed overrides (repeatable); "
                              "cells a scenario omits keep their base values")
     whatif.add_argument("--output", action="append", required=True,
                         metavar="CELL", help="cell to report per scenario "
                         "(repeatable)")
+    whatif.add_argument("--sample", type=int, default=0, metavar="N",
+                        help="Monte Carlo: run N sampled scenarios instead "
+                             "of --scenario (needs --uniform draws)")
+    whatif.add_argument("--uniform", action="append", default=[],
+                        metavar="CELL=LO:HI",
+                        help="draw CELL uniformly from [LO, HI] per sample "
+                             "(repeatable; used with --sample)")
+    whatif.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for --sample; equal seeds give "
+                             "bit-identical sweeps regardless of --workers "
+                             "(default: 0)")
     whatif.add_argument("--workers", type=int, default=None, metavar="N",
                         help="replay scenarios on N process workers "
                              "(default: REPRO_RECALC_WORKERS)")
@@ -551,7 +614,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    finally:
+        # Commands that recalculated with workers= or shards= left process
+        # pools resident for reuse; a CLI invocation is one-shot.
+        from .engine.parallel import shutdown_pools
+
+        shutdown_pools()
 
 
 if __name__ == "__main__":

@@ -32,8 +32,10 @@ from .journal import (
     read_journal,
     recover,
 )
+from .parallel import shutdown_pools
 from .recalc import CircularReferenceError, RecalcEngine, RecalcResult
 from .scenario import ScenarioEngine
+from .shard import ShardRuntime
 from .structural import StructuralEditResult, apply_structural_edit
 
 __all__ = [
@@ -48,9 +50,11 @@ __all__ = [
     "RecalcResult",
     "RecoveryResult",
     "ScenarioEngine",
+    "ShardRuntime",
     "StructuralEditResult",
     "UpdateTicket",
     "apply_structural_edit",
     "read_journal",
     "recover",
+    "shutdown_pools",
 ]

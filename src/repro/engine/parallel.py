@@ -62,7 +62,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from .recalc import RecalcEngine
 
 __all__ = ["ParallelRecalc", "coarsen_regions", "partition_plan",
-           "preview_regions"]
+           "preview_regions", "shutdown_pools"]
 
 #: Fault-injection hook for the fallback tests: ``"die"`` kills the
 #: worker at region start (thread workers raise, process workers hard
@@ -224,11 +224,25 @@ def _discard_pool(mode: str, workers: int) -> None:
         pool.shutdown(wait=False, cancel_futures=True)
 
 
-@atexit.register
-def _shutdown_pools() -> None:  # pragma: no cover - interpreter teardown
+def shutdown_pools() -> None:
+    """Shut down and forget every cached worker pool.
+
+    Covers the ``(mode, workers)`` thread/process pools here *and* the
+    persistent shard slot pools (:mod:`repro.engine.shard`).  The cache
+    otherwise only grows — each distinct ``worker_mode`` / worker-count
+    combination leaves a live pool behind — so long-lived hosts (the CLI,
+    servers, test harnesses) call this at teardown.  Safe to call twice;
+    the next recalculation simply builds fresh pools on demand.
+    """
     for pool in list(_POOLS.values()):
         pool.shutdown(wait=False, cancel_futures=True)
     _POOLS.clear()
+    from .shard import shutdown_slot_pools
+
+    shutdown_slot_pools()
+
+
+atexit.register(shutdown_pools)
 
 
 # -- the scheduler -------------------------------------------------------------

@@ -152,6 +152,7 @@ class RecalcEngine:
         worker_mode: str | None = None,
         parallel_min_dirty: int | None = None,
         lookup_indexes: bool | None = None,
+        shards: int | None = None,
     ):
         if evaluation not in ("auto", "interpreter"):
             raise ValueError(f"unknown evaluation mode {evaluation!r}")
@@ -190,6 +191,24 @@ class RecalcEngine:
             )
         else:
             self.parallel = None
+        if shards is None:
+            shards = int(os.environ.get("REPRO_RECALC_SHARDS", "0") or 0)
+        self.shards = int(shards)
+        #: Persistent shard runtime (``repro.engine.shard``) — auto mode
+        #: over a columnar sheet with ``shards > 1``.  Tried before the
+        #: pooled scheduler; object-store sheets have no plane protocol
+        #: to ship, so the setting is silently inert there.
+        if (
+            self.evaluation == "auto" and self.shards > 1
+            and getattr(sheet, "store_kind", "object") == "columnar"
+        ):
+            from .shard import ShardRuntime
+
+            self.shard_runtime = ShardRuntime(
+                self.shards, min_dirty=parallel_min_dirty
+            )
+        else:
+            self.shard_runtime = None
 
     @classmethod
     def plan_executor(cls, sheet: Sheet, *, evaluation: str = "auto",
@@ -217,6 +236,8 @@ class RecalcEngine:
             lookup.attach_probe(engine.cell_evaluator, sheet)
         engine.workers = 0
         engine.parallel = None
+        engine.shards = 0
+        engine.shard_runtime = None
         return engine
 
     # -- full recomputation ----------------------------------------------------
@@ -314,14 +335,21 @@ class RecalcEngine:
         value or formula text (ignored for clears).
         """
         cell_range = Range.cell(*pos)
+        shard_rt = self.shard_runtime
         if op == "value":
             previous = self.sheet.cell_at(pos)
             if previous is not None and previous.is_formula:
                 # Stale edges would keep reporting dependents of a
-                # formula that no longer exists.
+                # formula that no longer exists.  A formula disappearing
+                # also invalidates resident shard ownership; plain value
+                # writes ride the version stamps and keep shards hot.
+                if shard_rt is not None:
+                    shard_rt.note_formula_change()
                 self.graph.clear_cells(cell_range)
             self.sheet.set_value(pos, payload)
         elif op == "formula":
+            if shard_rt is not None:
+                shard_rt.note_formula_change()
             self.graph.clear_cells(cell_range)
             self.sheet.set_formula(pos, payload)
             cell = self.sheet.cell_at(pos)
@@ -330,6 +358,8 @@ class RecalcEngine:
                     continue
                 self.graph.add_dependency(Dependency(ref.range, cell_range, ref.cue))
         elif op == "clear":
+            if shard_rt is not None and self.sheet.formula_at(pos) is not None:
+                shard_rt.note_formula_change()
             self.graph.clear_cells(cell_range)
             self.sheet.clear_cell(pos)
         else:
@@ -418,23 +448,34 @@ class RecalcEngine:
         parallel = self.parallel
         if parallel is not None and not parallel.eligible(len(dirty)):
             parallel = None
+        shard_rt = self.shard_runtime
+        if shard_rt is not None and not shard_rt.eligible(len(dirty)):
+            shard_rt = None
         if self.evaluation == "auto" and (
-            parallel is not None or len(dirty) >= vectorized.MIN_RUN
+            parallel is not None or shard_rt is not None
+            or len(dirty) >= vectorized.MIN_RUN
         ):
             runs, by_col, member_map = self._detect_runs(dirty)
             # Parallel execution partitions the *plan* (super-nodes plus
             # singles), so it needs one even when no runs were detected;
             # for an acyclic dirty set the empty-runs plan is exactly the
             # generic topological order.
-            if runs or parallel is not None:
+            if runs or parallel is not None or shard_rt is not None:
                 plan, succs = self._order_with_runs(dirty, runs, by_col, member_map)
                 if plan is not None:
+                    # Dispatch order: resident shards, then the pooled
+                    # scheduler, then serial — each declines with None
+                    # when it has nothing to gain.
+                    if shard_rt is not None:
+                        done = shard_rt.execute(self, plan, succs)
+                        if done is not None:
+                            return done
                     if parallel is not None:
                         done = parallel.execute(self, plan, succs)
                         if done is not None:
                             return done
                     return self._execute_plan(plan)
-                if parallel is not None:
+                if parallel is not None or shard_rt is not None:
                     # Cycles are ordered (and marked #CYCLE!) by the
                     # generic serial path; report the bail-out.
                     self.eval_stats.serial_fallbacks += 1

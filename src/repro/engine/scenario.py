@@ -23,14 +23,16 @@ not of the trial values.  :class:`ScenarioEngine` exploits that:
    columnar sheets) and restored afterwards, so a sweep leaves the sheet
    bit-identical to how it found it, even on error.
 
-``workers=N`` fans the scenario list across the shared process pool
-(:mod:`repro.engine.parallel`): the plan ships once per worker as
-declarative freight (value planes + template families + plan spec, the
-same protocol region workers use), each worker rebuilds the sheet and
-replays its contiguous chunk of scenarios, and only the requested output
-values travel back.  Scenarios are independent by construction — they
-share no writes — so fan-out changes wall-clock, never values, and the
-absorbed worker counter snapshots keep the PR 7 counter identity.
+``workers=N`` fans the scenario list across *resident replicas*
+(:class:`repro.engine.shard.ScenarioReplicas`): the first fanned-out
+sweep boots one full replica of the read surface per pool slot (value
+planes + template families + plan spec, the same declarative freight
+region workers use), and every later sweep ships only plane deltas —
+columns the parent changed since the last ship, keyed by the PR 8
+version stamps — plus the seed rows.  Only the requested output values
+travel back.  Scenarios are independent by construction — they share no
+writes — so fan-out changes wall-clock, never values, and the absorbed
+worker counter deltas keep the PR 7 counter identity.
 Fallbacks (unpicklable payloads, cross-sheet formulas, worker death)
 re-run the affected chunk serially in the parent and are reported in
 ``EvalStats.serial_fallbacks``.
@@ -47,9 +49,7 @@ require building a fresh engine.
 
 from __future__ import annotations
 
-import pickle
 import random
-from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Mapping
 
 from ..core.query import dependents_of_seeds
@@ -119,6 +119,12 @@ class ScenarioEngine:
         self._replays = 0
         store = self.sheet._cells
         self._epoch = store.epoch if hasattr(store, "epoch") else None
+        #: Resident process replicas (:class:`repro.engine.shard
+        #: .ScenarioReplicas`), built lazily by the first fanned-out
+        #: sweep and reused — with plane deltas only — by later ones.
+        self._replicas = None
+        self._replica_cols: set[int] | None = None
+        self._replica_freight = None
 
     def _build_plan(self, dirty: set[tuple[int, int]]):
         engine = self.engine
@@ -347,125 +353,89 @@ class ScenarioEngine:
         return out
 
     def _run_process(self, rows, out_pos, workers: int):
-        """Fan contiguous scenario chunks across the process pool.
+        """Fan contiguous scenario chunks across resident replicas.
+
+        The first fanned-out sweep bootstraps one full replica of the
+        sweep's read surface per pool slot (:class:`~repro.engine.shard
+        .ScenarioReplicas`); later sweeps ship only plane deltas —
+        columns the parent changed since the last ship — plus the seed
+        rows.  Replicas need no restore between replays: every replay
+        deterministically overwrites the whole dirty frontier before
+        reading it, and the parent sheet is never mutated by this path.
 
         Returns the per-scenario output rows, or None when the whole
         sweep must stay serial (cross-sheet formulas, unpicklable
-        freight).  Chunks whose worker dies are replayed serially in the
-        parent — scenarios own disjoint result rows, so the merge is
-        trivially idempotent.
+        freight).  Chunks whose replica fails are replayed serially in
+        the parent — scenarios own disjoint result rows, so the merge is
+        trivially idempotent — and the slot re-boots on the next sweep.
         """
-        from .parallel import (
-            _CrossSheetRegion,
-            _declarative_region,
-            _discard_pool,
-            _pool,
-        )
+        from .parallel import _CrossSheetRegion, _declarative_region
+        from .shard import ScenarioReplicas
 
         engine = self.engine
         sheet = self.sheet
         stats = engine.eval_stats
-        try:
-            formulas, spec, read_cols = _declarative_region(sheet, self.plan)
-        except _CrossSheetRegion:
-            stats.serial_fallbacks += 1
-            stats.fallback_reason = "cross-sheet"
-            return None
+        if self._replica_freight is None:
+            try:
+                self._replica_freight = _declarative_region(sheet, self.plan)
+            except _CrossSheetRegion:
+                stats.serial_fallbacks += 1
+                stats.fallback_reason = "cross-sheet"
+                return None
+        formulas, spec, read_cols = self._replica_freight
         cols = read_cols
         if cols is not None:
             cols = set(cols)
             cols.update(pos[0] for pos in self.seeds)
             cols.update(pos[0] for pos in out_pos)
-        cargo = sheet._cells.export_planes(cols)
+
+        replicas = self._replicas
+        if replicas is not None and (
+            replicas.workers < workers
+            or (self._replica_cols is not None
+                and (cols is None or not cols <= self._replica_cols))
+        ):
+            # More slots, or outputs outside the resident closure:
+            # re-boot with the widened surface (the old replicas drop
+            # via their finalizer).
+            cols = (
+                None if cols is None or self._replica_cols is None
+                else cols | self._replica_cols
+            )
+            replicas = None
+        if replicas is None:
+            replicas = ScenarioReplicas(workers)
+            self._replica_cols = cols
+        families, loose = formulas
+        try:
+            replicas.boot(
+                sheet, self._replica_cols, families, loose, spec,
+                self.seeds, stats,
+            )
+        except Exception:
+            stats.serial_fallbacks += 1
+            stats.fallback_reason = "payload-pickle-failed"
+            return None
+        self._replicas = replicas
+
         seeds_base = [(pos, sheet.get_value(pos)) for pos in self.seeds]
         resolved = self._resolve(rows, seeds_base)
-
-        workers = min(workers, len(resolved))
+        workers = min(workers, len(resolved), replicas.workers)
         bounds = [
             (len(resolved) * i // workers, len(resolved) * (i + 1) // workers)
             for i in range(workers)
         ]
         chunks = [resolved[lo:hi] for lo, hi in bounds if hi > lo]
-        payloads = []
-        for chunk in chunks:
-            try:
-                payloads.append(pickle.dumps(
-                    (sheet.name, cargo, formulas, spec, self.seeds, chunk,
-                     out_pos),
-                    pickle.HIGHEST_PROTOCOL,
-                ))
-            except Exception:
-                stats.serial_fallbacks += 1
-                stats.fallback_reason = "payload-pickle-failed"
-                return None
-
-        pool = _pool("process", workers)
-        pending = []
-        for payload in payloads:
-            try:
-                future = pool.submit(_scenario_worker, payload)
-            except BrokenProcessPool:
-                _discard_pool("process", workers)
-                pool = _pool("process", workers)
-                future = pool.submit(_scenario_worker, payload)
-            pending.append(future)
-
+        replies = replicas.replay_chunks(
+            sheet, self._replica_cols, chunks, out_pos, stats
+        )
         out = []
-        for chunk, future in zip(chunks, pending):
-            reason = None
-            try:
-                raw = future.result()
-            except BrokenProcessPool:
-                _discard_pool("process", workers)
-                reason = "worker-died"
-            except BaseException:
-                reason = "worker-died"
-            if reason is None:
-                try:
-                    chunk_values, counters = pickle.loads(raw)
-                except Exception:
-                    reason = "unpickle-failed"
+        for chunk, (reason, chunk_values) in zip(chunks, replies):
             if reason is not None:
                 stats.serial_fallbacks += 1
                 stats.fallback_reason = reason
                 out.extend(self._run_serial(chunk, out_pos))
                 continue
-            stats.absorb_counters(counters)
             stats.parallel_dispatches += 1
             out.extend(chunk_values)
         return out
-
-
-def _scenario_worker(payload: bytes) -> bytes:
-    """Replay one chunk of scenarios in a worker process.
-
-    Rebuilds the sheet from the shipped planes + template families once,
-    re-materialises the shared plan, then per scenario writes the seed
-    values and re-executes the plan — no snapshot/restore: every replay
-    deterministically overwrites the whole dirty frontier, and the
-    worker's sheet dies with the task.  Returns the requested output
-    values plus the worker's deterministic counter snapshot.
-    """
-    from .parallel import _plan_from_spec, _rebuild_worker_sheet
-    from .recalc import RecalcEngine
-
-    name, cargo, (families, loose), spec, seeds, chunk, out_pos = (
-        pickle.loads(payload)
-    )
-    sheet, _positions = _rebuild_worker_sheet(
-        "columnar", name, cargo, families, loose
-    )
-    engine = RecalcEngine.plan_executor(sheet)
-    plan = _plan_from_spec(engine, sheet, spec)
-    set_value = sheet.set_value
-    get_value = sheet.get_value
-    results = []
-    for row in chunk:
-        for pos, value in zip(seeds, row):
-            set_value(pos, value)
-        engine._execute_plan(plan)
-        results.append([get_value(pos) for pos in out_pos])
-    return pickle.dumps(
-        (results, engine.eval_stats.counter_snapshot()),
-        pickle.HIGHEST_PROTOCOL,
-    )

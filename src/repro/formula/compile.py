@@ -616,7 +616,8 @@ class EvalStats:
                  "lookup_index_hits", "lookup_index_builds",
                  "scenario_plan_reuses",
                  "parallel_regions", "parallel_dispatches",
-                 "serial_fallbacks", "fallback_reason")
+                 "serial_fallbacks", "fallback_reason",
+                 "shard_bootstraps", "shard_delta_bytes", "shard_fallbacks")
 
     #: The per-cell counters every engine accumulates.  Parallel region
     #: execution merges exactly these from worker stats (summation is
@@ -649,6 +650,14 @@ class EvalStats:
         self.parallel_dispatches = 0
         self.serial_fallbacks = 0
         self.fallback_reason = None
+        # Persistent-shard bookkeeping (repro.engine.shard): shard
+        # (re-)bootstraps shipped, bytes of plane deltas + patches sent to
+        # resident workers, and shard dispatches that fell back serially.
+        # Environment-dependent (like builds/fallbacks above), so outside
+        # CELL_COUNTERS: serial and sharded runs stay snapshot-identical.
+        self.shard_bootstraps = 0
+        self.shard_delta_bytes = 0
+        self.shard_fallbacks = 0
 
     @property
     def total_cells(self) -> int:

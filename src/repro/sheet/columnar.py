@@ -650,6 +650,76 @@ class ColumnarStore:
             self._columns[col] = column
             self._count += len(tags) - tags.count(TAG_EMPTY)
 
+    # -- incremental plane shipping (the persistent-shard delta path) ----------
+
+    def _occupied_in_column(self, col: int) -> int:
+        """Occupied positions a single column contributes to ``_count``:
+        non-EMPTY tags plus registered formulas whose tag slot is EMPTY
+        (or beyond the arrays)."""
+        column = self._columns.get(col)
+        n = 0 if column is None else column.occupied()
+        tags = None if column is None else column.tags
+        for (c, row) in self._formulas:
+            if c != col:
+                continue
+            i = row - 1
+            if tags is None or i >= len(tags) or not tags[i]:
+                n += 1
+        return n
+
+    def export_plane_delta(
+        self,
+        since_versions: dict[int, int],
+        cols: "set[int] | None" = None,
+    ) -> tuple[dict[int, tuple[bytes, bytes, dict[int, object]]], dict[int, int]]:
+        """Planes of the columns whose :attr:`_Column.version` moved past
+        ``since_versions`` — the incremental counterpart of
+        :meth:`export_planes`.
+
+        Returns ``(planes, versions)``: ``planes`` holds full raw arrays
+        only for columns that changed (or that ``since_versions`` has
+        never seen); ``versions`` stamps every selected live column with
+        its current version, so the caller can feed it straight back in
+        next time.  ``cols`` restricts the scan to a shard's read
+        closure; None scans everything.  Inverse: :meth:`apply_plane_delta`.
+        """
+        planes: dict[int, tuple[bytes, bytes, dict[int, object]]] = {}
+        versions: dict[int, int] = {}
+        for col, column in self._columns.items():
+            if cols is not None and col not in cols:
+                continue
+            versions[col] = column.version
+            if since_versions.get(col) != column.version:
+                planes[col] = (
+                    bytes(column.tags), column.values.tobytes(), dict(column.side)
+                )
+        return planes, versions
+
+    def apply_plane_delta(
+        self, planes: dict[int, tuple[bytes, bytes, dict[int, object]]]
+    ) -> None:
+        """Replace the named columns with :meth:`export_plane_delta`
+        output, in place.
+
+        Unlike :meth:`install_planes` this does *not* bump the store
+        epoch — only the replaced columns' versions move, so resident
+        lookaside indexes over untouched columns stay fresh.  Registered
+        formula views survive (the column objects mutate, the registry is
+        untouched) and occupancy is recounted per replaced column.
+        """
+        for col, (tags, value_bytes, side) in planes.items():
+            before = self._occupied_in_column(col)
+            column = self._columns.get(col)
+            if column is None:
+                column = self._columns[col] = _Column()
+            column.tags = bytearray(tags)
+            values = array("d")
+            values.frombytes(value_bytes)
+            column.values = values
+            column.side = dict(side)
+            column.version += 1
+            self._count += self._occupied_in_column(col) - before
+
     # -- typed result columns (the parallel worker → parent merge path) --------
 
     def pack_result_columns(self, positions):

@@ -64,9 +64,10 @@ class TestProbeAttachment:
 def serial_engine(sheet: Sheet) -> RecalcEngine:
     """Build-accounting tests must evaluate in-process: worker processes
     count their own index builds, and only the geometry-deterministic
-    cell counters fold back (pinning workers=0 keeps these assertions
-    meaningful under the CI worker matrix's REPRO_RECALC_WORKERS=4)."""
-    return RecalcEngine(sheet, workers=0)
+    cell counters fold back (pinning workers=0 and shards=0 keeps these
+    assertions meaningful under the CI matrices'
+    REPRO_RECALC_WORKERS=4 / REPRO_RECALC_SHARDS=4)."""
+    return RecalcEngine(sheet, workers=0, shards=0)
 
 
 class TestInvalidation:
@@ -103,7 +104,7 @@ class TestInvalidation:
         assert engine.eval_stats.lookup_index_builds == before + 1
 
     def test_structural_edit_drops_cache_and_stays_correct(self):
-        engine = RecalcEngine(build_lookup_sheet())
+        engine = serial_engine(build_lookup_sheet())
         engine.recalculate_all()
         stale = set(engine.sheet._lookup_cache._indexes)
         assert stale

@@ -61,7 +61,8 @@ def test_worker_death_falls_back_serial(store, mode, workers, monkeypatch):
     try:
         sheet = build_corpus(store)
         engine = engine_for(
-            sheet, workers=workers, worker_mode=mode, parallel_min_dirty=1
+            sheet, workers=workers, worker_mode=mode, parallel_min_dirty=1,
+            shards=0,   # fault targets the pooled path, not the shard runtime
         )
         engine.recalculate_all()
     finally:
@@ -81,7 +82,7 @@ def test_garbage_result_falls_back_serial(store, monkeypatch):
         sheet = build_corpus(store)
         engine = engine_for(
             sheet, workers=GARBAGE_WORKERS, worker_mode="process",
-            parallel_min_dirty=1,
+            parallel_min_dirty=1, shards=0,
         )
         engine.recalculate_all()
     finally:
@@ -98,7 +99,8 @@ def test_unpicklable_payload_falls_back_serial():
     sheet = build_corpus("object")
     sheet.set_value((1, 41), lambda: None)   # read by no formula, ships anyway
     engine = engine_for(
-        sheet, workers=2, worker_mode="process", parallel_min_dirty=1
+        sheet, workers=2, worker_mode="process", parallel_min_dirty=1,
+        shards=0,
     )
     engine.recalculate_all()
     stats = engine.eval_stats
@@ -124,7 +126,8 @@ def test_cross_sheet_region_falls_back_serial():
     fill_formula_column(sheet, 2, 1, 30, "=A1*2")
     fill_formula_column(sheet, 3, 1, 30, "=other!A1+A1")
     engine = engine_for(
-        sheet, workers=2, worker_mode="process", parallel_min_dirty=1
+        sheet, workers=2, worker_mode="process", parallel_min_dirty=1,
+        shards=0,
     )
     engine.recalculate_all()
     stats = engine.eval_stats
@@ -160,7 +163,8 @@ def test_parallel_runs_are_deterministic(mode, monkeypatch):
         sheet = build_corpus("columnar")
         workbook.attach_sheet(sheet)
         engine = engine_for(
-            sheet, workers=4, worker_mode=mode, parallel_min_dirty=1
+            sheet, workers=4, worker_mode=mode, parallel_min_dirty=1,
+            shards=0,
         )
         engine.recalculate_all()
         assert engine.eval_stats.parallel_dispatches > 0

@@ -1,0 +1,228 @@
+"""Differential suite: persistent shard runtime ≡ pooled ≡ serial.
+
+The shard runtime (``repro.engine.shard``) makes the same promise the
+pooled scheduler does, with residency on top: for any sheet program, an
+``evaluation="auto"`` engine with ``shards=N`` produces exactly the
+values — including errors and ``#CYCLE!`` propagation — and exactly the
+:class:`EvalStats` cell counters of the serial auto engine and of the
+pooled ``workers=N`` engine, which in turn match the tree-walking
+interpreter oracle.  Pinned here across both backing stores and point /
+batch / structural edit paths.  (On the object store the runtime never
+constructs — ``shards=N`` engines degrade to plain serial — so the
+identity is trivially exercised there too.)
+
+``parallel_min_dirty=1`` forces the sharded path even for these
+deliberately small corpora; the hot-loop tests assert residency held
+(no re-bootstraps) so the identity covers the *delta* protocol, not
+just the bootstrap.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.recalc import CircularReferenceError
+from repro.formula.errors import ExcelError
+from repro.sheet.autofill import fill_formula_column
+from repro.sheet.sheet import Sheet
+
+from helpers import (
+    assert_same_values,
+    engine_for,
+    realize_program,
+    sheet_programs,
+)
+
+STORES = ("columnar", "object")
+SHARD_COUNTS = (2, 4)
+
+
+def sharded(sheet, shards=2):
+    return engine_for(sheet, shards=shards, parallel_min_dirty=1)
+
+
+def pooled(sheet):
+    return engine_for(
+        sheet, workers=2, worker_mode="thread", parallel_min_dirty=1
+    )
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_full_recalc_identical(shards, data):
+    """serial auto ≡ pooled ≡ sharded ≡ interpreter, values and stats."""
+    program = data.draw(sheet_programs())
+    oracle = realize_program(program, "object")
+    engine_for(oracle, "interpreter").recalculate_all()
+    for store in STORES:
+        serial_sheet = realize_program(program, store)
+        serial = engine_for(serial_sheet)
+        serial.recalculate_all()
+
+        pool_sheet = realize_program(program, store)
+        pool = pooled(pool_sheet)
+        pool.recalculate_all()
+
+        shard_sheet = realize_program(program, store)
+        shard = sharded(shard_sheet, shards)
+        shard.recalculate_all()
+
+        assert_same_values(shard_sheet, serial_sheet)
+        assert_same_values(shard_sheet, pool_sheet)
+        assert_same_values(shard_sheet, oracle)
+        assert (shard.eval_stats.counter_snapshot()
+                == serial.eval_stats.counter_snapshot()), store
+        assert (shard.eval_stats.counter_snapshot()
+                == pool.eval_stats.counter_snapshot()), store
+        assert shard.eval_stats.shard_fallbacks == 0, store
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_point_edits_identical(data):
+    """Resident deltas across a point-edit sequence stay bit-identical,
+    with no re-bootstraps between pure value edits."""
+    program = data.draw(sheet_programs())
+    for store in STORES:
+        serial = engine_for(realize_program(program, store))
+        shard = sharded(realize_program(program, store))
+        serial.recalculate_all()
+        shard.recalculate_all()
+        boots = shard.eval_stats.shard_bootstraps
+        value_edits_only = True
+        for _ in range(data.draw(st.integers(1, 3))):
+            pos = (data.draw(st.integers(1, 2)), data.draw(st.integers(1, 20)))
+            value = data.draw(st.sampled_from(
+                [float(data.draw(st.integers(-30, 30))), "edit", True, None]
+            ))
+            if value is None:
+                value_edits_only = False    # clears can strike formulas
+            result_s = serial.set_value(pos, value)
+            result_h = shard.set_value(pos, value)
+            assert result_s.recomputed == result_h.recomputed
+            assert_same_values(shard.sheet, serial.sheet)
+            assert (shard.eval_stats.counter_snapshot()
+                    == serial.eval_stats.counter_snapshot()), store
+        if store == "columnar" and value_edits_only:
+            assert shard.eval_stats.shard_bootstraps == boots
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_batch_commit_identical(data):
+    program = data.draw(sheet_programs())
+    edits = [
+        ((data.draw(st.integers(1, 2)), data.draw(st.integers(1, 20))),
+         float(data.draw(st.integers(-30, 30))))
+        for _ in range(data.draw(st.integers(2, 6)))
+    ]
+    for store in STORES:
+        serial = engine_for(realize_program(program, store))
+        shard = sharded(realize_program(program, store))
+        serial.recalculate_all()
+        shard.recalculate_all()
+        with serial.begin_batch() as batch_s:
+            for pos, value in edits:
+                batch_s.set_value(pos, value)
+        with shard.begin_batch() as batch_h:
+            for pos, value in edits:
+                batch_h.set_value(pos, value)
+        assert batch_s.result.recomputed == batch_h.result.recomputed
+        assert_same_values(shard.sheet, serial.sheet)
+        assert (shard.eval_stats.counter_snapshot()
+                == serial.eval_stats.counter_snapshot()), store
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_structural_edits_identical(data):
+    """Structural edits re-bootstrap resident shards; values after the
+    reshard stay bit-identical to serial."""
+    program = data.draw(sheet_programs())
+    op = data.draw(st.sampled_from(
+        ("insert_rows", "delete_rows", "insert_columns", "delete_columns")
+    ))
+    at = data.draw(st.integers(1, 22))
+    count = data.draw(st.integers(1, 3))
+    for store in STORES:
+        serial = engine_for(realize_program(program, store))
+        shard = sharded(realize_program(program, store))
+        serial.recalculate_all()
+        shard.recalculate_all()
+        getattr(serial, op)(at, count)
+        getattr(shard, op)(at, count)
+        assert_same_values(shard.sheet, serial.sheet)
+        assert (shard.eval_stats.counter_snapshot()
+                == serial.eval_stats.counter_snapshot()), store
+        # A follow-up edit exercises the re-bootstrapped residents.
+        serial.set_value((1, 1), 5.5)
+        shard.set_value((1, 1), 5.5)
+        assert_same_values(shard.sheet, serial.sheet)
+
+
+def build_cycle_corpus(store):
+    """Two healthy independent blocks plus a 3-cell reference cycle."""
+    sheet = Sheet("S", store=store)
+    for r in range(1, 21):
+        sheet.set_value((1, r), float(r))
+        sheet.set_value((4, r), float(r % 7))
+    fill_formula_column(sheet, 2, 1, 20, "=A1*2")
+    fill_formula_column(sheet, 5, 1, 20, "=SUM(D1:D3)")
+    sheet.set_formula((7, 1), "=G2+1")
+    sheet.set_formula((7, 2), "=G3+1")
+    sheet.set_formula((7, 3), "=G1+1")
+    return sheet
+
+
+@pytest.mark.parametrize("store", STORES)
+def test_cycle_parity(store):
+    """A cycle anywhere in the dirty set bails out of the sharded path:
+    both engines raise, mark ``#CYCLE!`` identically, and the bail-out
+    is visible in the stats."""
+    serial_sheet = build_cycle_corpus(store)
+    serial = engine_for(serial_sheet)
+    with pytest.raises(CircularReferenceError):
+        serial.recalculate_all()
+
+    shard_sheet = build_cycle_corpus(store)
+    shard = sharded(shard_sheet)
+    with pytest.raises(CircularReferenceError):
+        shard.recalculate_all()
+
+    if store == "columnar":
+        assert shard.eval_stats.serial_fallbacks == 1
+        assert shard.eval_stats.fallback_reason == "cycle"
+    assert isinstance(shard_sheet.get_value((7, 1)), ExcelError)
+    assert_same_values(shard_sheet, serial_sheet)
+    assert (shard.eval_stats.counter_snapshot()
+            == serial.eval_stats.counter_snapshot())
+
+
+def test_shards_env_var(monkeypatch):
+    """``REPRO_RECALC_SHARDS`` configures engines that don't pass
+    ``shards=`` explicitly, with the same value identity."""
+    monkeypatch.setenv("REPRO_RECALC_SHARDS", "2")
+    sheet = realize_program(
+        ([((1, r), float(r)) for r in range(1, 21)]
+         + [((2, r), float(r % 5)) for r in range(1, 21)],
+         [(3, 1, 20, "=A1+B1")]),
+        "columnar",
+    )
+    engine = engine_for(sheet, parallel_min_dirty=1)
+    assert engine.shard_runtime is not None
+    engine.recalculate_all()
+
+    twin = realize_program(
+        ([((1, r), float(r)) for r in range(1, 21)]
+         + [((2, r), float(r % 5)) for r in range(1, 21)],
+         [(3, 1, 20, "=A1+B1")]),
+        "columnar",
+    )
+    monkeypatch.delenv("REPRO_RECALC_SHARDS")
+    engine_for(twin).recalculate_all()
+    assert_same_values(sheet, twin)

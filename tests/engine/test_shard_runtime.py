@@ -1,0 +1,245 @@
+"""Behavioral tests for the persistent shard runtime.
+
+The runtime's contract (``repro.engine.shard``): bootstrap each resident
+once, thereafter ship only dirty-column plane deltas keyed by the
+columnar store's version stamps; invalidate on formula/structural
+change or an epoch move and re-bootstrap before the next dispatch; and
+produce *bit-identical* values and ``EvalStats`` cell counters to the
+serial engine, always.
+"""
+
+import io
+
+from repro.engine.shard import ShardRuntime
+from repro.io.snapshot import save_snapshot
+from repro.sheet.autofill import fill_formula_column
+from repro.sheet.sheet import Sheet
+from repro.sheet.workbook import Workbook
+
+from helpers import (
+    assert_same_values,
+    build_mixed_sheet,
+    clone_sheet,
+    engine_for,
+)
+
+
+def mixed(rows=30):
+    """The mixed corpus, pinned to the columnar store regardless of the
+    ``REPRO_SHEET_STORE`` matrix leg."""
+    return clone_sheet(build_mixed_sheet(rows=rows), store="columnar")
+
+
+def sharded_engine(sheet, shards=2):
+    return engine_for(sheet, shards=shards, parallel_min_dirty=1)
+
+
+def serial_twin(sheet):
+    """A recalculated serial clone of ``sheet``'s *initial* program."""
+    twin = clone_sheet(sheet)
+    engine_for(twin).recalculate_all()
+    return twin
+
+
+def test_runtime_only_for_columnar_auto():
+    columnar = engine_for(mixed(rows=10), shards=2)
+    assert isinstance(columnar.shard_runtime, ShardRuntime)
+    objstore = engine_for(
+        clone_sheet(build_mixed_sheet(rows=10), store="object"), shards=2
+    )
+    assert objstore.shard_runtime is None
+    interp = engine_for(mixed(rows=10), "interpreter", shards=2)
+    assert interp.shard_runtime is None
+    assert engine_for(mixed(rows=10), shards=1).shard_runtime is None
+
+
+def test_env_var_configures_shards(monkeypatch):
+    monkeypatch.setenv("REPRO_RECALC_SHARDS", "3")
+    engine = engine_for(mixed(rows=10))
+    assert isinstance(engine.shard_runtime, ShardRuntime)
+    assert engine.shard_runtime.shards == 3
+
+
+def test_bootstrap_once_then_deltas():
+    """The hot edit loop never re-bootstraps: only deltas ship."""
+    sheet = mixed(rows=30)
+    engine = sharded_engine(sheet)
+    engine.recalculate_all()
+    stats = engine.eval_stats
+    boots = stats.shard_bootstraps
+    assert boots >= 1
+    assert stats.parallel_dispatches >= 1
+
+    twin = mixed(rows=30)
+    serial = engine_for(twin)
+    serial.recalculate_all()
+    delta_bytes = stats.shard_delta_bytes
+    for i in range(10):
+        engine.set_value((1, 3), float(100 + i))
+        serial.set_value((1, 3), float(100 + i))
+        assert_same_values(sheet, twin)
+    assert stats.shard_bootstraps == boots          # resident, not rebuilt
+    assert stats.shard_delta_bytes > delta_bytes    # deltas did ship
+    assert stats.shard_fallbacks == 0
+    assert stats.counter_snapshot() == serial.eval_stats.counter_snapshot()
+
+
+def test_formula_edit_invalidates_residents():
+    sheet = mixed(rows=30)
+    engine = sharded_engine(sheet)
+    engine.recalculate_all()
+    boots = engine.eval_stats.shard_bootstraps
+    engine.set_formula((3, 5), "=SUM(A1:B2)+1")
+    assert engine.eval_stats.shard_bootstraps > boots
+    twin = clone_sheet(mixed(rows=30))
+    serial = engine_for(twin)
+    serial.recalculate_all()
+    serial.set_formula((3, 5), "=SUM(A1:B2)+1")
+    assert_same_values(sheet, twin)
+
+
+def test_clearing_a_formula_invalidates_residents():
+    sheet = mixed(rows=30)
+    engine = sharded_engine(sheet)
+    engine.recalculate_all()
+    boots = engine.eval_stats.shard_bootstraps
+    engine.clear_cell((3, 5))
+    # Invalidation is lazy: the stale mark is set now, the re-bootstrap
+    # happens at the next dispatch.
+    assert engine.shard_runtime._stale
+    engine.set_value((1, 3), 77.0)
+    assert engine.eval_stats.shard_bootstraps > boots
+
+
+def test_structural_edit_rebootstraps_with_identical_values():
+    sheet = mixed(rows=30)
+    engine = sharded_engine(sheet)
+    engine.recalculate_all()
+    boots = engine.eval_stats.shard_bootstraps
+    engine.insert_rows(5, 2)
+    assert engine.eval_stats.shard_bootstraps > boots
+
+    twin = clone_sheet(mixed(rows=30))
+    serial = engine_for(twin)
+    serial.recalculate_all()
+    serial.insert_rows(5, 2)
+    assert_same_values(sheet, twin)
+    assert (engine.eval_stats.counter_snapshot()
+            == serial.eval_stats.counter_snapshot())
+
+
+def test_epoch_move_rebootstraps_with_identical_values():
+    """A store epoch bump (whole-plane reshape) strands every resident;
+    the next dispatch re-bootstraps and values stay correct."""
+    sheet = mixed(rows=30)
+    engine = sharded_engine(sheet)
+    engine.recalculate_all()
+    boots = engine.eval_stats.shard_bootstraps
+    sheet._cells.epoch += 1
+    engine.set_value((1, 3), 123.0)
+    assert engine.eval_stats.shard_bootstraps > boots
+
+    twin = clone_sheet(mixed(rows=30))
+    serial = engine_for(twin)
+    serial.recalculate_all()
+    serial.set_value((1, 3), 123.0)
+    assert_same_values(sheet, twin)
+
+
+def test_value_only_batch_keeps_residents():
+    """The hot-loop shape — a batch of pure value writes over data
+    cells — must not invalidate residents."""
+    sheet = mixed(rows=30)
+    engine = sharded_engine(sheet)
+    engine.recalculate_all()
+    boots = engine.eval_stats.shard_bootstraps
+    with engine.begin_batch() as batch:
+        batch.set_value((1, 2), 50.0)
+        batch.set_value((2, 7), 60.0)
+    assert engine.eval_stats.shard_bootstraps == boots
+
+    twin = clone_sheet(mixed(rows=30))
+    serial = engine_for(twin)
+    serial.recalculate_all()
+    with serial.begin_batch() as sbatch:
+        sbatch.set_value((1, 2), 50.0)
+        sbatch.set_value((2, 7), 60.0)
+    assert_same_values(sheet, twin)
+
+
+def test_formula_batch_invalidates_residents():
+    sheet = mixed(rows=30)
+    engine = sharded_engine(sheet)
+    engine.recalculate_all()
+    boots = engine.eval_stats.shard_bootstraps
+    with engine.begin_batch() as batch:
+        batch.set_formula((3, 5), "=SUM(A1:B2)+1")
+    assert engine.eval_stats.shard_bootstraps > boots
+
+
+def test_min_dirty_threshold_gates_dispatch():
+    sheet = mixed(rows=30)
+    engine = engine_for(sheet, shards=2, parallel_min_dirty=10_000)
+    engine.recalculate_all()
+    assert engine.eval_stats.parallel_dispatches == 0
+    assert engine.eval_stats.shard_bootstraps == 0
+    assert_same_values(sheet, serial_twin(mixed(rows=30)))
+
+
+def test_cross_sheet_columns_stay_parent_owned():
+    """Columns with cross-sheet references never ship (the resident's
+    rebuilt sheet is alone in its process); the rest still shard."""
+
+    def build():
+        workbook = Workbook("W")
+        sheet = Sheet("main", store="columnar")
+        other = Sheet("other", store="columnar")
+        workbook.attach_sheet(sheet)
+        workbook.attach_sheet(other)
+        for r in range(1, 41):
+            sheet.set_value((1, r), float(r))
+            other.set_value((1, r), float(r * 2))
+        fill_formula_column(sheet, 2, 1, 40, "=A1*2")
+        fill_formula_column(sheet, 3, 1, 40, "=other!A1+A1")
+        fill_formula_column(sheet, 5, 1, 40, "=B1+1")
+        return sheet
+
+    sheet = build()
+    engine = sharded_engine(sheet)
+    engine.recalculate_all()
+    assert engine.eval_stats.parallel_dispatches >= 1
+    assert engine.eval_stats.shard_fallbacks == 0
+    owner = engine.shard_runtime._owner
+    assert owner[3] == -1                       # cross-sheet: parent-owned
+    assert owner[2] >= 0 and owner[5] >= 0      # the rest still shard
+
+    twin = build()
+    serial = engine_for(twin)
+    serial.recalculate_all()
+    assert_same_values(sheet, twin)
+    assert (engine.eval_stats.counter_snapshot()
+            == serial.eval_stats.counter_snapshot())
+
+
+def test_sharded_runs_are_deterministic(monkeypatch):
+    """Two identical sharded runs serialize to byte-identical snapshots
+    (merges happen in sorted shard order over the same typed path)."""
+    import uuid
+
+    import repro.io.snapshot as snapshot_mod
+
+    monkeypatch.setattr(snapshot_mod.uuid, "uuid4", lambda: uuid.UUID(int=0))
+    payloads = []
+    for _ in range(2):
+        workbook = Workbook("W")
+        sheet = mixed(rows=30)
+        workbook.attach_sheet(sheet)
+        engine = sharded_engine(sheet, shards=3)
+        engine.recalculate_all()
+        for i in range(5):
+            engine.set_value((1, 3), float(i))
+        assert engine.eval_stats.parallel_dispatches > 0
+        buffer = io.BytesIO()
+        save_snapshot(workbook, buffer)
+        payloads.append(buffer.getvalue())
+    assert payloads[0] == payloads[1]

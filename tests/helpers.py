@@ -184,12 +184,14 @@ def clone_sheet(sheet: Sheet, store: str | None = None) -> Sheet:
 def engine_for(sheet: Sheet, mode: str = "auto", index: str = "rtree",
                *, workers: int = 0, worker_mode: str | None = None,
                parallel_min_dirty: int | None = None,
-               lookup_indexes: bool | None = None) -> RecalcEngine:
+               lookup_indexes: bool | None = None,
+               shards: "int | None" = None) -> RecalcEngine:
     """An engine over a fresh compressed graph for ``sheet``.
 
     ``workers``/``worker_mode``/``parallel_min_dirty`` configure the
     partitioned parallel scheduler (``parallel_min_dirty=1`` forces the
-    parallel path even for tiny differential corpora);
+    parallel path even for tiny differential corpora); ``shards`` routes
+    recalculation through the persistent shard runtime instead;
     ``lookup_indexes=False`` pins the engine to the reference linear
     scans regardless of the environment toggle.
     """
@@ -198,7 +200,7 @@ def engine_for(sheet: Sheet, mode: str = "auto", index: str = "rtree",
     return RecalcEngine(
         sheet, graph, evaluation=mode, workers=workers,
         worker_mode=worker_mode, parallel_min_dirty=parallel_min_dirty,
-        lookup_indexes=lookup_indexes,
+        lookup_indexes=lookup_indexes, shards=shards,
     )
 
 

@@ -278,6 +278,88 @@ class TestSnapshotRestore:
         assert "error" in err
 
 
+@pytest.fixture
+def model_file(tmp_path):
+    """A tiny model workbook: two inputs, a derived output."""
+    from repro.io import write_xlsx
+    from repro.sheet.sheet import Sheet
+    from repro.sheet.workbook import Workbook
+
+    workbook = Workbook("model")
+    sheet = workbook.attach_sheet(Sheet("S"))
+    sheet.set_value("A1", 10.0)
+    sheet.set_value("A2", 3.0)
+    sheet.set_formula("B1", "=A1*2+A2")
+    path = str(tmp_path / "model.xlsx")
+    write_xlsx(workbook, path)
+    return path
+
+
+class TestWhatif:
+    def test_scenario_table(self, model_file):
+        code, out, _ = run_cli([
+            "whatif", model_file, "--scenario", "A1=20",
+            "--scenario", "A1=30,A2=1", "--output", "B1",
+        ])
+        assert code == 0
+        assert "2 scenarios over 2 seeds" in out
+        assert "43" in out and "61" in out      # 20*2+3, 30*2+1
+
+    def test_sample_monte_carlo_summary(self, model_file):
+        code, out, _ = run_cli([
+            "whatif", model_file, "--sample", "16",
+            "--uniform", "A1=0:10", "--output", "B1",
+        ])
+        assert code == 0
+        assert "16 samples over 1 seeds (seed=0)" in out
+        assert "mean" in out and "B1" in out
+
+    def test_sample_same_seed_reproducible(self, model_file):
+        runs = [
+            run_cli(["whatif", model_file, "--sample", "12",
+                     "--uniform", "A1=0:10", "--uniform", "A2=-1:1",
+                     "--output", "B1", "--seed", "7"])
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        code, other, _ = run_cli([
+            "whatif", model_file, "--sample", "12",
+            "--uniform", "A1=0:10", "--uniform", "A2=-1:1",
+            "--output", "B1", "--seed", "8",
+        ])
+        assert code == 0
+        assert other != runs[0][1]
+
+    def test_sample_without_uniform_errors(self, model_file):
+        code, _, err = run_cli([
+            "whatif", model_file, "--sample", "4", "--output", "B1",
+        ])
+        assert code == 2
+        assert "--uniform" in err
+
+    def test_no_scenario_and_no_sample_errors(self, model_file):
+        code, _, err = run_cli(["whatif", model_file, "--output", "B1"])
+        assert code == 2
+        assert "--scenario" in err or "--sample" in err
+
+    def test_bad_uniform_spec_errors(self, model_file):
+        code, _, err = run_cli([
+            "whatif", model_file, "--sample", "4",
+            "--uniform", "A1=5", "--output", "B1",
+        ])
+        assert code == 2
+        assert "LO:HI" in err
+
+    def test_help_lists_sampling_flags(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["whatif", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--scenario", "--output", "--sample", "--uniform",
+                     "--seed", "--workers"):
+            assert flag in out
+
+
 class TestHelp:
     def test_edit_help_lists_structural_flags(self, capsys):
         with pytest.raises(SystemExit) as exc:
