@@ -1,0 +1,256 @@
+"""Mixed read/write trace through the multi-tenant workbook service.
+
+The paper's host model (Sec. I, VI-A) returns control as soon as an
+update's dependents are identified; ``repro.server`` scales that shape
+to many workbooks under one event loop.  This benchmark drives the
+full service path — typed catalog, per-workbook writer queues,
+deferred recomputation, LRU eviction to snapshot+journal, re-admission
+via the restore fast path — with a mixed trace over N hot workbooks
+(80% of the traffic) and M cold ones, sized so the LRU must churn.
+
+Functional gates (all hard-asserted):
+
+* the trace forces evictions *and* re-admissions, and every workbook —
+  evicted or not — ends bit-identical to an oracle built by feeding
+  the same per-workbook write sequence to a plain synchronous engine;
+* a read of one workbook completes while another workbook still has a
+  backlog of queued writes (reads never enter a write queue);
+* sustained throughput stays above ``REPRO_SERVER_OPS_FLOOR`` ops/sec
+  (a deliberately conservative floor for shared CI runners).
+
+Besides the ASCII artifact, the run writes machine-readable JSON to
+``benchmarks/results/server_ops.json`` (throughput, per-op latency,
+queue depth, eviction/re-admission counts).
+"""
+
+import asyncio
+import json
+import os
+import random
+import shutil
+import tempfile
+import time
+
+from _common import RESULTS_DIR, emit
+
+from repro.bench.reporting import ascii_table, banner
+from repro.engine.recalc import RecalcEngine
+from repro.io.snapshot import encode_value
+from repro.server import WorkbookService
+from repro.sheet.autofill import fill_formula_column
+from repro.sheet.workbook import Workbook
+
+ROWS = int(os.environ.get("REPRO_SERVER_ROWS", "300"))
+HOT = int(os.environ.get("REPRO_SERVER_HOT", "3"))
+COLD = int(os.environ.get("REPRO_SERVER_COLD", "5"))
+OPS = int(os.environ.get("REPRO_SERVER_OPS", "1500"))
+RESIDENT = int(os.environ.get("REPRO_SERVER_RESIDENT", "4"))
+OPS_FLOOR = float(os.environ.get("REPRO_SERVER_OPS_FLOOR", "50"))
+
+BURST = 64          # writes queued on one workbook for the no-block probe
+CHUNK = 16          # trace ops submitted concurrently per wave
+
+
+def build_workbook(wb_id: str, seed: int) -> Workbook:
+    """A small ledger: two data columns, an RR chain, a running total,
+    and one whole-column aggregate."""
+    workbook = Workbook(wb_id)
+    sheet = workbook.add_sheet("Ledger")
+    rng = random.Random(seed)
+    for r in range(1, ROWS + 1):
+        sheet.set_value((1, r), round(rng.uniform(1, 100), 2))
+        sheet.set_value((2, r), float((r * 7) % 23) + 1.0)
+    sheet.set_formula("C1", "=A1+B1")
+    fill_formula_column(sheet, 3, 2, ROWS, "=C1+A2")
+    fill_formula_column(sheet, 4, 1, ROWS, "=SUM($A$1:A1)")
+    sheet.set_formula("E1", f"=SUM(C1:C{ROWS})")
+    return workbook
+
+
+def oracle_grid(wb_id: str, seed: int, writes) -> list:
+    """The same workbook fed the same writes through the synchronous
+    engine — the bit-identity reference for eviction round trips."""
+    workbook = build_workbook(wb_id, seed)
+    sheet = workbook.active_sheet
+    engine = RecalcEngine(sheet)
+    engine.recalculate_all()
+    for kind, payload in writes:
+        if kind == "set":
+            cell, value = payload
+            engine.set_value(cell, value)
+        else:  # batch
+            with engine.begin_batch(workbook=workbook) as batch:
+                for cell, value in payload:
+                    batch.set_value(cell, value)
+    return [
+        [encode_value(sheet.get_value((col, row))) for col in range(1, 6)]
+        for row in range(1, ROWS + 1)
+    ]
+
+
+async def drive(data_dir: str) -> dict:
+    rng = random.Random(20230411)
+    ids = [f"hot{i}" for i in range(HOT)] + [f"cold{i}" for i in range(COLD)]
+    seeds = {wb_id: 1000 + i for i, wb_id in enumerate(ids)}
+    write_log = {wb_id: [] for wb_id in ids}
+
+    async with WorkbookService(
+        data_dir, max_resident=RESIDENT, fsync=False
+    ) as service:
+        for wb_id in ids:
+            await service.create_workbook(
+                wb_id, workbook=build_workbook(wb_id, seeds[wb_id])
+            )
+
+        def next_op():
+            hot = rng.random() < 0.8
+            wb_id = rng.choice(ids[:HOT] if hot else ids[HOT:])
+            roll = rng.random()
+            if roll < 0.55:
+                cell = f"{rng.choice('ABCDE')}{rng.randint(1, ROWS)}"
+                return wb_id, "get_cell", {"cell": cell}
+            if roll < 0.70:
+                top = rng.randint(1, ROWS - 10)
+                return wb_id, "get_range", {"range_ref": f"A{top}:E{top + 9}"}
+            if roll < 0.75:
+                return wb_id, "summarize_sheet", {}
+            if roll < 0.95:
+                cell = f"{rng.choice('AB')}{rng.randint(1, ROWS)}"
+                value = round(rng.uniform(1, 500), 3)
+                write_log[wb_id].append(("set", (cell, value)))
+                return wb_id, "set_cell", {"cell": cell, "value": value}
+            edits = [
+                (f"{rng.choice('AB')}{rng.randint(1, ROWS)}",
+                 round(rng.uniform(1, 500), 3))
+                for _ in range(5)
+            ]
+            write_log[wb_id].append(("batch", edits))
+            return wb_id, "batch_edit", {"edits": [
+                {"op": "set_value", "cell": cell, "value": value}
+                for cell, value in edits
+            ]}
+
+        trace_start = time.perf_counter()
+        pending = []
+        for _ in range(OPS):
+            wb_id, op, params = next_op()
+            pending.append(service.execute(wb_id, op, params))
+            if len(pending) >= CHUNK:
+                await asyncio.gather(*pending)
+                pending.clear()
+        if pending:
+            await asyncio.gather(*pending)
+        trace_seconds = time.perf_counter() - trace_start
+
+        # No-block probe: pile writes onto one workbook, then read a
+        # different one.  The read must return while the burst is still
+        # queued — reads never pass through any write queue.
+        burst_writes = []
+        for i in range(BURST):
+            value = float(i)
+            write_log["hot0"].append(("set", ("A1", value)))
+            burst_writes.append(asyncio.ensure_future(
+                service.execute("hot0", "set_cell", {"cell": "A1", "value": value})
+            ))
+        await asyncio.sleep(0)  # let the burst enqueue
+        probe_start = time.perf_counter()
+        view = await service.execute("hot1", "get_cell", {"cell": "C1"})
+        probe_seconds = time.perf_counter() - probe_start
+        writes_outstanding = sum(1 for f in burst_writes if not f.done())
+        assert view["value"] is not None
+        await asyncio.gather(*burst_writes)
+
+        # Bit-identity: every workbook (the cold ones went through
+        # evict/re-admit cycles) vs the synchronous-engine oracle.
+        mismatched = []
+        for wb_id in ids:
+            await service.execute(wb_id, "recalculate")
+            got = (await service.execute(
+                wb_id, "get_range", {"range_ref": f"A1:E{ROWS}"}
+            ))["values"]
+            expected = oracle_grid(wb_id, seeds[wb_id], write_log[wb_id])
+            if got != expected:
+                mismatched.append(wb_id)
+
+        stats = service.stats()
+        return {
+            "rows": ROWS,
+            "hot_workbooks": HOT,
+            "cold_workbooks": COLD,
+            "max_resident": RESIDENT,
+            "trace_ops": OPS,
+            "trace_seconds": trace_seconds,
+            "trace_ops_per_second": OPS / trace_seconds,
+            "ops_floor": OPS_FLOOR,
+            "read_during_burst_seconds": probe_seconds,
+            "burst_writes_outstanding": writes_outstanding,
+            "mismatched_workbooks": mismatched,
+            "evictions": stats["evictions"],
+            "readmissions": stats["readmissions"],
+            "journal_records": stats["journal_records"],
+            "background_cells": stats["background_cells"],
+            "mean_queue_depth": stats["mean_queue_depth"],
+            "max_queue_depth": stats["max_queue_depth"],
+            "per_op": stats["per_op"],
+        }
+
+
+def test_server_mixed_trace(benchmark):
+    workdir = tempfile.mkdtemp(prefix="serverbench-")
+
+    def run():
+        return asyncio.run(drive(workdir))
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [banner(
+        "Multi-tenant service: mixed read/write trace",
+        f"{HOT} hot + {COLD} cold workbooks of {ROWS} rows, "
+        f"{OPS} ops, max resident {RESIDENT}, fsync off",
+    )]
+    lines.append(ascii_table(
+        ["ops/sec", "evictions", "re-admits", "queue depth (mean/max)",
+         "read-under-burst", "background cells"],
+        [[
+            f"{results['trace_ops_per_second']:.0f}",
+            results["evictions"],
+            results["readmissions"],
+            f"{results['mean_queue_depth']:.2f}/{results['max_queue_depth']}",
+            f"{results['read_during_burst_seconds'] * 1e3:.2f} ms "
+            f"({results['burst_writes_outstanding']} writes still queued)",
+            results["background_cells"],
+        ]],
+    ))
+    lines.append(ascii_table(
+        ["op", "count", "mean ms", "max ms"],
+        [[name, s["count"], round(s["mean_seconds"] * 1e3, 3),
+          round(s["max_seconds"] * 1e3, 3)]
+         for name, s in results["per_op"].items()],
+    ))
+
+    checks = [
+        (not results["mismatched_workbooks"],
+         f"evict/re-admit round trips bit-identical "
+         f"(mismatched: {results['mismatched_workbooks'] or 'none'})"),
+        (results["evictions"] >= 1 and results["readmissions"] >= 1,
+         f"LRU exercised: {results['evictions']} evictions, "
+         f"{results['readmissions']} re-admissions"),
+        (results["burst_writes_outstanding"] > 0,
+         f"read returned with {results['burst_writes_outstanding']} writes "
+         f"still queued on another workbook"),
+        (results["trace_ops_per_second"] >= OPS_FLOOR,
+         f"throughput {results['trace_ops_per_second']:.0f} ops/sec "
+         f">= floor {OPS_FLOOR:.0f}"),
+    ]
+    passed = all(ok for ok, _ in checks)
+    for ok, text in checks:
+        lines.append(f"{'OK' if ok else 'REGRESSION'}: {text}")
+    emit("server_ops", "\n".join(lines))
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "server_ops.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+
+    shutil.rmtree(workdir, ignore_errors=True)
+    assert passed, "; ".join(text for ok, text in checks if not ok)

@@ -463,6 +463,89 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Host workbooks in the async service and drive a mixed trace."""
+    import asyncio
+    import os
+    import re
+    import tempfile
+
+    from .server import WorkbookService
+
+    rng = random.Random(args.seed)
+    workbooks = {}
+    targets = {}
+    for path in args.files:
+        stem = os.path.splitext(os.path.basename(path))[0]
+        wb_id = re.sub(r"[^A-Za-z0-9._-]", "_", stem) or "wb"
+        while wb_id in workbooks:
+            wb_id += "x"
+        workbook = read_xlsx(path)
+        sheet = workbook.active_sheet
+        cells = sorted(sheet.positions())
+        values = [pos for pos in cells if sheet.formula_at(pos) is None]
+        targets[wb_id] = (sheet.name, cells[:2000], values[:2000])
+        workbooks[wb_id] = workbook
+
+    async def drive(data_dir: str) -> dict:
+        async with WorkbookService(
+            data_dir, max_resident=args.resident, fsync=not args.no_fsync
+        ) as service:
+            for wb_id, workbook in workbooks.items():
+                await service.create_workbook(wb_id, workbook=workbook)
+            ids = list(workbooks)
+            submitted = []
+            for _ in range(args.ops):
+                wb_id = rng.choice(ids)
+                sheet_name, cells, values = targets[wb_id]
+                if values and rng.random() < args.write_ratio:
+                    pos = rng.choice(values)
+                    op, params = "set_cell", {
+                        "cell": Range.cell(*pos).to_a1(),
+                        "value": round(rng.uniform(1, 1000), 3),
+                        "sheet": sheet_name,
+                    }
+                elif cells and rng.random() < 0.75:
+                    pos = rng.choice(cells)
+                    op, params = "get_cell", {
+                        "cell": Range.cell(*pos).to_a1(), "sheet": sheet_name,
+                    }
+                else:
+                    op, params = "summarize_sheet", {"sheet": sheet_name}
+                submitted.append(service.execute(wb_id, op, params))
+                if len(submitted) >= 16:
+                    await asyncio.gather(*submitted)
+                    submitted.clear()
+            if submitted:
+                await asyncio.gather(*submitted)
+            for wb_id in ids:
+                await service.execute(wb_id, "recalculate")
+            return service.stats()
+
+    if args.data_dir is not None:
+        stats = asyncio.run(drive(args.data_dir))
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            stats = asyncio.run(drive(tmp))
+
+    print(f"{len(workbooks)} workbooks, {args.ops} ops "
+          f"(write ratio {args.write_ratio}), max resident {args.resident}")
+    print(ascii_table(
+        ["op", "count", "errors", "mean ms", "max ms"],
+        [[name, s["count"], s["errors"],
+          round(s["mean_seconds"] * 1e3, 3), round(s["max_seconds"] * 1e3, 3)]
+         for name, s in stats["per_op"].items()],
+    ))
+    print(f"throughput      : {stats['ops_per_second']:.0f} ops/sec")
+    print(f"evictions       : {stats['evictions']}, "
+          f"re-admissions: {stats['readmissions']}")
+    print(f"journal records : {stats['journal_records']}, "
+          f"background cells: {stats['background_cells']}")
+    print(f"queue depth     : mean {stats['mean_queue_depth']:.2f}, "
+          f"max {stats['max_queue_depth']}")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from .datasets.regions import build_region
 
@@ -603,6 +686,25 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: REPRO_RECALC_WORKERS)")
     add_index_option(whatif)
     whatif.set_defaults(fn=_cmd_whatif)
+
+    serve = sub.add_parser(
+        "serve",
+        help="host workbooks in the async multi-tenant service "
+             "and drive a mixed read/write trace",
+    )
+    serve.add_argument("files", nargs="+", help="xlsx workbooks to host")
+    serve.add_argument("--ops", type=int, default=500,
+                       help="trace length (default: 500)")
+    serve.add_argument("--resident", type=int, default=4, metavar="N",
+                       help="LRU capacity: max workbooks in memory (default: 4)")
+    serve.add_argument("--write-ratio", type=float, default=0.2,
+                       help="fraction of ops that write (default: 0.2)")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--data-dir", default=None,
+                       help="snapshot+journal directory (default: a temp dir)")
+    serve.add_argument("--no-fsync", action="store_true",
+                       help="skip per-record fsync (faster, less durable)")
+    serve.set_defaults(fn=_cmd_serve)
 
     demo = sub.add_parser("demo", help="write a demonstration workbook")
     demo.add_argument("path")

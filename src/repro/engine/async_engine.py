@@ -28,11 +28,19 @@ __all__ = ["AsyncRecalcEngine", "UpdateTicket", "CellView"]
 
 
 class UpdateTicket(NamedTuple):
-    """What the user gets back immediately after an update."""
+    """What the user gets back immediately after an update.
+
+    ``dirty_count`` is *this update's own* dirty set — the formula
+    cells this edit marked stale (including the edited cell itself for
+    a formula edit).  ``pending`` is the engine-wide total still
+    awaiting recomputation, which also counts carry-over from earlier
+    updates that have not been pumped yet.
+    """
 
     dirty_ranges: list[Range]
     dirty_count: int
     control_return_seconds: float
+    pending: int = 0
 
 
 class CellView(NamedTuple):
@@ -81,9 +89,9 @@ class AsyncRecalcEngine:
             self._dirty.discard(pos)
         self.sheet.set_value(pos, value)
         dirty_ranges = self.graph.find_dependents(cell_range)
-        self._mark_dirty(dirty_ranges)
+        marked = self._mark_dirty(dirty_ranges)
         elapsed = time.perf_counter() - start
-        return UpdateTicket(dirty_ranges, len(self._dirty), elapsed)
+        return UpdateTicket(dirty_ranges, len(marked), elapsed, len(self._dirty))
 
     def set_formula(self, target, text: str) -> UpdateTicket:
         """Rewire a formula cell; returns once its dependents are marked.
@@ -104,16 +112,49 @@ class AsyncRecalcEngine:
                 continue
             self.graph.add_dependency(Dependency(ref.range, cell_range, ref.cue))
         dirty_ranges = self.graph.find_dependents(cell_range)
-        self._mark_dirty(dirty_ranges)
+        marked = self._mark_dirty(dirty_ranges)
+        marked.add(pos)
         self._dirty.add(pos)
         elapsed = time.perf_counter() - start
-        return UpdateTicket(dirty_ranges, len(self._dirty), elapsed)
+        return UpdateTicket(dirty_ranges, len(marked), elapsed, len(self._dirty))
 
-    def _mark_dirty(self, dirty_ranges: list[Range]) -> None:
+    def clear_cell(self, target) -> UpdateTicket:
+        """Erase a cell; returns once its dependents are marked.
+
+        Same clear-graph-then-find-dependents contract as
+        ``RecalcEngine.clear_cell``: the cell's own dependency edges are
+        removed before the dependents BFS, so the cleared cell stops
+        feeding phantom dirty edges, while everything that read it gets
+        marked for recomputation.
+        """
+        start = time.perf_counter()
+        pos = self._position(target)
+        cell_range = Range.cell(*pos)
+        self.graph.clear_cells(cell_range)
+        self._dirty.discard(pos)
+        self.sheet.clear_cell(pos)
+        dirty_ranges = self.graph.find_dependents(cell_range)
+        marked = self._mark_dirty(dirty_ranges)
+        elapsed = time.perf_counter() - start
+        return UpdateTicket(dirty_ranges, len(marked), elapsed, len(self._dirty))
+
+    def note_external_dirty(self, dirty_ranges) -> int:
+        """Mark formula cells in ``dirty_ranges`` stale without an edit.
+
+        Integration hook for callers that mutate the sheet through a
+        sibling engine over the same sheet+graph (batch commits,
+        structural edits) and need this engine's deferred pump to pick
+        up the fallout.  Returns how many formula cells were marked.
+        """
+        return len(self._mark_dirty(list(dirty_ranges)))
+
+    def _mark_dirty(self, dirty_ranges: list[Range]) -> set[tuple[int, int]]:
+        marked: set[tuple[int, int]] = set()
         for pos in expand_cells(dirty_ranges):
-            cell = self.sheet.cell_at(pos)
-            if cell is not None and cell.is_formula:
-                self._dirty.add(pos)
+            if self.sheet.formula_at(pos) is not None:
+                marked.add(pos)
+        self._dirty.update(marked)
+        return marked
 
     @staticmethod
     def _position(target) -> tuple[int, int]:
@@ -148,17 +189,29 @@ class AsyncRecalcEngine:
         """
         computed = 0
         while computed < max_cells and self._dirty:
+            before = len(self._dirty)
             ready = self._pick_ready(max_cells - computed)
             if not ready:
+                if len(self._dirty) < before:
+                    # The scan only dropped vanished cells; cells that
+                    # looked blocked on them deserve a fresh pick.
+                    continue
                 # Only cycles remain: surface them as #CYCLE! and stop.
                 from ..formula.errors import CYCLE_ERROR
 
                 for pos in self._dirty:
-                    self.sheet.cell_at(pos).value = CYCLE_ERROR
+                    cell = self.sheet.formula_at(pos)
+                    if cell is not None:
+                        cell.value = CYCLE_ERROR
                 self._dirty.clear()
                 break
             for pos in ready:
-                cell = self.sheet.cell_at(pos)
+                cell = self.sheet.formula_at(pos)
+                if cell is None:
+                    # Vanished between the pick and the evaluation
+                    # (cleared or overwritten with a plain value).
+                    self._dirty.discard(pos)
+                    continue
                 if self.evaluation == "auto":
                     cell.value = self.cell_evaluator.evaluate_cell(
                         cell, self.sheet.name, pos[0], pos[1]
@@ -183,10 +236,15 @@ class AsyncRecalcEngine:
 
     def _pick_ready(self, limit: int) -> list[tuple[int, int]]:
         ready: list[tuple[int, int]] = []
+        vanished: list[tuple[int, int]] = []
         for pos in self._dirty:
-            cell = self.sheet.cell_at(pos)
+            cell = self.sheet.formula_at(pos)
             if cell is None:
-                ready.append(pos)
+                # The cell was cleared (or demoted to a plain value)
+                # through a path that does not maintain the dirty set,
+                # e.g. Sheet.clear_range.  There is nothing to compute:
+                # drop it instead of handing step() a dead position.
+                vanished.append(pos)
                 continue
             blocked = False
             for ref in cell.references:
@@ -205,4 +263,6 @@ class AsyncRecalcEngine:
                 ready.append(pos)
                 if len(ready) >= limit:
                     break
+        for pos in vanished:
+            self._dirty.discard(pos)
         return ready

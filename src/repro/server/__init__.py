@@ -1,0 +1,24 @@
+"""Multi-tenant asyncio workbook service.
+
+:class:`WorkbookService` hosts many workbooks under one event loop:
+per-workbook write serialization through a single writer task,
+queue-free snapshot-consistent reads, deferred recomputation pumped in
+the background, and an LRU of resident workbooks that evicts cold ones
+to snapshot + journal and re-admits them via the restore fast path.
+The operation surface is a typed catalog (:data:`TOOL_CATALOG`), every
+request passing :func:`validate_op` before it touches a workbook.
+"""
+
+from .catalog import CATALOG, TOOL_CATALOG, OpValidationError, validate_op
+from .metrics import OpMetrics, ServiceMetrics
+from .service import WorkbookService
+
+__all__ = [
+    "CATALOG",
+    "OpMetrics",
+    "OpValidationError",
+    "ServiceMetrics",
+    "TOOL_CATALOG",
+    "WorkbookService",
+    "validate_op",
+]

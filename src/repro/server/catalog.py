@@ -1,0 +1,287 @@
+"""Typed operation catalog for the workbook service.
+
+Every operation :class:`~repro.server.service.WorkbookService` accepts
+is declared here as plain data — name, description, JSON-schema-style
+parameters, and whether it reads or writes — so hosts can introspect
+the surface (hand it to an agent runtime, generate client bindings,
+render an admin UI) without importing the engine stack.
+
+:func:`validate_op` is the single choke point every request passes
+through before it touches a workbook: unknown operations, unknown or
+missing parameters, and type mismatches all fail here with
+:class:`OpValidationError`, which the service treats as a client error
+rather than a crash.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TOOL_CATALOG", "CATALOG", "OpValidationError", "validate_op"]
+
+
+class OpValidationError(ValueError):
+    """A request that failed catalog validation (unknown operation,
+    unknown sheet/workbook, missing or mistyped parameter)."""
+
+
+_SHEET = {
+    "type": "string",
+    "description": "Sheet name; the workbook's active sheet when omitted.",
+}
+_CELL = {"type": "string", "description": "A1-style cell reference, e.g. 'B7'."}
+_SCALAR = ["string", "number", "boolean", "null"]
+_COUNT = {
+    "type": "integer",
+    "description": "How many rows/columns the edit spans.",
+    "minimum": 1,
+    "default": 1,
+}
+
+TOOL_CATALOG: list[dict] = [
+    {
+        "name": "get_cell",
+        "description": (
+            "Read one cell: its current value plus a staleness flag "
+            "(true while a deferred recomputation is still pending)."
+        ),
+        "read_only": True,
+        "parameters": {
+            "type": "object",
+            "properties": {"cell": _CELL, "sheet": _SHEET},
+            "required": ["cell"],
+        },
+    },
+    {
+        "name": "get_range",
+        "description": (
+            "Read a rectangular range as a row-major grid of values, "
+            "with a count of cells still awaiting recomputation."
+        ),
+        "read_only": True,
+        "parameters": {
+            "type": "object",
+            "properties": {
+                "range_ref": {
+                    "type": "string",
+                    "description": "A1-style range, e.g. 'A1:D20'.",
+                },
+                "sheet": _SHEET,
+            },
+            "required": ["range_ref"],
+        },
+    },
+    {
+        "name": "summarize_sheet",
+        "description": (
+            "Describe one sheet: populated-cell and formula counts, the "
+            "used extent, and how many cells are pending recomputation."
+        ),
+        "read_only": True,
+        "parameters": {
+            "type": "object",
+            "properties": {"sheet": _SHEET},
+            "required": [],
+        },
+    },
+    {
+        "name": "set_cell",
+        "description": (
+            "Write one literal value. Returns at the control-return "
+            "point: dependents are marked stale, not yet recomputed."
+        ),
+        "read_only": False,
+        "parameters": {
+            "type": "object",
+            "properties": {
+                "cell": _CELL,
+                "value": {
+                    "type": _SCALAR,
+                    "description": "The literal to store (null clears to empty).",
+                },
+                "sheet": _SHEET,
+            },
+            "required": ["cell", "value"],
+        },
+    },
+    {
+        "name": "set_formula",
+        "description": (
+            "Install or replace a formula. Graph maintenance plus one "
+            "dependents BFS, then control returns; the cell and its "
+            "dependents recompute in the background."
+        ),
+        "read_only": False,
+        "parameters": {
+            "type": "object",
+            "properties": {
+                "cell": _CELL,
+                "formula": {
+                    "type": "string",
+                    "description": "Formula source, e.g. '=SUM(A1:A9)'.",
+                },
+                "sheet": _SHEET,
+            },
+            "required": ["cell", "formula"],
+        },
+    },
+    {
+        "name": "clear_cell",
+        "description": (
+            "Erase one cell, dropping its graph edges and marking its "
+            "dependents stale."
+        ),
+        "read_only": False,
+        "parameters": {
+            "type": "object",
+            "properties": {"cell": _CELL, "sheet": _SHEET},
+            "required": ["cell"],
+        },
+    },
+    {
+        "name": "batch_edit",
+        "description": (
+            "Apply many edits as one commit: maintenance and the "
+            "dependents BFS are paid once for the whole batch, and the "
+            "journal carries it as a single record."
+        ),
+        "read_only": False,
+        "parameters": {
+            "type": "object",
+            "properties": {
+                "edits": {
+                    "type": "array",
+                    "description": (
+                        "Edit objects, each {'op': 'set_value'|'set_formula'"
+                        "|'clear_cell'|'clear_range', 'cell': 'A1' (or "
+                        "'range_ref': 'A1:B9' for clear_range), plus "
+                        "'value' or 'formula' as the op requires}."
+                    ),
+                },
+                "sheet": _SHEET,
+            },
+            "required": ["edits"],
+        },
+    },
+    {
+        "name": "insert_rows",
+        "description": "Insert blank rows, shifting cells and rewriting references.",
+        "read_only": False,
+        "parameters": {
+            "type": "object",
+            "properties": {
+                "row": {"type": "integer", "description": "1-based insertion row.", "minimum": 1},
+                "count": _COUNT,
+                "sheet": _SHEET,
+            },
+            "required": ["row"],
+        },
+    },
+    {
+        "name": "delete_rows",
+        "description": "Delete rows; references into the band become #REF!.",
+        "read_only": False,
+        "parameters": {
+            "type": "object",
+            "properties": {
+                "row": {"type": "integer", "description": "1-based first row to delete.", "minimum": 1},
+                "count": _COUNT,
+                "sheet": _SHEET,
+            },
+            "required": ["row"],
+        },
+    },
+    {
+        "name": "insert_columns",
+        "description": "Insert blank columns, shifting cells and rewriting references.",
+        "read_only": False,
+        "parameters": {
+            "type": "object",
+            "properties": {
+                "col": {"type": "integer", "description": "1-based insertion column.", "minimum": 1},
+                "count": _COUNT,
+                "sheet": _SHEET,
+            },
+            "required": ["col"],
+        },
+    },
+    {
+        "name": "delete_columns",
+        "description": "Delete columns; references into the band become #REF!.",
+        "read_only": False,
+        "parameters": {
+            "type": "object",
+            "properties": {
+                "col": {"type": "integer", "description": "1-based first column to delete.", "minimum": 1},
+                "count": _COUNT,
+                "sheet": _SHEET,
+            },
+            "required": ["col"],
+        },
+    },
+    {
+        "name": "recalculate",
+        "description": (
+            "Drain every pending deferred recomputation in the workbook "
+            "(a write-serialized barrier: it queues behind earlier "
+            "writes, and later reads see fully fresh values)."
+        ),
+        "read_only": False,
+        "parameters": {
+            "type": "object",
+            "properties": {"sheet": _SHEET},
+            "required": [],
+        },
+    },
+]
+
+#: Name -> catalog entry, for dispatch.
+CATALOG: dict[str, dict] = {entry["name"]: entry for entry in TOOL_CATALOG}
+
+_TYPE_CHECKS = {
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+    "array": lambda v: isinstance(v, list),
+    "object": lambda v: isinstance(v, dict),
+}
+
+
+def _type_ok(value, spec_type) -> bool:
+    types = spec_type if isinstance(spec_type, list) else [spec_type]
+    return any(_TYPE_CHECKS[t](value) for t in types)
+
+
+def validate_op(name: str, params: dict | None) -> dict:
+    """Check one request against the catalog; returns the parameters
+    with schema defaults filled in.  Raises :class:`OpValidationError`
+    on any mismatch, before anything touches a workbook."""
+    entry = CATALOG.get(name)
+    if entry is None:
+        raise OpValidationError(
+            f"unknown operation {name!r}; the catalog has {sorted(CATALOG)}"
+        )
+    schema = entry["parameters"]
+    props = schema["properties"]
+    params = dict(params or {})
+    for key in params:
+        if key not in props:
+            raise OpValidationError(f"{name}: unknown parameter {key!r}")
+    for key in schema.get("required", ()):
+        if key not in params:
+            raise OpValidationError(f"{name}: missing required parameter {key!r}")
+    for key, value in params.items():
+        spec = props[key]
+        if "type" in spec and not _type_ok(value, spec["type"]):
+            raise OpValidationError(
+                f"{name}: parameter {key!r} expects {spec['type']}, "
+                f"got {type(value).__name__}"
+            )
+        if "minimum" in spec and value is not None and value < spec["minimum"]:
+            raise OpValidationError(
+                f"{name}: parameter {key!r} must be >= {spec['minimum']}, got {value}"
+            )
+    for key, spec in props.items():
+        if key not in params and "default" in spec:
+            params[key] = spec["default"]
+    return params

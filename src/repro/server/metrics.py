@@ -1,0 +1,108 @@
+"""Per-operation and pool-level metrics for the workbook service.
+
+One :class:`ServiceMetrics` per service, fed from the op dispatch path
+(latency, control-return time, queue depth at submission) and the
+residency pool (evictions, re-admissions, journal records, background
+cells pumped).  ``snapshot()`` renders everything as plain dicts for
+logging, the CLI, and the benchmark artifact.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["OpMetrics", "ServiceMetrics"]
+
+
+class OpMetrics:
+    """Rolling counters for one catalog operation."""
+
+    __slots__ = (
+        "count", "errors", "total_seconds", "max_seconds",
+        "total_control_return", "control_samples",
+    )
+
+    def __init__(self):
+        self.count = 0
+        self.errors = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+        self.total_control_return = 0.0
+        self.control_samples = 0
+
+    def record(self, seconds: float, *, control_return: float | None = None,
+               error: bool = False) -> None:
+        self.count += 1
+        if error:
+            self.errors += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+        if control_return is not None:
+            self.total_control_return += control_return
+            self.control_samples += 1
+
+    def summary(self) -> dict:
+        out = {
+            "count": self.count,
+            "errors": self.errors,
+            "mean_seconds": self.total_seconds / self.count if self.count else 0.0,
+            "max_seconds": self.max_seconds,
+        }
+        if self.control_samples:
+            out["mean_control_return_seconds"] = (
+                self.total_control_return / self.control_samples
+            )
+        return out
+
+
+class ServiceMetrics:
+    """Service-wide counters: per-op latencies, queue depths, pool churn."""
+
+    def __init__(self):
+        self.started = time.perf_counter()
+        self.ops: dict[str, OpMetrics] = {}
+        self.evictions = 0
+        self.readmissions = 0
+        self.cold_admissions = 0
+        #: Journals found superseded by a newer snapshot at admission
+        #: (an eviction that crashed between its snapshot write and its
+        #: journal rotation) and rotated to catch up.
+        self.rotation_repairs = 0
+        self.journal_records = 0
+        self.background_cells = 0
+        self.queue_samples = 0
+        self.queue_depth_total = 0
+        self.max_queue_depth = 0
+
+    def op(self, name: str) -> OpMetrics:
+        stats = self.ops.get(name)
+        if stats is None:
+            stats = self.ops[name] = OpMetrics()
+        return stats
+
+    def sample_queue_depth(self, depth: int) -> None:
+        self.queue_samples += 1
+        self.queue_depth_total += depth
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+
+    def snapshot(self) -> dict:
+        elapsed = time.perf_counter() - self.started
+        total_ops = sum(stats.count for stats in self.ops.values())
+        return {
+            "elapsed_seconds": elapsed,
+            "total_ops": total_ops,
+            "ops_per_second": total_ops / elapsed if elapsed > 0 else 0.0,
+            "per_op": {name: stats.summary() for name, stats in sorted(self.ops.items())},
+            "evictions": self.evictions,
+            "readmissions": self.readmissions,
+            "cold_admissions": self.cold_admissions,
+            "rotation_repairs": self.rotation_repairs,
+            "journal_records": self.journal_records,
+            "background_cells": self.background_cells,
+            "mean_queue_depth": (
+                self.queue_depth_total / self.queue_samples if self.queue_samples else 0.0
+            ),
+            "max_queue_depth": self.max_queue_depth,
+        }

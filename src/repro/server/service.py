@@ -1,0 +1,664 @@
+"""Multi-tenant asyncio workbook service (ROADMAP item 1).
+
+The paper's host model (Sec. I, VI-A) returns control to the user as
+soon as an update's dependents are identified; recomputation happens
+asynchronously.  :class:`WorkbookService` scales that shape out to many
+workbooks under one event loop, with the compressed formula graph on
+every op's critical path.
+
+Concurrency model
+-----------------
+* **Per-workbook write serialization.**  Every mutating operation is
+  enqueued on its workbook's op queue and applied by that workbook's
+  single writer task, in submission order.  Two writes to one workbook
+  never interleave; writes to different workbooks proceed
+  independently.
+* **Snapshot-consistent reads.**  Read operations run directly on the
+  event loop with no await points between resolving the workbook and
+  returning — the single-threaded loop guarantees no writer can run
+  underneath them, so a read observes exactly the state at some op
+  boundary.  Reads never enter a queue and never wait on another
+  workbook's writes.
+* **Deferred recomputation.**  Writes ride
+  :class:`~repro.engine.async_engine.AsyncRecalcEngine`: an op returns
+  at the control-return point with its dependents marked stale, and the
+  writer task pumps bounded ``step()`` slices whenever its queue is
+  empty, yielding to the loop between slices.
+* **LRU residency.**  At most ``max_resident`` workbooks stay in
+  memory.  Admitting one more evicts the least recently used: its
+  pending recomputation drains, the workbook snapshots, and its journal
+  rotates to a fresh one paired with the new snapshot.  A later op
+  re-admits it via the snapshot + journal-replay fast path
+  (``Workbook.restore``).
+
+Durability
+----------
+Every committed write appends one journal record *at commit time*,
+before recomputation: point edits through :meth:`Journal.record_cell`,
+batches and structural ops through the engine hooks they already carry.
+At any instant, snapshot + journal prefix reproduces every acknowledged
+write.  Eviction snapshots first and rotates the journal second; a
+crash between the two leaves a journal superseded by the newer snapshot,
+which admission detects by the pairing stamp and repairs by replaying
+nothing and rotating the journal forward.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import time
+from collections import OrderedDict
+
+from ..core.query import dependents_of_seeds
+from ..engine.async_engine import AsyncRecalcEngine, UpdateTicket
+from ..engine.journal import Journal, JournalFormatError, read_journal, recover
+from ..engine.recalc import CircularReferenceError, RecalcEngine
+from ..engine.structural import apply_structural_edit
+from ..formula.parser import parse_formula
+from ..grid.range import Range
+from ..io.snapshot import encode_value, load_snapshot
+from ..sheet.workbook import Workbook
+from .catalog import CATALOG, TOOL_CATALOG, OpValidationError, validate_op
+from .metrics import ServiceMetrics
+
+__all__ = ["WorkbookService"]
+
+_EVICT = "__evict__"
+_MAX_RANGE_CELLS = 65536
+_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+_ROW_OPS = {"insert_rows", "delete_rows"}
+_COL_OPS = {"insert_columns", "delete_columns"}
+_STRUCTURAL = _ROW_OPS | _COL_OPS
+
+
+class _SheetRuntime:
+    """One sheet's engines: the deferred engine owns the dirty set, the
+    synchronous engine (sharing sheet + graph + journal) drives batch
+    commits and structural edits."""
+
+    __slots__ = ("sheet", "async_engine", "sync_engine")
+
+    def __init__(self, sheet, graph, journal, evaluation):
+        self.sheet = sheet
+        self.async_engine = AsyncRecalcEngine(sheet, graph, evaluation=evaluation)
+        self.sync_engine = RecalcEngine(
+            sheet, self.async_engine.graph, evaluation=evaluation, journal=journal
+        )
+
+
+class _Resident:
+    """A workbook held in memory: its runtimes, journal, op queue, and
+    the single writer task draining that queue."""
+
+    __slots__ = ("wb_id", "workbook", "journal", "runtimes", "queue", "writer")
+
+    def __init__(self, wb_id, workbook, journal):
+        self.wb_id = wb_id
+        self.workbook = workbook
+        self.journal = journal
+        self.runtimes: dict[str, _SheetRuntime] = {}
+        self.queue: asyncio.Queue | None = None
+        self.writer: asyncio.Task | None = None
+
+    def pending(self) -> int:
+        return sum(rt.async_engine.pending for rt in self.runtimes.values())
+
+
+class WorkbookService:
+    """An asyncio service hosting many workbooks concurrently.
+
+    ``data_dir`` holds one snapshot (``<id>.snap``) and one journal
+    (``<id>.wal``) per workbook; a service restarted over the same
+    directory re-admits every workbook on first touch.  ``fsync=False``
+    relaxes journal durability for tests and bulk imports.
+    """
+
+    def __init__(
+        self,
+        data_dir: str,
+        *,
+        max_resident: int = 8,
+        fsync: bool = True,
+        step_cells: int = 256,
+        evaluation: str = "auto",
+    ):
+        if max_resident < 1:
+            raise ValueError("max_resident must be >= 1")
+        self.data_dir = data_dir
+        os.makedirs(data_dir, exist_ok=True)
+        self.max_resident = max_resident
+        self.fsync = fsync
+        self.step_cells = step_cells
+        self.evaluation = evaluation
+        self.metrics = ServiceMetrics()
+        self._residents: "OrderedDict[str, _Resident]" = OrderedDict()
+        self._admission: dict[str, asyncio.Lock] = {}
+        self._known_evicted: set[str] = set()
+        self._closed = False
+
+    # -- introspection ---------------------------------------------------------
+
+    @staticmethod
+    def catalog() -> list[dict]:
+        """The typed operation catalog (see :mod:`repro.server.catalog`)."""
+        return TOOL_CATALOG
+
+    @property
+    def resident_ids(self) -> list[str]:
+        """Resident workbook ids, least recently used first."""
+        return list(self._residents)
+
+    def stats(self) -> dict:
+        out = self.metrics.snapshot()
+        out["resident"] = list(self._residents)
+        out["max_resident"] = self.max_resident
+        return out
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def create_workbook(
+        self, wb_id: str, sheets=("Sheet1",), *, workbook: Workbook | None = None
+    ) -> dict:
+        """Create a workbook (or attach a pre-built one) and make it
+        resident.  It is snapshotted and paired with a fresh journal
+        immediately, so a crash at any later instant restores it."""
+        self._check_open()
+        if not _ID_RE.match(wb_id):
+            raise OpValidationError(
+                f"invalid workbook id {wb_id!r} (letters, digits, '.', '_', '-')"
+            )
+        async with self._lock_for(wb_id):
+            if wb_id in self._residents or os.path.exists(self._snapshot_path(wb_id)):
+                raise OpValidationError(f"workbook {wb_id!r} already exists")
+            await self._make_room()
+            if workbook is None:
+                workbook = Workbook(wb_id)
+                for name in sheets:
+                    workbook.add_sheet(name)
+            res = self._admit_fresh(wb_id, workbook)
+            self._install(res)
+            self.metrics.cold_admissions += 1
+        return {"workbook": wb_id, "sheets": workbook.sheet_names}
+
+    async def close(self) -> None:
+        """Evict every resident workbook to disk and stop the service."""
+        if self._closed:
+            return
+        self._closed = True
+        for wb_id in list(self._residents):
+            await self._evict(wb_id)
+
+    async def __aenter__(self) -> "WorkbookService":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # -- the op dispatch -------------------------------------------------------
+
+    async def execute(self, wb_id: str, op: str, params: dict | None = None) -> dict:
+        """Run one catalog operation against ``wb_id``.
+
+        Reads return immediately with snapshot-consistent state; writes
+        are serialized through the workbook's writer task and return at
+        the control-return point (dependents marked, not recomputed).
+        """
+        self._check_open()
+        params = validate_op(op, params)
+        stats = self.metrics.op(op)
+        start = time.perf_counter()
+        try:
+            res = await self._ensure_resident(wb_id)
+            if CATALOG[op]["read_only"]:
+                result = self._apply_read(res, op, params)
+            else:
+                future = asyncio.get_running_loop().create_future()
+                res.queue.put_nowait((op, params, future))
+                self.metrics.sample_queue_depth(res.queue.qsize())
+                result = await future
+        except Exception:
+            stats.record(time.perf_counter() - start, error=True)
+            raise
+        stats.record(
+            time.perf_counter() - start,
+            control_return=result.get("control_return_seconds"),
+        )
+        return result
+
+    # -- residency -------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("service is closed")
+
+    def _lock_for(self, wb_id: str) -> asyncio.Lock:
+        lock = self._admission.get(wb_id)
+        if lock is None:
+            lock = self._admission[wb_id] = asyncio.Lock()
+        return lock
+
+    def _snapshot_path(self, wb_id: str) -> str:
+        return os.path.join(self.data_dir, f"{wb_id}.snap")
+
+    def _journal_path(self, wb_id: str) -> str:
+        return os.path.join(self.data_dir, f"{wb_id}.wal")
+
+    async def _ensure_resident(self, wb_id: str) -> _Resident:
+        res = self._residents.get(wb_id)
+        if res is not None:
+            # Fast path: no await point between here and the caller's
+            # enqueue/read — resident reads stay queue-free.
+            self._residents.move_to_end(wb_id)
+            return res
+        async with self._lock_for(wb_id):
+            res = self._residents.get(wb_id)
+            if res is not None:
+                self._residents.move_to_end(wb_id)
+                return res
+            if not os.path.exists(self._snapshot_path(wb_id)):
+                raise OpValidationError(
+                    f"unknown workbook {wb_id!r}; create_workbook first"
+                )
+            # Make room *before* installing, while still holding the
+            # admission lock: once installed, the caller reaches its
+            # enqueue/read with no further await point, so a concurrent
+            # capacity pass can never evict the workbook out from under
+            # it (a stale queue would strand the writer future forever).
+            await self._make_room()
+            res = self._admit_from_disk(wb_id)
+            self._install(res)
+            if wb_id in self._known_evicted:
+                self.metrics.readmissions += 1
+            else:
+                self.metrics.cold_admissions += 1
+            return res
+
+    def _install(self, res: _Resident) -> None:
+        res.queue = asyncio.Queue()
+        res.writer = asyncio.get_running_loop().create_task(self._writer_loop(res))
+        self._residents[res.wb_id] = res
+
+    def _admit_fresh(self, wb_id: str, workbook: Workbook) -> _Resident:
+        # Recalculate once so the snapshot carries clean cached values;
+        # cycles surface as #CYCLE! cells rather than aborting admission.
+        engines: dict[str, RecalcEngine] = {}
+        for sheet in workbook.sheets():
+            engine = RecalcEngine(sheet, evaluation=self.evaluation)
+            try:
+                engine.recalculate_all()
+            except CircularReferenceError:
+                pass
+            engines[sheet.name] = engine
+        stats = workbook.snapshot(
+            self._snapshot_path(wb_id),
+            graphs={name: engine.graph for name, engine in engines.items()},
+        )
+        journal = Journal(
+            self._journal_path(wb_id), fsync=self.fsync,
+            truncate=True, snapshot_id=stats.snapshot_id,
+        )
+        res = _Resident(wb_id, workbook, journal)
+        for sheet in workbook.sheets():
+            res.runtimes[sheet.name] = _SheetRuntime(
+                sheet, engines[sheet.name].graph, journal, self.evaluation
+            )
+        return res
+
+    def _admit_from_disk(self, wb_id: str) -> _Resident:
+        snap = load_snapshot(self._snapshot_path(wb_id))
+        snapshot_id = snap.meta.get("snapshot_id") or None
+        journal_path = self._journal_path(wb_id)
+        try:
+            recovery = recover(snap, journal_path, evaluation=self.evaluation)
+        except JournalFormatError:
+            if not self._journal_superseded(journal_path, snapshot_id):
+                raise
+            # An eviction crashed between its snapshot write and its
+            # journal rotation: the snapshot already embodies every
+            # journaled edit, so replay nothing and rotate now.
+            recovery = recover(snap, None, evaluation=self.evaluation)
+            Journal(
+                journal_path, fsync=self.fsync,
+                truncate=True, snapshot_id=snapshot_id,
+            ).close()
+            self.metrics.rotation_repairs += 1
+        journal = Journal(journal_path, fsync=self.fsync, snapshot_id=snapshot_id)
+        res = _Resident(wb_id, recovery.workbook, journal)
+        for sheet in recovery.workbook.sheets():
+            res.runtimes[sheet.name] = _SheetRuntime(
+                sheet, recovery.graphs.get(sheet.name), journal, self.evaluation
+            )
+        return res
+
+    @staticmethod
+    def _journal_superseded(journal_path: str, snapshot_id: str | None) -> bool:
+        """True when the journal's pairing stamp names an *older*
+        snapshot than the one on disk — only the service's own crashed
+        eviction produces that state (this directory has no other
+        writers), so the journal's content is already in the snapshot."""
+        if snapshot_id is None or not os.path.exists(journal_path):
+            return False
+        try:
+            records = read_journal(journal_path).records
+        except JournalFormatError:
+            return False
+        stamps = [r.get("snapshot") for r in records if r.get("kind") == "open"]
+        return bool(stamps) and snapshot_id not in stamps
+
+    async def _make_room(self) -> None:
+        # Called with the incoming workbook's admission lock held; the
+        # incoming id is not yet resident, so it cannot be picked as a
+        # victim here.  Victim admission locks are only ever held by
+        # _evict itself (which awaits nothing but the victim's writer),
+        # so holding our lock across these awaits cannot form a cycle.
+        while len(self._residents) >= self.max_resident:
+            victim = next(iter(self._residents), None)
+            if victim is None:
+                return
+            await self._evict(victim)
+
+    async def _evict(self, wb_id: str) -> None:
+        async with self._lock_for(wb_id):
+            res = self._residents.pop(wb_id, None)
+            if res is None:
+                return
+            future = asyncio.get_running_loop().create_future()
+            res.queue.put_nowait((_EVICT, None, future))
+            try:
+                await future
+            finally:
+                res.journal.close()
+            self._known_evicted.add(wb_id)
+            self.metrics.evictions += 1
+
+    def _evict_to_disk(self, res: _Resident) -> None:
+        # Quiesce first: bake every pending recomputation into cached
+        # values so the snapshot is clean and the fresh journal starts
+        # empty.  Snapshot before rotating — at every instant the disk
+        # pair reproduces all acknowledged writes (see module docs).
+        self._drain(res)
+        stats = res.workbook.snapshot(
+            self._snapshot_path(res.wb_id),
+            graphs={name: rt.async_engine.graph for name, rt in res.runtimes.items()},
+        )
+        res.journal.close()
+        Journal(
+            self._journal_path(res.wb_id), fsync=self.fsync,
+            truncate=True, snapshot_id=stats.snapshot_id,
+        ).close()
+
+    # -- the writer task -------------------------------------------------------
+
+    async def _writer_loop(self, res: _Resident) -> None:
+        queue = res.queue
+        while True:
+            if queue.empty() and res.pending():
+                self.metrics.background_cells += self._pump(res)
+                await asyncio.sleep(0)
+                continue
+            op, params, future = await queue.get()
+            if op is _EVICT:
+                try:
+                    self._evict_to_disk(res)
+                except Exception as exc:
+                    if not future.done():
+                        future.set_exception(exc)
+                else:
+                    if not future.done():
+                        future.set_result(None)
+                return
+            try:
+                result = self._apply_write(res, op, params)
+            except Exception as exc:
+                if not future.done():
+                    future.set_exception(exc)
+            else:
+                if not future.done():
+                    future.set_result(result)
+            # Queue.get returns without suspending while ops are ready;
+            # yield so readers interleave instead of waiting out a burst.
+            await asyncio.sleep(0)
+
+    def _pump(self, res: _Resident) -> int:
+        budget = self.step_cells
+        total = 0
+        for rt in res.runtimes.values():
+            if budget <= 0:
+                break
+            if rt.async_engine.pending:
+                done = rt.async_engine.step(budget)
+                total += done
+                budget -= done
+        return total
+
+    def _drain(self, res: _Resident) -> int:
+        total = 0
+        for rt in res.runtimes.values():
+            total += rt.async_engine.drain()
+        self.metrics.background_cells += total
+        return total
+
+    # -- op handlers -----------------------------------------------------------
+
+    def _runtime(self, res: _Resident, sheet_name: str | None) -> _SheetRuntime:
+        workbook = res.workbook
+        if sheet_name is None:
+            sheet = workbook.active_sheet
+        elif sheet_name in workbook:
+            sheet = workbook[sheet_name]
+        else:
+            raise OpValidationError(
+                f"unknown sheet {sheet_name!r} in workbook {res.wb_id!r}"
+            )
+        rt = res.runtimes.get(sheet.name)
+        if rt is None:
+            rt = res.runtimes[sheet.name] = _SheetRuntime(
+                sheet, None, res.journal, self.evaluation
+            )
+        return rt
+
+    @staticmethod
+    def _cell_pos(text: str) -> tuple[int, int]:
+        try:
+            rng = Range.from_a1(text)
+        except ValueError as exc:
+            raise OpValidationError(str(exc)) from exc
+        if not rng.is_cell:
+            raise OpValidationError(f"expected a single cell, got range {text!r}")
+        return rng.head
+
+    def _apply_read(self, res: _Resident, op: str, params: dict) -> dict:
+        rt = self._runtime(res, params.get("sheet"))
+        base = {"workbook": res.wb_id, "sheet": rt.sheet.name}
+        if op == "get_cell":
+            pos = self._cell_pos(params["cell"])
+            view = rt.async_engine.read(pos)
+            base.update(
+                cell=Range.cell(*pos).to_a1(),
+                value=encode_value(view.value),
+                dirty=view.is_dirty,
+            )
+            return base
+        if op == "get_range":
+            try:
+                rng = Range.from_a1(params["range_ref"])
+            except ValueError as exc:
+                raise OpValidationError(str(exc)) from exc
+            if rng.size > _MAX_RANGE_CELLS:
+                raise OpValidationError(
+                    f"range {rng.to_a1()} spans {rng.size} cells "
+                    f"(limit {_MAX_RANGE_CELLS})"
+                )
+            engine = rt.async_engine
+            sheet = rt.sheet
+            dirty_cells = 0
+            values = []
+            for row in range(rng.r1, rng.r2 + 1):
+                row_values = []
+                for col in range(rng.c1, rng.c2 + 1):
+                    row_values.append(encode_value(sheet.get_value((col, row))))
+                    if engine.is_dirty((col, row)):
+                        dirty_cells += 1
+                values.append(row_values)
+            base.update(range=rng.to_a1(), values=values, dirty_cells=dirty_cells)
+            return base
+        # summarize_sheet
+        sheet = rt.sheet
+        cells = 0
+        max_col = 0
+        max_row = 0
+        for col, row in sheet.positions():
+            cells += 1
+            if col > max_col:
+                max_col = col
+            if row > max_row:
+                max_row = row
+        formulas = sum(1 for _ in sheet.formula_cells())
+        base.update(
+            cells=cells,
+            formulas=formulas,
+            extent=Range(1, 1, max_col, max_row).to_a1() if cells else None,
+            pending=rt.async_engine.pending,
+            sheets=res.workbook.sheet_names,
+        )
+        return base
+
+    def _apply_write(self, res: _Resident, op: str, params: dict) -> dict:
+        if op in _STRUCTURAL:
+            return self._apply_structural(res, op, params)
+        rt = self._runtime(res, params.get("sheet"))
+        if op == "recalculate":
+            recomputed = self._drain(res)
+            return {
+                "workbook": res.wb_id,
+                "recomputed": recomputed,
+                "pending": res.pending(),
+            }
+        if op == "batch_edit":
+            return self._apply_batch(res, rt, params["edits"])
+        engine = rt.async_engine
+        pos = self._cell_pos(params["cell"])
+        if op == "set_cell":
+            value = params["value"]
+            encode_value(value)  # journalable, before anything mutates
+            ticket = engine.set_value(pos, value)
+            res.journal.record_cell(rt.sheet.name, "value", pos, value)
+        elif op == "set_formula":
+            text = params["formula"]
+            try:
+                parse_formula(text)  # parse errors before anything mutates
+            except ValueError as exc:
+                raise OpValidationError(str(exc)) from exc
+            ticket = engine.set_formula(pos, text)
+            res.journal.record_cell(rt.sheet.name, "formula", pos, text)
+        else:  # clear_cell
+            ticket = engine.clear_cell(pos)
+            res.journal.record_cell(rt.sheet.name, "clear", pos)
+        self.metrics.journal_records += 1
+        return self._ticket_result(res, rt, pos, ticket)
+
+    def _ticket_result(
+        self, res: _Resident, rt: _SheetRuntime, pos, ticket: UpdateTicket
+    ) -> dict:
+        return {
+            "workbook": res.wb_id,
+            "sheet": rt.sheet.name,
+            "cell": Range.cell(*pos).to_a1(),
+            "dirty_count": ticket.dirty_count,
+            "pending": ticket.pending,
+            "control_return_seconds": ticket.control_return_seconds,
+        }
+
+    def _apply_batch(self, res: _Resident, rt: _SheetRuntime, edits: list) -> dict:
+        staged = [self._parse_batch_edit(i, edit) for i, edit in enumerate(edits)]
+        start = time.perf_counter()
+        with rt.sync_engine.begin_batch(recalc=False, workbook=res.workbook) as batch:
+            for kind, target, payload in staged:
+                getattr(batch, kind)(target, *payload)
+        result = batch.result
+        # recalc=False committed maintenance only: hand the batch's
+        # dirty cover (edited cells + their transitive dependents) to
+        # the deferred engine so the background pump picks it up.
+        marked = rt.async_engine.note_external_dirty(
+            list(result.cleared_ranges) + list(result.dirty_ranges)
+        )
+        self.metrics.journal_records += 1
+        return {
+            "workbook": res.wb_id,
+            "sheet": rt.sheet.name,
+            "edits": len(edits),
+            "dirty_count": marked,
+            "pending": res.pending(),
+            "control_return_seconds": time.perf_counter() - start,
+        }
+
+    @staticmethod
+    def _parse_batch_edit(index: int, edit) -> tuple[str, object, tuple]:
+        if not isinstance(edit, dict):
+            raise OpValidationError(f"batch_edit: edit {index} is not an object")
+        kind = edit.get("op")
+        if kind == "set_value":
+            value = edit.get("value")
+            encode_value(value)
+            return "set_value", WorkbookService._cell_pos(edit.get("cell", "")), (value,)
+        if kind == "set_formula":
+            text = edit.get("formula")
+            if not isinstance(text, str):
+                raise OpValidationError(f"batch_edit: edit {index} needs a 'formula' string")
+            try:
+                parse_formula(text)
+            except ValueError as exc:
+                raise OpValidationError(f"batch_edit: edit {index}: {exc}") from exc
+            return "set_formula", WorkbookService._cell_pos(edit.get("cell", "")), (text,)
+        if kind == "clear_cell":
+            return "clear_cell", WorkbookService._cell_pos(edit.get("cell", "")), ()
+        if kind == "clear_range":
+            try:
+                rng = Range.from_a1(edit.get("range_ref", ""))
+            except ValueError as exc:
+                raise OpValidationError(f"batch_edit: edit {index}: {exc}") from exc
+            return "clear_range", rng, ()
+        raise OpValidationError(
+            f"batch_edit: edit {index} has unknown op {kind!r} "
+            "(set_value/set_formula/clear_cell/clear_range)"
+        )
+
+    def _apply_structural(self, res: _Resident, op: str, params: dict) -> dict:
+        rt = self._runtime(res, params.get("sheet"))
+        index = params["row"] if op in _ROW_OPS else params["col"]
+        count = params["count"]
+        start = time.perf_counter()
+        # Pending deferred positions are (col, row) tuples the shift
+        # would silently re-address: quiesce this workbook first.
+        self._drain(res)
+        result = apply_structural_edit(
+            rt.sync_engine, op, index, count, recalc=False, workbook=res.workbook
+        )
+        marked = rt.async_engine.note_external_dirty(result.dirty_ranges)
+        # Sibling sheets whose cross-sheet references were rewritten
+        # re-evaluate through their own engines.
+        for name, report in (result.sibling_reports or {}).items():
+            seeds = [Range.cell(*pos) for pos in report.dirty_seeds]
+            if not seeds:
+                continue
+            sibling = self._runtime(res, name)
+            marked += sibling.async_engine.note_external_dirty(
+                seeds + dependents_of_seeds(sibling.async_engine.graph, seeds)
+            )
+        self.metrics.journal_records += 1
+        return {
+            "workbook": res.wb_id,
+            "sheet": rt.sheet.name,
+            "op": op,
+            "index": index,
+            "count": count,
+            "moved_cells": result.moved_cells,
+            "rewritten_formulas": result.rewritten_formulas,
+            "ref_errors": result.ref_errors,
+            "dirty_count": marked,
+            "pending": res.pending(),
+            "control_return_seconds": time.perf_counter() - start,
+        }

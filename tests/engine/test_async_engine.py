@@ -5,6 +5,7 @@ from helpers import build_fig2_sheet
 from repro.engine.async_engine import AsyncRecalcEngine
 from repro.engine.recalc import RecalcEngine
 from repro.formula.errors import CYCLE_ERROR
+from repro.grid.range import Range
 from repro.sheet.sheet import Sheet
 
 
@@ -97,6 +98,135 @@ class TestCycles:
         engine.drain()
         assert engine.pending == 0
         assert engine.read("B1").value == CYCLE_ERROR
+
+
+class TestVanishedDirtyCells:
+    def test_step_survives_cleared_dirty_cell(self):
+        """Regression: a dirty cell cleared straight off the sheet used
+        to crash ``step`` with AttributeError (cell_at → None)."""
+        engine = AsyncRecalcEngine(build_chain_sheet(rows=10))
+        engine.set_value("A1", 100.0)
+        assert engine.is_dirty("B5")
+        engine.sheet.clear_cell((2, 5))       # behind the engine's back
+        total = engine.drain()
+        assert engine.pending == 0
+        assert not engine.is_dirty("B5")
+        assert total < 10                     # the vanished cell wasn't "computed"
+
+    def test_step_survives_cleared_range(self):
+        engine = AsyncRecalcEngine(build_chain_sheet(rows=12))
+        engine.set_value("A1", 7.0)
+        engine.sheet.clear_range(Range(2, 3, 2, 8))
+        engine.drain()
+        assert engine.pending == 0
+        assert engine.read("B1").value == 7.0
+
+    def test_blocked_on_vanished_cell_is_not_a_cycle(self):
+        """A cell waiting on a vanished dirty precedent must be
+        recomputed, not stamped #CYCLE! by the empty-ready branch."""
+        sheet = Sheet("van")
+        sheet.set_value("A1", 1.0)
+        sheet.set_formula("B1", "=A1+1")
+        sheet.set_formula("C1", "=B1+1")
+        engine = AsyncRecalcEngine(sheet)
+        engine.drain()
+        engine.set_value("A1", 10.0)
+        sheet.clear_cell((2, 1))              # B1 vanishes while dirty
+        engine.drain()
+        assert engine.pending == 0
+        assert engine.read("C1").value != CYCLE_ERROR
+
+    def test_cycle_branch_guards_vanished_cells(self):
+        sheet = Sheet("cycvan")
+        sheet.set_formula("A1", "=B1")
+        sheet.set_formula("B1", "=A1")
+        engine = AsyncRecalcEngine(sheet)
+        engine.set_formula("A1", "=B1+1")
+        sheet.clear_cell((1, 1))              # half the cycle vanishes
+        engine.drain()
+        assert engine.pending == 0
+
+
+class TestClearCell:
+    def test_clear_cell_marks_dependents(self):
+        sheet = Sheet("clear")
+        sheet.set_value("A1", 3.0)
+        sheet.set_formula("B1", "=A1*2")
+        engine = AsyncRecalcEngine(sheet)
+        engine.drain()
+        ticket = engine.clear_cell("A1")
+        assert engine.sheet.cell_at((1, 1)) is None
+        assert engine.is_dirty("B1")
+        assert ticket.dirty_count == 1
+        engine.drain()
+        assert engine.read("B1").value == 0.0
+
+    def test_clear_formula_cell_drops_graph_edges(self):
+        """Same clear-graph-then-find-dependents contract as the
+        synchronous engine: no phantom dirty edges afterwards."""
+        sheet = Sheet("clearf")
+        sheet.set_value("A1", 2.0)
+        sheet.set_formula("B1", "=A1*2")
+        sheet.set_formula("C1", "=B1+1")
+        engine = AsyncRecalcEngine(sheet)
+        engine.drain()
+        engine.clear_cell("B1")
+        engine.drain()
+        ticket = engine.set_value("A1", 9.0)
+        dirty = {pos for rng in ticket.dirty_ranges for pos in rng.cells()}
+        assert (2, 1) not in dirty            # cleared cell left the graph
+        assert not engine.is_dirty("B1")
+
+    def test_clear_cell_matches_sync_engine(self):
+        async_engine = AsyncRecalcEngine(build_fig2_sheet(rows=20))
+        async_engine.clear_cell((13, 2))
+        async_engine.drain()
+
+        sync_sheet = build_fig2_sheet(rows=20)
+        sync_engine = RecalcEngine(sync_sheet)
+        sync_engine.recalculate_all()
+        sync_engine.clear_cell((13, 2))
+
+        async_values = {
+            pos: cell.value for pos, cell in async_engine.sheet.formula_cells()
+        }
+        sync_values = {pos: cell.value for pos, cell in sync_sheet.formula_cells()}
+        assert async_values == sync_values
+
+
+class TestTicketCounts:
+    def test_dirty_count_is_per_update_not_cumulative(self):
+        """Regression: dirty_count used to report the cumulative pending
+        total, so a second edit inflated its own count."""
+        sheet = Sheet("counts")
+        sheet.set_value("A1", 1.0)
+        sheet.set_formula("B1", "=A1+1")
+        sheet.set_value("A2", 1.0)
+        sheet.set_formula("B2", "=A2+1")
+        engine = AsyncRecalcEngine(sheet)
+        engine.drain()
+        first = engine.set_value("A1", 2.0)
+        second = engine.set_value("A2", 2.0)
+        assert first.dirty_count == 1
+        assert second.dirty_count == 1        # not 2
+        assert first.pending == 1
+        assert second.pending == 2            # cumulative total lives here
+
+    def test_set_formula_counts_self(self):
+        engine = AsyncRecalcEngine(build_chain_sheet(rows=3))
+        engine.drain()
+        ticket = engine.set_formula("C1", "=B3*2")
+        assert ticket.dirty_count == 1
+        assert ticket.pending == 1
+
+    def test_note_external_dirty_marks_formulas_only(self):
+        engine = AsyncRecalcEngine(build_chain_sheet(rows=5))
+        engine.drain()
+        marked = engine.note_external_dirty([Range(1, 1, 2, 5)])
+        assert marked == 5                    # B1..B5; A1 is a plain value
+        assert engine.pending == 5
+        engine.drain()
+        assert engine.pending == 0
 
 
 class TestFormulaOverwrite:
